@@ -1,0 +1,122 @@
+//! Criterion benches, one group per evaluation artifact.
+//!
+//! Two kinds of measurement:
+//!
+//! * `compile/*` — wall-clock time of the *vectorizer itself* (pattern
+//!   matching + pack selection + lowering) across beam widths. This is the
+//!   compile-time story behind §5.2: beam search buys code quality with
+//!   search time, and the SLP heuristic (k = 1) is the cheap point.
+//! * `execute/*` — wall-clock time of the three program variants (scalar /
+//!   LLVM-SLP / VeGen) under the vector VM. NOTE: these are *interpreter*
+//!   times. The VM charges real allocations per vector op, so small
+//!   vectorized programs can interpret slower than their scalar forms even
+//!   when the modeled cycle count (the paper's metric, reported by the
+//!   `report_*` binaries and recorded in EXPERIMENTS.md) is far lower.
+//!   They are included to pin total-work trends on the larger kernels, not
+//!   as a performance claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vegen::driver::{compile, CompiledKernel, PipelineConfig};
+use vegen_core::BeamConfig;
+use vegen_ir::interp::random_memory;
+use vegen_isa::TargetIsa;
+use vegen_kernels::{Kernel, Suite};
+use vegen_vm::run_program;
+
+fn cfg(target: TargetIsa, width: usize) -> PipelineConfig {
+    PipelineConfig { target, beam: BeamConfig::with_width(width), canonicalize_patterns: true }
+}
+
+fn compile_kernel(k: &Kernel, target: TargetIsa, width: usize) -> CompiledKernel {
+    let f = (k.build)();
+    let ck = compile(&f, &cfg(target, width));
+    ck.verify(4).expect("bench kernels must be correct");
+    ck
+}
+
+/// Compile-time scaling with beam width — idct4 is the kernel where the
+/// extra search effort famously pays off (Fig. 11/12).
+fn compile_time(c: &mut Criterion) {
+    for name in ["pmaddwd", "idct4", "chroma", "int16x16"] {
+        let k = vegen_kernels::find(name).unwrap();
+        let f = (k.build)();
+        let mut g = c.benchmark_group(format!("compile/{name}"));
+        for width in [1usize, 16, 64] {
+            let config = cfg(TargetIsa::avx2(), width);
+            g.bench_function(format!("beam{width}"), |b| {
+                b.iter(|| black_box(compile(black_box(&f), &config)))
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_execute(c: &mut Criterion, group: &str, k: &Kernel, target: TargetIsa, width: usize) {
+    let ck = compile_kernel(k, target, width);
+    let mem0 = random_memory(&ck.function, 7);
+    let mut g = c.benchmark_group(format!("{group}/{}", k.name));
+    for (variant, prog) in [
+        ("scalar", &ck.scalar),
+        ("llvm_slp", &ck.baseline),
+        ("vegen", &ck.vegen),
+    ] {
+        g.bench_function(variant, |b| {
+            b.iter(|| {
+                let mut mem = mem0.clone();
+                run_program(black_box(prog), &mut mem).unwrap();
+                black_box(mem);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 2: the TVM micro-kernel on AVX512-VNNI.
+fn fig2(c: &mut Criterion) {
+    let k = vegen_kernels::find("tvm_dot_16x1x16").unwrap();
+    bench_execute(c, "execute_fig2", &k, TargetIsa::avx512vnni(), 64);
+}
+
+/// Fig. 10: a representative subset of the isel tests (AVX2).
+fn fig10(c: &mut Criterion) {
+    for name in ["pmaddwd", "pmaddubs", "hadd_i16", "max_pd", "abs_pd"] {
+        let k = vegen_kernels::find(name).unwrap();
+        bench_execute(c, "execute_fig10", &k, TargetIsa::avx2(), 16);
+    }
+}
+
+/// Fig. 11: the DSP kernels (AVX2; idct kernels at the paper's beam 128).
+fn fig11(c: &mut Criterion) {
+    for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::Dsp) {
+        let width = if k.name.starts_with("idct") { 128 } else { 16 };
+        bench_execute(c, "execute_fig11", &k, TargetIsa::avx2(), width);
+    }
+}
+
+/// Fig. 13: the OpenCV dot products (AVX2).
+fn fig13(c: &mut Criterion) {
+    for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::OpenCv) {
+        bench_execute(c, "execute_fig13", &k, TargetIsa::avx2(), 16);
+    }
+}
+
+/// Fig. 15: complex multiplication (AVX2).
+fn fig15(c: &mut Criterion) {
+    let k = vegen_kernels::find("cmul").unwrap();
+    bench_execute(c, "execute_fig15", &k, TargetIsa::avx2(), 16);
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(150))
+        .measurement_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = compile_time, fig2, fig10, fig11, fig13, fig15
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 11: speedups (over the LLVM-SLP baseline) on the x265/FFmpeg
+//! kernels, across beam widths {1, 64, 128}, with and without pattern
+//! canonicalization, on AVX2 and AVX512-VNNI.
+
+use vegen::driver::PipelineConfig;
+use vegen_bench::{measure, print_table};
+use vegen_core::BeamConfig;
+use vegen_isa::TargetIsa;
+use vegen_kernels::Suite;
+
+fn main() {
+    for target in [TargetIsa::avx2(), TargetIsa::avx512vnni()] {
+        let mut rows = Vec::new();
+        for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::Dsp) {
+            let mut cells = vec![k.name.to_string()];
+            for (width, canon) in [(1usize, true), (64, true), (128, true), (128, false)] {
+                let cfg = PipelineConfig {
+                    target: target.clone(),
+                    beam: BeamConfig::with_width(width),
+                    canonicalize_patterns: canon,
+                };
+                let r = measure(&k, &cfg);
+                cells.push(format!("{:.2}", r.speedup));
+            }
+            rows.push(cells);
+        }
+        print_table(
+            &format!("Fig. 11 — DSP kernels, {} (speedup over LLVM-SLP baseline)", target.name),
+            &["kernel", "beam-1", "beam-64", "beam-128", "beam-128 (no canon)"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper reference (AVX2, beam-128): fft4 1.38, fft8 1.18, sbc 1.58, idct8 1.36, idct4 2.15, chroma 2.12;"
+    );
+    println!(
+        "beam-1 (SLP heuristic): fft4 1.06, fft8 1.09, sbc 1.17, idct8 1.25, idct4 0.94, chroma 1.05."
+    );
+    println!("Canonicalization matters on the saturating kernels (idct4, idct8, chroma).");
+}

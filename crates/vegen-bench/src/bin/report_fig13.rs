@@ -1,0 +1,29 @@
+//! Fig. 13: OpenCV's fixed-size dot-product kernels on AVX2 and
+//! AVX512-VNNI (speedup over the LLVM-SLP baseline).
+
+use vegen_bench::{config, measure, print_table};
+use vegen_isa::TargetIsa;
+use vegen_kernels::Suite;
+
+fn main() {
+    for target in [TargetIsa::avx2(), TargetIsa::avx512vnni()] {
+        let cfg = config(target.clone(), 64, true);
+        let mut rows = Vec::new();
+        for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::OpenCv) {
+            let r = measure(&k, &cfg);
+            rows.push(vec![
+                r.name.clone(),
+                format!("{:.1}", r.speedup),
+                r.vegen_ops.join(" "),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 13 — OpenCV dot products, {}", target.name),
+            &["kernel", "speedup", "VeGen ops"],
+            &rows,
+        );
+    }
+    println!("\nPaper reference: AVX2 int8x32 1.1, uint8x32 2.0, int32x8 1.5, int16x16 1.6;");
+    println!("AVX512-VNNI: int8x32 0.7, uint8x32 2.2, int32x8 1.7, int16x16 2.5.");
+    println!("int32x8's winning strategy (odd/even vpmuldq) is shown by report_fig14.");
+}

@@ -1,0 +1,26 @@
+//! Smoke run: compile, verify, and summarize every kernel on AVX2.
+use vegen_bench::{config, measure, print_table};
+use vegen_isa::TargetIsa;
+
+fn main() {
+    let cfg = config(TargetIsa::avx2(), 16, true);
+    let mut rows = Vec::new();
+    for k in vegen_kernels::all() {
+        let t0 = std::time::Instant::now();
+        let r = measure(&k, &cfg);
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.1}", r.scalar_cycles),
+            format!("{:.1}", r.baseline_cycles),
+            format!("{:.1}", r.vegen_cycles),
+            format!("{:.2}", r.speedup),
+            r.vegen_ops.join(","),
+            format!("{:?}", t0.elapsed()),
+        ]);
+    }
+    print_table(
+        "smoke (AVX2, beam 16)",
+        &["kernel", "scalar", "llvm", "vegen", "speedup", "vegen ops", "time"],
+        &rows,
+    );
+}

@@ -1,0 +1,98 @@
+//! Shared harness utilities for the experiment reports and Criterion
+//! benches.
+//!
+//! Every table and figure of the paper has a `report_*` binary in this
+//! crate (see `src/bin/`) plus a Criterion bench (see `benches/`); this
+//! library holds the common measurement code.
+
+use vegen::driver::{compile, CompiledKernel, PipelineConfig};
+use vegen_core::BeamConfig;
+use vegen_isa::TargetIsa;
+use vegen_kernels::Kernel;
+
+/// One measured kernel row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub name: String,
+    /// Estimated scalar cycles.
+    pub scalar_cycles: f64,
+    /// Estimated baseline (LLVM-SLP) cycles.
+    pub baseline_cycles: f64,
+    /// Estimated VeGen cycles.
+    pub vegen_cycles: f64,
+    /// VeGen speedup over the baseline (the paper's headline metric).
+    pub speedup: f64,
+    /// Instruction counts: (scalar, baseline, vegen).
+    pub inst_counts: (usize, usize, usize),
+    /// Distinct vector instructions VeGen used.
+    pub vegen_ops: Vec<String>,
+    /// Did the baseline vectorize anything?
+    pub baseline_vectorized: bool,
+}
+
+/// Compile a kernel under a configuration, verify all three programs, and
+/// measure.
+///
+/// # Panics
+///
+/// Panics if any program diverges from the scalar semantics — a
+/// correctness bug that must never reach a report.
+pub fn measure(kernel: &Kernel, cfg: &PipelineConfig) -> Row {
+    let f = (kernel.build)();
+    let ck = compile(&f, cfg);
+    ck.verify(24)
+        .unwrap_or_else(|e| panic!("kernel {} failed verification: {e}", kernel.name));
+    row_of(kernel.name, &ck)
+}
+
+/// Extract a [`Row`] from a compiled kernel.
+pub fn row_of(name: &str, ck: &CompiledKernel) -> Row {
+    let (sc, bl, vg) = ck.cycles();
+    Row {
+        name: name.to_string(),
+        scalar_cycles: sc,
+        baseline_cycles: bl,
+        vegen_cycles: vg,
+        speedup: bl / vg,
+        inst_counts: (
+            ck.scalar.instruction_count(),
+            ck.baseline.instruction_count(),
+            ck.vegen.instruction_count(),
+        ),
+        vegen_ops: ck.vegen.vector_ops_used(),
+        baseline_vectorized: ck.baseline_trees > 0,
+    }
+}
+
+/// Standard configuration used by the figure reports.
+pub fn config(target: TargetIsa, beam_width: usize, canonicalize_patterns: bool) -> PipelineConfig {
+    PipelineConfig {
+        target,
+        beam: BeamConfig::with_width(beam_width),
+        canonicalize_patterns,
+    }
+}
+
+/// Print a header + rows as an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for r in rows {
+        line(r);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Code generation (§4.5): schedule the selected packs and scalar
+//! remainder, then lower to a vector program.
+//!
+//! The generated program is a combination of (1) the scalar instructions
+//! not covered by packs, (2) the compute vector instructions corresponding
+//! to the packs, and (3) the data-movement instructions implied by the
+//! dependences among packs and scalars — gathers (`Build`) when a vector
+//! operand is not produced exactly by another pack, extractions when a
+//! pack value has a scalar user. Exactly the decomposition §4.5 describes;
+//! like the paper (which leaves shuffles to LLVM's backend), the VM's
+//! `Build` instruction is virtual and classified/costed at lowering time.
+
+pub mod lower;
+#[cfg(test)]
+mod tests_scheduling;
+pub mod verify;
+
+pub use lower::{lower, lower_scalar};
+pub use verify::check_equivalence;

@@ -1,0 +1,150 @@
+//! Additional lowering tests: scheduling constraints, extraction reuse,
+//! partial packs, and broadcast shapes.
+
+use crate::lower::{lower, lower_scalar};
+use crate::verify::check_equivalence;
+use vegen_core::{select_packs, BeamConfig, CostModel, VectorizerCtx};
+use vegen_ir::canon::{add_narrow_constants, canonicalize};
+use vegen_ir::{Function, FunctionBuilder, Type};
+use vegen_isa::{InstDb, TargetIsa};
+use vegen_match::TargetDesc;
+use vegen_vm::{static_cycles, VmInst};
+
+fn avx2_desc() -> TargetDesc {
+    TargetDesc::build(&InstDb::for_target(&TargetIsa::avx2()), true)
+}
+
+fn pipeline(f: &Function, width: usize) -> (Function, vegen_vm::VmProgram) {
+    let prepared = add_narrow_constants(&canonicalize(f));
+    let desc = avx2_desc();
+    let ctx = VectorizerCtx::new(&prepared, &desc, CostModel::default());
+    let sel = select_packs(&ctx, &BeamConfig::with_width(width));
+    let prog = lower(&ctx, &sel.packs);
+    check_equivalence(&prepared, &prog, 32).unwrap();
+    (prepared, prog)
+}
+
+/// A value consumed by both a vector lane and TWO scalar users must be
+/// extracted exactly once.
+#[test]
+fn extraction_is_cached_across_uses() {
+    let mut b = FunctionBuilder::new("multi_use");
+    let a = b.param("A", Type::I32, 8);
+    let bb = b.param("B", Type::I32, 8);
+    let o = b.param("O", Type::I32, 8);
+    let x1 = b.param("X", Type::I32, 2);
+    let mut sums = Vec::new();
+    for i in 0..8i64 {
+        let x = b.load(a, i);
+        let y = b.load(bb, i);
+        let s = b.add(x, y);
+        sums.push(s);
+        b.store(o, i, s);
+    }
+    // Two scalar consumers of the same lane value.
+    let m = b.mul(sums[3], sums[3]);
+    b.store(x1, 0, m);
+    let d = b.sub(sums[3], sums[0]);
+    b.store(x1, 1, d);
+    let (_, prog) = pipeline(&b.finish(), 16);
+    let extracts: Vec<_> = prog
+        .insts
+        .iter()
+        .filter(|i| matches!(i, VmInst::Extract { .. }))
+        .collect();
+    // sums[3] extracted once, sums[0] once — never more than once per lane.
+    assert!(extracts.len() <= 2, "{} extracts: {:?}", extracts.len(), extracts);
+}
+
+/// Broadcast operands lower to a single broadcast-classified build.
+#[test]
+fn broadcast_operand_shape() {
+    let mut b = FunctionBuilder::new("scale");
+    let a = b.param("A", Type::F64, 4);
+    let s = b.param("s", Type::F64, 1);
+    let o = b.param("O", Type::F64, 4);
+    let k = b.load(s, 0);
+    for i in 0..4i64 {
+        let x = b.load(a, i);
+        let m = b.fmul(x, k);
+        b.store(o, i, m);
+    }
+    let (_, prog) = pipeline(&b.finish(), 16);
+    assert!(prog.vector_op_count() >= 1, "{}", vegen_vm::listing(&prog));
+    let has_broadcast = prog.insts.iter().any(|i| match i {
+        VmInst::Build { lanes, .. } => {
+            matches!(vegen_vm::program::classify_build(lanes),
+                vegen_vm::program::BuildKind::Broadcast)
+        }
+        _ => false,
+    });
+    assert!(has_broadcast, "{}", vegen_vm::listing(&prog));
+}
+
+/// Store ordering: two stores to the same location must not be reordered by
+/// unit scheduling.
+#[test]
+fn repeated_stores_keep_program_order() {
+    let mut b = FunctionBuilder::new("waw");
+    let a = b.param("A", Type::I32, 4);
+    let o = b.param("O", Type::I32, 4);
+    for i in 0..4i64 {
+        let x = b.load(a, i);
+        b.store(o, i, x);
+    }
+    // Overwrite lane 1 with a scalar value afterwards.
+    let x0 = b.load(a, 0);
+    let x3 = b.load(a, 3);
+    let s = b.add(x0, x3);
+    b.store(o, 1, s);
+    let f = b.finish();
+    let (_, prog) = pipeline(&f, 16);
+    // Equivalence check inside pipeline() is the real assertion; sanity:
+    assert!(static_cycles(&prog) > 0.0);
+}
+
+/// The scalar lowering round-trips every instruction kind.
+#[test]
+fn scalar_lowering_covers_all_kinds() {
+    let mut b = FunctionBuilder::new("kinds");
+    let a = b.param("A", Type::F64, 4);
+    let ib = b.param("B", Type::I32, 4);
+    let o = b.param("O", Type::F64, 4);
+    let oi = b.param("P", Type::I16, 4);
+    let x = b.load(a, 0);
+    let n = b.fneg(x);
+    let y = b.load(a, 1);
+    let c = b.cmp(vegen_ir::CmpPred::Fge, n, y);
+    let s = b.select(c, x, y);
+    b.store(o, 0, s);
+    let i = b.load(ib, 0);
+    let t = b.trunc(i, Type::I16);
+    b.store(oi, 0, t);
+    let f = b.finish();
+    let prog = lower_scalar(&f);
+    check_equivalence(&f, &prog, 32).unwrap();
+}
+
+/// Two independent store chains in one block vectorize independently.
+#[test]
+fn multiple_chains_coexist() {
+    let mut b = FunctionBuilder::new("two_chains");
+    let a = b.param("A", Type::I32, 8);
+    let o1 = b.param("O1", Type::I32, 4);
+    let o2 = b.param("O2", Type::F32, 4);
+    let fb = b.param("F", Type::F32, 8);
+    for i in 0..4i64 {
+        let x = b.load(a, i);
+        let y = b.load(a, i + 4);
+        let s = b.add(x, y);
+        b.store(o1, i, s);
+    }
+    for i in 0..4i64 {
+        let x = b.load(fb, i);
+        let y = b.load(fb, i + 4);
+        let s = b.fmul(x, y);
+        b.store(o2, i, s);
+    }
+    let (_, prog) = pipeline(&b.finish(), 16);
+    assert!(prog.vector_op_count() >= 2, "{}", vegen_vm::listing(&prog));
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Vector packs and pack selection — the target-independent heart of VeGen
+//! (§4.4, §5).
+//!
+//! Given a (canonicalized) scalar function and a
+//! [`TargetDesc`](vegen_match::TargetDesc), this crate:
+//!
+//! 1. builds the match table and dependence graph
+//!    ([`ctx::VectorizerCtx`]),
+//! 2. enumerates *producer packs* for vector operands (Algorithm 1,
+//!    [`ctx::VectorizerCtx::producers`]),
+//! 3. scores alternatives with the cost model of §6.2 ([`cost`]) and the
+//!    `costSLP` dynamic program of Fig. 7 ([`slp`]),
+//! 4. enumerates affinity-scored seed packs (Fig. 8, [`seeds`]), and
+//! 5. selects the final pack set with beam search over (V, S, F) states
+//!    (Fig. 9, [`beam`]) — beam width 1 being exactly the SLP heuristic.
+//!
+//! The output is a [`PackSet`] the code generator lowers to a vector
+//! program.
+
+pub mod beam;
+pub mod cost;
+pub mod ctx;
+pub mod operand;
+pub mod pack;
+pub mod seeds;
+pub mod slp;
+
+pub use beam::{select_packs, BeamConfig, SelectionResult};
+pub use cost::CostModel;
+pub use ctx::VectorizerCtx;
+pub use operand::OperandVec;
+pub use pack::{Pack, PackId, PackSet};

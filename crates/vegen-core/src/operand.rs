@@ -1,0 +1,143 @@
+//! Vector operands: lists of IR values with don't-care lanes (§4.4).
+
+use std::fmt;
+use vegen_ir::ValueId;
+
+/// A vector operand: one scalar IR value (or don't-care) per lane.
+///
+/// Don't-care lanes arise from instructions that ignore part of their
+/// input (Fig. 6, `vpmuldq`) and from matches whose canonicalized pattern
+/// dropped a parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperandVec {
+    lanes: Vec<Option<ValueId>>,
+}
+
+impl OperandVec {
+    /// Build from explicit lanes.
+    pub fn new(lanes: Vec<Option<ValueId>>) -> OperandVec {
+        OperandVec { lanes }
+    }
+
+    /// Build with every lane defined.
+    pub fn from_values(vals: impl IntoIterator<Item = ValueId>) -> OperandVec {
+        OperandVec { lanes: vals.into_iter().map(Some).collect() }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True if there are no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Lane `i`.
+    pub fn lane(&self, i: usize) -> Option<ValueId> {
+        self.lanes[i]
+    }
+
+    /// All lanes.
+    pub fn lanes(&self) -> &[Option<ValueId>] {
+        &self.lanes
+    }
+
+    /// The defined (non-don't-care) values.
+    pub fn defined(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.lanes.iter().filter_map(|l| *l)
+    }
+
+    /// Number of defined lanes.
+    pub fn defined_count(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// True if every defined lane holds the same value (broadcast shape).
+    pub fn is_broadcast(&self) -> bool {
+        let mut it = self.defined();
+        match it.next() {
+            None => false,
+            Some(first) => it.all(|v| v == first),
+        }
+    }
+
+    /// True if `values` lane-wise produces this operand: every defined lane
+    /// of `self` equals the corresponding entry of `values`.
+    pub fn produced_by(&self, values: &[Option<ValueId>]) -> bool {
+        self.lanes.len() == values.len()
+            && self
+                .lanes
+                .iter()
+                .zip(values)
+                .all(|(want, have)| match want {
+                    None => true,
+                    Some(w) => *have == Some(*w),
+                })
+    }
+
+    /// True if `v` appears in a defined lane.
+    pub fn contains(&self, v: ValueId) -> bool {
+        self.lanes.contains(&Some(v))
+    }
+
+    /// How many defined lanes hold `v`.
+    pub fn count_of(&self, v: ValueId) -> usize {
+        self.lanes.iter().filter(|l| **l == Some(v)).count()
+    }
+}
+
+impl fmt::Display for OperandVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, l) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match l {
+                Some(v) => write!(f, "{v}")?,
+                None => write!(f, "_")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::from_raw(i)
+    }
+
+    #[test]
+    fn produced_by_respects_dont_care() {
+        let want = OperandVec::new(vec![Some(v(0)), None, Some(v(2)), None]);
+        let have = [Some(v(0)), Some(v(1)), Some(v(2)), Some(v(3))];
+        assert!(want.produced_by(&have));
+        let wrong = [Some(v(0)), Some(v(1)), Some(v(9)), Some(v(3))];
+        assert!(!want.produced_by(&wrong));
+        let short = [Some(v(0)), Some(v(1))];
+        assert!(!want.produced_by(&short));
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        assert!(OperandVec::from_values([v(3), v(3), v(3)]).is_broadcast());
+        assert!(!OperandVec::from_values([v(3), v(4)]).is_broadcast());
+        assert!(OperandVec::new(vec![Some(v(1)), None, Some(v(1))]).is_broadcast());
+        assert!(!OperandVec::new(vec![None, None]).is_broadcast());
+    }
+
+    #[test]
+    fn counting() {
+        let o = OperandVec::new(vec![Some(v(1)), Some(v(1)), None, Some(v(2))]);
+        assert_eq!(o.defined_count(), 3);
+        assert_eq!(o.count_of(v(1)), 2);
+        assert!(o.contains(v(2)));
+        assert!(!o.contains(v(9)));
+        assert_eq!(o.to_string(), "[%1, %1, _, %2]");
+    }
+}

@@ -1,0 +1,293 @@
+//! Seed-pack enumeration with pairwise affinity scores (Fig. 8, §5.1).
+//!
+//! Beyond store chains, VeGen seeds the search with a limited set of
+//! non-store packs: for every non-memory instruction that feeds a store,
+//! and every target vector length, it enumerates the top-k lane sequences
+//! maximizing the summed affinity of adjacent lanes.
+
+use crate::ctx::VectorizerCtx;
+use crate::operand::OperandVec;
+use std::collections::HashMap;
+use vegen_ir::{InstKind, ValueId};
+
+/// The `α` parameters of the affinity recurrence (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffinityParams {
+    /// Penalty for packing a value with itself.
+    pub broadcast: f64,
+    /// Penalty for a pair of constants.
+    pub constant: f64,
+    /// Penalty for an unpackable pair.
+    pub mismatch: f64,
+    /// Per-element penalty for loads at a non-unit constant distance.
+    pub jumbled: f64,
+    /// Reward for a well-matched pair.
+    pub matched: f64,
+    /// How many top sequences to keep per (first-lane, width).
+    pub top_k: usize,
+    /// Recursion depth cap for the operand-affinity sum.
+    pub max_depth: usize,
+}
+
+impl Default for AffinityParams {
+    fn default() -> AffinityParams {
+        AffinityParams {
+            broadcast: 1.0,
+            constant: 1.0,
+            mismatch: 4.0,
+            jumbled: 1.0,
+            matched: 2.0,
+            top_k: 3,
+            max_depth: 4,
+        }
+    }
+}
+
+/// The affinity score between two IR values (Fig. 8). Higher is better.
+pub fn affinity(ctx: &VectorizerCtx<'_>, params: &AffinityParams, v: ValueId, w: ValueId) -> f64 {
+    let mut memo = HashMap::new();
+    affinity_rec(ctx, params, v, w, params.max_depth, &mut memo)
+}
+
+fn affinity_rec(
+    ctx: &VectorizerCtx<'_>,
+    params: &AffinityParams,
+    v: ValueId,
+    w: ValueId,
+    depth: usize,
+    memo: &mut HashMap<(ValueId, ValueId), f64>,
+) -> f64 {
+    if let Some(&c) = memo.get(&(v, w)) {
+        return c;
+    }
+    let score = affinity_uncached(ctx, params, v, w, depth, memo);
+    memo.insert((v, w), score);
+    score
+}
+
+fn affinity_uncached(
+    ctx: &VectorizerCtx<'_>,
+    params: &AffinityParams,
+    v: ValueId,
+    w: ValueId,
+    depth: usize,
+    memo: &mut HashMap<(ValueId, ValueId), f64>,
+) -> f64 {
+    if v == w {
+        return -params.broadcast;
+    }
+    let iv = ctx.f.inst(v);
+    let iw = ctx.f.inst(w);
+    if let (InstKind::Const(_), InstKind::Const(_)) = (&iv.kind, &iw.kind) {
+        return -params.constant;
+    }
+    // Loads: contiguous is ideal, constant-offset jumbled is penalized by
+    // distance, different bases are a mismatch.
+    if let (InstKind::Load { loc: lv }, InstKind::Load { loc: lw }) = (&iv.kind, &iw.kind) {
+        if lv.base != lw.base || iv.ty != iw.ty {
+            return -params.mismatch;
+        }
+        let d = lw.offset - lv.offset;
+        if d == 1 {
+            return params.matched;
+        }
+        return -params.jumbled * (d - 1).abs() as f64;
+    }
+    // "Packable" in the Fig. 8 sense: same opcode shape and type.
+    let same_shape = iv.ty == iw.ty
+        && match (&iv.kind, &iw.kind) {
+            (InstKind::Bin { op: a, .. }, InstKind::Bin { op: b, .. }) => a == b,
+            (InstKind::Cast { op: a, .. }, InstKind::Cast { op: b, .. }) => a == b,
+            (InstKind::Cmp { pred: a, .. }, InstKind::Cmp { pred: b, .. }) => a == b,
+            (InstKind::Select { .. }, InstKind::Select { .. }) => true,
+            (InstKind::FNeg { .. }, InstKind::FNeg { .. }) => true,
+            _ => false,
+        };
+    if !same_shape || !ctx.deps.independent(v, w) {
+        return -params.mismatch;
+    }
+    if depth == 0 {
+        return params.matched;
+    }
+    let mut score = params.matched;
+    for (ov, ow) in iv.operands().into_iter().zip(iw.operands()) {
+        score += affinity_rec(ctx, params, ov, ow, depth - 1, memo);
+    }
+    score
+}
+
+/// Enumerate seed operand vectors (§5.1): for each non-memory instruction
+/// used by a store and each vector length, the top-k affinity-chained lane
+/// sequences starting at that instruction.
+pub fn enumerate_seeds(ctx: &VectorizerCtx<'_>, params: &AffinityParams) -> Vec<OperandVec> {
+    let mut memo = HashMap::new();
+    // Candidate lane values: non-memory compute instructions.
+    let compute: Vec<ValueId> = ctx
+        .f
+        .iter()
+        .filter(|(_, i)| {
+            !matches!(i.kind, InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Const(_))
+        })
+        .map(|(v, _)| v)
+        .collect();
+    // First lanes: instructions with a store user.
+    let firsts: Vec<ValueId> = compute
+        .iter()
+        .copied()
+        .filter(|&v| {
+            ctx.users[v.index()]
+                .iter()
+                .any(|&u| matches!(ctx.f.inst(u).kind, InstKind::Store { .. }))
+        })
+        .collect();
+
+    let mut seeds = Vec::new();
+    let max_vl = 16usize;
+    for &first in &firsts {
+        let ty = ctx.f.ty(first);
+        let lane_budget = (ctx.max_bits / ty.bits().max(1)).max(2) as usize;
+        let mut vl = 2usize;
+        while vl <= max_vl.min(lane_budget) {
+            // Beam over lane sequences, scored by summed adjacent affinity.
+            let mut frontier: Vec<(f64, Vec<ValueId>)> = vec![(0.0, vec![first])];
+            for _ in 1..vl {
+                let mut next: Vec<(f64, Vec<ValueId>)> = Vec::new();
+                for (score, seq) in &frontier {
+                    let last = *seq.last().unwrap();
+                    for &cand in &compute {
+                        if seq.contains(&cand) || ctx.f.ty(cand) != ty {
+                            continue;
+                        }
+                        if !seq.iter().all(|&s| ctx.deps.independent(s, cand)) {
+                            continue;
+                        }
+                        let a = affinity_rec(ctx, params, last, cand, params.max_depth, &mut memo);
+                        next.push((score + a, {
+                            let mut s = seq.clone();
+                            s.push(cand);
+                            s
+                        }));
+                    }
+                }
+                next.sort_by(|a, b| b.0.total_cmp(&a.0));
+                next.truncate(params.top_k);
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            for (_, seq) in frontier {
+                if seq.len() == vl {
+                    seeds.push(OperandVec::from_values(seq));
+                }
+            }
+            vl *= 2;
+        }
+    }
+    seeds.sort();
+    seeds.dedup();
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use vegen_ir::canon::canonicalize;
+    use vegen_ir::{FunctionBuilder, Type};
+    use vegen_isa::{InstDb, TargetIsa};
+    use vegen_match::TargetDesc;
+
+    fn setup() -> (vegen_ir::Function, TargetDesc) {
+        let mut b = FunctionBuilder::new("axpy4");
+        let a = b.param("A", Type::F64, 4);
+        let x = b.param("X", Type::F64, 4);
+        let o = b.param("O", Type::F64, 4);
+        for i in 0..4i64 {
+            let av = b.load(a, i);
+            let xv = b.load(x, i);
+            let m = b.fmul(av, xv);
+            b.store(o, i, m);
+        }
+        let f = canonicalize(&b.finish());
+        let desc = TargetDesc::build(&InstDb::for_target(&TargetIsa::avx2()), true);
+        (f, desc)
+    }
+
+    #[test]
+    fn contiguous_loads_have_positive_affinity() {
+        let (f, desc) = setup();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let params = AffinityParams::default();
+        let loads: Vec<ValueId> = f
+            .iter()
+            .filter_map(|(v, i)| match i.kind {
+                InstKind::Load { loc } if loc.base == 0 => Some((loc.offset, v)),
+                _ => None,
+            })
+            .map(|(_, v)| v)
+            .collect();
+        let a01 = affinity(&ctx, &params, loads[0], loads[1]);
+        assert_eq!(a01, params.matched);
+        let a02 = affinity(&ctx, &params, loads[0], loads[2]);
+        assert!(a02 < 0.0, "distance-2 loads are jumbled");
+        let self_a = affinity(&ctx, &params, loads[0], loads[0]);
+        assert_eq!(self_a, -params.broadcast);
+    }
+
+    #[test]
+    fn isomorphic_muls_score_above_mismatches() {
+        let (f, desc) = setup();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let params = AffinityParams::default();
+        let muls: Vec<ValueId> = f
+            .iter()
+            .filter(|(_, i)| matches!(i.kind, InstKind::Bin { op: vegen_ir::BinOp::FMul, .. }))
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(muls.len(), 4);
+        // Adjacent muls (over contiguous loads) beat distant ones.
+        let a01 = affinity(&ctx, &params, muls[0], muls[1]);
+        let a03 = affinity(&ctx, &params, muls[0], muls[3]);
+        assert!(a01 > 0.0);
+        assert!(a01 > a03);
+    }
+
+    #[test]
+    fn seeds_include_the_natural_mul_vector() {
+        let (f, desc) = setup();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let seeds = enumerate_seeds(&ctx, &AffinityParams::default());
+        let muls: Vec<ValueId> = f
+            .iter()
+            .filter(|(_, i)| matches!(i.kind, InstKind::Bin { op: vegen_ir::BinOp::FMul, .. }))
+            .map(|(v, _)| v)
+            .collect();
+        let want = OperandVec::from_values(muls);
+        assert!(
+            seeds.contains(&want),
+            "expected in-order mul seed among {} seeds",
+            seeds.len()
+        );
+    }
+
+    #[test]
+    fn dependent_values_never_seed_together() {
+        let mut b = FunctionBuilder::new("chain");
+        let p = b.param("A", Type::I32, 4);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let s = b.add(x, y);
+        let t = b.add(s, y);
+        b.store(p, 2, s);
+        b.store(p, 3, t);
+        let f = canonicalize(&b.finish());
+        let desc = TargetDesc::build(&InstDb::for_target(&TargetIsa::avx2()), true);
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let seeds = enumerate_seeds(&ctx, &AffinityParams::default());
+        for seed in &seeds {
+            let vals: Vec<ValueId> = seed.defined().collect();
+            assert!(ctx.deps.all_independent(&vals), "dependent seed {seed}");
+        }
+    }
+}

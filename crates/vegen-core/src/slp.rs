@@ -1,0 +1,244 @@
+//! The `costSLP` dynamic program of Fig. 7.
+//!
+//! `costSLP(v)` decides whether to produce a vector operand `v` directly
+//! via a producer pack (recursively costing that pack's operands) or to
+//! build it with vector insertions from scalar values:
+//!
+//! ```text
+//! costSLP(v) = min( min_{p in producers(v)} costop(p) + Σ_i costSLP(operand_i(p)),
+//!                   Cinsert·|v| + costscalar(v) )
+//! ```
+//!
+//! This is "the main modification we added to the original SLP algorithm —
+//! in SLP-based vectorization, there is at most one pack that can produce
+//! any given operand" (§5.1). The beam search uses the same quantity as
+//! its state-evaluation function (§5.2).
+
+use crate::ctx::VectorizerCtx;
+use crate::operand::OperandVec;
+use crate::pack::Pack;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// Memoized Fig. 7 evaluator.
+#[derive(Debug)]
+pub struct SlpCost<'c, 'a> {
+    ctx: &'c VectorizerCtx<'a>,
+    memo: RefCell<HashMap<OperandVec, f64>>,
+    in_progress: RefCell<HashSet<OperandVec>>,
+}
+
+impl<'c, 'a> SlpCost<'c, 'a> {
+    /// New evaluator over a context.
+    pub fn new(ctx: &'c VectorizerCtx<'a>) -> SlpCost<'c, 'a> {
+        SlpCost { ctx, memo: RefCell::new(HashMap::new()), in_progress: RefCell::new(HashSet::new()) }
+    }
+
+    /// The insertion arm of the recurrence: build `v` from scalars.
+    pub fn insert_arm(&self, x: &OperandVec) -> f64 {
+        self.ctx.cost.operand_insert_cost(self.ctx.f, x)
+            + self.ctx.cost.scalar_closure_cost(self.ctx.f, x.defined())
+    }
+
+    /// `costSLP(x)`.
+    pub fn cost(&self, x: &OperandVec) -> f64 {
+        if let Some(&c) = self.memo.borrow().get(x) {
+            return c;
+        }
+        if !self.in_progress.borrow_mut().insert(x.clone()) {
+            // Cycle through producers: treat as unproducible on this path.
+            return f64::INFINITY;
+        }
+        let mut best = self.insert_arm(x);
+        if let Some(c) = self.cover_arm(x) {
+            best = best.min(c);
+        }
+        for p in self.ctx.producers(x) {
+            if let Some(c) = self.pack_arm(&p) {
+                best = best.min(c);
+            }
+        }
+        // Blend arm: a mixed-opcode operand produced by one pack per
+        // opcode group plus shuffles to merge them.
+        let groups = self.ctx.opcode_group_subvectors(x);
+        if !groups.is_empty() {
+            let mut c = self.ctx.cost.c_shuffle * (groups.len() - 1) as f64;
+            for g in &groups {
+                c += self.cost(g);
+            }
+            best = best.min(c);
+        }
+        self.in_progress.borrow_mut().remove(x);
+        self.memo.borrow_mut().insert(x.clone(), best);
+        best
+    }
+
+    /// The covering-loads arm: jumbled load lanes produced by one or two
+    /// wide vector loads plus a shuffle (the strategy behind Fig. 12's
+    /// `vpermi2d` and Fig. 14's `vpshufd`).
+    pub fn cover_arm(&self, x: &OperandVec) -> Option<f64> {
+        use vegen_ir::InstKind;
+        let f = self.ctx.f;
+        if x.defined_count() == 0
+            || !x.defined().all(|v| matches!(f.inst(v).kind, InstKind::Load { .. }))
+        {
+            return None;
+        }
+        let packs = self.ctx.covering_load_packs(x);
+        if packs.is_empty() {
+            return None;
+        }
+        // Every defined lane must actually be inside some covering pack.
+        let covered = |v| packs.iter().any(|p| p.values().contains(&Some(v)));
+        if !x.defined().all(covered) {
+            return None;
+        }
+        let loads: f64 = packs.iter().map(|p| self.ctx.pack_cost(p)).sum();
+        Some(loads + self.ctx.cost.c_shuffle * packs.len() as f64)
+    }
+
+    /// Cost of producing via a specific pack: `costop + Σ costSLP(operands)`.
+    pub fn pack_arm(&self, p: &Pack) -> Option<f64> {
+        let operands = self.ctx.pack_operands(p)?;
+        let mut c = self.ctx.pack_cost(p);
+        for x in &operands {
+            if x.defined_count() == 0 {
+                continue;
+            }
+            c += self.cost(x);
+        }
+        Some(c)
+    }
+
+    /// The producer chosen by the recurrence for `x`, if the pack arm beats
+    /// plain insertion.
+    pub fn best_producer(&self, x: &OperandVec) -> Option<Pack> {
+        let insert = self.insert_arm(x);
+        let mut best: Option<(f64, Pack)> = None;
+        for p in self.ctx.producers(x) {
+            if let Some(c) = self.pack_arm(&p) {
+                if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                    best = Some((c, p));
+                }
+            }
+        }
+        match best {
+            Some((c, p)) if c < insert => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use vegen_ir::canon::canonicalize;
+    use vegen_ir::{Function, FunctionBuilder, InstKind, Type, ValueId};
+    use vegen_isa::{InstDb, TargetIsa};
+    use vegen_match::TargetDesc;
+
+    fn avx2_desc() -> TargetDesc {
+        TargetDesc::build(&InstDb::for_target(&TargetIsa::avx2()), true)
+    }
+
+    fn dot4() -> Function {
+        let mut b = FunctionBuilder::new("dot4");
+        let a = b.param("A", Type::I16, 8);
+        let bb = b.param("B", Type::I16, 8);
+        let c = b.param("C", Type::I32, 4);
+        for lane in 0..4i64 {
+            let a0 = b.load(a, lane * 2);
+            let b0 = b.load(bb, lane * 2);
+            let a1 = b.load(a, lane * 2 + 1);
+            let b1 = b.load(bb, lane * 2 + 1);
+            let a0w = b.sext(a0, Type::I32);
+            let b0w = b.sext(b0, Type::I32);
+            let a1w = b.sext(a1, Type::I32);
+            let b1w = b.sext(b1, Type::I32);
+            let m0 = b.mul(a0w, b0w);
+            let m1 = b.mul(a1w, b1w);
+            let t = b.add(m0, m1);
+            b.store(c, lane, t);
+        }
+        canonicalize(&b.finish())
+    }
+
+    fn stored_values(f: &Function) -> Vec<ValueId> {
+        f.stores()
+            .iter()
+            .map(|&s| match f.inst(s).kind {
+                InstKind::Store { value, .. } => value,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dot_lanes_are_cheaper_via_pmaddwd() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let slp = SlpCost::new(&ctx);
+        let x = OperandVec::from_values(stored_values(&f));
+        let vector_cost = slp.cost(&x);
+        let scalar_cost = slp.insert_arm(&x);
+        assert!(
+            vector_cost < scalar_cost,
+            "pmaddwd chain ({vector_cost}) must beat scalar+insert ({scalar_cost})"
+        );
+        let p = slp.best_producer(&x).expect("a producer must win");
+        let Pack::Compute { inst, .. } = &p else { panic!("expected compute pack") };
+        assert_eq!(desc.insts[*inst].def.name, "pmaddwd_128");
+    }
+
+    #[test]
+    fn load_operand_costs_one_vector_load() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let slp = SlpCost::new(&ctx);
+        let mut loads: Vec<(i64, ValueId)> = f
+            .iter()
+            .filter_map(|(v, i)| match i.kind {
+                InstKind::Load { loc } if loc.base == 0 => Some((loc.offset, v)),
+                _ => None,
+            })
+            .collect();
+        loads.sort();
+        let x = OperandVec::from_values(loads.iter().map(|l| l.1));
+        assert_eq!(slp.cost(&x), ctx.cost.c_vload);
+    }
+
+    #[test]
+    fn unproducible_operand_falls_back_to_insertion() {
+        let desc = avx2_desc();
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 4);
+        let q = b.param("B", Type::F64, 1);
+        let x = b.load(p, 0);
+        let y = b.load(q, 0); // different type: never packable with x
+        let s = b.add(x, x);
+        b.store(p, 1, s);
+        b.store(q, 0, y);
+        let f = canonicalize(&b.finish());
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let slp = SlpCost::new(&ctx);
+        // Mixed-type operand: no producers.
+        let mixed = OperandVec::from_values([x, y]);
+        assert_eq!(slp.cost(&mixed), slp.insert_arm(&mixed));
+        assert!(slp.best_producer(&mixed).is_none());
+    }
+
+    #[test]
+    fn memoization_is_consistent() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let slp = SlpCost::new(&ctx);
+        let x = OperandVec::from_values(stored_values(&f));
+        let c1 = slp.cost(&x);
+        let c2 = slp.cost(&x);
+        assert_eq!(c1, c2);
+    }
+}

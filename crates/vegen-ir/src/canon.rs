@@ -1,0 +1,956 @@
+//! `instcombine`-style canonicalization.
+//!
+//! §6 of the paper runs LLVM's `instcombine` over each generated pattern so
+//! the pattern matchers agree with the canonical form LLVM feeds the
+//! vectorizer. We reproduce that arrangement with one shared canonicalizer
+//! applied both to input programs (before matching) and to the IR snippets
+//! the pattern generator derives from VIDL operations. The most important
+//! rewrite — called out explicitly in the paper — is turning non-strict
+//! comparisons against constants into strict ones (`x <= 1` becomes
+//! `x < 2`), which is what makes integer-saturation patterns match.
+
+use crate::constant::Constant;
+use crate::function::{Function, ValueId};
+use crate::inst::{BinOp, CastOp, CmpPred, Inst, InstKind};
+use crate::interp::{eval_bin, eval_cast, eval_cmp};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Canonicalize `f`: constant-fold, apply identity simplifications,
+/// order commutative operands, rewrite comparisons to strict form, CSE,
+/// and drop dead pure instructions.
+///
+/// The result computes the same memory effects as the input (validated by
+/// the crate's equivalence tests).
+pub fn canonicalize(f: &Function) -> Function {
+    let mut cur = f.clone();
+    // Rewrites cascade within a pass (operands are remapped as we go), but
+    // structural rewrites (trunc sinking, extension composition) emit their
+    // new sub-instructions raw and rely on the next pass to simplify them,
+    // so deep cast chains need one pass per level. Sixteen covers any
+    // realistic nest with margin.
+    for _ in 0..16 {
+        let next = rebalance_adds(&canonicalize_once(&cur));
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Rebalance single-use `add`/`fadd` chains into adjacent-pair trees:
+/// `(((a+b)+c)+d)` becomes `(a+b)+(c+d)`.
+///
+/// Front ends emit accumulation chains left-leaning, which hides
+/// multiply-add pairs from the pattern matcher (`madd` needs
+/// `add(mul, mul)` subtrees). Both kernels and generated patterns pass
+/// through this, so their shapes stay aligned. `fadd` reassociation
+/// matches the paper's `-ffast-math` evaluation setup.
+fn rebalance_adds(f: &Function) -> Function {
+    let users = f.users();
+    let chain_op = |kind: &InstKind| -> Option<BinOp> {
+        match kind {
+            InstKind::Bin { op: op @ (BinOp::Add | BinOp::FAdd), .. } => Some(*op),
+            _ => None,
+        }
+    };
+    // A chain interior node: same opcode, exactly one use, and that use is
+    // the chain above it.
+    let is_interior = |v: ValueId| -> bool {
+        chain_op(&f.inst(v).kind).is_some()
+            && users[v.index()].len() == 1
+            && chain_op(&f.inst(users[v.index()][0]).kind) == chain_op(&f.inst(v).kind)
+    };
+    fn flatten(
+        f: &Function,
+        v: ValueId,
+        op: BinOp,
+        is_interior: &dyn Fn(ValueId) -> bool,
+        leaves: &mut Vec<ValueId>,
+    ) {
+        match f.inst(v).kind {
+            InstKind::Bin { op: o, lhs, rhs } if o == op => {
+                for side in [lhs, rhs] {
+                    if is_interior(side) {
+                        flatten(f, side, op, is_interior, leaves);
+                    } else {
+                        leaves.push(side);
+                    }
+                }
+            }
+            _ => leaves.push(v),
+        }
+    }
+    let mut out = Function::new(f.name.clone());
+    out.params = f.params.clone();
+    let mut remap: Vec<ValueId> = Vec::with_capacity(f.insts.len());
+    for (v, inst) in f.iter() {
+        let mut inst = inst.clone();
+        inst.map_operands(|o| remap[o.index()]);
+        // Only rebuild at chain roots with more than 3 leaves (3-leaf
+        // chains are already the balanced shape).
+        let root_op = chain_op(&f.inst(v).kind).filter(|_| !is_interior(v));
+        if let Some(op) = root_op {
+            let mut leaves = Vec::new();
+            flatten(f, v, op, &is_interior, &mut leaves);
+            if leaves.len() >= 4 {
+                // Pair adjacent terms (in original order) until one remains.
+                let mut level: Vec<ValueId> =
+                    leaves.iter().map(|l| remap[l.index()]).collect();
+                let ty = inst.ty;
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    let mut it = level.chunks(2);
+                    for pair in &mut it {
+                        next.push(match pair {
+                            [a, b] => out.push(Inst {
+                                kind: InstKind::Bin { op, lhs: *a, rhs: *b },
+                                ty,
+                            }),
+                            [a] => *a,
+                            _ => unreachable!(),
+                        });
+                    }
+                    level = next;
+                }
+                remap.push(level[0]);
+                continue;
+            }
+        }
+        let nv = out.push(inst);
+        remap.push(nv);
+    }
+    out
+}
+
+fn canonicalize_once(f: &Function) -> Function {
+    let mut out = Function::new(f.name.clone());
+    out.params = f.params.clone();
+    // Map from old value id to new value id.
+    let mut remap: Vec<ValueId> = Vec::with_capacity(f.insts.len());
+    // Value numbering for CSE of pure instructions.
+    let mut numbering: HashMap<Inst, ValueId> = HashMap::new();
+    // Memory version per (base, offset): CSE of loads is only sound between
+    // stores to the same location; bump a global store counter per base.
+    let mut store_epoch: HashMap<usize, u64> = HashMap::new();
+
+    for (_, inst) in f.iter() {
+        let mut inst = inst.clone();
+        inst.map_operands(|v| remap[v.index()]);
+        let new_id = simplify_and_emit(&mut out, &mut numbering, &mut store_epoch, inst);
+        remap.push(new_id);
+    }
+    dce(&out)
+}
+
+/// Emit `inst` into `out` after simplification, reusing an existing value
+/// when possible. Returns the value the original instruction maps to.
+fn simplify_and_emit(
+    out: &mut Function,
+    numbering: &mut HashMap<Inst, ValueId>,
+    store_epoch: &mut HashMap<usize, u64>,
+    inst: Inst,
+) -> ValueId {
+    // First, structural simplifications that may dissolve the instruction
+    // into an existing value entirely.
+    if let Some(existing) = simplify_to_value(out, &inst) {
+        return existing;
+    }
+    // Then rewrites that produce a (possibly different) instruction.
+    let inst = rewrite(out, inst);
+    if let Some(existing) = simplify_to_value(out, &inst) {
+        return existing;
+    }
+
+    match inst.kind {
+        InstKind::Store { loc, .. } => {
+            *store_epoch.entry(loc.base).or_insert(0) += 1;
+            out.push(inst)
+        }
+        InstKind::Load { loc } => {
+            // Key loads by their memory epoch so CSE cannot cross a store.
+            let epoch = *store_epoch.get(&loc.base).unwrap_or(&0);
+            let key = Inst {
+                kind: InstKind::Const(Constant::int(
+                    Type::I64,
+                    // Synthetic key: (base, offset, epoch) folded into bits.
+                    ((loc.base as i64) << 48) ^ (loc.offset << 16) ^ epoch as i64,
+                )),
+                ty: inst.ty,
+            };
+            if let Some(&v) = numbering.get(&key) {
+                return v;
+            }
+            let v = out.push(inst);
+            numbering.insert(key, v);
+            v
+        }
+        _ => {
+            if let Some(&v) = numbering.get(&inst) {
+                return v;
+            }
+            let v = out.push(inst.clone());
+            numbering.insert(inst, v);
+            v
+        }
+    }
+}
+
+/// Try to resolve `inst` to an already-available value (constant folding and
+/// identity rules). Returns the value to use instead, if any.
+fn simplify_to_value(out: &mut Function, inst: &Inst) -> Option<ValueId> {
+    let const_of = |out: &Function, v: ValueId| -> Option<Constant> {
+        match out.inst(v).kind {
+            InstKind::Const(c) => Some(c),
+            _ => None,
+        }
+    };
+    match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            let lc = const_of(out, *lhs);
+            let rc = const_of(out, *rhs);
+            // Full constant folding.
+            if let (Some(a), Some(b)) = (lc, rc) {
+                if let Ok(c) = eval_bin(*op, a, b) {
+                    return Some(push_const(out, c));
+                }
+            }
+            // Integer identities (float identities are unsafe under NaN).
+            if let Some(b) = rc {
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor if b.is_zero() => {
+                        return Some(*lhs)
+                    }
+                    BinOp::Shl | BinOp::LShr | BinOp::AShr if b.is_zero() => return Some(*lhs),
+                    BinOp::Mul if b.is_one() => return Some(*lhs),
+                    BinOp::Mul if b.is_zero() => {
+                        return Some(push_const(out, Constant::zero(inst.ty)))
+                    }
+                    BinOp::And if b.is_all_ones() => return Some(*lhs),
+                    BinOp::And if b.is_zero() => {
+                        return Some(push_const(out, Constant::zero(inst.ty)))
+                    }
+                    _ => {}
+                }
+            }
+            // x - x = 0, x ^ x = 0 for integers.
+            if lhs == rhs && inst.ty.is_int() {
+                match op {
+                    BinOp::Sub | BinOp::Xor => {
+                        return Some(push_const(out, Constant::zero(inst.ty)))
+                    }
+                    BinOp::And | BinOp::Or => return Some(*lhs),
+                    _ => {}
+                }
+            }
+            None
+        }
+        InstKind::Cast { op, arg } => {
+            if let Some(c) = const_of(out, *arg) {
+                return Some(push_const(out, eval_cast(*op, c, inst.ty)));
+            }
+            if *op == CastOp::Trunc {
+                if let InstKind::Cast { op: inner_op @ (CastOp::SExt | CastOp::ZExt), arg: src } =
+                    out.inst(*arg).kind
+                {
+                    let src_ty = out.ty(src);
+                    // trunc(ext(x)) where the widths return to the source is
+                    // the source itself.
+                    if inst.ty == src_ty {
+                        return Some(src);
+                    }
+                    // Still wider than the source: a narrower extension.
+                    if inst.ty.bits() > src_ty.bits() {
+                        let v = out.push(Inst {
+                            kind: InstKind::Cast { op: inner_op, arg: src },
+                            ty: inst.ty,
+                        });
+                        return Some(v);
+                    }
+                    // Narrower than the source: truncate the source directly.
+                    let v = out.push(Inst {
+                        kind: InstKind::Cast { op: CastOp::Trunc, arg: src },
+                        ty: inst.ty,
+                    });
+                    return Some(v);
+                }
+                // Sink trunc through width-local binops and selects so
+                // narrow computations expressed widely (C integer promotion)
+                // converge with patterns written at the narrow width.
+                match out.inst(*arg).kind.clone() {
+                    InstKind::Bin {
+                        op:
+                            bop @ (BinOp::Add
+                            | BinOp::Sub
+                            | BinOp::Mul
+                            | BinOp::And
+                            | BinOp::Or
+                            | BinOp::Xor),
+                        lhs,
+                        rhs,
+                    } => {
+                        let l = out.push(Inst {
+                            kind: InstKind::Cast { op: CastOp::Trunc, arg: lhs },
+                            ty: inst.ty,
+                        });
+                        let r = out.push(Inst {
+                            kind: InstKind::Cast { op: CastOp::Trunc, arg: rhs },
+                            ty: inst.ty,
+                        });
+                        let v = out.push(Inst {
+                            kind: InstKind::Bin { op: bop, lhs: l, rhs: r },
+                            ty: inst.ty,
+                        });
+                        return Some(v);
+                    }
+                    InstKind::Select { cond, on_true, on_false } => {
+                        let t = out.push(Inst {
+                            kind: InstKind::Cast { op: CastOp::Trunc, arg: on_true },
+                            ty: inst.ty,
+                        });
+                        let e = out.push(Inst {
+                            kind: InstKind::Cast { op: CastOp::Trunc, arg: on_false },
+                            ty: inst.ty,
+                        });
+                        let v = out.push(Inst {
+                            kind: InstKind::Select { cond, on_true: t, on_false: e },
+                            ty: inst.ty,
+                        });
+                        return Some(v);
+                    }
+                    _ => {}
+                }
+            }
+            // ext(ext(x)) composes; sext of a zext is a zext.
+            if let (
+                ext_op @ (CastOp::SExt | CastOp::ZExt),
+                InstKind::Cast { op: inner @ (CastOp::SExt | CastOp::ZExt), arg: src },
+            ) = (*op, out.inst(*arg).kind.clone())
+            {
+                let combined = match (ext_op, inner) {
+                    (_, CastOp::ZExt) => CastOp::ZExt,
+                    (CastOp::ZExt, CastOp::SExt) => return None, // zext(sext) does not compose
+                    _ => CastOp::SExt,
+                };
+                let v = out.push(Inst {
+                    kind: InstKind::Cast { op: combined, arg: src },
+                    ty: inst.ty,
+                });
+                return Some(v);
+            }
+            None
+        }
+        InstKind::FNeg { arg } => {
+            if let InstKind::FNeg { arg: inner } = out.inst(*arg).kind {
+                return Some(inner);
+            }
+            None
+        }
+        InstKind::Cmp { pred, lhs, rhs } => {
+            if let (Some(a), Some(b)) = (const_of(out, *lhs), const_of(out, *rhs)) {
+                return Some(push_const(out, eval_cmp(*pred, a, b)));
+            }
+            None
+        }
+        InstKind::Select { cond, on_true, on_false } => {
+            if on_true == on_false {
+                return Some(*on_true);
+            }
+            if let Some(c) = const_of(out, *cond) {
+                return Some(if c.as_bool() { *on_true } else { *on_false });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Rewrites that keep an instruction but in canonical shape.
+fn rewrite(out: &mut Function, mut inst: Inst) -> Inst {
+    let is_const = |out: &Function, v: ValueId| matches!(out.inst(v).kind, InstKind::Const(_));
+    match &mut inst.kind {
+        InstKind::Bin { op, lhs, rhs }
+            if op.is_commutative() && should_swap(out, *lhs, *rhs) => {
+                std::mem::swap(lhs, rhs);
+            }
+        InstKind::Cmp { pred, lhs, rhs } => {
+            // Constant to the right.
+            if is_const(out, *lhs) && !is_const(out, *rhs) {
+                std::mem::swap(lhs, rhs);
+                *pred = pred.swapped();
+            }
+            // Narrow comparisons of matching extensions: LLVM's
+            // `icmp (zext a), (zext b)` -> `icmp.unsigned a, b` and the
+            // sext analogue (both orders are preserved by extension).
+            if let (
+                InstKind::Cast { op: lop @ (CastOp::SExt | CastOp::ZExt), arg: la },
+                InstKind::Cast { op: rop, arg: ra },
+            ) = (out.inst(*lhs).kind.clone(), out.inst(*rhs).kind.clone())
+            {
+                if lop == rop && out.ty(la) == out.ty(ra) && !pred.is_float() {
+                    let narrowed = match (lop, *pred) {
+                        // Equality is extension-agnostic.
+                        (_, CmpPred::Eq) | (_, CmpPred::Ne) => Some(*pred),
+                        // zext turns signed predicates unsigned.
+                        (CastOp::ZExt, CmpPred::Slt) => Some(CmpPred::Ult),
+                        (CastOp::ZExt, CmpPred::Sle) => Some(CmpPred::Ule),
+                        (CastOp::ZExt, CmpPred::Sgt) => Some(CmpPred::Ugt),
+                        (CastOp::ZExt, CmpPred::Sge) => Some(CmpPred::Uge),
+                        (CastOp::ZExt, p) => Some(p), // unsigned stays
+                        // sext preserves both signed and unsigned order.
+                        (CastOp::SExt, p) => Some(p),
+                        _ => None,
+                    };
+                    if let Some(np) = narrowed {
+                        *pred = np;
+                        *lhs = la;
+                        *rhs = ra;
+                    }
+                }
+            }
+            // Narrow `cmp (ext x), C` when C is representable at x's width.
+            if let (
+                InstKind::Cast { op: lop @ (CastOp::SExt | CastOp::ZExt), arg: la },
+                InstKind::Const(c),
+            ) = (out.inst(*lhs).kind.clone(), out.inst(*rhs).kind.clone())
+            {
+                if !pred.is_float() {
+                    let nty = out.ty(la);
+                    let bits = nty.bits();
+                    let fits = match lop {
+                        CastOp::SExt => {
+                            let smax = crate::constant::sext(crate::constant::mask(bits) >> 1, bits);
+                            c.as_i64() <= smax && c.as_i64() >= -smax - 1
+                        }
+                        _ => c.as_u64() <= crate::constant::mask(bits),
+                    };
+                    // Narrowing is order-preserving for both extension
+                    // kinds once the constant is representable: zext turns
+                    // signed predicates unsigned below; sext images keep
+                    // both signed and unsigned order.
+                    if fits {
+                        let np = if lop == CastOp::ZExt {
+                            match *pred {
+                                CmpPred::Slt => CmpPred::Ult,
+                                CmpPred::Sle => CmpPred::Ule,
+                                CmpPred::Sgt => CmpPred::Ugt,
+                                CmpPred::Sge => CmpPred::Uge,
+                                p => p,
+                            }
+                        } else {
+                            *pred
+                        };
+                        let nc = if lop == CastOp::ZExt {
+                            Constant::int(nty, c.as_u64() as i64)
+                        } else {
+                            Constant::int(nty, c.as_i64())
+                        };
+                        *pred = np;
+                        *lhs = la;
+                        *rhs = push_const(out, nc);
+                    }
+                }
+            }
+            // Non-strict against a constant becomes strict (the rewrite the
+            // paper singles out as crucial for saturation patterns).
+            if let InstKind::Const(c) = out.inst(*rhs).kind {
+                if c.ty().is_int() {
+                    let bits = c.ty().bits();
+                    let smax = crate::constant::sext(crate::constant::mask(bits) >> 1, bits);
+                    let smin = -smax - 1;
+                    let umax = crate::constant::mask(bits);
+                    let replace = |out: &mut Function, v: i64| push_const_ret(out, Constant::int(c.ty(), v));
+                    match *pred {
+                        CmpPred::Sle if c.as_i64() < smax => {
+                            *pred = CmpPred::Slt;
+                            *rhs = replace(out, c.as_i64() + 1);
+                        }
+                        CmpPred::Sge if c.as_i64() > smin => {
+                            *pred = CmpPred::Sgt;
+                            *rhs = replace(out, c.as_i64() - 1);
+                        }
+                        CmpPred::Ule if c.as_u64() < umax => {
+                            *pred = CmpPred::Ult;
+                            *rhs = replace(out, (c.as_u64() + 1) as i64);
+                        }
+                        CmpPred::Uge if c.as_u64() > 0 => {
+                            *pred = CmpPred::Ugt;
+                            *rhs = replace(out, (c.as_u64() - 1) as i64);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    inst
+}
+
+/// Commutative operand order: constants last; otherwise higher "complexity"
+/// first (LLVM's convention), with value id as the tiebreak.
+fn should_swap(out: &Function, lhs: ValueId, rhs: ValueId) -> bool {
+    let rank = |v: ValueId| -> (u8, u32) {
+        let r = match out.inst(v).kind {
+            InstKind::Const(_) => 0u8,
+            InstKind::Load { .. } => 1,
+            InstKind::Cast { .. } => 2,
+            _ => 3,
+        };
+        (r, v.index() as u32)
+    };
+    rank(lhs) < rank(rhs)
+}
+
+fn push_const(out: &mut Function, c: Constant) -> ValueId {
+    out.push(Inst { kind: InstKind::Const(c), ty: c.ty() })
+}
+
+fn push_const_ret(out: &mut Function, c: Constant) -> ValueId {
+    push_const(out, c)
+}
+
+/// Append narrowed twins of every integer constant (e.g. `83_i16` next to
+/// `83_i32`).
+///
+/// Vector-instruction patterns frequently read an extended operand
+/// (`sext_i32(x: i16)`); in the scalar program the corresponding position
+/// often holds a *wide constant* (the front end folds `sext i16 83` to
+/// `i32 83`). The matcher can bind such a pattern parameter to the
+/// narrowed constant — provided a narrow constant instruction exists to
+/// bind to. This pass materializes them; they are pure, unused, and cost
+/// nothing unless a selected pack's operand references them (in which case
+/// they fold into a constant vector).
+pub fn add_narrow_constants(f: &Function) -> Function {
+    let mut out = f.clone();
+    let mut existing: std::collections::HashSet<Constant> = f
+        .insts
+        .iter()
+        .filter_map(|i| match i.kind {
+            InstKind::Const(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    let wide: Vec<Constant> = existing.iter().copied().collect();
+    for c in wide {
+        if !c.ty().is_int() {
+            continue;
+        }
+        for bits in [8u32, 16, 32] {
+            if bits >= c.ty().bits() {
+                continue;
+            }
+            let nty = Type::int_with_bits(bits).unwrap();
+            let smax = crate::constant::sext(crate::constant::mask(bits) >> 1, bits);
+            // Signed-narrowing twin (for sext-parameter bindings).
+            if c.as_i64() <= smax && c.as_i64() >= -smax - 1 {
+                let n = Constant::int(nty, c.as_i64());
+                if existing.insert(n) {
+                    out.push(Inst { kind: InstKind::Const(n), ty: nty });
+                }
+            }
+            // Unsigned-narrowing twin (for zext-parameter bindings).
+            if c.as_u64() <= crate::constant::mask(bits) {
+                let n = Constant::int(nty, c.as_u64() as i64);
+                if existing.insert(n) {
+                    out.push(Inst { kind: InstKind::Const(n), ty: nty });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drop pure instructions with no (transitive) store users.
+fn dce(f: &Function) -> Function {
+    let n = f.insts.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<ValueId> = Vec::new();
+    for (v, inst) in f.iter() {
+        if !inst.is_pure() {
+            live[v.index()] = true;
+            stack.push(v);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for op in f.inst(v).operands() {
+            if !live[op.index()] {
+                live[op.index()] = true;
+                stack.push(op);
+            }
+        }
+    }
+    // Loads have no side effects here (no volatile), so dead loads go too.
+    let mut out = Function::new(f.name.clone());
+    out.params = f.params.clone();
+    let mut remap: HashMap<ValueId, ValueId> = HashMap::new();
+    for (v, inst) in f.iter() {
+        if live[v.index()] {
+            let mut inst = inst.clone();
+            inst.map_operands(|o| remap[&o]);
+            let nv = out.push(inst);
+            remap.insert(v, nv);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{random_memory, run};
+
+    fn equivalent(before: &Function, after: &Function) {
+        for seed in 0..16 {
+            let mut m1 = random_memory(before, seed);
+            let mut m2 = m1.clone();
+            run(before, &mut m1).unwrap();
+            run(after, &mut m2).unwrap();
+            assert_eq!(m1, m2, "canonicalization changed behaviour (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 1);
+        let c1 = b.iconst(Type::I32, 2);
+        let c2 = b.iconst(Type::I32, 3);
+        let s = b.add(c1, c2);
+        let x = b.load(p, 0);
+        let y = b.add(x, s);
+        b.store(p, 0, y);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        // 2+3 should have become the constant 5.
+        assert!(g
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::Const(c) if c.as_i64() == 5)));
+        assert!(!g
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::Const(c) if c.as_i64() == 2)));
+    }
+
+    #[test]
+    fn removes_identity_ops() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 1);
+        let x = b.load(p, 0);
+        let z = b.iconst(Type::I32, 0);
+        let y = b.add(x, z);
+        let one = b.iconst(Type::I32, 1);
+        let w = b.mul(y, one);
+        b.store(p, 0, w);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        assert_eq!(g.insts.len(), 2, "only load and store remain: {g}");
+    }
+
+    #[test]
+    fn cse_merges_duplicates() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 3);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let s1 = b.add(x, y);
+        let s2 = b.add(x, y);
+        let m = b.mul(s1, s2);
+        b.store(p, 2, m);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        let adds = g
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn load_cse_does_not_cross_store() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x1 = b.load(p, 0);
+        let c = b.iconst(Type::I32, 9);
+        b.store(p, 0, c);
+        let x2 = b.load(p, 0); // must reload
+        let s = b.add(x1, x2);
+        b.store(p, 1, s);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        let loads = g.insts.iter().filter(|i| matches!(i.kind, InstKind::Load { .. })).count();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn loads_cse_within_epoch() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x1 = b.load(p, 0);
+        let x2 = b.load(p, 0);
+        let s = b.add(x1, x2);
+        b.store(p, 1, s);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        let loads = g.insts.iter().filter(|i| matches!(i.kind, InstKind::Load { .. })).count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn strict_inequality_rewrite() {
+        // x <= 1  becomes  x < 2 (the example from §6 of the paper).
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x = b.load(p, 0);
+        let one = b.iconst(Type::I32, 1);
+        let c = b.cmp(CmpPred::Sle, x, one);
+        let z = b.iconst(Type::I32, 0);
+        let sel = b.select(c, x, z);
+        b.store(p, 1, sel);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        let cmp = g
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::Cmp { pred, rhs, .. } => Some((pred, rhs)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(cmp.0, CmpPred::Slt);
+        assert_eq!(g.inst(cmp.1).kind, InstKind::Const(Constant::int(Type::I32, 2)));
+    }
+
+    #[test]
+    fn strict_rewrite_respects_overflow_boundary() {
+        // x sle INT32_MAX must NOT become x slt INT32_MAX+1.
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x = b.load(p, 0);
+        let m = b.iconst(Type::I32, i32::MAX as i64);
+        let c = b.cmp(CmpPred::Sle, x, m);
+        let z = b.iconst(Type::I32, 0);
+        let sel = b.select(c, x, z);
+        b.store(p, 1, sel);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+    }
+
+    #[test]
+    fn constant_moves_to_rhs_of_cmp() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x = b.load(p, 0);
+        let k = b.iconst(Type::I32, 4);
+        let c = b.cmp(CmpPred::Slt, k, x); // 4 < x  =>  x > 4  =>  x sgt 4
+        let z = b.iconst(Type::I32, 0);
+        let sel = b.select(c, x, z);
+        b.store(p, 1, sel);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        let found = g.insts.iter().any(|i| {
+            matches!(i.kind, InstKind::Cmp { pred: CmpPred::Sgt, rhs, .. }
+                if matches!(g.inst(rhs).kind, InstKind::Const(_)))
+        });
+        assert!(found, "{g}");
+    }
+
+    #[test]
+    fn commutative_order_is_canonical() {
+        // add(const, x) and add(x, const) should land in the same form.
+        let build = |flip: bool| {
+            let mut b = FunctionBuilder::new("t");
+            let p = b.param("A", Type::I32, 2);
+            let x = b.load(p, 0);
+            let k = b.iconst(Type::I32, 3);
+            let s = if flip { b.add(k, x) } else { b.add(x, k) };
+            b.store(p, 1, s);
+            b.finish()
+        };
+        let g1 = canonicalize(&build(false));
+        let g2 = canonicalize(&build(true));
+        assert_eq!(g1.insts, g2.insts);
+    }
+
+    #[test]
+    fn dce_drops_dead_code() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x = b.load(p, 0);
+        let _dead = b.mul(x, x);
+        b.store(p, 1, x);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        assert_eq!(g.insts.len(), 2);
+    }
+
+    #[test]
+    fn trunc_of_ext_returns_source() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I16, 2);
+        let x = b.load(p, 0);
+        let w = b.sext(x, Type::I32);
+        let n = b.trunc(w, Type::I16);
+        b.store(p, 1, n);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        assert_eq!(g.insts.len(), 2, "{g}");
+    }
+
+    #[test]
+    fn trunc_sinks_through_binop() {
+        // trunc16(mul32(sext32 x, sext32 y)) => mul16(x, y): the pmullw
+        // pattern convergence.
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I16, 3);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let xw = b.sext(x, Type::I32);
+        let yw = b.sext(y, Type::I32);
+        let m = b.mul(xw, yw);
+        let n = b.trunc(m, Type::I16);
+        b.store(p, 2, n);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        assert!(
+            g.insts.iter().any(|i| matches!(i.kind,
+                InstKind::Bin { op: BinOp::Mul, .. } if i.ty == Type::I16)),
+            "expected a narrow multiply: {g}"
+        );
+        assert!(
+            !g.insts.iter().any(|i| matches!(i.kind, InstKind::Cast { .. })),
+            "all casts should fold away: {g}"
+        );
+    }
+
+    #[test]
+    fn trunc_sinks_into_select() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let q = b.param("O", Type::I16, 1);
+        let x = b.load(p, 0);
+        let c = b.clamp(x, -32768, 32767);
+        let n = b.trunc(c, Type::I16);
+        b.store(q, 0, n);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        // The outermost value stored is now a select over i16 values.
+        let InstKind::Store { value, .. } = g.insts.last().unwrap().kind else { panic!() };
+        assert!(matches!(g.inst(value).kind, InstKind::Select { .. }), "{g}");
+        assert_eq!(g.ty(value), Type::I16);
+    }
+
+    #[test]
+    fn cmp_of_zexts_narrows_to_unsigned() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I8, 3);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let xw = b.zext(x, Type::I32);
+        let yw = b.zext(y, Type::I32);
+        let c = b.cmp(CmpPred::Slt, xw, yw);
+        let sel = b.select(c, x, y);
+        b.store(p, 2, sel);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        assert!(
+            g.insts.iter().any(|i| matches!(i.kind,
+                InstKind::Cmp { pred: CmpPred::Ult, lhs, .. } if g.ty(lhs) == Type::I8)),
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn cmp_of_sexts_narrows_signed() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I16, 3);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let xw = b.sext(x, Type::I32);
+        let yw = b.sext(y, Type::I32);
+        let c = b.cmp(CmpPred::Sgt, xw, yw);
+        let sel = b.select(c, x, y);
+        b.store(p, 2, sel);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        assert!(
+            g.insts.iter().any(|i| matches!(i.kind,
+                InstKind::Cmp { pred: CmpPred::Sgt, lhs, .. } if g.ty(lhs) == Type::I16)),
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn cmp_ext_vs_constant_narrows_when_it_fits() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I8, 2);
+        let x = b.load(p, 0);
+        let xw = b.zext(x, Type::I32);
+        let k = b.iconst(Type::I32, 200);
+        let c = b.cmp(CmpPred::Slt, xw, k);
+        let z = b.iconst(Type::I8, 0);
+        let sel = b.select(c, x, z);
+        b.store(p, 1, sel);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        assert!(
+            g.insts.iter().any(|i| matches!(i.kind,
+                InstKind::Cmp { pred: CmpPred::Ult, lhs, .. } if g.ty(lhs) == Type::I8)),
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn ext_of_ext_composes() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I8, 1);
+        let q = b.param("O", Type::I64, 1);
+        let x = b.load(p, 0);
+        let w1 = b.zext(x, Type::I16);
+        let w2 = b.sext(w1, Type::I64); // sext(zext) == zext
+        b.store(q, 0, w2);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        let casts: Vec<_> = g
+            .insts
+            .iter()
+            .filter_map(|i| match i.kind {
+                InstKind::Cast { op, .. } => Some(op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(casts, vec![CastOp::ZExt], "{g}");
+    }
+
+    #[test]
+    fn x_minus_x_folds_to_zero() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x = b.load(p, 0);
+        let d = b.sub(x, x);
+        b.store(p, 1, d);
+        let f = b.finish();
+        let g = canonicalize(&f);
+        equivalent(&f, &g);
+        assert!(g.insts.iter().any(|i| matches!(i.kind, InstKind::Const(c) if c.is_zero())));
+    }
+}

@@ -1,0 +1,227 @@
+//! Typed constants and the scalar arithmetic used by the interpreter.
+
+use crate::types::Type;
+use std::fmt;
+
+/// A typed scalar constant.
+///
+/// Integers are stored zero-extended in `bits` (only the low `ty.bits()`
+/// bits are significant); floats are stored as their IEEE bit patterns. This
+/// representation makes `Eq`/`Hash` structural (NaNs compare by payload),
+/// which is what the canonicalizer and match table need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constant {
+    ty: Type,
+    bits: u64,
+}
+
+impl Constant {
+    /// Build an integer constant of type `ty` from a signed value, wrapping
+    /// to the type's width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not an integer type.
+    pub fn int(ty: Type, v: i64) -> Constant {
+        assert!(ty.is_int(), "Constant::int requires an integer type, got {ty}");
+        Constant { ty, bits: (v as u64) & mask(ty.bits()) }
+    }
+
+    /// Build a boolean (`i1`) constant.
+    pub fn bool(v: bool) -> Constant {
+        Constant { ty: Type::I1, bits: v as u64 }
+    }
+
+    /// Build an `f32` constant.
+    pub fn f32(v: f32) -> Constant {
+        Constant { ty: Type::F32, bits: v.to_bits() as u64 }
+    }
+
+    /// Build an `f64` constant.
+    pub fn f64(v: f64) -> Constant {
+        Constant { ty: Type::F64, bits: v.to_bits() }
+    }
+
+    /// Build a zero of any non-void type.
+    pub fn zero(ty: Type) -> Constant {
+        match ty {
+            Type::F32 => Constant::f32(0.0),
+            Type::F64 => Constant::f64(0.0),
+            Type::Void => panic!("no zero of type void"),
+            _ => Constant::int(ty, 0),
+        }
+    }
+
+    /// The constant's type.
+    pub fn ty(self) -> Type {
+        self.ty
+    }
+
+    /// Raw bit pattern, zero-extended to 64 bits.
+    pub fn raw_bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Value as a sign-extended `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn as_i64(self) -> i64 {
+        assert!(self.ty.is_int());
+        sext(self.bits, self.ty.bits())
+    }
+
+    /// Value as a zero-extended `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn as_u64(self) -> u64 {
+        assert!(self.ty.is_int());
+        self.bits & mask(self.ty.bits())
+    }
+
+    /// Value as `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not `F32`.
+    pub fn as_f32(self) -> f32 {
+        assert_eq!(self.ty, Type::F32);
+        f32::from_bits(self.bits as u32)
+    }
+
+    /// Value as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not `F64`.
+    pub fn as_f64(self) -> f64 {
+        assert_eq!(self.ty, Type::F64);
+        f64::from_bits(self.bits)
+    }
+
+    /// Value as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not `I1`.
+    pub fn as_bool(self) -> bool {
+        assert_eq!(self.ty, Type::I1);
+        self.bits != 0
+    }
+
+    /// True if this is an integer zero / false / +0.0 of its type.
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// True if this is the integer one of its type.
+    pub fn is_one(self) -> bool {
+        self.ty.is_int() && self.bits == 1
+    }
+
+    /// True if every significant bit is set (i.e. the integer -1).
+    pub fn is_all_ones(self) -> bool {
+        self.ty.is_int() && self.bits == mask(self.ty.bits())
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::F32 => write!(f, "{:?}f32", self.as_f32()),
+            Type::F64 => write!(f, "{:?}f64", self.as_f64()),
+            Type::I1 => write!(f, "{}", self.as_bool()),
+            Type::Void => write!(f, "void"),
+            _ => write!(f, "{}_{}", self.as_i64(), self.ty),
+        }
+    }
+}
+
+/// Bit mask with the low `bits` bits set.
+pub fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Sign-extend the low `bits` bits of `v` to an `i64`.
+pub fn sext(v: u64, bits: u32) -> i64 {
+    if bits == 0 {
+        return 0;
+    }
+    if bits >= 64 {
+        return v as i64;
+    }
+    let shift = 64 - bits;
+    (((v & mask(bits)) << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip_wraps() {
+        let c = Constant::int(Type::I8, -1);
+        assert_eq!(c.as_i64(), -1);
+        assert_eq!(c.as_u64(), 0xff);
+        let c = Constant::int(Type::I8, 300);
+        assert_eq!(c.as_i64(), 44); // 300 mod 256
+    }
+
+    #[test]
+    fn i64_extremes() {
+        let c = Constant::int(Type::I64, i64::MIN);
+        assert_eq!(c.as_i64(), i64::MIN);
+        let c = Constant::int(Type::I64, -1);
+        assert_eq!(c.as_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn float_bits_roundtrip() {
+        let c = Constant::f32(-1.5);
+        assert_eq!(c.as_f32(), -1.5);
+        let c = Constant::f64(f64::NAN);
+        assert!(c.as_f64().is_nan());
+    }
+
+    #[test]
+    fn nan_is_structurally_equal() {
+        assert_eq!(Constant::f64(f64::NAN), Constant::f64(f64::NAN));
+    }
+
+    #[test]
+    fn zero_one_allones() {
+        assert!(Constant::zero(Type::I32).is_zero());
+        assert!(Constant::zero(Type::F64).is_zero());
+        assert!(Constant::int(Type::I16, 1).is_one());
+        assert!(Constant::int(Type::I16, -1).is_all_ones());
+        assert!(!Constant::int(Type::I16, 0x7fff).is_all_ones());
+    }
+
+    #[test]
+    fn sext_helper() {
+        assert_eq!(sext(0xff, 8), -1);
+        assert_eq!(sext(0x7f, 8), 127);
+        assert_eq!(sext(0x8000, 16), -32768);
+        assert_eq!(sext(1, 1), -1);
+        assert_eq!(sext(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constant::int(Type::I32, -5).to_string(), "-5_i32");
+        assert_eq!(Constant::bool(true).to_string(), "true");
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_of_float_type_panics() {
+        let _ = Constant::int(Type::F32, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Textual form of IR functions (LLVM-flavoured, for debugging and reports).
+
+use crate::function::Function;
+use crate::inst::InstKind;
+use std::fmt;
+
+/// Write `f` in a readable LLVM-like textual form.
+pub fn print_function(func: &Function, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "fn @{}(", func.name)?;
+    for (i, p) in func.params.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}: {}[{}]", p.name, p.elem_ty, p.len)?;
+    }
+    writeln!(f, ") {{")?;
+    for (v, inst) in func.iter() {
+        match &inst.kind {
+            InstKind::Const(c) => writeln!(f, "  {v} = const {c}")?,
+            InstKind::Bin { op, lhs, rhs } => {
+                writeln!(f, "  {v} = {} {} {lhs}, {rhs}", op.name(), inst.ty)?
+            }
+            InstKind::FNeg { arg } => writeln!(f, "  {v} = fneg {} {arg}", inst.ty)?,
+            InstKind::Cast { op, arg } => {
+                writeln!(f, "  {v} = {} {arg} to {}", op.name(), inst.ty)?
+            }
+            InstKind::Cmp { pred, lhs, rhs } => {
+                writeln!(f, "  {v} = cmp {} {lhs}, {rhs}", pred.name())?
+            }
+            InstKind::Select { cond, on_true, on_false } => {
+                writeln!(f, "  {v} = select {cond}, {on_true}, {on_false}")?
+            }
+            InstKind::Load { loc } => writeln!(
+                f,
+                "  {v} = load {} {}[{}]",
+                inst.ty, func.params[loc.base].name, loc.offset
+            )?,
+            InstKind::Store { loc, value } => writeln!(
+                f,
+                "  store {value} -> {}[{}]",
+                func.params[loc.base].name, loc.offset
+            )?,
+        }
+    }
+    write!(f, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_all_inst_forms() {
+        let mut b = FunctionBuilder::new("show");
+        let p = b.param("A", Type::I16, 4);
+        let q = b.param("B", Type::I32, 2);
+        let x = b.load(p, 0);
+        let w = b.sext(x, Type::I32);
+        let c = b.iconst(Type::I32, 3);
+        let s = b.add(w, c);
+        let cmp = b.cmp(crate::inst::CmpPred::Sgt, s, c);
+        let sel = b.select(cmp, s, c);
+        b.store(q, 0, sel);
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("fn @show(A: i16[4], B: i32[2])"));
+        assert!(text.contains("load i16 A[0]"));
+        assert!(text.contains("sext %0 to i32"));
+        assert!(text.contains("add i32"));
+        assert!(text.contains("cmp sgt"));
+        assert!(text.contains("select"));
+        assert!(text.contains("store %5 -> B[0]"));
+    }
+}

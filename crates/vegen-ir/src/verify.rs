@@ -1,0 +1,218 @@
+//! Structural verification of IR functions.
+
+use crate::function::{Function, ValueId};
+use crate::inst::{CastOp, InstKind};
+use crate::types::Type;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The offending instruction.
+    pub at: ValueId,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify failed at {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+fn err(at: ValueId, message: impl Into<String>) -> Result<(), VerifyError> {
+    Err(VerifyError { at, message: message.into() })
+}
+
+/// Check SSA dominance (defs before uses), type correctness, and memory
+/// bounds of every instruction.
+///
+/// # Errors
+///
+/// Returns the first violation found, in program order.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    for (v, inst) in f.iter() {
+        for op in inst.operands() {
+            if op.index() >= v.index() {
+                return err(v, format!("operand {op} does not dominate its use"));
+            }
+            if f.ty(op) == Type::Void {
+                return err(v, format!("operand {op} has void type"));
+            }
+        }
+        match &inst.kind {
+            InstKind::Const(c) => {
+                if c.ty() != inst.ty {
+                    return err(v, "constant type mismatch");
+                }
+            }
+            InstKind::Bin { op, lhs, rhs } => {
+                if f.ty(*lhs) != f.ty(*rhs) {
+                    return err(v, "binop operand types differ");
+                }
+                if f.ty(*lhs) != inst.ty {
+                    return err(v, "binop result type mismatch");
+                }
+                if op.is_float() != inst.ty.is_float() {
+                    return err(v, "binop float/int mismatch");
+                }
+            }
+            InstKind::FNeg { arg } => {
+                if !f.ty(*arg).is_float() || f.ty(*arg) != inst.ty {
+                    return err(v, "fneg requires matching float type");
+                }
+            }
+            InstKind::Cast { op, arg } => {
+                let from = f.ty(*arg);
+                let to = inst.ty;
+                let ok = match op {
+                    CastOp::SExt | CastOp::ZExt => {
+                        from.is_int() && to.is_int() && to.bits() > from.bits()
+                    }
+                    CastOp::Trunc => from.is_int() && to.is_int() && to.bits() < from.bits(),
+                    CastOp::FPExt => from == Type::F32 && to == Type::F64,
+                    CastOp::FPTrunc => from == Type::F64 && to == Type::F32,
+                    CastOp::SIToFP | CastOp::UIToFP => from.is_int() && to.is_float(),
+                    CastOp::FPToSI => from.is_float() && to.is_int(),
+                };
+                if !ok {
+                    return err(v, format!("invalid cast {op:?} {from} -> {to}"));
+                }
+            }
+            InstKind::Cmp { pred, lhs, rhs } => {
+                if f.ty(*lhs) != f.ty(*rhs) {
+                    return err(v, "cmp operand types differ");
+                }
+                if pred.is_float() != f.ty(*lhs).is_float() {
+                    return err(v, "cmp predicate/type mismatch");
+                }
+                if inst.ty != Type::I1 {
+                    return err(v, "cmp must produce i1");
+                }
+            }
+            InstKind::Select { cond, on_true, on_false } => {
+                if f.ty(*cond) != Type::I1 {
+                    return err(v, "select condition must be i1");
+                }
+                if f.ty(*on_true) != f.ty(*on_false) || f.ty(*on_true) != inst.ty {
+                    return err(v, "select arm type mismatch");
+                }
+            }
+            InstKind::Load { loc } => {
+                let Some(p) = f.params.get(loc.base) else {
+                    return err(v, "load from unknown parameter");
+                };
+                if loc.offset < 0 || loc.offset as usize >= p.len {
+                    return err(v, format!("load offset {} out of bounds", loc.offset));
+                }
+                if p.elem_ty != inst.ty {
+                    return err(v, "load type mismatch");
+                }
+            }
+            InstKind::Store { loc, value } => {
+                let Some(p) = f.params.get(loc.base) else {
+                    return err(v, "store to unknown parameter");
+                };
+                if loc.offset < 0 || loc.offset as usize >= p.len {
+                    return err(v, format!("store offset {} out of bounds", loc.offset));
+                }
+                if p.elem_ty != f.ty(*value) {
+                    return err(v, "store type mismatch");
+                }
+                if inst.ty != Type::Void {
+                    return err(v, "store must have void type");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::constant::Constant;
+    use crate::inst::{BinOp, Inst, MemLoc};
+
+    fn small() -> Function {
+        let mut b = FunctionBuilder::new("ok");
+        let p = b.param("A", Type::I32, 4);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let s = b.add(x, y);
+        b.store(p, 2, s);
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        assert!(verify(&small()).is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = small();
+        // Make the first load "use" a later value by inserting a bogus binop first.
+        f.insts.insert(
+            0,
+            Inst {
+                kind: InstKind::Bin {
+                    op: BinOp::Add,
+                    lhs: ValueId::from_raw(1),
+                    rhs: ValueId::from_raw(1),
+                },
+                ty: Type::I32,
+            },
+        );
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_access() {
+        let mut b = FunctionBuilder::new("oob");
+        let p = b.param("A", Type::I32, 2);
+        let x = b.load(p, 0);
+        let mut f = b.finish();
+        f.insts.push(Inst {
+            kind: InstKind::Store { loc: MemLoc { base: 0, offset: 9 }, value: x },
+            ty: Type::Void,
+        });
+        let e = verify(&f).unwrap_err();
+        assert!(e.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_store() {
+        let mut b = FunctionBuilder::new("bad");
+        let p = b.param("A", Type::I32, 2);
+        let q = b.param("B", Type::I16, 2);
+        let x = b.load(p, 0);
+        let mut f = b.finish();
+        // Store an i32 into an i16 buffer, bypassing the builder's check.
+        f.insts.push(Inst {
+            kind: InstKind::Store { loc: MemLoc { base: 1, offset: 0 }, value: x },
+            ty: Type::Void,
+        });
+        assert!(verify(&f).is_err());
+        let _ = q;
+    }
+
+    #[test]
+    fn rejects_bad_constant_type() {
+        let mut f = Function::new("c");
+        f.push(Inst { kind: InstKind::Const(Constant::int(Type::I8, 1)), ty: Type::I32 });
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_value() {
+        let mut f = Function::new("c");
+        f.push(Inst { kind: InstKind::Const(Constant::int(Type::I8, 1)), ty: Type::I32 });
+        let e = verify(&f).unwrap_err();
+        assert!(e.to_string().contains("%0"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: the canonicalizer preserves semantics on arbitrary
+//! well-typed straight-line programs and is idempotent.
+
+use proptest::prelude::*;
+use vegen_ir::canon::{add_narrow_constants, canonicalize};
+use vegen_ir::interp::{random_memory, run};
+use vegen_ir::{BinOp, CmpPred, Function, FunctionBuilder, Type, ValueId};
+
+/// One step of a small random program over three typed value pools.
+#[derive(Debug, Clone)]
+enum Step {
+    Load { buf: usize, off: usize },
+    Const(i64),
+    Bin { op: usize, a: usize, b: usize },
+    Cmp { pred: usize, a: usize, b: usize },
+    SelectLike { a: usize, b: usize },
+    Cast { kind: usize, a: usize },
+    Store { v: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..2usize, 0..6usize).prop_map(|(buf, off)| Step::Load { buf, off }),
+        (-70000i64..70000).prop_map(Step::Const),
+        (0..9usize, 0..32usize, 0..32usize).prop_map(|(op, a, b)| Step::Bin { op, a, b }),
+        (0..6usize, 0..32usize, 0..32usize).prop_map(|(pred, a, b)| Step::Cmp { pred, a, b }),
+        (0..32usize, 0..32usize).prop_map(|(a, b)| Step::SelectLike { a, b }),
+        (0..3usize, 0..32usize).prop_map(|(kind, a)| Step::Cast { kind, a }),
+        (0..32usize).prop_map(|v| Step::Store { v }),
+    ]
+}
+
+fn build(steps: &[Step]) -> Option<Function> {
+    let mut b = FunctionBuilder::new("prop");
+    let bufs = [b.param("A", Type::I16, 6), b.param("B", Type::I16, 6)];
+    let out32 = b.param("O", Type::I32, 24);
+    let mut i16s: Vec<ValueId> = Vec::new();
+    let mut i32s: Vec<ValueId> = Vec::new();
+    let mut bools: Vec<ValueId> = Vec::new();
+    let mut next_out = 0usize;
+    let bin_ops = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::AShr,
+        BinOp::LShr,
+    ];
+    let preds = [CmpPred::Eq, CmpPred::Ne, CmpPred::Slt, CmpPred::Sle, CmpPred::Ugt, CmpPred::Uge];
+    for s in steps {
+        match s {
+            Step::Load { buf, off } => {
+                let v = b.load(bufs[buf % 2], (*off % 6) as i64);
+                i16s.push(v);
+            }
+            Step::Const(c) => {
+                let v = b.iconst(Type::I32, *c);
+                i32s.push(v);
+            }
+            Step::Bin { op, a, b: rb } => {
+                if i32s.len() < 2 {
+                    continue;
+                }
+                let x = i32s[a % i32s.len()];
+                let y = i32s[rb % i32s.len()];
+                let v = b.bin(bin_ops[op % bin_ops.len()], x, y);
+                i32s.push(v);
+            }
+            Step::Cmp { pred, a, b: rb } => {
+                if i32s.len() < 2 {
+                    continue;
+                }
+                let x = i32s[a % i32s.len()];
+                let y = i32s[rb % i32s.len()];
+                let v = b.cmp(preds[pred % preds.len()], x, y);
+                bools.push(v);
+            }
+            Step::SelectLike { a, b: rb } => {
+                if bools.is_empty() || i32s.len() < 2 {
+                    continue;
+                }
+                let c = bools[a % bools.len()];
+                let x = i32s[a % i32s.len()];
+                let y = i32s[rb % i32s.len()];
+                let v = b.select(c, x, y);
+                i32s.push(v);
+            }
+            Step::Cast { kind, a } => match kind % 3 {
+                0 if !i16s.is_empty() => {
+                    let v = b.sext(i16s[a % i16s.len()], Type::I32);
+                    i32s.push(v);
+                }
+                1 if !i16s.is_empty() => {
+                    let v = b.zext(i16s[a % i16s.len()], Type::I32);
+                    i32s.push(v);
+                }
+                2 if !i32s.is_empty() => {
+                    let v = b.trunc(i32s[a % i32s.len()], Type::I16);
+                    i16s.push(v);
+                }
+                _ => {}
+            },
+            Step::Store { v } => {
+                if i32s.is_empty() || next_out >= 24 {
+                    continue;
+                }
+                b.store(out32, next_out as i64, i32s[v % i32s.len()]);
+                next_out += 1;
+            }
+        }
+    }
+    let f = b.finish();
+    if f.stores().is_empty() {
+        None
+    } else {
+        Some(f)
+    }
+}
+
+/// Division is excluded from the generator, so `run` cannot trap; shifts
+/// are total by definition in this IR.
+fn effects(f: &Function, seed: u64) -> vegen_ir::interp::Memory {
+    let mut mem = random_memory(f, seed);
+    run(f, &mut mem).expect("no traps possible");
+    mem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn canonicalize_preserves_semantics(
+        steps in proptest::collection::vec(step_strategy(), 4..60),
+    ) {
+        let Some(f) = build(&steps) else { return Ok(()) };
+        prop_assert!(vegen_ir::verify::verify(&f).is_ok(), "generator made invalid IR");
+        let g = canonicalize(&f);
+        prop_assert!(vegen_ir::verify::verify(&g).is_ok(), "canonicalizer broke IR:\n{g}");
+        for seed in 0..4u64 {
+            prop_assert_eq!(effects(&f, seed), effects(&g, seed), "seed {}:\n{}\nvs\n{}", seed, f, g);
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(
+        steps in proptest::collection::vec(step_strategy(), 4..40),
+    ) {
+        let Some(f) = build(&steps) else { return Ok(()) };
+        let once = canonicalize(&f);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(&once, &twice, "not a fixpoint:\n{}\nvs\n{}", once, twice);
+    }
+
+    #[test]
+    fn narrow_constants_are_pure_additions(
+        steps in proptest::collection::vec(step_strategy(), 4..40),
+    ) {
+        let Some(f) = build(&steps) else { return Ok(()) };
+        let g = add_narrow_constants(&canonicalize(&f));
+        prop_assert!(vegen_ir::verify::verify(&g).is_ok());
+        for seed in 0..2u64 {
+            prop_assert_eq!(effects(&f, seed), effects(&g, seed));
+        }
+    }
+}

@@ -1,0 +1,700 @@
+//! Instruction specifications: Intel-style pseudocode plus metadata.
+//!
+//! These play the role of the Intrinsics Guide XML in the paper's pipeline.
+//! A convention worth noting (pinned by tests in `vegen-pseudo`): arithmetic
+//! is written at the C-promotion width — e.g. `pmaddwd` multiplies
+//! *sign-extended 32-bit* values — so the lifted patterns match the IR that
+//! a C compiler's front end produces for the reference scalar kernels,
+//! which is exactly the canonical form the paper gets by running the
+//! patterns through `instcombine`.
+
+use crate::{Extension, InstDef};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use vegen_pseudo::{translate, FpMode, TranslateError};
+
+/// A buildable instruction specification.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Unique name `<mnemonic>_<bits>`.
+    pub name: String,
+    /// Assembly mnemonic for listings.
+    pub asm: String,
+    /// Required extension.
+    pub ext: Extension,
+    /// Output register width in bits.
+    pub bits: u32,
+    /// Output element width in bits.
+    pub out_elem_bits: u32,
+    /// Integer or float arithmetic.
+    pub fp: FpMode,
+    /// Inverse throughput in cycles (from Intrinsics Guide `perf2.js`-style
+    /// data); the paper's cost is twice this (§6.2).
+    pub inv_throughput: f64,
+    /// Input registers: `(name, width in bits)`.
+    pub inputs: Vec<(String, u32)>,
+    /// The pseudocode.
+    pub pseudocode: String,
+}
+
+impl Spec {
+    /// Run the offline pipeline for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure from [`vegen_pseudo::translate`].
+    pub fn build(&self) -> Result<InstDef, TranslateError> {
+        let inputs: Vec<(&str, u32)> =
+            self.inputs.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+        let sem = translate(
+            &self.name,
+            &inputs,
+            self.bits,
+            self.out_elem_bits,
+            self.fp,
+            &self.pseudocode,
+        )?;
+        Ok(InstDef {
+            name: self.name.clone(),
+            asm: self.asm.clone(),
+            ext: self.ext,
+            bits: self.bits,
+            cost: 2.0 * self.inv_throughput,
+            sem,
+        })
+    }
+}
+
+/// `a[i+15:i]`-style slice text.
+fn lane(reg: &str, base: u32, elem: u32) -> String {
+    format!("{reg}[{}:{}]", base + elem - 1, base)
+}
+
+/// An elementwise two-input SIMD body applied to every lane.
+fn simd2(bits: u32, elem: u32, f: impl Fn(&str, &str) -> String) -> String {
+    let mut s = String::new();
+    for j in 0..bits / elem {
+        let i = j * elem;
+        let a = lane("a", i, elem);
+        let b = lane("b", i, elem);
+        let _ = writeln!(s, "dst[{}:{}] := {}", i + elem - 1, i, f(&a, &b));
+    }
+    s
+}
+
+/// An elementwise one-input SIMD body.
+fn simd1(bits: u32, elem: u32, f: impl Fn(&str) -> String) -> String {
+    let mut s = String::new();
+    for j in 0..bits / elem {
+        let i = j * elem;
+        let a = lane("a", i, elem);
+        let _ = writeln!(s, "dst[{}:{}] := {}", i + elem - 1, i, f(&a));
+    }
+    s
+}
+
+/// An elementwise three-input SIMD body (FMA family).
+fn simd3(bits: u32, elem: u32, f: impl Fn(&str, &str, &str, u32) -> String) -> String {
+    let mut s = String::new();
+    for j in 0..bits / elem {
+        let i = j * elem;
+        let a = lane("a", i, elem);
+        let b = lane("b", i, elem);
+        let c = lane("c", i, elem);
+        let _ = writeln!(s, "dst[{}:{}] := {}", i + elem - 1, i, f(&a, &b, &c, j));
+    }
+    s
+}
+
+struct SpecBuilder {
+    specs: Vec<Spec>,
+}
+
+impl SpecBuilder {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        mnemonic: &str,
+        asm: &str,
+        ext: Extension,
+        bits: u32,
+        out_elem: u32,
+        fp: FpMode,
+        inv_tp: f64,
+        n_inputs: usize,
+        pseudocode: String,
+    ) {
+        let input_names = ["a", "b", "c"];
+        // Accumulator-style instructions pass src explicitly instead.
+        let inputs: Vec<(String, u32)> =
+            input_names[..n_inputs].iter().map(|n| (n.to_string(), bits)).collect();
+        self.specs.push(Spec {
+            name: format!("{mnemonic}_{bits}"),
+            asm: asm.to_string(),
+            ext,
+            bits,
+            out_elem_bits: out_elem,
+            fp,
+            inv_throughput: inv_tp,
+            inputs,
+            pseudocode,
+        });
+    }
+}
+
+/// Extension required for a plain SSE2-era op at each width.
+fn int_ext(bits: u32) -> Extension {
+    match bits {
+        128 => Extension::Sse2,
+        256 => Extension::Avx2,
+        _ => Extension::Avx512f,
+    }
+}
+
+fn float_ext(bits: u32) -> Extension {
+    match bits {
+        128 => Extension::Sse2,
+        256 => Extension::Avx,
+        _ => Extension::Avx512f,
+    }
+}
+
+/// All built-in instruction specs.
+pub fn all_specs() -> &'static [Spec] {
+    static SPECS: OnceLock<Vec<Spec>> = OnceLock::new();
+    SPECS.get_or_init(build_all)
+}
+
+fn build_all() -> Vec<Spec> {
+    let mut b = SpecBuilder { specs: Vec::new() };
+    use Extension::*;
+    use FpMode::{Float, Int};
+
+    // ------------------------------------------------------------------
+    // Plain integer SIMD arithmetic.
+    // ------------------------------------------------------------------
+    for bits in [128u32, 256, 512] {
+        for (mn, elem) in [("paddb", 8), ("paddw", 16), ("paddd", 32), ("paddq", 64)] {
+            b.push(mn, &format!("v{mn}"), int_ext(bits), bits, elem, Int, 0.33, 2,
+                simd2(bits, elem, |a, bb| format!("{a} + {bb}")));
+        }
+        for (mn, elem) in [("psubb", 8), ("psubw", 16), ("psubd", 32), ("psubq", 64)] {
+            b.push(mn, &format!("v{mn}"), int_ext(bits), bits, elem, Int, 0.33, 2,
+                simd2(bits, elem, |a, bb| format!("{a} - {bb}")));
+        }
+        // Low-half multiplies (wrapping).
+        b.push("pmullw", "vpmullw", int_ext(bits), bits, 16, Int, 0.5, 2,
+            simd2(bits, 16, |a, bb| format!("{a} * {bb}")));
+        let mulld_ext = if bits == 128 { Sse41 } else { int_ext(bits) };
+        b.push("pmulld", "vpmulld", mulld_ext, bits, 32, Int, 1.0, 2,
+            simd2(bits, 32, |a, bb| format!("{a} * {bb}")));
+        // Bitwise ops.
+        b.push("pand", "vpand", int_ext(bits), bits, 64, Int, 0.33, 2,
+            simd2(bits, 64, |a, bb| format!("{a} AND {bb}")));
+        b.push("por", "vpor", int_ext(bits), bits, 64, Int, 0.33, 2,
+            simd2(bits, 64, |a, bb| format!("{a} OR {bb}")));
+        b.push("pxor", "vpxor", int_ext(bits), bits, 64, Int, 0.33, 2,
+            simd2(bits, 64, |a, bb| format!("{a} XOR {bb}")));
+    }
+
+    // Saturating adds/subs (SSE2-era; 256 needs AVX2).
+    for bits in [128u32, 256] {
+        let e = int_ext(bits);
+        b.push("paddsb", "vpaddsb", e, bits, 8, Int, 0.5, 2,
+            simd2(bits, 8, |a, bb| format!("Saturate8(SignExtend32({a}) + SignExtend32({bb}))")));
+        b.push("paddsw", "vpaddsw", e, bits, 16, Int, 0.5, 2,
+            simd2(bits, 16, |a, bb| format!("Saturate16(SignExtend32({a}) + SignExtend32({bb}))")));
+        b.push("psubsb", "vpsubsb", e, bits, 8, Int, 0.5, 2,
+            simd2(bits, 8, |a, bb| format!("Saturate8(SignExtend32({a}) - SignExtend32({bb}))")));
+        b.push("psubsw", "vpsubsw", e, bits, 16, Int, 0.5, 2,
+            simd2(bits, 16, |a, bb| format!("Saturate16(SignExtend32({a}) - SignExtend32({bb}))")));
+        b.push("paddusb", "vpaddusb", e, bits, 8, Int, 0.5, 2,
+            simd2(bits, 8, |a, bb| format!("SaturateU8(ZeroExtend32({a}) + ZeroExtend32({bb}))")));
+        b.push("paddusw", "vpaddusw", e, bits, 16, Int, 0.5, 2,
+            simd2(bits, 16, |a, bb| format!("SaturateU16(ZeroExtend32({a}) + ZeroExtend32({bb}))")));
+        b.push("psubusb", "vpsubusb", e, bits, 8, Int, 0.5, 2,
+            simd2(bits, 8, |a, bb| format!("SaturateU8(ZeroExtend32({a}) - ZeroExtend32({bb}))")));
+        b.push("psubusw", "vpsubusw", e, bits, 16, Int, 0.5, 2,
+            simd2(bits, 16, |a, bb| format!("SaturateU16(ZeroExtend32({a}) - ZeroExtend32({bb}))")));
+    }
+
+    // Integer min/max (mixed SSE2/SSE4.1 heritage) and abs (SSSE3).
+    for bits in [128u32, 256] {
+        let sse41_or_avx2 = if bits == 128 { Sse41 } else { Avx2 };
+        let sse2_or_avx2 = int_ext(bits);
+        let ssse3_or_avx2 = if bits == 128 { Ssse3 } else { Avx2 };
+        for (mn, elem, ext, fun) in [
+            ("pminsb", 8, sse41_or_avx2, "MIN"),
+            ("pminsw", 16, sse2_or_avx2, "MIN"),
+            ("pminsd", 32, sse41_or_avx2, "MIN"),
+            ("pmaxsb", 8, sse41_or_avx2, "MAX"),
+            ("pmaxsw", 16, sse2_or_avx2, "MAX"),
+            ("pmaxsd", 32, sse41_or_avx2, "MAX"),
+            ("pminub", 8, sse2_or_avx2, "MINU"),
+            ("pminuw", 16, sse41_or_avx2, "MINU"),
+            ("pminud", 32, sse41_or_avx2, "MINU"),
+            ("pmaxub", 8, sse2_or_avx2, "MAXU"),
+            ("pmaxuw", 16, sse41_or_avx2, "MAXU"),
+            ("pmaxud", 32, sse41_or_avx2, "MAXU"),
+        ] {
+            b.push(mn, &format!("v{mn}"), ext, bits, elem, Int, 0.5, 2,
+                simd2(bits, elem, |a, bb| format!("{fun}({a}, {bb})")));
+        }
+        for (mn, elem) in [("pabsb", 8), ("pabsw", 16), ("pabsd", 32)] {
+            b.push(mn, &format!("v{mn}"), ssse3_or_avx2, bits, elem, Int, 0.5, 1,
+                simd1(bits, elem, |a| format!("ABS({a})")));
+        }
+    }
+
+    // Variable per-lane shifts (AVX2) — how shift-by-constant scalar code
+    // vectorizes (the shift-amount operand becomes a constant vector).
+    for bits in [128u32, 256] {
+        b.push("psllvd", "vpsllvd", Avx2, bits, 32, Int, 0.5, 2,
+            simd2(bits, 32, |a, bb| format!("{a} << {bb}")));
+        b.push("psravd", "vpsravd", Avx2, bits, 32, Int, 0.5, 2,
+            simd2(bits, 32, |a, bb| format!("{a} >> {bb}")));
+    }
+
+    // Averages and high-half multiplies (SSE2): rounding-average bytes and
+    // words, and the upper 16 bits of widening word products.
+    for bits in [128u32, 256] {
+        let e = int_ext(bits);
+        for (mn, elem, ext_fn) in [("pavgb", 8u32, "ZeroExtend16"), ("pavgw", 16, "ZeroExtend32")] {
+            b.push(mn, &format!("v{mn}"), e, bits, elem, Int, 0.5, 2,
+                simd2(bits, elem, |a, bb| {
+                    format!("Truncate{elem}(({ext_fn}({a}) + {ext_fn}({bb}) + 1) >> 1)")
+                }));
+        }
+        for (mn, ext_fn) in [("pmulhw", "SignExtend32"), ("pmulhuw", "ZeroExtend32")] {
+            let mut code = String::new();
+            for j in 0..bits / 16 {
+                let i = j * 16;
+                let _ = writeln!(
+                    code,
+                    "tmp{j}[31:0] := {ext_fn}({}) * {ext_fn}({})\ndst[{}:{}] := tmp{j}[31:16]",
+                    lane("a", i, 16),
+                    lane("b", i, 16),
+                    i + 15,
+                    i,
+                );
+            }
+            b.push(mn, &format!("v{mn}"), e, bits, 16, Int, 0.5, 2, code);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Widening moves (SSE4.1 pmovsx/pmovzx family): how byte/word data
+    // reaches dword lanes — required for the "naive" vectorization of the
+    // OpenCV byte kernels.
+    // ------------------------------------------------------------------
+    for (bits, ext) in [(128u32, Sse41), (256, Avx2), (512, Avx512f)] {
+        for (mn, from, to, fun) in [
+            ("pmovsxbw", 8u32, 16u32, "SignExtend16"),
+            ("pmovsxbd", 8, 32, "SignExtend32"),
+            ("pmovsxwd", 16, 32, "SignExtend32"),
+            ("pmovsxdq", 32, 64, "SignExtend64"),
+            ("pmovzxbw", 8, 16, "ZeroExtend16"),
+            ("pmovzxbd", 8, 32, "ZeroExtend32"),
+            ("pmovzxwd", 16, 32, "ZeroExtend32"),
+            ("pmovzxdq", 32, 64, "ZeroExtend64"),
+        ] {
+            let lanes = bits / to;
+            let mut code = String::new();
+            for j in 0..lanes {
+                let _ = writeln!(
+                    code,
+                    "dst[{}:{}] := {fun}({})",
+                    (j + 1) * to - 1,
+                    j * to,
+                    lane("a", j * from, from),
+                );
+            }
+            // The source register is always 128-bit (xmm) except for the
+            // 512-bit word->dword variants that read a full ymm.
+            let in_bits = (lanes * from).max(128).next_power_of_two();
+            b.push_in(mn, &format!("v{mn}"), ext, bits, in_bits, to, Int, 0.5, code);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Float SIMD.
+    // ------------------------------------------------------------------
+    for bits in [128u32, 256, 512] {
+        let e = float_ext(bits);
+        for (mn, elem, op, tp) in [
+            ("addps", 32, "+", 0.5), ("addpd", 64, "+", 0.5),
+            ("subps", 32, "-", 0.5), ("subpd", 64, "-", 0.5),
+            ("mulps", 32, "*", 0.5), ("mulpd", 64, "*", 0.5),
+        ] {
+            b.push(mn, &format!("v{mn}"), e, bits, elem, Float, tp, 2,
+                simd2(bits, elem, |a, bb| format!("{a} {op} {bb}")));
+        }
+        for (mn, elem, fun) in [
+            ("minps", 32, "MIN"), ("minpd", 64, "MIN"),
+            ("maxps", 32, "MAX"), ("maxpd", 64, "MAX"),
+        ] {
+            b.push(mn, &format!("v{mn}"), e, bits, elem, Float, 0.5, 2,
+                simd2(bits, elem, |a, bb| format!("{fun}({a}, {bb})")));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Non-SIMD: SIMOMD addsub, FMA addsub (Fig. 1(b), §7.4).
+    // ------------------------------------------------------------------
+    for bits in [128u32, 256] {
+        let sse3_or_avx = if bits == 128 { Sse3 } else { Avx };
+        for (mn, elem) in [("addsubps", 32), ("addsubpd", 64)] {
+            b.push(mn, &format!("v{mn}"), sse3_or_avx, bits, elem, Float, 1.0, 2,
+                addsub(bits, elem));
+        }
+        for (mn, elem) in [("fmaddsub213ps", 32), ("fmaddsub213pd", 64)] {
+            b.push(mn, &format!("v{mn}"), Fma, bits, elem, Float, 0.5, 3,
+                simd3(bits, elem, |a, bb, c, j| {
+                    if j % 2 == 0 {
+                        format!("{a} * {bb} - {c}")
+                    } else {
+                        format!("{a} * {bb} + {c}")
+                    }
+                }));
+        }
+        for (mn, elem) in [("fmadd213ps", 32), ("fmadd213pd", 64)] {
+            b.push(mn, &format!("v{mn}"), Fma, bits, elem, Float, 0.5, 3,
+                simd3(bits, elem, |a, bb, c, _| format!("{a} * {bb} + {c}")));
+        }
+        for (mn, elem) in [("fmsub213ps", 32), ("fmsub213pd", 64)] {
+            b.push(mn, &format!("v{mn}"), Fma, bits, elem, Float, 0.5, 3,
+                simd3(bits, elem, |a, bb, c, _| format!("{a} * {bb} - {c}")));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Non-SIMD: horizontal add/sub, float and integer (Fig. 1(c)).
+    // 256-bit variants operate within each 128-bit half, faithfully.
+    // ------------------------------------------------------------------
+    for bits in [128u32, 256] {
+        let sse3_or_avx = if bits == 128 { Sse3 } else { Avx };
+        let ssse3_or_avx2 = if bits == 128 { Ssse3 } else { Avx2 };
+        for (mn, elem, op, fp, ext, tp) in [
+            ("haddps", 32, "+", Float, sse3_or_avx, 2.0),
+            ("haddpd", 64, "+", Float, sse3_or_avx, 2.0),
+            ("hsubps", 32, "-", Float, sse3_or_avx, 2.0),
+            ("hsubpd", 64, "-", Float, sse3_or_avx, 2.0),
+            ("phaddw", 16, "+", Int, ssse3_or_avx2, 2.0),
+            ("phaddd", 32, "+", Int, ssse3_or_avx2, 2.0),
+            ("phsubw", 16, "-", Int, ssse3_or_avx2, 2.0),
+            ("phsubd", 32, "-", Int, ssse3_or_avx2, 2.0),
+        ] {
+            b.push(mn, &format!("v{mn}"), ext, bits, elem, fp, tp, 2,
+                horizontal(bits, elem, op));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Non-SIMD: multiply-add dot products (Fig. 1(d)) and VNNI.
+    // ------------------------------------------------------------------
+    for bits in [128u32, 256, 512] {
+        let ext = match bits {
+            128 => Sse2,
+            256 => Avx2,
+            _ => Avx512f,
+        };
+        b.push("pmaddwd", "vpmaddwd", ext, bits, 32, Int, 0.5, 2, pmaddwd(bits));
+        let ext_ub = match bits {
+            128 => Ssse3,
+            256 => Avx2,
+            _ => Avx512f,
+        };
+        b.push("pmaddubsw", "vpmaddubsw", ext_ub, bits, 16, Int, 0.5, 2, pmaddubsw(bits));
+    }
+    for bits in [128u32, 256, 512] {
+        b.push_acc("vpdpbusd", Avx512Vnni, bits, 0.5, vpdpbusd(bits));
+        b.push_acc("vpdpwssd", Avx512Vnni, bits, 0.5, vpdpwssd(bits));
+    }
+
+    // ------------------------------------------------------------------
+    // Non-SIMD: widening odd-lane multiplies (Fig. 6) and pack-saturate.
+    // ------------------------------------------------------------------
+    for bits in [128u32, 256] {
+        let sse41_or_avx2 = if bits == 128 { Sse41 } else { Avx2 };
+        b.push("pmuldq", "vpmuldq", sse41_or_avx2, bits, 64, Int, 0.5, 2,
+            pmul_dq(bits, "SignExtend64"));
+        b.push("pmuludq", "vpmuludq", int_ext(bits), bits, 64, Int, 0.5, 2,
+            pmul_dq(bits, "ZeroExtend64"));
+        for (mn, in_elem, sat) in [
+            ("packssdw", 32, "Saturate16"),
+            ("packsswb", 16, "Saturate8"),
+            ("packusdw", 32, "SaturateU16"),
+            ("packuswb", 16, "SaturateU8"),
+        ] {
+            let ext = if mn == "packusdw" { sse41_or_avx2 } else { int_ext(bits) };
+            b.push(mn, &format!("v{mn}"), ext, bits, in_elem / 2, Int, 1.0, 2,
+                pack_saturate(bits, in_elem, sat));
+        }
+    }
+
+    b.specs
+}
+
+impl SpecBuilder {
+    /// Single-input instruction with an explicit input register width
+    /// (the pmovsx/zx family reads a narrower register than it writes).
+    #[allow(clippy::too_many_arguments)]
+    fn push_in(
+        &mut self,
+        mnemonic: &str,
+        asm: &str,
+        ext: Extension,
+        bits: u32,
+        in_bits: u32,
+        out_elem: u32,
+        fp: FpMode,
+        inv_tp: f64,
+        pseudocode: String,
+    ) {
+        self.specs.push(Spec {
+            name: format!("{mnemonic}_{bits}"),
+            asm: asm.to_string(),
+            ext,
+            bits,
+            out_elem_bits: out_elem,
+            fp,
+            inv_throughput: inv_tp,
+            inputs: vec![("a".into(), in_bits)],
+            pseudocode,
+        });
+    }
+
+    /// Accumulator-style: `dst = src (+) f(a, b)` with `src` as input 0.
+    fn push_acc(&mut self, mnemonic: &str, ext: Extension, bits: u32, inv_tp: f64, code: String) {
+        self.specs.push(Spec {
+            name: format!("{mnemonic}_{bits}"),
+            asm: mnemonic.to_string(),
+            ext,
+            bits,
+            out_elem_bits: 32,
+            fp: FpMode::Int,
+            inv_throughput: inv_tp,
+            inputs: vec![("src".into(), bits), ("a".into(), bits), ("b".into(), bits)],
+            pseudocode: code,
+        });
+    }
+}
+
+/// `addsub`: subtract on even lanes, add on odd lanes (Fig. 1(b)).
+fn addsub(bits: u32, elem: u32) -> String {
+    let mut s = String::new();
+    for j in 0..bits / elem {
+        let i = j * elem;
+        let op = if j % 2 == 0 { "-" } else { "+" };
+        let _ = writeln!(
+            s,
+            "dst[{}:{}] := {} {op} {}",
+            i + elem - 1,
+            i,
+            lane("a", i, elem),
+            lane("b", i, elem),
+        );
+    }
+    s
+}
+
+/// Horizontal pairwise combine: lanes `[0, n/2)` from `a`, `[n/2, n)` from
+/// `b`, per 128-bit half for the 256-bit variants. Following x86, `hadd`
+/// computes `a[1] + a[0]` and `hsub` computes `a[0] - a[1]`.
+fn horizontal(bits: u32, elem: u32, op: &str) -> String {
+    let mut s = String::new();
+    let half = 128;
+    for h in 0..bits / half {
+        let base = h * half;
+        let pairs_per_reg = half / (2 * elem);
+        for (reg, reg_slot) in [("a", 0u32), ("b", 1u32)] {
+            for p in 0..pairs_per_reg {
+                let lo_in = base + p * 2 * elem;
+                let hi_in = lo_in + elem;
+                let out = base + (reg_slot * pairs_per_reg + p) * elem;
+                let (x, y) = if op == "-" {
+                    (lane(reg, lo_in, elem), lane(reg, hi_in, elem))
+                } else {
+                    (lane(reg, hi_in, elem), lane(reg, lo_in, elem))
+                };
+                let _ = writeln!(s, "dst[{}:{}] := {x} {op} {y}", out + elem - 1, out);
+            }
+        }
+    }
+    s
+}
+
+/// `pmaddwd`: adjacent 16-bit pairs multiplied (sign-extended to 32) and
+/// summed.
+fn pmaddwd(bits: u32) -> String {
+    let mut s = String::new();
+    for j in 0..bits / 32 {
+        let i = j * 32;
+        let _ = writeln!(
+            s,
+            "dst[{}:{}] := SignExtend32({}) * SignExtend32({}) + SignExtend32({}) * SignExtend32({})",
+            i + 31,
+            i,
+            lane("a", i, 16),
+            lane("b", i, 16),
+            lane("a", i + 16, 16),
+            lane("b", i + 16, 16),
+        );
+    }
+    s
+}
+
+/// `pmaddubsw`: unsigned×signed byte pairs, summed and saturated to 16 bits.
+fn pmaddubsw(bits: u32) -> String {
+    let mut s = String::new();
+    for j in 0..bits / 16 {
+        let i = j * 16;
+        let _ = writeln!(
+            s,
+            "dst[{}:{}] := Saturate16(ZeroExtend32({}) * SignExtend32({}) + ZeroExtend32({}) * SignExtend32({}))",
+            i + 15,
+            i,
+            lane("a", i, 8),
+            lane("b", i, 8),
+            lane("a", i + 8, 8),
+            lane("b", i + 8, 8),
+        );
+    }
+    s
+}
+
+/// VNNI `vpdpbusd`: per 32-bit lane, accumulate four unsigned×signed byte
+/// products into `src`.
+fn vpdpbusd(bits: u32) -> String {
+    let mut s = String::new();
+    for j in 0..bits / 32 {
+        let i = j * 32;
+        let mut terms = lane("src", i, 32).to_string();
+        for k in 0..4 {
+            let bi = i + k * 8;
+            let _ = write!(
+                terms,
+                " + ZeroExtend32({}) * SignExtend32({})",
+                lane("a", bi, 8),
+                lane("b", bi, 8)
+            );
+        }
+        let _ = writeln!(s, "dst[{}:{}] := {}", i + 31, i, terms);
+    }
+    s
+}
+
+/// VNNI `vpdpwssd`: per 32-bit lane, accumulate two signed word products.
+fn vpdpwssd(bits: u32) -> String {
+    let mut s = String::new();
+    for j in 0..bits / 32 {
+        let i = j * 32;
+        let _ = writeln!(
+            s,
+            "dst[{}:{}] := {} + SignExtend32({}) * SignExtend32({}) + SignExtend32({}) * SignExtend32({})",
+            i + 31,
+            i,
+            lane("src", i, 32),
+            lane("a", i, 16),
+            lane("b", i, 16),
+            lane("a", i + 16, 16),
+            lane("b", i + 16, 16),
+        );
+    }
+    s
+}
+
+/// `pmuldq`/`pmuludq`: widening multiplies of the even (0-indexed) 32-bit
+/// lanes only — the don't-care-lane example of Fig. 6.
+fn pmul_dq(bits: u32, extend: &str) -> String {
+    let mut s = String::new();
+    for j in 0..bits / 64 {
+        let out = j * 64;
+        let in_lane = j * 64; // lanes 0, 2, 4, ... of the 32-bit grid
+        let _ = writeln!(
+            s,
+            "dst[{}:{}] := {extend}({}) * {extend}({})",
+            out + 63,
+            out,
+            lane("a", in_lane, 32),
+            lane("b", in_lane, 32),
+        );
+    }
+    s
+}
+
+/// Pack with saturation: narrow `a`'s elements into the low half and `b`'s
+/// into the high half (per 128-bit half for 256-bit variants).
+fn pack_saturate(bits: u32, in_elem: u32, sat: &str) -> String {
+    let out_elem = in_elem / 2;
+    let mut s = String::new();
+    let half = 128;
+    for h in 0..bits / half {
+        let base = h * half;
+        let in_per_reg = half / in_elem;
+        for (reg, slot) in [("a", 0u32), ("b", 1u32)] {
+            for p in 0..in_per_reg {
+                let src = base + p * in_elem;
+                let out = base + (slot * in_per_reg + p) * out_elem;
+                let _ = writeln!(
+                    s,
+                    "dst[{}:{}] := {sat}({})",
+                    out + out_elem - 1,
+                    out,
+                    lane(reg, src, in_elem),
+                );
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_128_pd_shape() {
+        let code = horizontal(128, 64, "+");
+        assert!(code.contains("dst[63:0] := a[127:64] + a[63:0]"));
+        assert!(code.contains("dst[127:64] := b[127:64] + b[63:0]"));
+    }
+
+    #[test]
+    fn horizontal_256_is_per_half() {
+        let code = horizontal(256, 64, "+");
+        // Second half takes a's upper 128 bits, not b's.
+        assert!(code.contains("dst[191:128] := a[255:192] + a[191:128]"));
+        assert!(code.contains("dst[255:192] := b[255:192] + b[191:128]"));
+    }
+
+    #[test]
+    fn pack_shape_128() {
+        let code = pack_saturate(128, 32, "Saturate16");
+        assert!(code.contains("dst[15:0] := Saturate16(a[31:0])"));
+        assert!(code.contains("dst[79:64] := Saturate16(b[31:0])"));
+    }
+
+    #[test]
+    fn vpdpbusd_has_accumulator_and_four_products() {
+        let code = vpdpbusd(128);
+        let first = code.lines().next().unwrap();
+        assert!(first.starts_with("dst[31:0] := src[31:0]"));
+        assert_eq!(first.matches('*').count(), 4);
+    }
+
+    #[test]
+    fn every_spec_builds() {
+        // The full pipeline (including random-testing validation) must pass
+        // for every built-in instruction. This is the reproduction of the
+        // paper's offline validation run.
+        for s in all_specs() {
+            s.build().unwrap_or_else(|e| panic!("{} failed: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn spec_count_is_substantial() {
+        assert!(all_specs().len() >= 60, "got {}", all_specs().len());
+    }
+}

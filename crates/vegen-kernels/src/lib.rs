@@ -1,0 +1,115 @@
+#![warn(missing_docs)]
+
+//! The evaluation kernels of the paper, as scalar IR.
+//!
+//! Four suites, matching §7:
+//!
+//! * [`isel`] — the 21 LLVM instruction-selection tests of Fig. 10,
+//!   translated to scalar form exactly as §7.1 describes (vector IR
+//!   expanded to scalar instructions, vector arguments to `restrict`
+//!   pointer arguments).
+//! * [`dsp`] — the x265 (`idct4`, `idct8`) and FFmpeg-family (`fft4`,
+//!   `fft8`, `sbc`, `chroma`) image/signal-processing kernels of Fig. 11.
+//! * [`opencv`] — the four fixed-size dot-product kernels of Fig. 13.
+//! * [`cmul`] — the complex-multiplication kernel of Fig. 15, plus the
+//!   TVM convolution micro-kernel of Fig. 2 ([`tvm`]).
+//!
+//! Every kernel is a plain builder function returning a verified
+//! [`Function`]; the driver compiles it three ways and the bench harness
+//! regenerates the corresponding table or figure.
+
+pub mod cmul;
+pub mod dsp;
+pub mod isel;
+pub mod opencv;
+pub mod tvm;
+
+use vegen_ir::Function;
+
+/// Which evaluation artifact a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Fig. 10(a): tests LLVM can vectorize.
+    IselVectorizable,
+    /// Fig. 10(b): tests LLVM cannot vectorize (all non-SIMD).
+    IselNonSimd,
+    /// Fig. 11: x265 / FFmpeg kernels.
+    Dsp,
+    /// Fig. 13: OpenCV dot products.
+    OpenCv,
+    /// Fig. 15: complex multiplication.
+    Cmul,
+    /// Fig. 2: the TVM convolution micro-kernel.
+    Tvm,
+}
+
+/// A named kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// Kernel name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Suite / figure.
+    pub suite: Suite,
+    /// Builder.
+    pub build: fn() -> Function,
+}
+
+/// Every kernel, in figure order.
+pub fn all() -> Vec<Kernel> {
+    let mut v = Vec::new();
+    v.extend(isel::kernels());
+    v.extend(dsp::kernels());
+    v.extend(opencv::kernels());
+    v.push(Kernel { name: "cmul", suite: Suite::Cmul, build: cmul::build });
+    v.push(Kernel { name: "tvm_dot_16x1x16", suite: Suite::Tvm, build: tvm::build });
+    v
+}
+
+/// Find a kernel by name.
+pub fn find(name: &str) -> Option<Kernel> {
+    all().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_builds_and_verifies() {
+        for k in all() {
+            let f = (k.build)();
+            vegen_ir::verify::verify(&f)
+                .unwrap_or_else(|e| panic!("kernel {} fails verification: {e}", k.name));
+            assert!(!f.stores().is_empty(), "kernel {} has no outputs", k.name);
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|k| k.name).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(n, names.len());
+    }
+
+    #[test]
+    fn suite_counts_match_the_paper() {
+        let ks = all();
+        let count = |s: Suite| ks.iter().filter(|k| k.suite == s).count();
+        assert_eq!(count(Suite::IselVectorizable), 11, "Fig. 10(a) has 11 tests");
+        assert_eq!(count(Suite::IselNonSimd), 10, "Fig. 10(b) has 10 tests");
+        assert_eq!(count(Suite::Dsp), 6, "Fig. 11 has 6 kernels");
+        assert_eq!(count(Suite::OpenCv), 4, "Fig. 13 has 4 kernels");
+    }
+
+    #[test]
+    fn kernels_run_under_the_interpreter() {
+        for k in all() {
+            let f = (k.build)();
+            let mut mem = vegen_ir::interp::random_memory(&f, 1);
+            vegen_ir::interp::run(&f, &mut mem)
+                .unwrap_or_else(|e| panic!("kernel {} failed to execute: {e}", k.name));
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The operation registry, target description, and match table (§4.3).
+
+use crate::pattern::{pattern_of_operation, Pattern};
+use std::collections::HashMap;
+use vegen_ir::{Function, InstKind, Type, ValueId};
+use vegen_isa::{InstDb, InstDef};
+use vegen_vidl::ast::LaneUse;
+
+/// Identifier of a deduplicated operation in an [`OpRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// One registered operation: its matcher pattern and signature.
+#[derive(Debug, Clone)]
+pub struct RegisteredOp {
+    /// Display name (first operation that produced this pattern).
+    pub name: String,
+    /// Parameter types.
+    pub param_tys: Vec<Type>,
+    /// Result type.
+    pub ret: Type,
+    /// The (canonicalized) matcher pattern.
+    pub pattern: Pattern,
+}
+
+/// Deduplicated set of operations collected from all target instructions.
+#[derive(Debug, Clone, Default)]
+pub struct OpRegistry {
+    ops: Vec<RegisteredOp>,
+}
+
+impl OpRegistry {
+    /// Register (or find) an operation, returning its id.
+    pub fn intern(&mut self, name: &str, param_tys: Vec<Type>, ret: Type, pattern: Pattern) -> OpId {
+        if let Some(i) = self
+            .ops
+            .iter()
+            .position(|o| o.pattern == pattern && o.param_tys == param_tys && o.ret == ret)
+        {
+            return OpId(i);
+        }
+        self.ops.push(RegisteredOp { name: name.to_string(), param_tys, ret, pattern });
+        OpId(self.ops.len() - 1)
+    }
+
+    /// The operation with the given id.
+    pub fn get(&self, id: OpId) -> &RegisteredOp {
+        &self.ops[id.0]
+    }
+
+    /// Number of registered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate `(OpId, &RegisteredOp)`.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &RegisteredOp)> {
+        self.ops.iter().enumerate().map(|(i, o)| (OpId(i), o))
+    }
+}
+
+/// A target instruction prepared for the vectorizer: its definition, the
+/// registry id of each lane's operation, and the static lane-binding tables
+/// (`operand_i(.)` of §4.4).
+#[derive(Debug, Clone)]
+pub struct DescInst {
+    /// The underlying instruction definition.
+    pub def: InstDef,
+    /// One operation id per output lane.
+    pub lane_ops: Vec<OpId>,
+    /// `bindings[input][in_lane]` = the `(out_lane, param)` uses of that
+    /// input lane (empty = don't-care).
+    pub bindings: Vec<Vec<Vec<LaneUse>>>,
+}
+
+impl DescInst {
+    /// Number of output lanes.
+    pub fn out_lanes(&self) -> usize {
+        self.lane_ops.len()
+    }
+
+    /// Number of input operands.
+    pub fn operand_count(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+/// The complete target description library generated from instruction
+/// semantics: what the paper's offline phase emits as C++ and we carry as
+/// data.
+#[derive(Debug, Clone)]
+pub struct TargetDesc {
+    /// Deduplicated operations with matcher patterns.
+    pub ops: OpRegistry,
+    /// Prepared instructions.
+    pub insts: Vec<DescInst>,
+}
+
+impl TargetDesc {
+    /// Build the description library for an instruction database.
+    ///
+    /// `canonicalize_patterns` mirrors the paper's §6 canonicalization
+    /// switch (ablated in Fig. 11).
+    pub fn build(db: &InstDb, canonicalize_patterns: bool) -> TargetDesc {
+        let mut ops = OpRegistry::default();
+        let mut insts = Vec::new();
+        for def in db.iter() {
+            let lane_ops: Vec<OpId> = def
+                .sem
+                .lanes
+                .iter()
+                .map(|lane| {
+                    let op = &def.sem.ops[lane.op];
+                    let pattern = pattern_of_operation(op, canonicalize_patterns);
+                    ops.intern(&op.name, op.params.clone(), op.ret, pattern)
+                })
+                .collect();
+            let bindings: Vec<Vec<Vec<LaneUse>>> = (0..def.sem.inputs.len())
+                .map(|i| def.sem.operand_bindings(i))
+                .collect();
+            insts.push(DescInst { def: def.clone(), lane_ops, bindings });
+        }
+        TargetDesc { ops, insts }
+    }
+
+    /// Find a prepared instruction by name.
+    pub fn find(&self, name: &str) -> Option<&DescInst> {
+        self.insts.iter().find(|i| i.def.name == name)
+    }
+}
+
+/// A successful pattern match: an IR DAG with one live-out and (possibly)
+/// several live-ins (§4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// The matched operation.
+    pub op: OpId,
+    /// The match's live-out (its root instruction).
+    pub root: ValueId,
+    /// Live-ins in operation-parameter order; `None` for parameters the
+    /// canonicalized pattern no longer references.
+    pub live_ins: Vec<Option<ValueId>>,
+    /// The matched interior instructions (root included, live-ins
+    /// excluded). Selecting a pack covering this match turns interior
+    /// instructions with no external users into dead code.
+    pub covered: Vec<ValueId>,
+}
+
+/// The match table: every `(live-out, operation) -> match` for a function
+/// (§4.3). "The match table allows VEGEN's target-independent vectorization
+/// algorithm to efficiently enumerate the set of candidate vector
+/// instructions that can produce a given vector."
+#[derive(Debug, Clone)]
+pub struct MatchTable {
+    map: HashMap<(ValueId, OpId), Match>,
+    /// Per value: which operations matched there.
+    at: HashMap<ValueId, Vec<OpId>>,
+}
+
+impl MatchTable {
+    /// Run every registered matcher over every instruction of `f`.
+    ///
+    /// Loads, stores and constants are not pattern roots (loads and stores
+    /// are packed by the separate memory-pack logic; constants are
+    /// materialized directly).
+    pub fn build(f: &Function, ops: &OpRegistry) -> MatchTable {
+        let mut map = HashMap::new();
+        let mut at: HashMap<ValueId, Vec<OpId>> = HashMap::new();
+        let consts = crate::pattern::const_pool(f);
+        for (v, inst) in f.iter() {
+            if matches!(
+                inst.kind,
+                InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Const(_)
+            ) {
+                continue;
+            }
+            for (op_id, op) in ops.iter() {
+                if op.ret != inst.ty {
+                    continue;
+                }
+                if let Some((live_ins, covered)) = crate::pattern::match_at_with_covered(
+                    f,
+                    &consts,
+                    &op.pattern,
+                    &op.param_tys,
+                    v,
+                )
+                {
+                    map.insert((v, op_id), Match { op: op_id, root: v, live_ins, covered });
+                    at.entry(v).or_default().push(op_id);
+                }
+            }
+        }
+        MatchTable { map, at }
+    }
+
+    /// Look up the match for `(live_out, op)` — the `M[(x_i, f)]` access of
+    /// Algorithm 1.
+    pub fn lookup(&self, live_out: ValueId, op: OpId) -> Option<&Match> {
+        self.map.get(&(live_out, op))
+    }
+
+    /// All operations that matched at `v`.
+    pub fn ops_at(&self, v: ValueId) -> &[OpId] {
+        self.at.get(&v).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of matches recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no matches were found.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vegen_ir::{FunctionBuilder, Type};
+    use vegen_isa::TargetIsa;
+
+    fn desc() -> TargetDesc {
+        TargetDesc::build(&InstDb::for_target(&TargetIsa::avx2()), true)
+    }
+
+    #[test]
+    fn registry_dedupes_across_instructions() {
+        let d = desc();
+        // paddd exists at 128 and 256 bits; the 32-bit add operation must be
+        // registered once.
+        let n_adds = d
+            .ops
+            .iter()
+            .filter(|(_, o)| {
+                matches!(&o.pattern, Pattern::Bin { op: vegen_ir::BinOp::Add, lhs, rhs }
+                    if matches!(**lhs, Pattern::Param(_)) && matches!(**rhs, Pattern::Param(_)))
+                    && o.param_tys == vec![Type::I32, Type::I32]
+            })
+            .count();
+        assert_eq!(n_adds, 1);
+        assert!(d.ops.len() < d.insts.iter().map(|i| i.out_lanes()).sum::<usize>());
+    }
+
+    #[test]
+    fn pmaddwd_lanes_share_one_op() {
+        let d = desc();
+        let i = d.find("pmaddwd_128").unwrap();
+        assert_eq!(i.out_lanes(), 4);
+        assert!(i.lane_ops.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn addsub_lanes_alternate_ops() {
+        let d = desc();
+        let i = d.find("addsubpd_128").unwrap();
+        assert_eq!(i.out_lanes(), 2);
+        assert_ne!(i.lane_ops[0], i.lane_ops[1]);
+    }
+
+    #[test]
+    fn match_table_finds_dot_product_lanes() {
+        // Fig. 4(d)/(e): both madd matches (rooted at t1 and t2) appear in
+        // the table.
+        let d = desc();
+        let mut b = FunctionBuilder::new("dot_prod");
+        let a = b.param("A", Type::I16, 4);
+        let bb = b.param("B", Type::I16, 4);
+        let c = b.param("C", Type::I32, 2);
+        let mut roots = Vec::new();
+        for lane in 0..2 {
+            let a0 = b.load(a, lane * 2);
+            let b0 = b.load(bb, lane * 2);
+            let a1 = b.load(a, lane * 2 + 1);
+            let b1 = b.load(bb, lane * 2 + 1);
+            let a0w = b.sext(a0, Type::I32);
+            let b0w = b.sext(b0, Type::I32);
+            let a1w = b.sext(a1, Type::I32);
+            let b1w = b.sext(b1, Type::I32);
+            let m0 = b.mul(a0w, b0w);
+            let m1 = b.mul(a1w, b1w);
+            let t = b.add(m0, m1);
+            b.store(c, lane, t);
+            roots.push(t);
+        }
+        let f = b.finish();
+        let table = MatchTable::build(&f, &d.ops);
+        let pmaddwd = d.find("pmaddwd_128").unwrap();
+        let madd_op = pmaddwd.lane_ops[0];
+        for (i, &root) in roots.iter().enumerate() {
+            let m = table.lookup(root, madd_op).unwrap_or_else(|| {
+                panic!("madd must match at lane root {i}")
+            });
+            assert_eq!(m.live_ins.len(), 4);
+            assert!(m.live_ins.iter().all(|l| l.is_some()));
+        }
+    }
+
+    #[test]
+    fn simple_add_matches_many_ops() {
+        let d = desc();
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 3);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let s = b.add(x, y);
+        b.store(p, 2, s);
+        let f = b.finish();
+        let table = MatchTable::build(&f, &d.ops);
+        // The add matches at least the plain add32 operation; it is also a
+        // degenerate match for nothing else (madd needs muls below it).
+        assert!(!table.ops_at(s).is_empty());
+        let add_ops: Vec<_> = table.ops_at(s).to_vec();
+        for op in add_ops {
+            let m = table.lookup(s, op).unwrap();
+            assert_eq!(m.root, s);
+        }
+    }
+
+    #[test]
+    fn loads_and_stores_are_not_roots() {
+        let d = desc();
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 2);
+        let x = b.load(p, 0);
+        let st = b.store(p, 1, x);
+        let f = b.finish();
+        let table = MatchTable::build(&f, &d.ops);
+        assert!(table.ops_at(x).is_empty());
+        assert!(table.ops_at(st).is_empty());
+    }
+
+    #[test]
+    fn vnni_dot_product_op_matches_accumulating_kernel() {
+        let d512 = TargetDesc::build(&InstDb::for_target(&TargetIsa::avx512vnni()), true);
+        let vpdp = d512.find("vpdpbusd_128").unwrap();
+        let dot_op = vpdp.lane_ops[0];
+        // One lane of the TVM kernel: acc + 4 u8*i8 products.
+        let mut b = FunctionBuilder::new("tvm_lane");
+        let data = b.param("data", Type::I8, 4);
+        let kern = b.param("kernel", Type::I8, 4);
+        let out = b.param("out", Type::I32, 1);
+        let acc0 = b.load(out, 0);
+        let mut acc = acc0;
+        for k in 0..4 {
+            let dv = b.load(data, k);
+            let kv = b.load(kern, k);
+            let dw = b.zext(dv, Type::I32);
+            let kw = b.sext(kv, Type::I32);
+            let m = b.mul(dw, kw);
+            acc = b.add(acc, m);
+        }
+        b.store(out, 0, acc);
+        let f = vegen_ir::canon::canonicalize(&b.finish());
+        let table = MatchTable::build(&f, &d512.ops);
+        let root = {
+            let InstKind::Store { value, .. } = f.insts.last().unwrap().kind else { panic!() };
+            value
+        };
+        assert!(
+            table.lookup(root, dot_op).is_some(),
+            "vpdpbusd op must match the accumulating dot-product lane\n{f}"
+        );
+    }
+}

@@ -1,0 +1,625 @@
+//! Symbolic bit-vector expressions (the z3 AST stand-in) and concrete
+//! big-bit-vector evaluation.
+//!
+//! A [`Bv`] is a formula over named input registers. Registers can be wide
+//! (up to 512 bits: only `Extract`/`Concat` operate at full register
+//! width), while arithmetic is restricted to widths of at most 64 bits —
+//! matching Intel's documentation language, which always narrows to an
+//! element, widens it ("to avoid implicit overflow"), computes, and writes
+//! an element-sized result back.
+
+use std::fmt;
+use vegen_ir::constant::{mask, sext};
+use vegen_ir::CmpPred;
+
+/// Integer binary operators available in formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum BvBinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+}
+
+impl BvBinOp {
+    /// Mnemonic for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            BvBinOp::Add => "bvadd",
+            BvBinOp::Sub => "bvsub",
+            BvBinOp::Mul => "bvmul",
+            BvBinOp::And => "bvand",
+            BvBinOp::Or => "bvor",
+            BvBinOp::Xor => "bvxor",
+            BvBinOp::Shl => "bvshl",
+            BvBinOp::LShr => "bvlshr",
+            BvBinOp::AShr => "bvashr",
+        }
+    }
+}
+
+/// Floating-point binary operators (width 32 or 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum FpBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl FpBinOp {
+    /// Mnemonic for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            FpBinOp::Add => "fpadd",
+            FpBinOp::Sub => "fpsub",
+            FpBinOp::Mul => "fpmul",
+            FpBinOp::Div => "fpdiv",
+            FpBinOp::Min => "fpmin",
+            FpBinOp::Max => "fpmax",
+        }
+    }
+}
+
+/// A symbolic bit-vector expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum Bv {
+    /// Constant of the given width (`width <= 64`).
+    Const { width: u32, bits: u64 },
+    /// A slice `name[hi:lo]` (inclusive) of an input register.
+    Input { name: String, hi: u32, lo: u32 },
+    /// Integer binary op; both sides share the result width.
+    Bin { op: BvBinOp, lhs: Box<Bv>, rhs: Box<Bv> },
+    /// Floating-point binary op (width 32 or 64).
+    FBin { op: FpBinOp, lhs: Box<Bv>, rhs: Box<Bv> },
+    /// Floating-point negation.
+    FNeg(Box<Bv>),
+    /// Sign-extension to `width`.
+    SExt { width: u32, arg: Box<Bv> },
+    /// Zero-extension to `width`.
+    ZExt { width: u32, arg: Box<Bv> },
+    /// Bit slice `[hi:lo]` (inclusive) of a sub-expression.
+    Extract { hi: u32, lo: u32, arg: Box<Bv> },
+    /// Concatenation, least-significant part first.
+    Concat(Vec<Bv>),
+    /// If-then-else; `cond` has width 1.
+    Ite { cond: Box<Bv>, on_true: Box<Bv>, on_false: Box<Bv> },
+    /// Comparison producing a width-1 value.
+    Cmp { pred: CmpPred, lhs: Box<Bv>, rhs: Box<Bv> },
+}
+
+impl Bv {
+    /// Width of the expression in bits.
+    pub fn width(&self) -> u32 {
+        match self {
+            Bv::Const { width, .. } => *width,
+            Bv::Input { hi, lo, .. } => hi - lo + 1,
+            Bv::Bin { lhs, .. } => lhs.width(),
+            Bv::FBin { lhs, .. } => lhs.width(),
+            Bv::FNeg(a) => a.width(),
+            Bv::SExt { width, .. } | Bv::ZExt { width, .. } => *width,
+            Bv::Extract { hi, lo, .. } => hi - lo + 1,
+            Bv::Concat(parts) => parts.iter().map(|p| p.width()).sum(),
+            Bv::Ite { on_true, .. } => on_true.width(),
+            Bv::Cmp { .. } => 1,
+        }
+    }
+
+    /// Number of nodes (used to bound simplifier work in tests).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Bv::Const { .. } | Bv::Input { .. } => 0,
+            Bv::Bin { lhs, rhs, .. } | Bv::FBin { lhs, rhs, .. } | Bv::Cmp { lhs, rhs, .. } => {
+                lhs.size() + rhs.size()
+            }
+            Bv::FNeg(a) => a.size(),
+            Bv::SExt { arg, .. } | Bv::ZExt { arg, .. } | Bv::Extract { arg, .. } => arg.size(),
+            Bv::Concat(parts) => parts.iter().map(|p| p.size()).sum(),
+            Bv::Ite { cond, on_true, on_false } => {
+                cond.size() + on_true.size() + on_false.size()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bv::Const { width, bits } => write!(f, "{bits}#{width}"),
+            Bv::Input { name, hi, lo } => write!(f, "{name}[{hi}:{lo}]"),
+            Bv::Bin { op, lhs, rhs } => write!(f, "({} {lhs} {rhs})", op.name()),
+            Bv::FBin { op, lhs, rhs } => write!(f, "({} {lhs} {rhs})", op.name()),
+            Bv::FNeg(a) => write!(f, "(fpneg {a})"),
+            Bv::SExt { width, arg } => write!(f, "(sext{width} {arg})"),
+            Bv::ZExt { width, arg } => write!(f, "(zext{width} {arg})"),
+            Bv::Extract { hi, lo, arg } => write!(f, "(extract[{hi}:{lo}] {arg})"),
+            Bv::Concat(parts) => {
+                write!(f, "(concat")?;
+                for p in parts {
+                    write!(f, " {p}")?;
+                }
+                write!(f, ")")
+            }
+            Bv::Ite { cond, on_true, on_false } => {
+                write!(f, "(ite {cond} {on_true} {on_false})")
+            }
+            Bv::Cmp { pred, lhs, rhs } => write!(f, "(bv{} {lhs} {rhs})", pred.name()),
+        }
+    }
+}
+
+/// Evaluation / construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BvError(pub String);
+
+impl fmt::Display for BvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bit-vector error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BvError {}
+
+/// A concrete bit-vector of arbitrary width (LSB-first 64-bit words).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigBits {
+    width: u32,
+    words: Vec<u64>,
+}
+
+impl BigBits {
+    /// A zero value of the given width.
+    pub fn zero(width: u32) -> BigBits {
+        BigBits { width, words: vec![0; width.div_ceil(64).max(1) as usize] }
+    }
+
+    /// Build from a `u64` (width at most 64); excess bits are masked off.
+    pub fn from_u64(width: u32, bits: u64) -> BigBits {
+        assert!(width <= 64 && width > 0);
+        BigBits { width, words: vec![bits & mask(width)] }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 64.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.width <= 64, "to_u64 on width {}", self.width);
+        self.words[0] & mask(self.width)
+    }
+
+    /// Read a single bit.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width);
+        self.words[(i / 64) as usize] >> (i % 64) & 1 != 0
+    }
+
+    /// Set a single bit (used by builders and tests).
+    pub fn set_bit(&mut self, i: u32, v: bool) {
+        assert!(i < self.width);
+        let w = (i / 64) as usize;
+        if v {
+            self.words[w] |= 1 << (i % 64);
+        } else {
+            self.words[w] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Extract bits `[hi:lo]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn extract(&self, hi: u32, lo: u32) -> BigBits {
+        assert!(hi >= lo && hi < self.width, "extract [{hi}:{lo}] of width {}", self.width);
+        let w = hi - lo + 1;
+        let mut out = BigBits::zero(w);
+        for i in 0..w {
+            out.set_bit(i, self.bit(lo + i));
+        }
+        out
+    }
+
+    /// Concatenate with `high` above `self` (self stays least significant).
+    pub fn concat_above(&self, high: &BigBits) -> BigBits {
+        let w = self.width + high.width;
+        let mut out = BigBits::zero(w);
+        for i in 0..self.width {
+            out.set_bit(i, self.bit(i));
+        }
+        for i in 0..high.width {
+            out.set_bit(self.width + i, high.bit(i));
+        }
+        out
+    }
+
+    /// Build a register image from element values (element 0 least
+    /// significant), each `elem_bits` wide.
+    pub fn from_elems(elem_bits: u32, elems: &[u64]) -> BigBits {
+        let mut out = BigBits::zero(elem_bits * elems.len() as u32);
+        for (i, &e) in elems.iter().enumerate() {
+            for b in 0..elem_bits {
+                out.set_bit(i as u32 * elem_bits + b, (e >> b) & 1 != 0);
+            }
+        }
+        out
+    }
+
+    /// Split into `elem_bits`-wide element values, least significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a multiple of `elem_bits` or an element
+    /// exceeds 64 bits.
+    pub fn to_elems(&self, elem_bits: u32) -> Vec<u64> {
+        assert!(elem_bits <= 64 && self.width.is_multiple_of(elem_bits));
+        (0..self.width / elem_bits)
+            .map(|i| self.extract((i + 1) * elem_bits - 1, i * elem_bits).to_u64())
+            .collect()
+    }
+}
+
+/// Evaluate a formula concretely with inputs bound by name.
+///
+/// # Errors
+///
+/// Returns [`BvError`] if a referenced input is missing, widths are
+/// inconsistent, or arithmetic is attempted at width above 64.
+pub fn eval_concrete(
+    e: &Bv,
+    env: &std::collections::HashMap<String, BigBits>,
+) -> Result<BigBits, BvError> {
+    match e {
+        Bv::Const { width, bits } => Ok(BigBits::from_u64(*width, *bits)),
+        Bv::Input { name, hi, lo } => {
+            let reg = env
+                .get(name)
+                .ok_or_else(|| BvError(format!("unbound input `{name}`")))?;
+            if *hi >= reg.width() {
+                return Err(BvError(format!(
+                    "slice {name}[{hi}:{lo}] out of range for width {}",
+                    reg.width()
+                )));
+            }
+            Ok(reg.extract(*hi, *lo))
+        }
+        Bv::Bin { op, lhs, rhs } => {
+            let a = eval_concrete(lhs, env)?;
+            let b = eval_concrete(rhs, env)?;
+            let w = a.width();
+            if b.width() != w {
+                return Err(BvError(format!("width mismatch {w} vs {}", b.width())));
+            }
+            if w > 64 {
+                return Err(BvError(format!("arithmetic at width {w} > 64")));
+            }
+            let x = a.to_u64();
+            let y = b.to_u64();
+            let sx = sext(x, w);
+            let r = match op {
+                BvBinOp::Add => x.wrapping_add(y),
+                BvBinOp::Sub => x.wrapping_sub(y),
+                BvBinOp::Mul => x.wrapping_mul(y),
+                BvBinOp::And => x & y,
+                BvBinOp::Or => x | y,
+                BvBinOp::Xor => x ^ y,
+                BvBinOp::Shl => {
+                    if y >= w as u64 {
+                        0
+                    } else {
+                        x << y
+                    }
+                }
+                BvBinOp::LShr => {
+                    if y >= w as u64 {
+                        0
+                    } else {
+                        x >> y
+                    }
+                }
+                BvBinOp::AShr => {
+                    if y >= w as u64 {
+                        if sx < 0 {
+                            u64::MAX
+                        } else {
+                            0
+                        }
+                    } else {
+                        (sx >> y) as u64
+                    }
+                }
+            };
+            Ok(BigBits::from_u64(w, r))
+        }
+        Bv::FBin { op, lhs, rhs } => {
+            let a = eval_concrete(lhs, env)?;
+            let b = eval_concrete(rhs, env)?;
+            let w = a.width();
+            if w != b.width() || (w != 32 && w != 64) {
+                return Err(BvError(format!("fp op at widths {w}/{}", b.width())));
+            }
+            let compute = |x: f64, y: f64| -> f64 {
+                match op {
+                    FpBinOp::Add => x + y,
+                    FpBinOp::Sub => x - y,
+                    FpBinOp::Mul => x * y,
+                    FpBinOp::Div => x / y,
+                    // IEEE-style: min/max as the comparison-select form used
+                    // by the x86 MINPD/MAXPD family (second operand returned
+                    // on ties/NaN is not modelled; inputs in tests avoid NaN).
+                    FpBinOp::Min => {
+                        if x < y {
+                            x
+                        } else {
+                            y
+                        }
+                    }
+                    FpBinOp::Max => {
+                        if x > y {
+                            x
+                        } else {
+                            y
+                        }
+                    }
+                }
+            };
+            Ok(if w == 32 {
+                let r = compute(
+                    f32::from_bits(a.to_u64() as u32) as f64,
+                    f32::from_bits(b.to_u64() as u32) as f64,
+                ) as f32;
+                BigBits::from_u64(32, r.to_bits() as u64)
+            } else {
+                let r = compute(f64::from_bits(a.to_u64()), f64::from_bits(b.to_u64()));
+                BigBits::from_u64(64, r.to_bits())
+            })
+        }
+        Bv::FNeg(a) => {
+            let v = eval_concrete(a, env)?;
+            Ok(match v.width() {
+                32 => BigBits::from_u64(32, (-f32::from_bits(v.to_u64() as u32)).to_bits() as u64),
+                64 => BigBits::from_u64(64, (-f64::from_bits(v.to_u64())).to_bits()),
+                w => return Err(BvError(format!("fpneg at width {w}"))),
+            })
+        }
+        Bv::SExt { width, arg } => {
+            let v = eval_concrete(arg, env)?;
+            if v.width() > 64 || *width > 64 || *width <= v.width() {
+                return Err(BvError("bad sext".into()));
+            }
+            Ok(BigBits::from_u64(*width, sext(v.to_u64(), v.width()) as u64))
+        }
+        Bv::ZExt { width, arg } => {
+            let v = eval_concrete(arg, env)?;
+            if v.width() > 64 || *width > 64 || *width <= v.width() {
+                return Err(BvError("bad zext".into()));
+            }
+            Ok(BigBits::from_u64(*width, v.to_u64()))
+        }
+        Bv::Extract { hi, lo, arg } => {
+            let v = eval_concrete(arg, env)?;
+            if *hi >= v.width() || hi < lo {
+                return Err(BvError(format!("extract [{hi}:{lo}] of width {}", v.width())));
+            }
+            Ok(v.extract(*hi, *lo))
+        }
+        Bv::Concat(parts) => {
+            let mut acc: Option<BigBits> = None;
+            for p in parts {
+                let v = eval_concrete(p, env)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(lo) => lo.concat_above(&v),
+                });
+            }
+            acc.ok_or_else(|| BvError("empty concat".into()))
+        }
+        Bv::Ite { cond, on_true, on_false } => {
+            let c = eval_concrete(cond, env)?;
+            if c.width() != 1 {
+                return Err(BvError("ite condition must have width 1".into()));
+            }
+            if c.to_u64() != 0 {
+                eval_concrete(on_true, env)
+            } else {
+                eval_concrete(on_false, env)
+            }
+        }
+        Bv::Cmp { pred, lhs, rhs } => {
+            let a = eval_concrete(lhs, env)?;
+            let b = eval_concrete(rhs, env)?;
+            let w = a.width();
+            if w != b.width() || w > 64 {
+                return Err(BvError("bad cmp widths".into()));
+            }
+            use CmpPred::*;
+            let x = a.to_u64();
+            let y = b.to_u64();
+            let r = if pred.is_float() {
+                let (fx, fy) = if w == 32 {
+                    (f32::from_bits(x as u32) as f64, f32::from_bits(y as u32) as f64)
+                } else {
+                    (f64::from_bits(x), f64::from_bits(y))
+                };
+                match pred {
+                    Feq => fx == fy,
+                    Fne => fx != fy,
+                    Flt => fx < fy,
+                    Fle => fx <= fy,
+                    Fgt => fx > fy,
+                    Fge => fx >= fy,
+                    _ => unreachable!(),
+                }
+            } else {
+                let (sx, sy) = (sext(x, w), sext(y, w));
+                match pred {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Slt => sx < sy,
+                    Sle => sx <= sy,
+                    Sgt => sx > sy,
+                    Sge => sx >= sy,
+                    Ult => x < y,
+                    Ule => x <= y,
+                    Ugt => x > y,
+                    Uge => x >= y,
+                    _ => unreachable!(),
+                }
+            };
+            Ok(BigBits::from_u64(1, r as u64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env1(name: &str, v: BigBits) -> HashMap<String, BigBits> {
+        let mut m = HashMap::new();
+        m.insert(name.to_string(), v);
+        m
+    }
+
+    #[test]
+    fn bigbits_roundtrip() {
+        let v = BigBits::from_elems(16, &[1, 2, 3, 4]);
+        assert_eq!(v.width(), 64);
+        assert_eq!(v.to_elems(16), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bigbits_wide_extract() {
+        let v = BigBits::from_elems(32, &[0xdead_beef, 0x1234_5678, 0, 0xffff_ffff]);
+        assert_eq!(v.width(), 128);
+        assert_eq!(v.extract(31, 0).to_u64(), 0xdead_beef);
+        assert_eq!(v.extract(63, 32).to_u64(), 0x1234_5678);
+        assert_eq!(v.extract(127, 96).to_u64(), 0xffff_ffff);
+        assert_eq!(v.extract(39, 24).to_u64(), 0x78de);
+    }
+
+    #[test]
+    fn concat_order_is_lsb_first() {
+        let lo = BigBits::from_u64(8, 0xaa);
+        let hi = BigBits::from_u64(8, 0xbb);
+        let v = lo.concat_above(&hi);
+        assert_eq!(v.to_u64(), 0xbbaa);
+    }
+
+    #[test]
+    fn eval_add_wraps() {
+        let e = Bv::Bin {
+            op: BvBinOp::Add,
+            lhs: Box::new(Bv::Const { width: 8, bits: 0xff }),
+            rhs: Box::new(Bv::Const { width: 8, bits: 2 }),
+        };
+        let v = eval_concrete(&e, &HashMap::new()).unwrap();
+        assert_eq!(v.to_u64(), 1);
+    }
+
+    #[test]
+    fn eval_input_slice() {
+        let e = Bv::Input { name: "a".into(), hi: 15, lo: 8 };
+        let v = eval_concrete(&e, &env1("a", BigBits::from_u64(16, 0xab12))).unwrap();
+        assert_eq!(v.to_u64(), 0xab);
+    }
+
+    #[test]
+    fn eval_sext_and_mul() {
+        // SignExtend32(a[15:0]) * SignExtend32(b...) with a = -3
+        let a = Bv::SExt {
+            width: 32,
+            arg: Box::new(Bv::Input { name: "a".into(), hi: 15, lo: 0 }),
+        };
+        let e = Bv::Bin {
+            op: BvBinOp::Mul,
+            lhs: Box::new(a),
+            rhs: Box::new(Bv::Const { width: 32, bits: 100 }),
+        };
+        let v =
+            eval_concrete(&e, &env1("a", BigBits::from_u64(16, (-3i64 as u64) & 0xffff)))
+                .unwrap();
+        assert_eq!(sext(v.to_u64(), 32), -300);
+    }
+
+    #[test]
+    fn eval_fp() {
+        let e = Bv::FBin {
+            op: FpBinOp::Mul,
+            lhs: Box::new(Bv::Const { width: 64, bits: 2.5f64.to_bits() }),
+            rhs: Box::new(Bv::Const { width: 64, bits: 4.0f64.to_bits() }),
+        };
+        let v = eval_concrete(&e, &HashMap::new()).unwrap();
+        assert_eq!(f64::from_bits(v.to_u64()), 10.0);
+    }
+
+    #[test]
+    fn eval_ite_and_cmp() {
+        let cmp = Bv::Cmp {
+            pred: CmpPred::Sgt,
+            lhs: Box::new(Bv::Const { width: 16, bits: (-5i64 as u64) & 0xffff }),
+            rhs: Box::new(Bv::Const { width: 16, bits: 3 }),
+        };
+        let e = Bv::Ite {
+            cond: Box::new(cmp),
+            on_true: Box::new(Bv::Const { width: 8, bits: 1 }),
+            on_false: Box::new(Bv::Const { width: 8, bits: 0 }),
+        };
+        assert_eq!(eval_concrete(&e, &HashMap::new()).unwrap().to_u64(), 0);
+    }
+
+    #[test]
+    fn arithmetic_above_64_bits_is_rejected() {
+        let wide = Bv::Concat(vec![
+            Bv::Const { width: 64, bits: 1 },
+            Bv::Const { width: 64, bits: 2 },
+        ]);
+        let e = Bv::Bin { op: BvBinOp::Add, lhs: Box::new(wide.clone()), rhs: Box::new(wide) };
+        assert!(eval_concrete(&e, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn width_computation() {
+        let e = Bv::Concat(vec![
+            Bv::Const { width: 16, bits: 0 },
+            Bv::Const { width: 16, bits: 0 },
+            Bv::Const { width: 32, bits: 0 },
+        ]);
+        assert_eq!(e.width(), 64);
+        let x = Bv::Extract { hi: 31, lo: 16, arg: Box::new(e) };
+        assert_eq!(x.width(), 16);
+        let c = Bv::Cmp {
+            pred: CmpPred::Eq,
+            lhs: Box::new(Bv::Const { width: 8, bits: 0 }),
+            rhs: Box::new(Bv::Const { width: 8, bits: 0 }),
+        };
+        assert_eq!(c.width(), 1);
+    }
+
+    #[test]
+    fn display_is_sexpr() {
+        let e = Bv::Bin {
+            op: BvBinOp::Add,
+            lhs: Box::new(Bv::Input { name: "a".into(), hi: 7, lo: 0 }),
+            rhs: Box::new(Bv::Const { width: 8, bits: 1 }),
+        };
+        assert_eq!(e.to_string(), "(bvadd a[7:0] 1#8)");
+    }
+}

@@ -1,0 +1,711 @@
+//! Parser for the Intel-style pseudocode documentation language.
+//!
+//! The Intrinsics Guide documents each intrinsic in a small imperative
+//! language over fixed-length bit-vectors: `FOR`/`ENDFOR` loops with
+//! constant trip counts, `IF`/`ELSE`/`FI`, assignment to bit slices
+//! (`dst[i+31:i] := ...`), and a library of widening/saturating helpers
+//! (`SignExtend32`, `Saturate16`, `ABS`, `MIN`, ...). This module parses a
+//! faithful subset; [`crate::eval`] gives it symbolic semantics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Binary operators in pseudocode expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum PBinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Comparison operators in pseudocode conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum PCmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum PExpr {
+    /// Integer literal.
+    Num(i64),
+    /// A scalar variable or whole register.
+    Var(String),
+    /// Bit slice `base[hi:lo]` with expression bounds.
+    Slice { base: String, hi: Box<PExpr>, lo: Box<PExpr> },
+    /// Single bit `base[idx]` (sugar for `base[idx:idx]`).
+    Bit { base: String, idx: Box<PExpr> },
+    /// Binary operation.
+    Bin { op: PBinOp, lhs: Box<PExpr>, rhs: Box<PExpr> },
+    /// Comparison (signedness is resolved by the evaluator: Intel's
+    /// language compares signed values unless a helper says otherwise).
+    Cmp { op: PCmpOp, lhs: Box<PExpr>, rhs: Box<PExpr> },
+    /// Unary minus.
+    Neg(Box<PExpr>),
+    /// Intrinsic helper call (`SignExtend32(x)`, `Saturate16(x)`, ...).
+    Call { name: String, args: Vec<PExpr> },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum Stmt {
+    /// `FOR v := from to to ... ENDFOR` (inclusive bounds).
+    For { var: String, from: PExpr, to: PExpr, body: Vec<Stmt> },
+    /// `IF cond ... [ELSE ...] FI`.
+    If { cond: PExpr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// `name := expr` — scalar temporary or whole-register assignment.
+    AssignVar { name: String, value: PExpr },
+    /// `name[hi:lo] := expr` — partial bit-vector update.
+    AssignSlice { base: String, hi: PExpr, lo: PExpr, value: PExpr },
+}
+
+/// A parsed pseudocode program (statement list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PseudoParseError {
+    /// Line number (1-based).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PseudoParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pseudocode parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for PseudoParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Assign, // :=
+    Colon,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Shl,
+    Shr,
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Newline,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, PseudoParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let b = line.as_bytes();
+        let mut i = 0;
+        let mut emitted = false;
+        while i < b.len() {
+            let c = b[i];
+            match c {
+                b' ' | b'\t' | b'\r' => i += 1,
+                b';' | b'/' if c == b';' || (c == b'/' && b.get(i + 1) == Some(&b'/')) => break,
+                b'(' => {
+                    out.push((line_no, Tok::LParen));
+                    i += 1;
+                }
+                b')' => {
+                    out.push((line_no, Tok::RParen));
+                    i += 1;
+                }
+                b'[' => {
+                    out.push((line_no, Tok::LBracket));
+                    i += 1;
+                }
+                b']' => {
+                    out.push((line_no, Tok::RBracket));
+                    i += 1;
+                }
+                b',' => {
+                    out.push((line_no, Tok::Comma));
+                    i += 1;
+                }
+                b'+' => {
+                    out.push((line_no, Tok::Plus));
+                    i += 1;
+                }
+                b'-' => {
+                    out.push((line_no, Tok::Minus));
+                    i += 1;
+                }
+                b'*' => {
+                    out.push((line_no, Tok::Star));
+                    i += 1;
+                }
+                b':' => {
+                    if b.get(i + 1) == Some(&b'=') {
+                        out.push((line_no, Tok::Assign));
+                        i += 2;
+                    } else {
+                        out.push((line_no, Tok::Colon));
+                        i += 1;
+                    }
+                }
+                b'=' => {
+                    if b.get(i + 1) == Some(&b'=') {
+                        out.push((line_no, Tok::EqEq));
+                        i += 2;
+                    } else {
+                        return Err(PseudoParseError {
+                            line: line_no,
+                            message: "single `=`; use `:=` for assignment or `==`".into(),
+                        });
+                    }
+                }
+                b'!' => {
+                    if b.get(i + 1) == Some(&b'=') {
+                        out.push((line_no, Tok::Ne));
+                        i += 2;
+                    } else {
+                        return Err(PseudoParseError {
+                            line: line_no,
+                            message: "stray `!`".into(),
+                        });
+                    }
+                }
+                b'<' => match b.get(i + 1) {
+                    Some(&b'<') => {
+                        out.push((line_no, Tok::Shl));
+                        i += 2;
+                    }
+                    Some(&b'=') => {
+                        out.push((line_no, Tok::Le));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push((line_no, Tok::Lt));
+                        i += 1;
+                    }
+                },
+                b'>' => match b.get(i + 1) {
+                    Some(&b'>') => {
+                        out.push((line_no, Tok::Shr));
+                        i += 2;
+                    }
+                    Some(&b'=') => {
+                        out.push((line_no, Tok::Ge));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push((line_no, Tok::Gt));
+                        i += 1;
+                    }
+                },
+                b'0'..=b'9' => {
+                    let mut j = i;
+                    // Hex literals appear in some guide entries.
+                    if c == b'0' && b.get(i + 1) == Some(&b'x') {
+                        j = i + 2;
+                        while j < b.len() && b[j].is_ascii_hexdigit() {
+                            j += 1;
+                        }
+                        let v = i64::from_str_radix(
+                            std::str::from_utf8(&b[i + 2..j]).unwrap(),
+                            16,
+                        )
+                        .map_err(|_| PseudoParseError {
+                            line: line_no,
+                            message: "bad hex literal".into(),
+                        })?;
+                        out.push((line_no, Tok::Num(v)));
+                    } else {
+                        while j < b.len() && b[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                        let v: i64 = std::str::from_utf8(&b[i..j])
+                            .unwrap()
+                            .parse()
+                            .map_err(|_| PseudoParseError {
+                                line: line_no,
+                                message: "bad integer literal".into(),
+                            })?;
+                        out.push((line_no, Tok::Num(v)));
+                    }
+                    i = j;
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let mut j = i;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.push((
+                        line_no,
+                        Tok::Ident(std::str::from_utf8(&b[i..j]).unwrap().to_string()),
+                    ));
+                    i = j;
+                }
+                other => {
+                    return Err(PseudoParseError {
+                        line: line_no,
+                        message: format!("unexpected character {:?}", other as char),
+                    })
+                }
+            }
+            emitted = true;
+        }
+        if emitted {
+            out.push((line_no, Tok::Newline));
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+}
+
+impl P {
+    fn line(&self) -> usize {
+        self.toks.get(self.idx).map(|t| t.0).unwrap_or_else(|| {
+            self.toks.last().map(|t| t.0).unwrap_or(0)
+        })
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, PseudoParseError> {
+        Err(PseudoParseError { line: self.line(), message: message.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|t| &t.1)
+    }
+
+    /// Peek skipping newlines (for lookahead across continuations).
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|t| t.1.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek() == Some(&Tok::Newline) {
+            self.idx += 1;
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), PseudoParseError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, PseudoParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.idx = self.idx.saturating_sub(1);
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    /// Primary expression. Newlines inside parens/args are skipped by the
+    /// callers that know a token must follow.
+    fn primary(&mut self) -> Result<PExpr, PseudoParseError> {
+        self.skip_newlines_if_continuation();
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(PExpr::Num(v)),
+            Some(Tok::Minus) => Ok(PExpr::Neg(Box::new(self.primary()?))),
+            Some(Tok::LParen) => {
+                let e = self.expr(0)?;
+                self.skip_newlines_if_continuation();
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                match self.peek() {
+                    Some(Tok::LParen) => {
+                        self.idx += 1;
+                        let mut args = Vec::new();
+                        self.skip_newlines_if_continuation();
+                        if self.peek() != Some(&Tok::RParen) {
+                            loop {
+                                args.push(self.expr(0)?);
+                                self.skip_newlines_if_continuation();
+                                if !self.eat(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.skip_newlines_if_continuation();
+                        self.expect(Tok::RParen)?;
+                        Ok(PExpr::Call { name, args })
+                    }
+                    Some(Tok::LBracket) => {
+                        self.idx += 1;
+                        let first = self.expr(0)?;
+                        if self.eat(&Tok::Colon) {
+                            let lo = self.expr(0)?;
+                            self.expect(Tok::RBracket)?;
+                            Ok(PExpr::Slice {
+                                base: name,
+                                hi: Box::new(first),
+                                lo: Box::new(lo),
+                            })
+                        } else {
+                            self.expect(Tok::RBracket)?;
+                            Ok(PExpr::Bit { base: name, idx: Box::new(first) })
+                        }
+                    }
+                    _ => Ok(PExpr::Var(name)),
+                }
+            }
+            other => {
+                self.idx = self.idx.saturating_sub(1);
+                self.err(format!("expected expression, found {other:?}"))
+            }
+        }
+    }
+
+    /// Skip newlines only when the previous token makes the expression
+    /// syntactically incomplete (we were just called needing a token).
+    fn skip_newlines_if_continuation(&mut self) {
+        self.skip_newlines();
+    }
+
+    fn binop_of(tok: &Tok) -> Option<(u8, PBinOp)> {
+        Some(match tok {
+            Tok::Star => (7, PBinOp::Mul),
+            Tok::Plus => (6, PBinOp::Add),
+            Tok::Minus => (6, PBinOp::Sub),
+            Tok::Shl => (5, PBinOp::Shl),
+            Tok::Shr => (5, PBinOp::Shr),
+            _ => return None,
+        })
+    }
+
+    fn cmpop_of(tok: &Tok) -> Option<PCmpOp> {
+        Some(match tok {
+            Tok::EqEq => PCmpOp::Eq,
+            Tok::Ne => PCmpOp::Ne,
+            Tok::Lt => PCmpOp::Lt,
+            Tok::Le => PCmpOp::Le,
+            Tok::Gt => PCmpOp::Gt,
+            Tok::Ge => PCmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Word operators: AND/OR/XOR as identifiers.
+    fn word_binop(tok: &Tok) -> Option<(u8, PBinOp)> {
+        if let Tok::Ident(s) = tok {
+            return Some(match s.as_str() {
+                "AND" => (4, PBinOp::And),
+                "XOR" => (3, PBinOp::Xor),
+                "OR" => (2, PBinOp::Or),
+                _ => return None,
+            });
+        }
+        None
+    }
+
+    /// Precedence-climbing expression parser. A newline ends the expression
+    /// unless it occurs where the grammar demands more input (after an
+    /// operator, inside parentheses) — matching how the Intrinsics Guide
+    /// wraps long formulas.
+    fn expr(&mut self, min_prec: u8) -> Result<PExpr, PseudoParseError> {
+        let mut lhs = self.primary()?;
+        loop {
+            // A newline here may be a continuation if an operator follows.
+            let save = self.idx;
+            let mut saw_newline = false;
+            while self.peek() == Some(&Tok::Newline) {
+                saw_newline = true;
+                self.idx += 1;
+            }
+            let Some(tok) = self.peek().cloned() else {
+                if saw_newline {
+                    self.idx = save;
+                }
+                break;
+            };
+            if let Some((prec, op)) = Self::binop_of(&tok).or_else(|| Self::word_binop(&tok)) {
+                if prec < min_prec {
+                    self.idx = save;
+                    break;
+                }
+                self.idx += 1;
+                let rhs = self.expr(prec + 1)?;
+                lhs = PExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+                continue;
+            }
+            if let Some(op) = Self::cmpop_of(&tok) {
+                if min_prec > 1 {
+                    self.idx = save;
+                    break;
+                }
+                self.idx += 1;
+                let rhs = self.expr(2)?;
+                lhs = PExpr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+                continue;
+            }
+            // Not an operator: if we crossed newlines, restore them (they
+            // terminate the statement).
+            self.idx = save;
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn block(&mut self, terminators: &[&str]) -> Result<(Vec<Stmt>, String), PseudoParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            let Some(tok) = self.peek().cloned() else {
+                if terminators.is_empty() {
+                    return Ok((stmts, String::new()));
+                }
+                return self.err(format!("expected one of {terminators:?} before end of input"));
+            };
+            if let Tok::Ident(word) = &tok {
+                if terminators.contains(&word.as_str()) {
+                    let w = word.clone();
+                    self.idx += 1;
+                    return Ok((stmts, w));
+                }
+                match word.as_str() {
+                    "FOR" => {
+                        self.idx += 1;
+                        let var = self.ident()?;
+                        self.expect(Tok::Assign)?;
+                        let from = self.expr(0)?;
+                        let kw = self.ident()?;
+                        if kw != "to" {
+                            return self.err("expected `to` in FOR header");
+                        }
+                        let to = self.expr(0)?;
+                        let (body, _) = self.block(&["ENDFOR"])?;
+                        stmts.push(Stmt::For { var, from, to, body });
+                        continue;
+                    }
+                    "IF" => {
+                        self.idx += 1;
+                        let cond = self.expr(0)?;
+                        let (then_body, term) = self.block(&["ELSE", "FI"])?;
+                        let else_body = if term == "ELSE" {
+                            let (e, _) = self.block(&["FI"])?;
+                            e
+                        } else {
+                            Vec::new()
+                        };
+                        stmts.push(Stmt::If { cond, then_body, else_body });
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Assignment: name := e, name[hi:lo] := e, or name[i] := e.
+                let name = word.clone();
+                self.idx += 1;
+                if self.eat(&Tok::LBracket) {
+                    let hi = self.expr(0)?;
+                    let lo = if self.eat(&Tok::Colon) {
+                        Some(self.expr(0)?)
+                    } else {
+                        None
+                    };
+                    self.expect(Tok::RBracket)?;
+                    self.expect(Tok::Assign)?;
+                    let value = self.expr(0)?;
+                    let (hi2, lo2) = match lo {
+                        Some(lo) => (hi, lo),
+                        None => (hi.clone(), hi),
+                    };
+                    stmts.push(Stmt::AssignSlice { base: name, hi: hi2, lo: lo2, value });
+                } else {
+                    self.expect(Tok::Assign)?;
+                    let value = self.expr(0)?;
+                    stmts.push(Stmt::AssignVar { name, value });
+                }
+                continue;
+            }
+            return self.err(format!("expected statement, found {tok:?}"));
+        }
+    }
+}
+
+/// Parse a pseudocode program.
+///
+/// # Errors
+///
+/// Returns a [`PseudoParseError`] with the offending line number.
+pub fn parse_program(src: &str) -> Result<Program, PseudoParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, idx: 0 };
+    let (stmts, _) = p.block(&[])?;
+    p.skip_newlines();
+    if p.peek().is_some() {
+        return p.err("trailing input");
+    }
+    Ok(Program { stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pmaddwd_pseudocode() {
+        let src = r#"
+            FOR j := 0 to 3
+                i := j*32
+                dst[i+31:i] := SignExtend32(a[i+31:i+16]*b[i+31:i+16]) +
+                               SignExtend32(a[i+15:i]*b[i+15:i])
+            ENDFOR
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 1);
+        let Stmt::For { var, body, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(var, "j");
+        assert_eq!(body.len(), 2);
+        // The continuation line folded into one expression.
+        let Stmt::AssignSlice { value, .. } = &body[1] else { panic!() };
+        assert!(matches!(value, PExpr::Bin { op: PBinOp::Add, .. }));
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let src = r#"
+            IF ctrl[1:0] == 1
+                dst[7:0] := 0
+            ELSE
+                dst[7:0] := a[7:0]
+            FI
+        "#;
+        let p = parse_program(src).unwrap();
+        let Stmt::If { cond, then_body, else_body } = &p.stmts[0] else { panic!() };
+        assert!(matches!(cond, PExpr::Cmp { op: PCmpOp::Eq, .. }));
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn parses_if_without_else() {
+        let src = "IF x > 0\n dst[7:0] := 1\nFI";
+        let p = parse_program(src).unwrap();
+        let Stmt::If { else_body, .. } = &p.stmts[0] else { panic!() };
+        assert!(else_body.is_empty());
+    }
+
+    #[test]
+    fn parses_single_bit_index() {
+        let src = "dst[0] := a[5]";
+        let p = parse_program(src).unwrap();
+        let Stmt::AssignSlice { hi, lo, value, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(hi, lo);
+        assert!(matches!(value, PExpr::Bit { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let src = "x := 1 + 2*3";
+        let p = parse_program(src).unwrap();
+        let Stmt::AssignVar { value, .. } = &p.stmts[0] else { panic!() };
+        let PExpr::Bin { op: PBinOp::Add, rhs, .. } = value else { panic!("{value:?}") };
+        assert!(matches!(**rhs, PExpr::Bin { op: PBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn word_operators() {
+        let src = "x := a AND b OR c";
+        let p = parse_program(src).unwrap();
+        let Stmt::AssignVar { value, .. } = &p.stmts[0] else { panic!() };
+        // AND binds tighter than OR.
+        let PExpr::Bin { op: PBinOp::Or, lhs, .. } = value else { panic!("{value:?}") };
+        assert!(matches!(**lhs, PExpr::Bin { op: PBinOp::And, .. }));
+    }
+
+    #[test]
+    fn nested_loops() {
+        let src = r#"
+            FOR i := 0 to 1
+                FOR j := 0 to 1
+                    dst[0] := a[0]
+                ENDFOR
+            ENDFOR
+        "#;
+        let p = parse_program(src).unwrap();
+        let Stmt::For { body, .. } = &p.stmts[0] else { panic!() };
+        assert!(matches!(body[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "; header comment\n\nx := 1 // trailing\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_for_is_an_error() {
+        let e = parse_program("FOR i := 0 to 3\n x := 1\n").unwrap_err();
+        assert!(e.message.contains("ENDFOR"));
+    }
+
+    #[test]
+    fn hex_literals() {
+        let src = "x := 0xFF";
+        let p = parse_program(src).unwrap();
+        let Stmt::AssignVar { value, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(*value, PExpr::Num(255));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse_program("x := 1\ny = 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn newline_ends_statement_without_operator() {
+        let src = "x := 1\ny := 2";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: the formula simplifier (the z3 stand-in) preserves
+//! concrete semantics on arbitrary well-formed bit-vector formulas.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vegen_pseudo::bv::{eval_concrete, BigBits, Bv, BvBinOp};
+use vegen_pseudo::simplify::simplify;
+
+/// Generate formulas over two 64-bit inputs. Widths are tracked so every
+/// generated tree is well-formed; arithmetic stays at width <= 64.
+fn leaf(width: u32) -> BoxedStrategy<Bv> {
+    prop_oneof![
+        (0..u64::MAX).prop_map(move |bits| Bv::Const {
+            width,
+            bits: bits & vegen_ir::constant::mask(width)
+        }),
+        (0..2usize, 0..(64 - width + 1)).prop_map(move |(var, lo)| {
+            let name = if var == 0 { "a" } else { "b" };
+            Bv::Input { name: name.into(), hi: lo + width - 1, lo }
+        }),
+    ]
+    .boxed()
+}
+
+fn formula(width: u32, depth: u32) -> BoxedStrategy<Bv> {
+    if depth == 0 {
+        return leaf(width);
+    }
+    let bin = (any::<u8>(), formula(width, depth - 1), formula(width, depth - 1)).prop_map(
+        move |(op, l, r)| {
+            let ops = [
+                BvBinOp::Add,
+                BvBinOp::Sub,
+                BvBinOp::Mul,
+                BvBinOp::And,
+                BvBinOp::Or,
+                BvBinOp::Xor,
+            ];
+            Bv::Bin {
+                op: ops[op as usize % ops.len()],
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
+        },
+    );
+    let mut options: Vec<BoxedStrategy<Bv>> = vec![leaf(width), bin.boxed()];
+    // Extension of a narrower sub-formula.
+    if width > 8 {
+        let narrow = width / 2;
+        options.push(
+            (any::<bool>(), formula(narrow, depth - 1))
+                .prop_map(move |(signed, a)| {
+                    if signed {
+                        Bv::SExt { width, arg: Box::new(a) }
+                    } else {
+                        Bv::ZExt { width, arg: Box::new(a) }
+                    }
+                })
+                .boxed(),
+        );
+    }
+    // Extraction from a wider sub-formula.
+    if width < 64 {
+        let wide = width * 2;
+        options.push(
+            (0..(wide - width + 1), formula(wide, depth - 1))
+                .prop_map(move |(lo, a)| Bv::Extract {
+                    hi: lo + width - 1,
+                    lo,
+                    arg: Box::new(a),
+                })
+                .boxed(),
+        );
+    }
+    // Concat of two halves (keeps total width).
+    if width.is_multiple_of(2) && width >= 4 {
+        let half = width / 2;
+        options.push(
+            (formula(half, depth - 1), formula(half, depth - 1))
+                .prop_map(|(lo, hi)| Bv::Concat(vec![lo, hi]))
+                .boxed(),
+        );
+    }
+    // Ite on a comparison.
+    options.push(
+        (
+            formula(width, depth - 1),
+            formula(width, depth - 1),
+            formula(width.min(32), depth - 1),
+        )
+            .prop_map(move |(t, e, c)| Bv::Ite {
+                cond: Box::new(Bv::Cmp {
+                    pred: vegen_ir::CmpPred::Slt,
+                    lhs: Box::new(c.clone()),
+                    rhs: Box::new(c),
+                }),
+                on_true: Box::new(t),
+                on_false: Box::new(e),
+            })
+            .boxed(),
+    );
+    proptest::strategy::Union::new(options).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn simplify_preserves_semantics(
+        e in formula(32, 3),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let s = simplify(&e);
+        prop_assert_eq!(s.width(), e.width(), "width must be preserved");
+        let mut env = HashMap::new();
+        env.insert("a".to_string(), BigBits::from_u64(64, a));
+        env.insert("b".to_string(), BigBits::from_u64(64, b));
+        let before = eval_concrete(&e, &env);
+        let after = eval_concrete(&s, &env);
+        prop_assert_eq!(before.ok(), after.ok(), "simplify changed semantics:\n{}\nvs\n{}", e, s);
+    }
+
+    #[test]
+    fn simplify_is_idempotent(e in formula(32, 3)) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert_eq!(&once, &twice, "not a fixpoint: {} vs {}", once, twice);
+    }
+
+    #[test]
+    fn simplify_never_grows(e in formula(16, 3)) {
+        let s = simplify(&e);
+        prop_assert!(s.size() <= e.size() + 2, "simplifier grew {} -> {}", e.size(), s.size());
+    }
+}

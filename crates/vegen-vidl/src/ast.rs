@@ -1,0 +1,338 @@
+//! VIDL abstract syntax (Fig. 5 of the paper).
+
+use std::collections::BTreeMap;
+use vegen_ir::{BinOp, CastOp, CmpPred, Constant, Type};
+
+/// An expression in an operation body.
+///
+/// Mirrors the scalar IR deliberately ("We designed VIDL to mirror the
+/// scalar IR that its vectorizer takes as input", §4.2), so deriving pattern
+/// matchers from operations is a structural walk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant and field names are the documentation
+pub enum Expr {
+    /// Reference to the operation's `i`'th parameter.
+    Param(usize),
+    /// A literal constant.
+    Const(Constant),
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Floating-point negation.
+    FNeg(Box<Expr>),
+    /// Conversion to `to`.
+    Cast { op: CastOp, to: Type, arg: Box<Expr> },
+    /// Comparison.
+    Cmp { pred: CmpPred, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `cond ? t : e`.
+    Select { cond: Box<Expr>, on_true: Box<Expr>, on_false: Box<Expr> },
+}
+
+impl Expr {
+    /// Infer the expression's type given parameter types.
+    ///
+    /// Returns `None` if a parameter index is out of range; other type
+    /// errors are caught by [`crate::check::check_operation`].
+    pub fn ty(&self, params: &[Type]) -> Option<Type> {
+        match self {
+            Expr::Param(i) => params.get(*i).copied(),
+            Expr::Const(c) => Some(c.ty()),
+            Expr::Bin { lhs, .. } => lhs.ty(params),
+            Expr::FNeg(a) => a.ty(params),
+            Expr::Cast { to, .. } => Some(*to),
+            Expr::Cmp { .. } => Some(Type::I1),
+            Expr::Select { on_true, .. } => on_true.ty(params),
+        }
+    }
+
+    /// Number of expression nodes (used by cost heuristics and tests).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Param(_) | Expr::Const(_) => 0,
+            Expr::FNeg(a) => a.size(),
+            Expr::Cast { arg, .. } => arg.size(),
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => lhs.size() + rhs.size(),
+            Expr::Select { cond, on_true, on_false } => {
+                cond.size() + on_true.size() + on_false.size()
+            }
+        }
+    }
+
+    /// Collect the parameter indices used, in first-use order.
+    pub fn params_used(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Param(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::FNeg(a) => a.collect_params(out),
+            Expr::Cast { arg, .. } => arg.collect_params(out),
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_params(out);
+                rhs.collect_params(out);
+            }
+            Expr::Select { cond, on_true, on_false } => {
+                cond.collect_params(out);
+                on_true.collect_params(out);
+                on_false.collect_params(out);
+            }
+        }
+    }
+}
+
+/// A scalar operation: `(x1 : sz1, ..., xn : szn) -> expr`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    /// Name (unique within an instruction set; used as the pattern id).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Result type.
+    pub ret: Type,
+    /// Body.
+    pub expr: Expr,
+}
+
+/// Shape of one vector input register: `vl x sz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VecShape {
+    /// Number of lanes.
+    pub lanes: usize,
+    /// Element type.
+    pub elem: Type,
+}
+
+impl VecShape {
+    /// Total bit width of the register.
+    pub fn bits(self) -> u32 {
+        self.lanes as u32 * self.elem.bits()
+    }
+}
+
+/// A reference to one input lane: `x[i]` with `x` the `input`'th register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LaneRef {
+    /// Which input register.
+    pub input: usize,
+    /// Which lane of that register.
+    pub lane: usize,
+}
+
+/// One output lane: which operation runs and which input lanes feed it
+/// (`res ::= opn(lane1, ..., lanek)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaneBinding {
+    /// Index into [`InstSemantics::ops`].
+    pub op: usize,
+    /// One [`LaneRef`] per operation parameter.
+    pub args: Vec<LaneRef>,
+}
+
+/// The semantics of one vector instruction:
+/// `inst ::= (x1 : vl1 x sz1, ...) -> [res1, ..., resm]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InstSemantics {
+    /// Instruction name (e.g. `pmaddwd`).
+    pub name: String,
+    /// Input register shapes.
+    pub inputs: Vec<VecShape>,
+    /// Output element type (all output lanes share it).
+    pub out_elem: Type,
+    /// The distinct scalar operations this instruction performs.
+    pub ops: Vec<Operation>,
+    /// One binding per output lane, in lane order.
+    pub lanes: Vec<LaneBinding>,
+}
+
+/// Where one element of `operand_i` flows: output lane `out_lane`, parameter
+/// `param` of that lane's operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LaneUse {
+    /// Output lane consuming this input lane.
+    pub out_lane: usize,
+    /// Which parameter of the lane's operation it feeds.
+    pub param: usize,
+}
+
+impl InstSemantics {
+    /// Number of output lanes.
+    pub fn out_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True if all lanes run the same operation with elementwise lane flow —
+    /// i.e. a plain SIMD instruction under the paper's definition.
+    pub fn is_simd(&self) -> bool {
+        let Some(first) = self.lanes.first() else { return true };
+        self.lanes.iter().enumerate().all(|(lane, b)| {
+            b.op == first.op && b.args.iter().all(|r| r.lane == lane)
+        })
+    }
+
+    /// The static lane-binding map for input register `input`: for each lane
+    /// of that register, which `(out_lane, param)` positions consume it.
+    ///
+    /// This is the `operand_i(.)` utility of §4.4: VeGen's vectorizer uses
+    /// it to assemble the vector operand an instruction needs from the
+    /// live-ins of the matches packed into its lanes. Lanes with no uses are
+    /// *don't-care* lanes (e.g. the even lanes of `vpmuldq`, Fig. 6).
+    pub fn operand_bindings(&self, input: usize) -> Vec<Vec<LaneUse>> {
+        let mut uses: BTreeMap<usize, Vec<LaneUse>> = BTreeMap::new();
+        for (out_lane, binding) in self.lanes.iter().enumerate() {
+            for (param, r) in binding.args.iter().enumerate() {
+                if r.input == input {
+                    uses.entry(r.lane).or_default().push(LaneUse { out_lane, param });
+                }
+            }
+        }
+        let lanes = self.inputs[input].lanes;
+        (0..lanes).map(|l| uses.get(&l).cloned().unwrap_or_default()).collect()
+    }
+
+    /// True if input register `input` has at least one unused (don't-care)
+    /// lane.
+    pub fn has_dont_care_lanes(&self, input: usize) -> bool {
+        self.operand_bindings(input).iter().any(|u| u.is_empty())
+    }
+
+    /// Total output register width in bits.
+    pub fn out_bits(&self) -> u32 {
+        self.out_elem.bits() * self.out_lanes() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-build pmaddwd semantics (Fig. 4(b)).
+    pub(crate) fn pmaddwd() -> InstSemantics {
+        let p = |i| Box::new(Expr::Param(i));
+        let sx = |e: Box<Expr>| Box::new(Expr::Cast { op: CastOp::SExt, to: Type::I32, arg: e });
+        let madd = Operation {
+            name: "madd".into(),
+            params: vec![Type::I16; 4],
+            ret: Type::I32,
+            expr: Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Bin { op: BinOp::Mul, lhs: sx(p(0)), rhs: sx(p(1)) }),
+                rhs: Box::new(Expr::Bin { op: BinOp::Mul, lhs: sx(p(2)), rhs: sx(p(3)) }),
+            },
+        };
+        let lr = |input, lane| LaneRef { input, lane };
+        InstSemantics {
+            name: "pmaddwd".into(),
+            inputs: vec![VecShape { lanes: 4, elem: Type::I16 }; 2],
+            out_elem: Type::I32,
+            ops: vec![madd],
+            lanes: vec![
+                LaneBinding { op: 0, args: vec![lr(0, 0), lr(1, 0), lr(0, 1), lr(1, 1)] },
+                LaneBinding { op: 0, args: vec![lr(0, 2), lr(1, 2), lr(0, 3), lr(1, 3)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn pmaddwd_is_not_simd() {
+        assert!(!pmaddwd().is_simd(), "pmaddwd uses cross-lane operands");
+    }
+
+    #[test]
+    fn operand_bindings_match_paper() {
+        // operand_1(pex) = [A[0], A[1], A[2], A[3]] — input 0's lane l feeds
+        // output lane l/2 at param position 2*(l%2).
+        let i = pmaddwd();
+        let b = i.operand_bindings(0);
+        assert_eq!(b[0], vec![LaneUse { out_lane: 0, param: 0 }]);
+        assert_eq!(b[1], vec![LaneUse { out_lane: 0, param: 2 }]);
+        assert_eq!(b[2], vec![LaneUse { out_lane: 1, param: 0 }]);
+        assert_eq!(b[3], vec![LaneUse { out_lane: 1, param: 2 }]);
+        assert!(!i.has_dont_care_lanes(0));
+    }
+
+    #[test]
+    fn dont_care_lane_detection() {
+        // A vpmuldq-like instruction uses only even input lanes (Fig. 6).
+        let mul = Operation {
+            name: "mulsx".into(),
+            params: vec![Type::I32; 2],
+            ret: Type::I64,
+            expr: Expr::Bin {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::Cast {
+                    op: CastOp::SExt,
+                    to: Type::I64,
+                    arg: Box::new(Expr::Param(0)),
+                }),
+                rhs: Box::new(Expr::Cast {
+                    op: CastOp::SExt,
+                    to: Type::I64,
+                    arg: Box::new(Expr::Param(1)),
+                }),
+            },
+        };
+        let lr = |input, lane| LaneRef { input, lane };
+        let i = InstSemantics {
+            name: "pmuldq".into(),
+            inputs: vec![VecShape { lanes: 4, elem: Type::I32 }; 2],
+            out_elem: Type::I64,
+            ops: vec![mul],
+            lanes: vec![
+                LaneBinding { op: 0, args: vec![lr(0, 0), lr(1, 0)] },
+                LaneBinding { op: 0, args: vec![lr(0, 2), lr(1, 2)] },
+            ],
+        };
+        assert!(i.has_dont_care_lanes(0));
+        let b = i.operand_bindings(0);
+        assert!(b[1].is_empty() && b[3].is_empty());
+        assert!(!b[0].is_empty() && !b[2].is_empty());
+    }
+
+    #[test]
+    fn simd_detection() {
+        let addop = Operation {
+            name: "add32".into(),
+            params: vec![Type::I32; 2],
+            ret: Type::I32,
+            expr: Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Param(0)),
+                rhs: Box::new(Expr::Param(1)),
+            },
+        };
+        let lr = |input, lane| LaneRef { input, lane };
+        let i = InstSemantics {
+            name: "paddd".into(),
+            inputs: vec![VecShape { lanes: 4, elem: Type::I32 }; 2],
+            out_elem: Type::I32,
+            ops: vec![addop],
+            lanes: (0..4)
+                .map(|l| LaneBinding { op: 0, args: vec![lr(0, l), lr(1, l)] })
+                .collect(),
+        };
+        assert!(i.is_simd());
+    }
+
+    #[test]
+    fn expr_size_and_params() {
+        let i = pmaddwd();
+        let e = &i.ops[0].expr;
+        // add + 2 mul + 4 sext + 4 param = 11 nodes
+        assert_eq!(e.size(), 11);
+        assert_eq!(e.params_used(), vec![0, 1, 2, 3]);
+        assert_eq!(e.ty(&i.ops[0].params), Some(Type::I32));
+    }
+
+    #[test]
+    fn out_bits() {
+        assert_eq!(pmaddwd().out_bits(), 64);
+        assert_eq!(VecShape { lanes: 8, elem: Type::I16 }.bits(), 128);
+    }
+}

@@ -1,0 +1,283 @@
+//! Well-formedness checking for VIDL descriptions.
+
+use crate::ast::{Expr, InstSemantics, Operation};
+use std::error::Error;
+use std::fmt;
+use vegen_ir::{CastOp, Type};
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError(pub String);
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VIDL check failed: {}", self.0)
+    }
+}
+
+impl Error for CheckError {}
+
+fn fail(msg: impl Into<String>) -> Result<(), CheckError> {
+    Err(CheckError(msg.into()))
+}
+
+/// Type-check an expression, returning its type.
+fn type_of(e: &Expr, params: &[Type]) -> Result<Type, CheckError> {
+    match e {
+        Expr::Param(i) => params
+            .get(*i)
+            .copied()
+            .ok_or_else(|| CheckError(format!("parameter x{i} out of range"))),
+        Expr::Const(c) => Ok(c.ty()),
+        Expr::Bin { op, lhs, rhs } => {
+            let lt = type_of(lhs, params)?;
+            let rt = type_of(rhs, params)?;
+            if lt != rt {
+                return Err(CheckError(format!("binop {op:?} on {lt} and {rt}")));
+            }
+            if op.is_float() != lt.is_float() {
+                return Err(CheckError(format!("binop {op:?} float/int mismatch with {lt}")));
+            }
+            Ok(lt)
+        }
+        Expr::FNeg(a) => {
+            let t = type_of(a, params)?;
+            if !t.is_float() {
+                return Err(CheckError(format!("fneg on {t}")));
+            }
+            Ok(t)
+        }
+        Expr::Cast { op, to, arg } => {
+            let from = type_of(arg, params)?;
+            let ok = match op {
+                CastOp::SExt | CastOp::ZExt => {
+                    from.is_int() && to.is_int() && to.bits() > from.bits()
+                }
+                CastOp::Trunc => from.is_int() && to.is_int() && to.bits() < from.bits(),
+                CastOp::FPExt => from == Type::F32 && *to == Type::F64,
+                CastOp::FPTrunc => from == Type::F64 && *to == Type::F32,
+                CastOp::SIToFP | CastOp::UIToFP => from.is_int() && to.is_float(),
+                CastOp::FPToSI => from.is_float() && to.is_int(),
+            };
+            if !ok {
+                return Err(CheckError(format!("invalid cast {op:?} {from} -> {to}")));
+            }
+            Ok(*to)
+        }
+        Expr::Cmp { pred, lhs, rhs } => {
+            let lt = type_of(lhs, params)?;
+            let rt = type_of(rhs, params)?;
+            if lt != rt {
+                return Err(CheckError(format!("cmp on {lt} and {rt}")));
+            }
+            if pred.is_float() != lt.is_float() {
+                return Err(CheckError(format!("cmp {pred:?} on {lt}")));
+            }
+            Ok(Type::I1)
+        }
+        Expr::Select { cond, on_true, on_false } => {
+            if type_of(cond, params)? != Type::I1 {
+                return Err(CheckError("select condition must be i1".into()));
+            }
+            let tt = type_of(on_true, params)?;
+            let et = type_of(on_false, params)?;
+            if tt != et {
+                return Err(CheckError(format!("select arms {tt} vs {et}")));
+            }
+            Ok(tt)
+        }
+    }
+}
+
+/// Check an operation: the body must type-check against the declared
+/// parameter types and produce the declared return type.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_operation(op: &Operation) -> Result<(), CheckError> {
+    for t in &op.params {
+        if *t == Type::Void {
+            return fail(format!("operation {} has a void parameter", op.name));
+        }
+    }
+    let t = type_of(&op.expr, &op.params)?;
+    if t != op.ret {
+        return fail(format!("operation {} declared {} but body has type {t}", op.name, op.ret));
+    }
+    Ok(())
+}
+
+/// Check an instruction description: operations are well formed, lane
+/// bindings reference valid operations/inputs/lanes, each operation's
+/// argument types equal the element types of the registers feeding it, and
+/// every output lane produces `out_elem`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_inst(inst: &InstSemantics) -> Result<(), CheckError> {
+    if inst.lanes.is_empty() {
+        return fail(format!("instruction {} has no output lanes", inst.name));
+    }
+    for op in &inst.ops {
+        check_operation(op)
+            .map_err(|e| CheckError(format!("in instruction {}: {}", inst.name, e.0)))?;
+    }
+    for (lane_idx, b) in inst.lanes.iter().enumerate() {
+        let Some(op) = inst.ops.get(b.op) else {
+            return fail(format!(
+                "{} lane {lane_idx} references unknown operation #{}",
+                inst.name, b.op
+            ));
+        };
+        if b.args.len() != op.params.len() {
+            return fail(format!(
+                "{} lane {lane_idx}: {} args but operation {} has {} params",
+                inst.name,
+                b.args.len(),
+                op.name,
+                op.params.len()
+            ));
+        }
+        if op.ret != inst.out_elem {
+            return fail(format!(
+                "{} lane {lane_idx}: operation {} returns {} but output element is {}",
+                inst.name, op.name, op.ret, inst.out_elem
+            ));
+        }
+        for (param, r) in b.args.iter().enumerate() {
+            let Some(shape) = inst.inputs.get(r.input) else {
+                return fail(format!(
+                    "{} lane {lane_idx}: unknown input register x{}",
+                    inst.name, r.input
+                ));
+            };
+            if r.lane >= shape.lanes {
+                return fail(format!(
+                    "{} lane {lane_idx}: lane index {} out of range for x{} ({} lanes)",
+                    inst.name, r.lane, r.input, shape.lanes
+                ));
+            }
+            if shape.elem != op.params[param] {
+                return fail(format!(
+                    "{} lane {lane_idx}: x{}[{}] has element type {} but {} param {param} is {}",
+                    inst.name, r.input, r.lane, shape.elem, op.name, op.params[param]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LaneBinding, LaneRef, VecShape};
+    use vegen_ir::BinOp;
+
+    fn add_op(ty: Type) -> Operation {
+        Operation {
+            name: "add".into(),
+            params: vec![ty; 2],
+            ret: ty,
+            expr: Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Param(0)),
+                rhs: Box::new(Expr::Param(1)),
+            },
+        }
+    }
+
+    fn simd_add() -> InstSemantics {
+        let lr = |input, lane| LaneRef { input, lane };
+        InstSemantics {
+            name: "paddd".into(),
+            inputs: vec![VecShape { lanes: 4, elem: Type::I32 }; 2],
+            out_elem: Type::I32,
+            ops: vec![add_op(Type::I32)],
+            lanes: (0..4)
+                .map(|l| LaneBinding { op: 0, args: vec![lr(0, l), lr(1, l)] })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn accepts_valid_inst() {
+        assert!(check_inst(&simd_add()).is_ok());
+    }
+
+    #[test]
+    fn rejects_lane_out_of_range() {
+        let mut i = simd_add();
+        i.lanes[0].args[0].lane = 7;
+        let e = check_inst(&i).unwrap_err();
+        assert!(e.0.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let mut i = simd_add();
+        i.lanes[1].args.pop();
+        assert!(check_inst(&i).is_err());
+    }
+
+    #[test]
+    fn rejects_element_type_mismatch() {
+        let mut i = simd_add();
+        i.inputs[1] = VecShape { lanes: 4, elem: Type::I16 };
+        let e = check_inst(&i).unwrap_err();
+        assert!(e.0.contains("element type"));
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let mut i = simd_add();
+        i.out_elem = Type::I64;
+        assert!(check_inst(&i).is_err());
+    }
+
+    #[test]
+    fn rejects_ill_typed_operation_body() {
+        let bad = Operation {
+            name: "bad".into(),
+            params: vec![Type::I32, Type::I16],
+            ret: Type::I32,
+            expr: Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Param(0)),
+                rhs: Box::new(Expr::Param(1)),
+            },
+        };
+        assert!(check_operation(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_float_op_on_ints() {
+        let bad = Operation {
+            name: "bad".into(),
+            params: vec![Type::I32; 2],
+            ret: Type::I32,
+            expr: Expr::Bin {
+                op: BinOp::FAdd,
+                lhs: Box::new(Expr::Param(0)),
+                rhs: Box::new(Expr::Param(1)),
+            },
+        };
+        assert!(check_operation(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_lane_list() {
+        let mut i = simd_add();
+        i.lanes.clear();
+        assert!(check_inst(&i).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_operation_index() {
+        let mut i = simd_add();
+        i.lanes[0].op = 3;
+        assert!(check_inst(&i).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! The Vector Instruction Description Language (VIDL) from Fig. 5 of the
+//! paper.
+//!
+//! VIDL models a target vector instruction as a list of scalar *operations*
+//! plus *lane-binding* rules saying which input lanes feed each operation:
+//!
+//! ```text
+//! lane ::= x[i]
+//! expr ::= x | lane | binop(e, e) | unop(e) | select(e, e, e)
+//! opn  ::= (x1 : sz1, ..., xn : szn) -> expr
+//! res  ::= opn(lane1, ..., lanek)
+//! inst ::= (x1 : vl1 x sz1, ...) -> [res1, ..., resm]
+//! ```
+//!
+//! Lane indices are constants, which is what lets VeGen *statically* derive
+//! each instruction's vector operands (`operand_i(.)` in §4.4).
+//!
+//! This crate provides the AST ([`Operation`], [`InstSemantics`]), a
+//! well-formedness checker, a concrete evaluator (the executable semantics
+//! the vector VM runs on), the static lane-binding analysis
+//! ([`InstSemantics::operand_bindings`]), and a textual parser/printer used
+//! by the instruction database and the docs.
+//!
+//! # Example
+//!
+//! ```
+//! use vegen_vidl::parse_inst;
+//!
+//! // pmaddwd, exactly as formalized in Fig. 4(b) of the paper.
+//! let inst = parse_inst(
+//!     "inst pmaddwd (a: 4 x i16, b: 4 x i16) -> i32 [
+//!        madd(a[0], b[0], a[1], b[1]),
+//!        madd(a[2], b[2], a[3], b[3])
+//!      ] where
+//!      op madd (x1: i16, x2: i16, x3: i16, x4: i16) -> i32 =
+//!        add(mul(sext_i32(x1), sext_i32(x2)), mul(sext_i32(x3), sext_i32(x4)))",
+//! ).unwrap();
+//! assert_eq!(inst.out_lanes(), 2);
+//! assert_eq!(inst.inputs.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod check;
+pub mod eval;
+pub mod parse;
+pub mod print;
+
+pub use ast::{Expr, InstSemantics, LaneBinding, LaneRef, Operation, VecShape};
+pub use check::{check_inst, check_operation, CheckError};
+pub use eval::{eval_expr, eval_inst, eval_operation};
+pub use parse::{parse_inst, parse_operation, ParseError};

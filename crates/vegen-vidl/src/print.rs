@@ -1,0 +1,118 @@
+//! Textual printing of VIDL descriptions (inverse of [`crate::parse`]).
+
+use crate::ast::{Expr, InstSemantics, Operation};
+use std::fmt::Write;
+use vegen_ir::Type;
+
+fn const_text(c: vegen_ir::Constant) -> String {
+    match c.ty() {
+        Type::F32 => format!("{}:f32", c.as_f32()),
+        Type::F64 => format!("{}:f64", c.as_f64()),
+        ty => format!("{}:{}", c.as_i64(), ty),
+    }
+}
+
+/// Render an expression using the parameter names `x0`, `x1`, ...
+pub fn expr_text(e: &Expr) -> String {
+    match e {
+        Expr::Param(i) => format!("x{i}"),
+        Expr::Const(c) => const_text(*c),
+        Expr::Bin { op, lhs, rhs } => {
+            format!("{}({}, {})", op.name(), expr_text(lhs), expr_text(rhs))
+        }
+        Expr::FNeg(a) => format!("fneg({})", expr_text(a)),
+        Expr::Cast { op, to, arg } => format!("{}_{}({})", op.name(), to, expr_text(arg)),
+        Expr::Cmp { pred, lhs, rhs } => {
+            format!("cmp_{}({}, {})", pred.name(), expr_text(lhs), expr_text(rhs))
+        }
+        Expr::Select { cond, on_true, on_false } => format!(
+            "select({}, {}, {})",
+            expr_text(cond),
+            expr_text(on_true),
+            expr_text(on_false)
+        ),
+    }
+}
+
+/// Render an operation declaration.
+pub fn operation_text(op: &Operation) -> String {
+    let params = op
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("x{i}: {t}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("op {} ({}) -> {} = {}", op.name, params, op.ret, expr_text(&op.expr))
+}
+
+/// Render a full instruction description in the concrete syntax accepted by
+/// [`crate::parse_inst`].
+pub fn inst_text(inst: &InstSemantics) -> String {
+    let mut s = String::new();
+    let inputs = inst
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, sh)| format!("in{i}: {} x {}", sh.lanes, sh.elem))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "inst {} ({}) -> {} [", inst.name, inputs, inst.out_elem);
+    for (i, lane) in inst.lanes.iter().enumerate() {
+        let args = lane
+            .args
+            .iter()
+            .map(|r| format!("in{}[{}]", r.input, r.lane))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let sep = if i + 1 == inst.lanes.len() { "" } else { "," };
+        let _ = writeln!(s, "  {}({args}){sep}", inst.ops[lane.op].name);
+    }
+    let _ = writeln!(s, "] where");
+    for op in &inst.ops {
+        let _ = writeln!(s, "{}", operation_text(op));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::{parse_inst, parse_operation};
+
+    const PMADDWD: &str = "inst pmaddwd (a: 4 x i16, b: 4 x i16) -> i32 [
+        madd(a[0], b[0], a[1], b[1]),
+        madd(a[2], b[2], a[3], b[3])
+      ] where
+      op madd (x1: i16, x2: i16, x3: i16, x4: i16) -> i32 =
+        add(mul(sext_i32(x1), sext_i32(x2)), mul(sext_i32(x3), sext_i32(x4)))";
+
+    #[test]
+    fn inst_roundtrips_through_text() {
+        let i1 = parse_inst(PMADDWD).unwrap();
+        let text = super::inst_text(&i1);
+        let i2 = parse_inst(&text).unwrap();
+        // Names of inputs are normalized to in0/in1, everything else equal.
+        assert_eq!(i1.inputs, i2.inputs);
+        assert_eq!(i1.out_elem, i2.out_elem);
+        assert_eq!(i1.ops, i2.ops);
+        assert_eq!(i1.lanes, i2.lanes);
+    }
+
+    #[test]
+    fn operation_roundtrips() {
+        let src = "op sat (x0: i32) -> i32 =
+            select(cmp_sgt(x0, 32767:i32), 32767:i32,
+                   select(cmp_slt(x0, -32768:i32), -32768:i32, x0))";
+        let o1 = parse_operation(src).unwrap();
+        let o2 = parse_operation(&super::operation_text(&o1)).unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn float_const_roundtrips() {
+        let src = "op f (x0: f64) -> f64 = fadd(x0, 2.5:f64)";
+        let o1 = parse_operation(src).unwrap();
+        let o2 = parse_operation(&super::operation_text(&o1)).unwrap();
+        assert_eq!(o1, o2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Static cycle estimation for vector programs.
+//!
+//! The per-instruction costs mirror §6.2: vector compute instructions carry
+//! twice their inverse throughput (from the database), data movement is
+//! classified (broadcast / permute / two-source shuffle / insertion chain)
+//! and costed like the special cases the paper adds on top of LLVM's
+//! model, and scalar operations cost what the pack-selection cost model
+//! charges them — so the VM's estimate and the vectorizer's objective
+//! agree.
+
+use crate::program::{classify_build, BuildKind, ScalarOp, VmInst, VmProgram};
+use vegen_ir::BinOp;
+
+/// Per-class cost parameters for [`static_cycles`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmCostParams {
+    /// Vector load / store.
+    pub vmem: f64,
+    /// Scalar load / store.
+    pub smem: f64,
+    /// Broadcast.
+    pub broadcast: f64,
+    /// Single-source permute.
+    pub permute: f64,
+    /// Two-source shuffle.
+    pub shuffle2: f64,
+    /// Per scalar insertion.
+    pub insert: f64,
+    /// Lane extraction.
+    pub extract: f64,
+}
+
+impl Default for VmCostParams {
+    fn default() -> VmCostParams {
+        VmCostParams {
+            vmem: 1.0,
+            smem: 1.0,
+            broadcast: 1.0,
+            permute: 2.0,
+            shuffle2: 2.0,
+            insert: 1.0,
+            extract: 1.0,
+        }
+    }
+}
+
+/// Cost of one scalar ALU op (matches the vectorizer's scalar costs).
+fn scalar_cost(op: &ScalarOp) -> f64 {
+    match op {
+        ScalarOp::Const(_) => 0.0,
+        ScalarOp::Cast { .. } => 0.0,
+        ScalarOp::Bin {
+            op: BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem | BinOp::FDiv,
+            ..
+        } => 8.0,
+        ScalarOp::Bin { .. } => 1.0,
+        _ => 1.0,
+    }
+}
+
+/// Estimate the program's cost in cycles under the throughput model.
+pub fn static_cycles(prog: &VmProgram) -> f64 {
+    static_cycles_with(prog, &VmCostParams::default())
+}
+
+/// [`static_cycles`] with explicit parameters (used by ablation benches).
+pub fn static_cycles_with(prog: &VmProgram, p: &VmCostParams) -> f64 {
+    let mut total = 0.0;
+    for inst in &prog.insts {
+        total += match inst {
+            VmInst::Scalar { op, .. } => scalar_cost(op),
+            VmInst::LoadScalar { .. } | VmInst::StoreScalar { .. } => p.smem,
+            VmInst::VecLoad { .. } | VmInst::VecStore { .. } => p.vmem,
+            VmInst::VecOp { sem, .. } => prog.sem_cost[*sem],
+            VmInst::Build { lanes, .. } => match classify_build(lanes) {
+                BuildKind::ConstantVector => 0.0,
+                BuildKind::Broadcast => p.broadcast,
+                BuildKind::Permute => p.permute,
+                BuildKind::TwoSourceShuffle => p.shuffle2,
+                BuildKind::Insert { scalar_lanes, vec_sources } => {
+                    p.insert * scalar_lanes as f64
+                        + p.shuffle2 * vec_sources.saturating_sub(1) as f64
+                }
+            },
+            VmInst::Extract { .. } => p.extract,
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{LaneSrc, Reg, VmProgram};
+    use vegen_ir::{Constant, Param, Type};
+
+    #[test]
+    fn costs_accumulate() {
+        let mut p = VmProgram::new("t", vec![Param { name: "A".into(), elem_ty: Type::I32, len: 8 }]);
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        p.push(VmInst::VecLoad { dst: a, base: 0, start: 0, lanes: 4, elem: Type::I32 });
+        p.push(VmInst::Build {
+            dst: b,
+            elem: Type::I32,
+            lanes: vec![LaneSrc::FromVec { src: a, lane: 1 }; 4],
+        });
+        p.push(VmInst::VecStore { base: 0, start: 4, src: b });
+        // 1 (load) + 2 (permute) + 1 (store)
+        assert_eq!(static_cycles(&p), 4.0);
+    }
+
+    #[test]
+    fn constant_vectors_are_free() {
+        let mut p = VmProgram::new("t", vec![]);
+        let b = p.fresh_reg();
+        p.push(VmInst::Build {
+            dst: b,
+            elem: Type::I32,
+            lanes: vec![LaneSrc::Const(Constant::int(Type::I32, 7)); 4],
+        });
+        assert_eq!(static_cycles(&p), 0.0);
+    }
+
+    #[test]
+    fn scalar_div_is_expensive() {
+        let mut p = VmProgram::new("t", vec![]);
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        let c = p.fresh_reg();
+        p.push(VmInst::Scalar { dst: a, op: ScalarOp::Const(Constant::int(Type::I32, 8)) });
+        p.push(VmInst::Scalar { dst: b, op: ScalarOp::Const(Constant::int(Type::I32, 2)) });
+        p.push(VmInst::Scalar {
+            dst: c,
+            op: ScalarOp::Bin { op: BinOp::SDiv, lhs: Reg(0), rhs: Reg(1) },
+        });
+        assert_eq!(static_cycles(&p), 8.0);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The vector virtual machine.
+//!
+//! Lowered programs (mixes of scalar instructions, target vector
+//! instructions, and virtual data-movement instructions, §4.5) need two
+//! things the paper got from real hardware: an executable semantics (to
+//! check that vectorization preserved behaviour — the paper ran on Xeons;
+//! we run here) and a performance estimate (the paper measured wall
+//! clock; we sum per-instruction costs derived from the same
+//! inverse-throughput data its cost model uses, and the benches also
+//! measure interpreted wall clock).
+//!
+//! Vector compute instructions execute through their VIDL semantics — the
+//! very descriptions the offline phase validated — so the instruction
+//! database is the single source of truth for behaviour.
+
+pub mod cost;
+pub mod exec;
+pub mod printer;
+pub mod program;
+
+pub use cost::static_cycles;
+pub use exec::run_program;
+pub use printer::listing;
+pub use program::{LaneSrc, Reg, ScalarOp, VmInst, VmProgram};

@@ -1,0 +1,121 @@
+//! Assembly-flavoured listing of vector programs (for the Fig. 12 / 14
+//! style code snippets in the experiment reports).
+
+use crate::program::{classify_build, BuildKind, ScalarOp, VmInst, VmProgram};
+use std::fmt::Write as _;
+
+/// Render the program as an assembly-like listing.
+pub fn listing(prog: &VmProgram) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; {} ({} instructions)", prog.name, prog.instruction_count());
+    for inst in &prog.insts {
+        match inst {
+            VmInst::Scalar { dst, op } => match op {
+                ScalarOp::Const(c) => {
+                    let _ = writeln!(s, "  mov    {dst}, {c}");
+                }
+                ScalarOp::Bin { op, lhs, rhs } => {
+                    let _ = writeln!(s, "  {:<6} {dst}, {lhs}, {rhs}", op.name());
+                }
+                ScalarOp::FNeg { arg } => {
+                    let _ = writeln!(s, "  fneg   {dst}, {arg}");
+                }
+                ScalarOp::Cast { op, to, arg } => {
+                    let _ = writeln!(s, "  {:<6} {dst}, {arg} ; -> {to}", op.name());
+                }
+                ScalarOp::Cmp { pred, lhs, rhs } => {
+                    let _ = writeln!(s, "  cmp{:<3} {dst}, {lhs}, {rhs}", pred.name());
+                }
+                ScalarOp::Select { cond, on_true, on_false } => {
+                    let _ = writeln!(s, "  csel   {dst}, {cond}, {on_true}, {on_false}");
+                }
+            },
+            VmInst::LoadScalar { dst, base, offset } => {
+                let _ = writeln!(s, "  mov    {dst}, [{}+{offset}]", prog.params[*base].name);
+            }
+            VmInst::StoreScalar { base, offset, src } => {
+                let _ = writeln!(s, "  mov    [{}+{offset}], {src}", prog.params[*base].name);
+            }
+            VmInst::VecLoad { dst, base, start, lanes, .. } => {
+                let _ = writeln!(
+                    s,
+                    "  vmovdqu {dst}, [{}+{start}] ; {lanes} lanes",
+                    prog.params[*base].name
+                );
+            }
+            VmInst::VecStore { base, start, src } => {
+                let _ =
+                    writeln!(s, "  vmovdqu [{}+{start}], {src}", prog.params[*base].name);
+            }
+            VmInst::VecOp { dst, sem, args } => {
+                let mut ops = String::new();
+                for a in args {
+                    let _ = write!(ops, ", {a}");
+                }
+                let _ = writeln!(s, "  {:<6} {dst}{ops}", prog.sem_asm[*sem]);
+            }
+            VmInst::Build { dst, lanes, .. } => {
+                let mnemonic = match classify_build(lanes) {
+                    BuildKind::ConstantVector => "vconst",
+                    BuildKind::Broadcast => "vpbroadcast",
+                    BuildKind::Permute => "vpshuf",
+                    BuildKind::TwoSourceShuffle => "vshuf2",
+                    BuildKind::Insert { .. } => "vinsert",
+                };
+                let mut detail = String::new();
+                for l in lanes {
+                    match l {
+                        crate::program::LaneSrc::FromVec { src, lane } => {
+                            let _ = write!(detail, " {src}[{lane}]");
+                        }
+                        crate::program::LaneSrc::FromScalar(r) => {
+                            let _ = write!(detail, " {r}");
+                        }
+                        crate::program::LaneSrc::Const(c) => {
+                            let _ = write!(detail, " {c}");
+                        }
+                        crate::program::LaneSrc::Undef => {
+                            let _ = write!(detail, " _");
+                        }
+                    }
+                }
+                let _ = writeln!(s, "  {mnemonic:<6} {dst},{detail}");
+            }
+            VmInst::Extract { dst, src, lane } => {
+                let _ = writeln!(s, "  vextract {dst}, {src}[{lane}]");
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{LaneSrc, VmProgram};
+    use vegen_ir::{Param, Type};
+
+    #[test]
+    fn listing_covers_instruction_kinds() {
+        let mut p = VmProgram::new(
+            "show",
+            vec![Param { name: "A".into(), elem_ty: Type::I32, len: 8 }],
+        );
+        let a = p.fresh_reg();
+        let b = p.fresh_reg();
+        let x = p.fresh_reg();
+        p.push(VmInst::VecLoad { dst: a, base: 0, start: 0, lanes: 4, elem: Type::I32 });
+        p.push(VmInst::Build {
+            dst: b,
+            elem: Type::I32,
+            lanes: vec![LaneSrc::FromVec { src: a, lane: 3 }; 4],
+        });
+        p.push(VmInst::Extract { dst: x, src: b, lane: 0 });
+        p.push(VmInst::StoreScalar { base: 0, offset: 7, src: x });
+        let text = listing(&p);
+        assert!(text.contains("vmovdqu v0, [A+0]"));
+        assert!(text.contains("vpshuf"));
+        assert!(text.contains("vextract v2, v1[0]"));
+        assert!(text.contains("mov    [A+7], v2"));
+    }
+}

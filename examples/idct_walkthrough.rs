@@ -1,0 +1,51 @@
+//! Walkthrough: how beam width changes what VeGen finds on x265's idct4.
+//!
+//! ```sh
+//! cargo run --release --example idct_walkthrough
+//! ```
+//!
+//! idct4 is the paper's showcase kernel (§7.2, Fig. 12): profitable
+//! vectorization needs shuffles that feed `vpmaddwd` operands no compute
+//! pack produces directly, and only beam search (not the greedy SLP
+//! heuristic) is willing to pay for them up front.
+
+use vegen::driver::{compile, PipelineConfig};
+use vegen::core::BeamConfig;
+use vegen::isa::TargetIsa;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = vegen::kernels::find("idct4").expect("idct4 is a built-in kernel");
+    let f = (kernel.build)();
+    println!(
+        "idct4: {} scalar IR instructions (4x4 inverse DCT butterfly with\n\
+         widening constant multiplies, rounding shift, and i16 saturation)\n",
+        f.insts.len()
+    );
+
+    let mut last_cycles = f64::INFINITY;
+    for width in [1usize, 64, 128] {
+        let cfg = PipelineConfig {
+            target: TargetIsa::avx512vnni(),
+            beam: BeamConfig::with_width(width),
+            canonicalize_patterns: true,
+        };
+        let ck = compile(&f, &cfg);
+        ck.verify(32).map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+        let (scalar, baseline, vegen) = ck.cycles();
+        println!(
+            "beam width {width:>3}: {vegen:>6.1} cycles (scalar {scalar:.0}, LLVM-SLP {baseline:.0}) \
+             — {} packs, ops: {}",
+            ck.selection.packs.len(),
+            ck.vegen.vector_ops_used().join(", ")
+        );
+        if width == 128 {
+            println!("\nbeam-128 code (compare Fig. 12):\n{}", vegen::vm::listing(&ck.vegen));
+            assert!(
+                vegen <= last_cycles,
+                "the widest beam should not lose to the narrow ones here"
+            );
+        }
+        last_cycles = vegen;
+    }
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! VeGen: a vectorizer generator for SIMD and beyond — Rust reproduction.
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate. See the subcrates for the
+//! pieces:
+//!
+//! * [`ir`] — scalar SSA IR, interpreter, canonicalizer.
+//! * [`pseudo`] — Intel-pseudocode frontend and symbolic bit-vector
+//!   evaluator (the paper's offline z3 pipeline).
+//! * [`vidl`] — the Vector Instruction Description Language (Fig. 5).
+//! * [`isa`] — the target instruction database (SSE/AVX2/AVX512-VNNI).
+//! * [`matcher`] — generated pattern matchers and the match table.
+//! * [`core`] — vector packs and pack selection (SLP heuristic, beam search).
+//! * [`codegen`] — scheduling and lowering to vector programs.
+//! * [`vm`] — the vector virtual machine and cycle cost model.
+//! * [`baseline`] — an LLVM-style SLP vectorizer used as the comparator.
+//! * [`kernels`] — every kernel from the paper's evaluation as scalar IR.
+
+pub mod driver;
+
+pub use vegen_baseline as baseline;
+pub use vegen_codegen as codegen;
+pub use vegen_core as core;
+pub use vegen_ir as ir;
+pub use vegen_isa as isa;
+pub use vegen_kernels as kernels;
+pub use vegen_match as matcher;
+pub use vegen_pseudo as pseudo;
+pub use vegen_vidl as vidl;
+pub use vegen_vm as vm;

@@ -1,0 +1,55 @@
+//! Cross-crate correctness: every evaluation kernel, compiled for both
+//! targets at two beam widths, must be semantically equivalent to its
+//! scalar reference under execution (scalar, baseline, and VeGen programs
+//! alike).
+
+use vegen::driver::{compile, PipelineConfig};
+use vegen::core::BeamConfig;
+use vegen::isa::TargetIsa;
+
+fn check_all(target: TargetIsa, width: usize) {
+    for k in vegen::kernels::all() {
+        let f = (k.build)();
+        let cfg = PipelineConfig {
+            target: target.clone(),
+            beam: BeamConfig::with_width(width),
+            canonicalize_patterns: true,
+        };
+        let ck = compile(&f, &cfg);
+        ck.verify(16).unwrap_or_else(|e| {
+            panic!("kernel {} ({}, beam {width}) diverged: {e}", k.name, target.name)
+        });
+    }
+}
+
+#[test]
+fn all_kernels_avx2_slp_heuristic() {
+    check_all(TargetIsa::avx2(), 1);
+}
+
+#[test]
+fn all_kernels_avx2_beam16() {
+    check_all(TargetIsa::avx2(), 16);
+}
+
+#[test]
+fn all_kernels_avx512vnni_beam16() {
+    check_all(TargetIsa::avx512vnni(), 16);
+}
+
+#[test]
+fn kernels_without_pattern_canonicalization_stay_correct() {
+    // The Fig. 11 ablation configuration must degrade performance, never
+    // correctness.
+    for k in vegen::kernels::all() {
+        let f = (k.build)();
+        let cfg = PipelineConfig {
+            target: TargetIsa::avx2(),
+            beam: BeamConfig::with_width(16),
+            canonicalize_patterns: false,
+        };
+        let ck = compile(&f, &cfg);
+        ck.verify(8)
+            .unwrap_or_else(|e| panic!("kernel {} (no canon) diverged: {e}", k.name));
+    }
+}
