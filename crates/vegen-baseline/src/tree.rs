@@ -86,7 +86,15 @@ impl<'a> SlpForest<'a> {
         users: &'a [Vec<ValueId>],
         cfg: &'a BaselineConfig,
     ) -> SlpForest<'a> {
-        SlpForest { f, deps, users, cfg, trees: Vec::new(), claimed: HashMap::new(), covered_stores: Vec::new() }
+        SlpForest {
+            f,
+            deps,
+            users,
+            cfg,
+            trees: Vec::new(),
+            claimed: HashMap::new(),
+            covered_stores: Vec::new(),
+        }
     }
 
     /// Number of committed trees.
@@ -123,9 +131,8 @@ impl<'a> SlpForest<'a> {
         covered.dedup();
         // Extract penalty for values with users outside the tree.
         for &v in &covered {
-            let external = self.users[v.index()].iter().any(|u| {
-                !covered.contains(u) && !stores.contains(u)
-            });
+            let external =
+                self.users[v.index()].iter().any(|u| !covered.contains(u) && !stores.contains(u));
             if external {
                 vec_cost += 1.0;
             }
@@ -418,9 +425,7 @@ impl<'a> SlpForest<'a> {
             }
             need_scalar[v.index()] = true;
             for o in f.inst(v).operands() {
-                if self.claimed.contains_key(&o)
-                    || matches!(f.inst(o).kind, InstKind::Const(_))
-                {
+                if self.claimed.contains_key(&o) || matches!(f.inst(o).kind, InstKind::Const(_)) {
                     continue;
                 }
                 work.push(o);
@@ -445,9 +450,7 @@ impl<'a> SlpForest<'a> {
                     }
                     match self.claimed.get(&v) {
                         None => anchor = anchor.max(v.index() + 1),
-                        Some(&(ot, _, _)) if ot < anchors.len() => {
-                            anchor = anchor.max(anchors[ot])
-                        }
+                        Some(&(ot, _, _)) if ot < anchors.len() => anchor = anchor.max(anchors[ot]),
                         Some(_) => {}
                     }
                 }
@@ -479,7 +482,13 @@ impl<'a> SlpForest<'a> {
         for (v, _) in f.iter() {
             if let Some(trees) = tree_at.get(&v.index()) {
                 for &ti in trees {
-                    self.emit_tree(ti, &mut prog, &mut scalar_reg, &mut bundle_reg, &mut extract_reg);
+                    self.emit_tree(
+                        ti,
+                        &mut prog,
+                        &mut scalar_reg,
+                        &mut bundle_reg,
+                        &mut extract_reg,
+                    );
                 }
             }
             if need_scalar[v.index()] {
@@ -748,13 +757,8 @@ impl<'a> SlpForest<'a> {
                     dst
                 }
                 BundleKind::Op(shape) => {
-                    let args: Vec<Reg> =
-                        b.children.iter().map(|c| bundle_reg[&(ti, *c)]).collect();
-                    let in_tys: Vec<Type> = b
-                        .children
-                        .iter()
-                        .map(|&c| t.bundles[c].ty)
-                        .collect();
+                    let args: Vec<Reg> = b.children.iter().map(|c| bundle_reg[&(ti, *c)]).collect();
+                    let in_tys: Vec<Type> = b.children.iter().map(|&c| t.bundles[c].ty).collect();
                     let sem = synth_simd_sem(*shape, &in_tys, b.ty, b.vals.len());
                     let cost = self.bundle_vec_cost(b);
                     let si = prog.intern_sem(&sem, &sem.name.clone(), cost);
@@ -799,16 +803,17 @@ impl<'a> SlpForest<'a> {
 
 /// Synthesize the VIDL semantics of a generic (LLVM vector IR style) SIMD
 /// operation: `lanes` parallel copies of `shape` with elementwise operands.
-pub fn synth_simd_sem(shape: OpShape, in_tys: &[Type], out_ty: Type, lanes: usize) -> InstSemantics {
+pub fn synth_simd_sem(
+    shape: OpShape,
+    in_tys: &[Type],
+    out_ty: Type,
+    lanes: usize,
+) -> InstSemantics {
     let (name, params, expr): (String, Vec<Type>, Expr) = match shape {
         OpShape::Bin(op) => (
             format!("llvm.{}.v{lanes}{out_ty}", op.name()),
             vec![in_tys[0], in_tys[1]],
-            Expr::Bin {
-                op,
-                lhs: Box::new(Expr::Param(0)),
-                rhs: Box::new(Expr::Param(1)),
-            },
+            Expr::Bin { op, lhs: Box::new(Expr::Param(0)), rhs: Box::new(Expr::Param(1)) },
         ),
         OpShape::Cast(op, to, from) => (
             format!("llvm.{}.{from}.v{lanes}{to}", op.name()),
@@ -818,11 +823,7 @@ pub fn synth_simd_sem(shape: OpShape, in_tys: &[Type], out_ty: Type, lanes: usiz
         OpShape::Cmp(pred, _) => (
             format!("llvm.cmp_{}.v{lanes}{}", pred.name(), in_tys[0]),
             vec![in_tys[0], in_tys[1]],
-            Expr::Cmp {
-                pred,
-                lhs: Box::new(Expr::Param(0)),
-                rhs: Box::new(Expr::Param(1)),
-            },
+            Expr::Cmp { pred, lhs: Box::new(Expr::Param(0)), rhs: Box::new(Expr::Param(1)) },
         ),
         OpShape::Select => (
             format!("llvm.select.v{lanes}{out_ty}"),
@@ -840,8 +841,7 @@ pub fn synth_simd_sem(shape: OpShape, in_tys: &[Type], out_ty: Type, lanes: usiz
         ),
     };
     let op = Operation { name: format!("{name}_op"), params: params.clone(), ret: out_ty, expr };
-    let inputs: Vec<VecShape> =
-        params.iter().map(|&elem| VecShape { lanes, elem }).collect();
+    let inputs: Vec<VecShape> = params.iter().map(|&elem| VecShape { lanes, elem }).collect();
     let lane_bindings: Vec<LaneBinding> = (0..lanes)
         .map(|l| LaneBinding {
             op: 0,
@@ -850,7 +850,6 @@ pub fn synth_simd_sem(shape: OpShape, in_tys: &[Type], out_ty: Type, lanes: usiz
         .collect();
     InstSemantics { name, inputs, out_elem: out_ty, ops: vec![op], lanes: lane_bindings }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -862,12 +861,7 @@ mod tests {
         vegen_vidl::check_inst(&sem).unwrap();
         assert!(sem.is_simd());
         assert_eq!(sem.out_lanes(), 4);
-        let sel = synth_simd_sem(
-            OpShape::Select,
-            &[Type::I1, Type::F32, Type::F32],
-            Type::F32,
-            8,
-        );
+        let sel = synth_simd_sem(OpShape::Select, &[Type::I1, Type::F32, Type::F32], Type::F32, 8);
         vegen_vidl::check_inst(&sel).unwrap();
     }
 }

@@ -1,4 +1,8 @@
-//! Criterion benches, one group per evaluation artifact.
+//! Wall-clock benches, one group per evaluation artifact.
+//!
+//! Formerly a Criterion harness; this repository builds offline with no
+//! external crates, so the measurement loop is a small self-contained
+//! median-of-samples timer (`harness = false`).
 //!
 //! Two kinds of measurement:
 //!
@@ -15,8 +19,8 @@
 //!   They are included to pin total-work trends on the larger kernels, not
 //!   as a performance claim.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use vegen::driver::{compile, CompiledKernel, PipelineConfig};
 use vegen_core::BeamConfig;
 use vegen_ir::interp::random_memory;
@@ -35,88 +39,78 @@ fn compile_kernel(k: &Kernel, target: TargetIsa, width: usize) -> CompiledKernel
     ck
 }
 
+/// Median wall time of `f` over a fixed sample count, with a short warmup.
+fn bench(label: &str, mut f: impl FnMut()) {
+    const SAMPLES: usize = 15;
+    let warmup_until = Instant::now() + Duration::from_millis(50);
+    while Instant::now() < warmup_until {
+        f();
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        // Batch iterations so sub-microsecond bodies still measure.
+        let t0 = Instant::now();
+        for _ in 0..8 {
+            f();
+        }
+        times.push(t0.elapsed() / 8);
+    }
+    times.sort();
+    let median = times[SAMPLES / 2];
+    let min = times[0];
+    let max = times[SAMPLES - 1];
+    println!("{label:<40} median {median:>10.2?}  (min {min:.2?}, max {max:.2?})");
+}
+
 /// Compile-time scaling with beam width — idct4 is the kernel where the
 /// extra search effort famously pays off (Fig. 11/12).
-fn compile_time(c: &mut Criterion) {
+fn compile_time() {
     for name in ["pmaddwd", "idct4", "chroma", "int16x16"] {
         let k = vegen_kernels::find(name).unwrap();
         let f = (k.build)();
-        let mut g = c.benchmark_group(format!("compile/{name}"));
         for width in [1usize, 16, 64] {
             let config = cfg(TargetIsa::avx2(), width);
-            g.bench_function(format!("beam{width}"), |b| {
-                b.iter(|| black_box(compile(black_box(&f), &config)))
+            bench(&format!("compile/{name}/beam{width}"), || {
+                black_box(compile(black_box(&f), &config));
             });
         }
-        g.finish();
     }
 }
 
-fn bench_execute(c: &mut Criterion, group: &str, k: &Kernel, target: TargetIsa, width: usize) {
+fn bench_execute(group: &str, k: &Kernel, target: TargetIsa, width: usize) {
     let ck = compile_kernel(k, target, width);
     let mem0 = random_memory(&ck.function, 7);
-    let mut g = c.benchmark_group(format!("{group}/{}", k.name));
-    for (variant, prog) in [
-        ("scalar", &ck.scalar),
-        ("llvm_slp", &ck.baseline),
-        ("vegen", &ck.vegen),
-    ] {
-        g.bench_function(variant, |b| {
-            b.iter(|| {
-                let mut mem = mem0.clone();
-                run_program(black_box(prog), &mut mem).unwrap();
-                black_box(mem);
-            })
+    for (variant, prog) in
+        [("scalar", &ck.scalar), ("llvm_slp", &ck.baseline), ("vegen", &ck.vegen)]
+    {
+        bench(&format!("{group}/{}/{variant}", k.name), || {
+            let mut mem = mem0.clone();
+            run_program(black_box(prog), &mut mem).unwrap();
+            black_box(&mem);
         });
     }
-    g.finish();
 }
 
-/// Fig. 2: the TVM micro-kernel on AVX512-VNNI.
-fn fig2(c: &mut Criterion) {
-    let k = vegen_kernels::find("tvm_dot_16x1x16").unwrap();
-    bench_execute(c, "execute_fig2", &k, TargetIsa::avx512vnni(), 64);
-}
-
-/// Fig. 10: a representative subset of the isel tests (AVX2).
-fn fig10(c: &mut Criterion) {
+fn main() {
+    compile_time();
+    // Fig. 2: the TVM micro-kernel on AVX512-VNNI.
+    let tvm = vegen_kernels::find("tvm_dot_16x1x16").unwrap();
+    bench_execute("execute_fig2", &tvm, TargetIsa::avx512vnni(), 64);
+    // Fig. 10: a representative subset of the isel tests (AVX2).
     for name in ["pmaddwd", "pmaddubs", "hadd_i16", "max_pd", "abs_pd"] {
         let k = vegen_kernels::find(name).unwrap();
-        bench_execute(c, "execute_fig10", &k, TargetIsa::avx2(), 16);
+        bench_execute("execute_fig10", &k, TargetIsa::avx2(), 16);
     }
-}
-
-/// Fig. 11: the DSP kernels (AVX2; idct kernels at the paper's beam 128).
-fn fig11(c: &mut Criterion) {
+    // Fig. 11: the DSP kernels (AVX2; idct kernels at the paper's beam 128).
     for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::Dsp) {
         let width = if k.name.starts_with("idct") { 128 } else { 16 };
-        bench_execute(c, "execute_fig11", &k, TargetIsa::avx2(), width);
+        bench_execute("execute_fig11", &k, TargetIsa::avx2(), width);
     }
-}
-
-/// Fig. 13: the OpenCV dot products (AVX2).
-fn fig13(c: &mut Criterion) {
+    // Fig. 13: the OpenCV dot products (AVX2).
     for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::OpenCv) {
-        bench_execute(c, "execute_fig13", &k, TargetIsa::avx2(), 16);
+        bench_execute("execute_fig13", &k, TargetIsa::avx2(), 16);
     }
+    // Fig. 15: complex multiplication (AVX2).
+    let cmul = vegen_kernels::find("cmul").unwrap();
+    bench_execute("execute_fig15", &cmul, TargetIsa::avx2(), 16);
 }
-
-/// Fig. 15: complex multiplication (AVX2).
-fn fig15(c: &mut Criterion) {
-    let k = vegen_kernels::find("cmul").unwrap();
-    bench_execute(c, "execute_fig15", &k, TargetIsa::avx2(), 16);
-}
-
-fn quick_config() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .warm_up_time(std::time::Duration::from_millis(150))
-        .measurement_time(std::time::Duration::from_millis(400))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick_config();
-    targets = compile_time, fig2, fig10, fig11, fig13, fig15
-}
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 use vegen::driver::target_desc;
-use vegen_core::{select_packs, BeamConfig, CostModel, VectorizerCtx, OperandVec};
 use vegen_core::slp::SlpCost;
+use vegen_core::{select_packs, BeamConfig, CostModel, OperandVec, VectorizerCtx};
 use vegen_ir::canon::{add_narrow_constants, canonicalize};
 use vegen_ir::InstKind;
 use vegen_isa::TargetIsa;
@@ -10,20 +10,34 @@ fn main() {
     let f = add_narrow_constants(&canonicalize(&(k.build)()));
     let desc = target_desc(&TargetIsa::avx2(), true);
     let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-    let vals: Vec<_> = f.stores().iter().map(|&s| match f.inst(s).kind {
-        InstKind::Store { value, .. } => value, _ => unreachable!() }).collect();
+    let vals: Vec<_> = f
+        .stores()
+        .iter()
+        .map(|&s| match f.inst(s).kind {
+            InstKind::Store { value, .. } => value,
+            _ => unreachable!(),
+        })
+        .collect();
     let slp = SlpCost::new(&ctx);
     // First 8 outputs as one operand, second 8 as another.
     let x1 = OperandVec::from_values(vals[0..8].iter().copied());
     let x2 = OperandVec::from_values(vals[8..16].iter().copied());
     println!("costSLP(out[0..8]) = {:.1}", slp.cost(&x1));
     println!("costSLP(out[8..16]) = {:.1}", slp.cost(&x2));
-    let x4: Vec<f64> = (0..4).map(|i| slp.cost(&OperandVec::from_values(vals[i*4..(i+1)*4].iter().copied()))).collect();
+    let x4: Vec<f64> = (0..4)
+        .map(|i| slp.cost(&OperandVec::from_values(vals[i * 4..(i + 1) * 4].iter().copied())))
+        .collect();
     println!("costSLP per 4-chunk: {x4:?}");
     for (w, iters) in [(64usize, None), (128, Some(600usize))] {
         let cfg = BeamConfig { max_iters: iters, ..BeamConfig::with_width(w) };
         let t0 = std::time::Instant::now();
         let r = select_packs(&ctx, &cfg);
-        println!("beam {w}: vec {:.1} scalar {:.1} packs {} ({:?})", r.vector_cost, r.scalar_cost, r.packs.len(), t0.elapsed());
+        println!(
+            "beam {w}: vec {:.1} scalar {:.1} packs {} ({:?})",
+            r.vector_cost,
+            r.scalar_cost,
+            r.packs.len(),
+            t0.elapsed()
+        );
     }
 }

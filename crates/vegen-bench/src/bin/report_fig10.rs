@@ -2,13 +2,14 @@
 //! selection tests ported from LLVM's x86 backend. Table (a) lists tests
 //! the baseline can vectorize; (b) lists those it cannot (all non-SIMD).
 
-use vegen_bench::{config, measure};
+use vegen_bench::{config, measure_batch};
 use vegen_isa::TargetIsa;
 use vegen_kernels::Suite;
 
 fn main() {
     // Both the SLP heuristic and beam search generate the same code on
     // these tests in the paper; we report both widths to demonstrate it.
+    // Each width is one parallel batch through the shared engine.
     let cfg1 = config(TargetIsa::avx2(), 1, true);
     let cfg64 = config(TargetIsa::avx2(), 64, true);
     for (title, suite, paper) in [
@@ -23,10 +24,12 @@ fn main() {
             "paper: hadd_pd 1.4, hadd_ps 1.2, hsub_pd 1.4, hsub_ps 1.2, hadd_i16 2.9, hsub_i16 4.9, hadd_i32 1.3, hsub_i32 1.3, pmaddubs 16.8, pmaddwd 4.2",
         ),
     ] {
+        let kernels: Vec<_> =
+            vegen_kernels::all().into_iter().filter(|k| k.suite == suite).collect();
+        let rows1 = measure_batch(&kernels, &cfg1);
+        let rows64 = measure_batch(&kernels, &cfg64);
         let mut rows = Vec::new();
-        for k in vegen_kernels::all().into_iter().filter(|k| k.suite == suite) {
-            let r1 = measure(&k, &cfg1);
-            let r64 = measure(&k, &cfg64);
+        for (r1, r64) in rows1.iter().zip(&rows64) {
             rows.push(vec![
                 r1.name.clone(),
                 format!("{:.1}", r1.speedup),

@@ -3,24 +3,34 @@
 //! canonicalization, on AVX2 and AVX512-VNNI.
 
 use vegen::driver::PipelineConfig;
-use vegen_bench::{measure, print_table};
+use vegen_bench::{measure_batch, print_table};
 use vegen_core::BeamConfig;
 use vegen_isa::TargetIsa;
 use vegen_kernels::Suite;
 
 fn main() {
     for target in [TargetIsa::avx2(), TargetIsa::avx512vnni()] {
+        let kernels: Vec<_> =
+            vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::Dsp).collect();
+        // One parallel batch per column; the shared engine's cache carries
+        // repeated (kernel, config) pairs across figures.
+        let columns: Vec<Vec<vegen_bench::Row>> =
+            [(1usize, true), (64, true), (128, true), (128, false)]
+                .into_iter()
+                .map(|(width, canon)| {
+                    let cfg = PipelineConfig {
+                        target: target.clone(),
+                        beam: BeamConfig::with_width(width),
+                        canonicalize_patterns: canon,
+                    };
+                    measure_batch(&kernels, &cfg)
+                })
+                .collect();
         let mut rows = Vec::new();
-        for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::Dsp) {
+        for (i, k) in kernels.iter().enumerate() {
             let mut cells = vec![k.name.to_string()];
-            for (width, canon) in [(1usize, true), (64, true), (128, true), (128, false)] {
-                let cfg = PipelineConfig {
-                    target: target.clone(),
-                    beam: BeamConfig::with_width(width),
-                    canonicalize_patterns: canon,
-                };
-                let r = measure(&k, &cfg);
-                cells.push(format!("{:.2}", r.speedup));
+            for col in &columns {
+                cells.push(format!("{:.2}", col[i].speedup));
             }
             rows.push(cells);
         }

@@ -2,7 +2,7 @@
 //! AVX512-VNNI — the kernel where beam search finds what the SLP heuristic
 //! misses (shuffle-fed `vpmaddwd` + saturating `vpackssdw`).
 
-use vegen::driver::{compile, PipelineConfig};
+use vegen::driver::PipelineConfig;
 use vegen_core::BeamConfig;
 use vegen_isa::TargetIsa;
 use vegen_vm::static_cycles;
@@ -16,7 +16,7 @@ fn main() {
             beam: BeamConfig::with_width(width),
             canonicalize_patterns: true,
         };
-        let ck = compile(&f, &cfg);
+        let ck = vegen_bench::engine().compile_one(k.name, &f, &cfg).kernel;
         ck.verify(32).expect("idct4 must stay correct");
         let (sc, bl, vg) = ck.cycles();
         println!(

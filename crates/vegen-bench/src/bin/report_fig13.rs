@@ -1,21 +1,18 @@
 //! Fig. 13: OpenCV's fixed-size dot-product kernels on AVX2 and
 //! AVX512-VNNI (speedup over the LLVM-SLP baseline).
 
-use vegen_bench::{config, measure, print_table};
+use vegen_bench::{config, measure_batch, print_table};
 use vegen_isa::TargetIsa;
 use vegen_kernels::Suite;
 
 fn main() {
     for target in [TargetIsa::avx2(), TargetIsa::avx512vnni()] {
         let cfg = config(target.clone(), 64, true);
+        let kernels: Vec<_> =
+            vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::OpenCv).collect();
         let mut rows = Vec::new();
-        for k in vegen_kernels::all().into_iter().filter(|k| k.suite == Suite::OpenCv) {
-            let r = measure(&k, &cfg);
-            rows.push(vec![
-                r.name.clone(),
-                format!("{:.1}", r.speedup),
-                r.vegen_ops.join(" "),
-            ]);
+        for r in measure_batch(&kernels, &cfg) {
+            rows.push(vec![r.name.clone(), format!("{:.1}", r.speedup), r.vegen_ops.join(" ")]);
         }
         print_table(
             &format!("Fig. 13 — OpenCV dot products, {}", target.name),

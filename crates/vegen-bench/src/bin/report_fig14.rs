@@ -3,7 +3,7 @@
 //! even 32-bit lanes separately with the widening don't-care-lane multiply,
 //! then add), which matches OpenCV's expert-optimized code.
 
-use vegen::driver::{compile, PipelineConfig};
+use vegen::driver::PipelineConfig;
 use vegen_core::BeamConfig;
 use vegen_isa::TargetIsa;
 
@@ -15,7 +15,7 @@ fn main() {
         beam: BeamConfig::with_width(64),
         canonicalize_patterns: true,
     };
-    let ck = compile(&f, &cfg);
+    let ck = vegen_bench::engine().compile_one(k.name, &f, &cfg).kernel;
     ck.verify(32).expect("int32x8 must stay correct");
     let (sc, bl, vg) = ck.cycles();
     println!(

@@ -2,7 +2,7 @@
 //! the LLVM-SLP baseline leaves the kernel scalar because of the
 //! blend-cost overestimate in its profitability analysis.
 
-use vegen::driver::{compile, PipelineConfig};
+use vegen::driver::PipelineConfig;
 use vegen_baseline::{vectorize_baseline, BaselineConfig};
 use vegen_core::BeamConfig;
 use vegen_ir::canon::{add_narrow_constants, canonicalize};
@@ -17,14 +17,22 @@ fn main() {
         beam: BeamConfig::with_width(64),
         canonicalize_patterns: true,
     };
-    let ck = compile(&f, &cfg);
+    let ck = vegen_bench::engine().compile_one(k.name, &f, &cfg).kernel;
     ck.verify(64).expect("cmul must stay correct");
     let (sc, bl, vg) = ck.cycles();
     println!("== Fig. 15 — complex multiplication, AVX2 ==");
     println!("scalar {sc:.1} | LLVM-SLP {bl:.1} | VeGen {vg:.1} cycles");
     println!("VeGen speedup over LLVM: {:.2}x (paper: 1.27x)\n", bl / vg);
-    println!("VeGen ({} instructions):\n{}", ck.vegen.instruction_count(), vegen_vm::listing(&ck.vegen));
-    println!("LLVM-SLP baseline ({} instructions):\n{}", ck.baseline.instruction_count(), vegen_vm::listing(&ck.baseline));
+    println!(
+        "VeGen ({} instructions):\n{}",
+        ck.vegen.instruction_count(),
+        vegen_vm::listing(&ck.vegen)
+    );
+    println!(
+        "LLVM-SLP baseline ({} instructions):\n{}",
+        ck.baseline.instruction_count(),
+        vegen_vm::listing(&ck.baseline)
+    );
     assert_eq!(ck.baseline_trees, 0, "the baseline must refuse to vectorize cmul (§7.4)");
     assert!(ck.vegen.vector_ops_used().iter().any(|n| n.contains("fmaddsub")));
 

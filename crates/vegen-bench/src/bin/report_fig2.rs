@@ -1,7 +1,7 @@
 //! Fig. 2: the TVM convolution micro-kernel (`dot_16x1x16_uint8_int8_int32`)
 //! on AVX512-VNNI — instruction counts, speedups, and the generated code.
 
-use vegen::driver::{compile, PipelineConfig};
+use vegen::driver::PipelineConfig;
 use vegen_bench::print_table;
 use vegen_core::BeamConfig;
 use vegen_isa::TargetIsa;
@@ -14,7 +14,7 @@ fn main() {
         beam: BeamConfig::with_width(64),
         canonicalize_patterns: true,
     };
-    let ck = compile(&f, &cfg);
+    let ck = vegen_bench::engine().compile_one(k.name, &f, &cfg).kernel;
     ck.verify(32).expect("all programs must agree");
 
     let (sc, bl, vg) = ck.cycles();

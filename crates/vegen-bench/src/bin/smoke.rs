@@ -1,26 +1,54 @@
-//! Smoke run: compile, verify, and summarize every kernel on AVX2.
-use vegen_bench::{config, measure, print_table};
+//! Smoke run: batch-compile, verify, and summarize every kernel on AVX2
+//! through the shared engine — then run the batch again warm to show the
+//! content-addressed cache at work.
+use std::time::Instant;
+use vegen_bench::{config, engine, print_table};
+use vegen_engine::Job;
 use vegen_isa::TargetIsa;
 
 fn main() {
     let cfg = config(TargetIsa::avx2(), 16, true);
+    let jobs: Vec<Job> = vegen_kernels::all()
+        .into_iter()
+        .map(|k| Job::new(k.name, (k.build)(), cfg.clone()))
+        .collect();
+
+    let t0 = Instant::now();
+    let results = engine().compile_batch(&jobs);
+    let cold = t0.elapsed();
+
     let mut rows = Vec::new();
-    for k in vegen_kernels::all() {
-        let t0 = std::time::Instant::now();
-        let r = measure(&k, &cfg);
+    for r in &results {
+        if let Some(e) = &r.verify_error {
+            panic!("kernel {} failed verification: {e}", r.name);
+        }
+        let (sc, bl, vg) = r.kernel.cycles();
         rows.push(vec![
             r.name.clone(),
-            format!("{:.1}", r.scalar_cycles),
-            format!("{:.1}", r.baseline_cycles),
-            format!("{:.1}", r.vegen_cycles),
-            format!("{:.2}", r.speedup),
-            r.vegen_ops.join(","),
-            format!("{:?}", t0.elapsed()),
+            format!("{sc:.1}"),
+            format!("{bl:.1}"),
+            format!("{vg:.1}"),
+            format!("{:.2}", r.kernel.speedup_vs_baseline()),
+            r.kernel.vegen.vector_ops_used().join(","),
+            format!("{:?}", r.stages.total() + r.verify_time),
         ]);
     }
     print_table(
         "smoke (AVX2, beam 16)",
-        &["kernel", "scalar", "llvm", "vegen", "speedup", "vegen ops", "time"],
+        &["kernel", "scalar", "llvm", "vegen", "speedup", "vegen ops", "compile+verify"],
         &rows,
+    );
+
+    let t1 = Instant::now();
+    let warm = engine().compile_batch(&jobs);
+    let warm_wall = t1.elapsed();
+    let hits = warm.iter().filter(|r| r.cache_hit).count();
+    let stats = engine().cache_stats();
+    println!(
+        "\ncold batch {cold:.2?} | warm batch {warm_wall:.2?} ({hits}/{} cache hits) | \
+         cache {} entries, {:.0}% hit rate overall",
+        warm.len(),
+        stats.entries,
+        stats.hit_rate() * 100.0
     );
 }

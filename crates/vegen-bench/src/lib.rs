@@ -5,8 +5,10 @@
 //! crate (see `src/bin/`) plus a Criterion bench (see `benches/`); this
 //! library holds the common measurement code.
 
-use vegen::driver::{compile, CompiledKernel, PipelineConfig};
+use std::sync::OnceLock;
+use vegen::driver::{CompiledKernel, PipelineConfig};
 use vegen_core::BeamConfig;
+use vegen_engine::{Engine, EngineConfig, Job, JobResult};
 use vegen_isa::TargetIsa;
 use vegen_kernels::Kernel;
 
@@ -31,8 +33,20 @@ pub struct Row {
     pub baseline_vectorized: bool,
 }
 
-/// Compile a kernel under a configuration, verify all three programs, and
-/// measure.
+/// The process-wide compilation engine behind every figure and report.
+///
+/// Sharing one engine means one content-addressed cache: a kernel measured
+/// by several figures (or at a beam width another figure already used)
+/// compiles once per process, and every binary gets parallel batches for
+/// free.
+pub fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE
+        .get_or_init(|| Engine::new(EngineConfig { verify_trials: 24, ..EngineConfig::default() }))
+}
+
+/// Compile a kernel under a configuration (through the shared [`engine`]),
+/// verify all three programs, and measure.
 ///
 /// # Panics
 ///
@@ -40,10 +54,26 @@ pub struct Row {
 /// correctness bug that must never reach a report.
 pub fn measure(kernel: &Kernel, cfg: &PipelineConfig) -> Row {
     let f = (kernel.build)();
-    let ck = compile(&f, cfg);
-    ck.verify(24)
-        .unwrap_or_else(|e| panic!("kernel {} failed verification: {e}", kernel.name));
-    row_of(kernel.name, &ck)
+    let r = engine().compile_one(kernel.name, &f, cfg);
+    row_from(&r)
+}
+
+/// [`measure`] a whole batch in parallel; rows come back in input order.
+///
+/// # Panics
+///
+/// Panics if any program diverges from the scalar semantics.
+pub fn measure_batch(kernels: &[Kernel], cfg: &PipelineConfig) -> Vec<Row> {
+    let jobs: Vec<Job> =
+        kernels.iter().map(|k| Job::new(k.name, (k.build)(), cfg.clone())).collect();
+    engine().compile_batch(&jobs).iter().map(row_from).collect()
+}
+
+fn row_from(r: &JobResult) -> Row {
+    if let Some(e) = &r.verify_error {
+        panic!("kernel {} failed verification: {e}", r.name);
+    }
+    row_of(&r.name, &r.kernel)
 }
 
 /// Extract a [`Row`] from a compiled kernel.
@@ -67,11 +97,7 @@ pub fn row_of(name: &str, ck: &CompiledKernel) -> Row {
 
 /// Standard configuration used by the figure reports.
 pub fn config(target: TargetIsa, beam_width: usize, canonicalize_patterns: bool) -> PipelineConfig {
-    PipelineConfig {
-        target,
-        beam: BeamConfig::with_width(beam_width),
-        canonicalize_patterns,
-    }
+    PipelineConfig { target, beam: BeamConfig::with_width(beam_width), canonicalize_patterns }
 }
 
 /// Print a header + rows as an aligned text table.

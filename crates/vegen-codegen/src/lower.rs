@@ -55,9 +55,7 @@ pub fn lower(ctx: &VectorizerCtx<'_>, packs: &PackSet) -> VmProgram {
     for (_, p) in packs.iter() {
         for x in ctx.pack_operands(p).expect("selected packs have coherent operands") {
             for v in x.defined() {
-                if !vector_home.contains_key(&v)
-                    && !matches!(f.inst(v).kind, InstKind::Const(_))
-                {
+                if !vector_home.contains_key(&v) && !matches!(f.inst(v).kind, InstKind::Const(_)) {
                     work.push(v);
                 }
             }
@@ -155,8 +153,7 @@ impl<'c, 'a> Lowering<'c, 'a> {
             }
         };
         units.sort_by_key(key);
-        let index: HashMap<Unit, usize> =
-            units.iter().enumerate().map(|(i, u)| (*u, i)).collect();
+        let index: HashMap<Unit, usize> = units.iter().enumerate().map(|(i, u)| (*u, i)).collect();
         let mut indegree = vec![0usize; units.len()];
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
         for (i, u) in units.iter().enumerate() {
@@ -224,10 +221,7 @@ impl<'c, 'a> Lowering<'c, 'a> {
             }
         }
         let f = self.ctx.f;
-        let elem = self
-            .ctx
-            .operand_type(x)
-            .expect("operand lanes share an element type");
+        let elem = self.ctx.operand_type(x).expect("operand lanes share an element type");
         let lanes: Vec<LaneSrc> = x
             .lanes()
             .iter()
@@ -268,11 +262,9 @@ impl<'c, 'a> Lowering<'c, 'a> {
                 rhs: self.scalar_value_reg(*rhs),
             },
             InstKind::FNeg { arg } => ScalarOp::FNeg { arg: self.scalar_value_reg(*arg) },
-            InstKind::Cast { op, arg } => ScalarOp::Cast {
-                op: *op,
-                to: inst.ty,
-                arg: self.scalar_value_reg(*arg),
-            },
+            InstKind::Cast { op, arg } => {
+                ScalarOp::Cast { op: *op, to: inst.ty, arg: self.scalar_value_reg(*arg) }
+            }
             InstKind::Cmp { pred, lhs, rhs } => ScalarOp::Cmp {
                 pred: *pred,
                 lhs: self.scalar_value_reg(*lhs),
@@ -321,10 +313,8 @@ impl<'c, 'a> Lowering<'c, 'a> {
                 self.pack_reg.insert(id, src);
             }
             Pack::Compute { inst, .. } => {
-                let operands = self
-                    .ctx
-                    .pack_operands(&pack)
-                    .expect("selected packs have coherent operands");
+                let operands =
+                    self.ctx.pack_operands(&pack).expect("selected packs have coherent operands");
                 let di = &self.ctx.desc.insts[*inst];
                 let args: Vec<Reg> = operands
                     .iter()

@@ -47,11 +47,8 @@ fn extraction_is_cached_across_uses() {
     let d = b.sub(sums[3], sums[0]);
     b.store(x1, 1, d);
     let (_, prog) = pipeline(&b.finish(), 16);
-    let extracts: Vec<_> = prog
-        .insts
-        .iter()
-        .filter(|i| matches!(i, VmInst::Extract { .. }))
-        .collect();
+    let extracts: Vec<_> =
+        prog.insts.iter().filter(|i| matches!(i, VmInst::Extract { .. })).collect();
     // sums[3] extracted once, sums[0] once — never more than once per lane.
     assert!(extracts.len() <= 2, "{} extracts: {:?}", extracts.len(), extracts);
 }
@@ -73,8 +70,10 @@ fn broadcast_operand_shape() {
     assert!(prog.vector_op_count() >= 1, "{}", vegen_vm::listing(&prog));
     let has_broadcast = prog.insts.iter().any(|i| match i {
         VmInst::Build { lanes, .. } => {
-            matches!(vegen_vm::program::classify_build(lanes),
-                vegen_vm::program::BuildKind::Broadcast)
+            matches!(
+                vegen_vm::program::classify_build(lanes),
+                vegen_vm::program::BuildKind::Broadcast
+            )
         }
         _ => false,
     });

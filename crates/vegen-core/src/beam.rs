@@ -268,9 +268,8 @@ impl<'c, 'a> Search<'c, 'a> {
                 continue;
             }
             // All-constant operands fold to constant vectors.
-            let all_const = x
-                .defined()
-                .all(|v| matches!(self.ctx.f.inst(v).kind, InstKind::Const(_)));
+            let all_const =
+                x.defined().all(|v| matches!(self.ctx.f.inst(v).kind, InstKind::Const(_)));
             if all_const {
                 continue;
             }
@@ -697,13 +696,17 @@ mod tests {
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
         let r = select_packs(&ctx, &BeamConfig::with_width(8));
         assert!(r.vector_cost < r.scalar_cost);
-        let has_256 = r.packs.iter().any(|(_, p)| matches!(p, Pack::Compute { inst, .. }
-            if desc.insts[*inst].def.name == "paddd_256"));
+        let has_256 = r.packs.iter().any(|(_, p)| {
+            matches!(p, Pack::Compute { inst, .. }
+            if desc.insts[*inst].def.name == "paddd_256")
+        });
         let two_128 = r
             .packs
             .iter()
-            .filter(|(_, p)| matches!(p, Pack::Compute { inst, .. }
-                if desc.insts[*inst].def.name == "paddd_128"))
+            .filter(|(_, p)| {
+                matches!(p, Pack::Compute { inst, .. }
+                if desc.insts[*inst].def.name == "paddd_128")
+            })
             .count()
             == 2;
         assert!(has_256 || two_128, "{:?}", r.packs.iter().collect::<Vec<_>>());

@@ -83,10 +83,8 @@ impl CostModel {
     /// paper's special cases: an all-constant operand is free (it folds to
     /// a constant-pool load) and a broadcast costs one instruction.
     pub fn operand_insert_cost(&self, f: &Function, x: &OperandVec) -> f64 {
-        let non_const: Vec<ValueId> = x
-            .defined()
-            .filter(|v| !matches!(f.inst(*v).kind, InstKind::Const(_)))
-            .collect();
+        let non_const: Vec<ValueId> =
+            x.defined().filter(|v| !matches!(f.inst(*v).kind, InstKind::Const(_))).collect();
         if non_const.is_empty() {
             return 0.0;
         }

@@ -172,9 +172,8 @@ impl<'a> VectorizerCtx<'a> {
             while start <= hi {
                 // Clamp the window into the buffer.
                 let s = start.min(buf_len - width).max(0);
-                let loads: Vec<Option<ValueId>> = (0..width)
-                    .map(|i| self.loads_at.get(&(base, s + i)).copied())
-                    .collect();
+                let loads: Vec<Option<ValueId>> =
+                    (0..width).map(|i| self.loads_at.get(&(base, s + i)).copied()).collect();
                 if loads.iter().any(|l| l.is_some()) {
                     out.push(Pack::Load { base, start: s, loads, elem });
                 }
@@ -227,9 +226,7 @@ impl<'a> VectorizerCtx<'a> {
     pub fn pack_operands(&self, p: &Pack) -> Option<Vec<OperandVec>> {
         match p {
             Pack::Load { .. } => Some(Vec::new()),
-            Pack::Store { values, .. } => {
-                Some(vec![OperandVec::from_values(values.clone())])
-            }
+            Pack::Store { values, .. } => Some(vec![OperandVec::from_values(values.clone())]),
             Pack::Compute { inst, matches } => {
                 let di = &self.desc.insts[*inst];
                 let mut operands = Vec::with_capacity(di.operand_count());
@@ -295,9 +292,10 @@ impl<'a> VectorizerCtx<'a> {
                     for i in 0..=(run.len() - w) {
                         let chunk = &run[i..i + w];
                         let values: Vec<ValueId> = chunk.iter().map(|s| s.2).collect();
-                        if !self.deps.all_independent(
-                            &chunk.iter().map(|s| s.1).collect::<Vec<_>>(),
-                        ) {
+                        if !self
+                            .deps
+                            .all_independent(&chunk.iter().map(|s| s.1).collect::<Vec<_>>())
+                        {
                             continue;
                         }
                         out.push(Pack::Store {
@@ -368,11 +366,7 @@ impl<'a> VectorizerCtx<'a> {
             }
             out
         };
-        fn dfs(
-            node: usize,
-            marks: &mut [Mark],
-            succ: &dyn Fn(usize) -> Vec<usize>,
-        ) -> bool {
+        fn dfs(node: usize, marks: &mut [Mark], succ: &dyn Fn(usize) -> Vec<usize>) -> bool {
             match marks[node] {
                 Mark::Black => return true,
                 Mark::Grey => return false,
@@ -517,12 +511,7 @@ mod tests {
             .collect();
         loads.sort();
         // Operand wants lanes 0 and 2 only.
-        let x = OperandVec::new(vec![
-            Some(loads[0].1),
-            None,
-            Some(loads[2].1),
-            None,
-        ]);
+        let x = OperandVec::new(vec![Some(loads[0].1), None, Some(loads[2].1), None]);
         let producers = ctx.producers(&x);
         let lp = producers.iter().find(|p| p.is_load()).expect("load pack");
         let Pack::Load { loads: ls, .. } = lp else { panic!() };
@@ -545,12 +534,7 @@ mod tests {
             .collect();
         loads.sort();
         // Lanes [a1, _, a3, _] imply a load of A[1..5), out of bounds (len 4).
-        let x = OperandVec::new(vec![
-            Some(loads[1].1),
-            None,
-            Some(loads[3].1),
-            None,
-        ]);
+        let x = OperandVec::new(vec![Some(loads[1].1), None, Some(loads[3].1), None]);
         assert!(ctx.producers(&x).iter().all(|p| !p.is_load()));
     }
 
@@ -628,8 +612,10 @@ mod tests {
         let producers = ctx.producers(&x);
         let pm = producers
             .iter()
-            .find(|p| matches!(p, Pack::Compute { inst, .. }
-                if desc.insts[*inst].def.name == "pmaddwd_128"))
+            .find(|p| {
+                matches!(p, Pack::Compute { inst, .. }
+                if desc.insts[*inst].def.name == "pmaddwd_128")
+            })
             .expect("pmaddwd_128 must produce the 4 dot lanes");
         let operands = ctx.pack_operands(pm).unwrap();
         assert_eq!(operands.len(), 2);

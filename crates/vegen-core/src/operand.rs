@@ -67,14 +67,10 @@ impl OperandVec {
     /// of `self` equals the corresponding entry of `values`.
     pub fn produced_by(&self, values: &[Option<ValueId>]) -> bool {
         self.lanes.len() == values.len()
-            && self
-                .lanes
-                .iter()
-                .zip(values)
-                .all(|(want, have)| match want {
-                    None => true,
-                    Some(w) => *have == Some(*w),
-                })
+            && self.lanes.iter().zip(values).all(|(want, have)| match want {
+                None => true,
+                Some(w) => *have == Some(*w),
+            })
     }
 
     /// True if `v` appears in a defined lane.

@@ -200,12 +200,8 @@ mod tests {
     #[test]
     fn packset_dedupes() {
         let mut s = PackSet::new();
-        let p = Pack::Load {
-            base: 0,
-            start: 0,
-            loads: vec![Some(v(0)), Some(v(1))],
-            elem: Type::I16,
-        };
+        let p =
+            Pack::Load { base: 0, start: 0, loads: vec![Some(v(0)), Some(v(1))], elem: Type::I16 };
         let a = s.insert(p.clone());
         let b = s.insert(p);
         assert_eq!(a, b);

@@ -264,11 +264,7 @@ mod tests {
             .map(|(v, _)| v)
             .collect();
         let want = OperandVec::from_values(muls);
-        assert!(
-            seeds.contains(&want),
-            "expected in-order mul seed among {} seeds",
-            seeds.len()
-        );
+        assert!(seeds.contains(&want), "expected in-order mul seed among {} seeds", seeds.len());
     }
 
     #[test]

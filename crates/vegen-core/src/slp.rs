@@ -31,7 +31,11 @@ pub struct SlpCost<'c, 'a> {
 impl<'c, 'a> SlpCost<'c, 'a> {
     /// New evaluator over a context.
     pub fn new(ctx: &'c VectorizerCtx<'a>) -> SlpCost<'c, 'a> {
-        SlpCost { ctx, memo: RefCell::new(HashMap::new()), in_progress: RefCell::new(HashSet::new()) }
+        SlpCost {
+            ctx,
+            memo: RefCell::new(HashMap::new()),
+            in_progress: RefCell::new(HashSet::new()),
+        }
     }
 
     /// The insertion arm of the recurrence: build `v` from scalars.

@@ -1,0 +1,269 @@
+//! Content-addressed compilation cache.
+//!
+//! VeGen's offline/online split (§6.1) makes compilation results pure
+//! functions of their inputs: the same canonical scalar function, compiled
+//! for the same target with the same search configuration, always yields
+//! the same three programs. The cache exploits that by addressing entries
+//! with a stable 128-bit content hash of
+//! `(canonical Function, TargetIsa name, BeamConfig, canonicalize_patterns)`
+//! — *not* by kernel name, so renamed or duplicated kernels still hit.
+//!
+//! The map is LRU-bounded and fully thread-safe; hit/miss/eviction
+//! counters feed the engine's telemetry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use vegen::driver::{CompiledKernel, PipelineConfig, StageTimes};
+use vegen_ir::Function;
+
+/// Stable 128-bit content address of a compilation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl ContentHash {
+    /// Hex rendering (for reports and logs).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// FNV-1a over `bytes`, in two independently-offset 64-bit lanes.
+///
+/// FNV is stable across processes, platforms, and Rust versions — unlike
+/// `DefaultHasher`, which documents no such guarantee — which is what makes
+/// the address *content*-derived rather than process-derived.
+fn fnv128(bytes: &[u8]) -> ContentHash {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lo: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hi: u64 = 0x6c62_272e_07bb_0142; // a distinct offset basis
+    for &b in bytes {
+        lo = (lo ^ b as u64).wrapping_mul(PRIME);
+        hi = (hi ^ (b as u64).rotate_left(3)).wrapping_mul(PRIME);
+    }
+    ContentHash(((hi as u128) << 64) | lo as u128)
+}
+
+/// Compute the content address of a compilation input.
+///
+/// The function must already be canonical (the engine canonicalizes before
+/// hashing) so that textually different but canonically identical inputs
+/// share an address. The serialization is the IR printer's output — the
+/// stable, human-auditable form — joined with every config field that can
+/// change the output program.
+pub fn content_hash(canonical: &Function, cfg: &PipelineConfig) -> ContentHash {
+    let mut key = String::new();
+    key.push_str(&canonical.to_string());
+    key.push('\u{1f}');
+    key.push_str(&cfg.target.name);
+    key.push('\u{1f}');
+    // BeamConfig (incl. AffinityParams) derives Debug from plain scalar
+    // fields, so its Debug form is a faithful, stable serialization.
+    key.push_str(&format!("{:?}", cfg.beam));
+    key.push('\u{1f}');
+    key.push_str(if cfg.canonicalize_patterns { "canon" } else { "raw" });
+    fnv128(key.as_bytes())
+}
+
+/// One cached compilation, with the stage times of the original (miss)
+/// compile so warm runs can still report where the cold time went.
+#[derive(Debug, Clone)]
+pub struct CachedCompile {
+    /// The three programs plus selection statistics.
+    pub kernel: Arc<CompiledKernel>,
+    /// Stage wall times of the compile that populated this entry.
+    pub stages: StageTimes,
+}
+
+struct Entry {
+    value: CachedCompile,
+    last_used: u64,
+}
+
+/// Point-in-time counters of a [`CompileCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// The LRU bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, thread-safe, content-addressed map of compilation results.
+pub struct CompileCache {
+    map: Mutex<HashMap<ContentHash, Entry>>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CompileCache {
+    /// A cache holding at most `capacity` compilations (min 1).
+    pub fn new(capacity: usize) -> CompileCache {
+        CompileCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up an address, refreshing its recency on a hit.
+    pub fn get(&self, key: ContentHash) -> Option<CachedCompile> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock().unwrap();
+        match map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a compilation, evicting the least-recently-used entry if the
+    /// bound is reached. If another worker raced the same address in, the
+    /// first insert wins and its value is returned — callers therefore
+    /// always agree on one `Arc` per address.
+    pub fn insert(&self, key: ContentHash, value: CachedCompile) -> CachedCompile {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock().unwrap();
+        if let Some(existing) = map.get_mut(&key) {
+            existing.last_used = tick;
+            return existing.value.clone();
+        }
+        if map.len() >= self.capacity {
+            // O(n) scan; the bound is small (hundreds) and eviction rare
+            // next to the cost of the compilations it displaces.
+            if let Some(&lru) = map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k) {
+                map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(key, Entry { value: value.clone(), last_used: tick });
+        value
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.map.lock().unwrap().len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vegen::driver::compile_timed;
+    use vegen_core::BeamConfig;
+    use vegen_ir::canon::{add_narrow_constants, canonicalize};
+    use vegen_ir::{FunctionBuilder, Type};
+    use vegen_isa::TargetIsa;
+
+    fn tiny(name: &str, lanes: i64) -> vegen_ir::Function {
+        let mut b = FunctionBuilder::new(name);
+        let a = b.param("A", Type::I32, lanes as usize);
+        let c = b.param("C", Type::I32, lanes as usize);
+        for i in 0..lanes {
+            let x = b.load(a, i);
+            let y = b.add(x, x);
+            b.store(c, i, y);
+        }
+        b.finish()
+    }
+
+    fn cached(f: &vegen_ir::Function, cfg: &PipelineConfig) -> CachedCompile {
+        let (kernel, stages) = compile_timed(f, cfg);
+        CachedCompile { kernel: Arc::new(kernel), stages }
+    }
+
+    #[test]
+    fn hash_ignores_name_but_not_body_or_config() {
+        let cfg = PipelineConfig::new(TargetIsa::avx2(), 8);
+        let canon = |f: &vegen_ir::Function| add_narrow_constants(&canonicalize(f));
+        let a = content_hash(&canon(&tiny("a", 4)), &cfg);
+        let b = content_hash(&canon(&tiny("a", 4)), &cfg);
+        assert_eq!(a, b, "hashing must be deterministic");
+        let widened = content_hash(&canon(&tiny("a", 8)), &cfg);
+        assert_ne!(a, widened, "different body must address differently");
+        let other_beam = PipelineConfig {
+            beam: BeamConfig::with_width(1),
+            ..PipelineConfig::new(TargetIsa::avx2(), 8)
+        };
+        assert_ne!(
+            a,
+            content_hash(&canon(&tiny("a", 4)), &other_beam),
+            "beam config is part of the address"
+        );
+        let vnni = PipelineConfig::new(TargetIsa::avx512vnni(), 8);
+        assert_ne!(a, content_hash(&canon(&tiny("a", 4)), &vnni), "target is part of the address");
+    }
+
+    #[test]
+    fn lru_bound_evicts_and_counts() {
+        let cfg = PipelineConfig::new(TargetIsa::avx2(), 1);
+        let cache = CompileCache::new(2);
+        let fs: Vec<_> = (2..5).map(|n| tiny("k", n)).collect();
+        let keys: Vec<_> = fs.iter().map(|f| content_hash(f, &cfg)).collect();
+        for (f, &k) in fs.iter().zip(&keys) {
+            assert!(cache.get(k).is_none());
+            cache.insert(k, cached(f, &cfg));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 3);
+        // keys[0] was least recently used and must be gone; the rest hit.
+        assert!(cache.get(keys[0]).is_none());
+        assert!(cache.get(keys[1]).is_some());
+        assert!(cache.get(keys[2]).is_some());
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn racing_inserts_agree_on_one_value() {
+        let cfg = PipelineConfig::new(TargetIsa::avx2(), 1);
+        let f = tiny("k", 4);
+        let key = content_hash(&f, &cfg);
+        let cache = CompileCache::new(8);
+        let first = cache.insert(key, cached(&f, &cfg));
+        let second = cache.insert(key, cached(&f, &cfg));
+        assert!(Arc::ptr_eq(&first.kernel, &second.kernel));
+    }
+}

@@ -1,0 +1,256 @@
+#![warn(missing_docs)]
+
+//! `vegen-engine` — a parallel, cached, instrumented batch-compilation
+//! service around the [`vegen::driver`] pipeline.
+//!
+//! The paper splits VeGen into an expensive *offline* phase (generating
+//! the target description from instruction semantics, §6.1) and a fast
+//! *online* phase (matching + pack selection + lowering). Both halves are
+//! pure functions of their inputs, which makes the whole pipeline
+//! cacheable and shardable; this crate is the production-shaped layer
+//! that exploits it:
+//!
+//! * a [content-addressed compilation cache](cache) — stable hash of
+//!   `(canonical Function, TargetIsa name, BeamConfig,
+//!   canonicalize_patterns)` to `Arc<CompiledKernel>`, LRU-bounded, with
+//!   hit/miss counters;
+//! * a [work-stealing batch executor](pool) on `std` scoped threads that
+//!   compiles a batch of named kernels in parallel and returns
+//!   deterministic, input-ordered results;
+//! * a telemetry layer: per-stage wall times from
+//!   [`vegen::driver::StageTimes`] plus engine-level counters (cache
+//!   hits, beam states expanded, packs committed), exported as a
+//!   JSON-serializable [`report::EngineReport`];
+//! * a `vegen-engine` binary that pushes the whole `vegen-kernels` suite
+//!   through the engine, cold and warm, and emits the JSON report.
+//!
+//! ```
+//! use vegen_engine::{Engine, EngineConfig, Job};
+//! use vegen::driver::PipelineConfig;
+//! use vegen_isa::TargetIsa;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let cfg = PipelineConfig::new(TargetIsa::avx2(), 8);
+//! let jobs: Vec<Job> = vegen_kernels::all()
+//!     .into_iter()
+//!     .take(4)
+//!     .map(|k| Job::new(k.name, (k.build)(), cfg.clone()))
+//!     .collect();
+//! let results = engine.compile_batch(&jobs);
+//! assert_eq!(results.len(), 4);
+//! // A second run of the same batch is served from the cache.
+//! let again = engine.compile_batch(&jobs);
+//! assert!(again.iter().all(|r| r.cache_hit));
+//! ```
+
+pub mod cache;
+pub mod json;
+pub mod pool;
+pub mod report;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cache::{content_hash, CacheStats, CachedCompile, CompileCache, ContentHash};
+use vegen::driver::{compile_prepared_timed, prepare, CompiledKernel, PipelineConfig, StageTimes};
+use vegen_ir::Function;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for batches; `0` means the machine's available
+    /// parallelism (clamped to the batch size either way).
+    pub threads: usize,
+    /// LRU bound on the compilation cache.
+    pub cache_capacity: usize,
+    /// Random trials for post-compilation equivalence checking of all
+    /// three programs; `0` skips verification. Verification runs once per
+    /// cache entry — hits are served without re-checking.
+    pub verify_trials: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig { threads: 0, cache_capacity: 512, verify_trials: 16 }
+    }
+}
+
+/// One named compilation request.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display name (kernel name in reports; not part of the cache key).
+    pub name: String,
+    /// The scalar function to compile.
+    pub function: Function,
+    /// Target + search configuration.
+    pub pipeline: PipelineConfig,
+}
+
+impl Job {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, function: Function, pipeline: PipelineConfig) -> Job {
+        Job { name: name.into(), function, pipeline }
+    }
+}
+
+/// The engine's answer for one [`Job`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's display name.
+    pub name: String,
+    /// Content address this job resolved to.
+    pub hash: ContentHash,
+    /// The compiled kernel (shared with the cache and any equal jobs).
+    pub kernel: Arc<CompiledKernel>,
+    /// Per-stage wall times of the compile that produced `kernel` — on a
+    /// cache hit these are the *original* (cold) times, kept so warm runs
+    /// can still attribute where the cold time went.
+    pub stages: StageTimes,
+    /// Whether the cache served this job.
+    pub cache_hit: bool,
+    /// Time spent verifying (zero on hits and when verification is off).
+    pub verify_time: Duration,
+    /// First divergence found by verification, if any.
+    pub verify_error: Option<String>,
+    /// Wall time this job cost in *this* run (hash + lookup on a hit).
+    pub wall: Duration,
+}
+
+/// Engine-lifetime counters (monotonic; never reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Beam-search states expanded across all cache-miss compilations.
+    pub states_expanded: u64,
+    /// Packs committed by selected pack sets across all misses.
+    pub packs_committed: u64,
+    /// Compilations performed (cache misses that ran the pipeline).
+    pub compilations: u64,
+}
+
+/// A parallel, cached, instrumented batch compiler.
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: CompileCache,
+    states_expanded: AtomicU64,
+    packs_committed: AtomicU64,
+    compilations: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        let capacity = cfg.cache_capacity;
+        Engine {
+            cfg,
+            cache: CompileCache::new(capacity),
+            states_expanded: AtomicU64::new(0),
+            packs_committed: AtomicU64::new(0),
+            compilations: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Compile one function, through the cache.
+    pub fn compile_one(
+        &self,
+        name: &str,
+        function: &Function,
+        pipeline: &PipelineConfig,
+    ) -> JobResult {
+        let t0 = Instant::now();
+        let prep_start = Instant::now();
+        let canonical = prepare(function);
+        let canonicalize_time = prep_start.elapsed();
+        let hash = content_hash(&canonical, pipeline);
+
+        if let Some(hit) = self.cache.get(hash) {
+            return JobResult {
+                name: name.to_string(),
+                hash,
+                kernel: hit.kernel,
+                stages: hit.stages,
+                cache_hit: true,
+                verify_time: Duration::ZERO,
+                verify_error: None,
+                wall: t0.elapsed(),
+            };
+        }
+
+        let (kernel, mut stages) = compile_prepared_timed(canonical, pipeline);
+        stages.canonicalize = canonicalize_time;
+        self.states_expanded.fetch_add(kernel.selection.states_expanded as u64, Ordering::Relaxed);
+        self.packs_committed.fetch_add(kernel.selection.packs.len() as u64, Ordering::Relaxed);
+        self.compilations.fetch_add(1, Ordering::Relaxed);
+
+        let verify_start = Instant::now();
+        let verify_error = if self.cfg.verify_trials > 0 {
+            kernel.verify(self.cfg.verify_trials).err()
+        } else {
+            None
+        };
+        let verify_time = verify_start.elapsed();
+
+        let kernel = Arc::new(kernel);
+        // Failed compilations are not poisoned into the cache.
+        let value = if verify_error.is_none() {
+            self.cache.insert(hash, CachedCompile { kernel: kernel.clone(), stages })
+        } else {
+            CachedCompile { kernel: kernel.clone(), stages }
+        };
+        JobResult {
+            name: name.to_string(),
+            hash,
+            kernel: value.kernel,
+            stages: value.stages,
+            cache_hit: false,
+            verify_time,
+            verify_error,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// Compile a batch in parallel. Results are input-ordered and
+    /// deterministic: the programs produced never depend on thread count
+    /// or scheduling, only the timing fields do.
+    pub fn compile_batch(&self, jobs: &[Job]) -> Vec<JobResult> {
+        let threads = if self.cfg.threads == 0 {
+            pool::default_threads(jobs.len())
+        } else {
+            self.cfg.threads
+        };
+        pool::run_batch(threads, jobs, |_, job| {
+            self.compile_one(&job.name, &job.function, &job.pipeline)
+        })
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Engine-lifetime pipeline counters.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            states_expanded: self.states_expanded.load(Ordering::Relaxed),
+            packs_committed: self.packs_committed.load(Ordering::Relaxed),
+            compilations: self.compilations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every cache entry (counters are kept; useful for cold-run
+    /// measurements).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+}

@@ -1,0 +1,129 @@
+//! A dependency-free work-stealing batch executor on `std` scoped threads.
+//!
+//! Kernels vary wildly in compile cost (a beam-128 `fft8` is orders of
+//! magnitude slower than a two-lane add), so static chunking strands
+//! workers; instead each worker owns a deque of job indices, pops from its
+//! own front, and steals from the *back* of the busiest victim when it runs
+//! dry. Results land in their input slot, so the returned vector is always
+//! in input order no matter how execution interleaved.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of workers to use for `n` jobs: the available parallelism,
+/// clamped to the job count (spawning more threads than jobs is waste).
+pub fn default_threads(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(4, |p| p.get());
+    hw.min(n).max(1)
+}
+
+/// Run `work(index, &item)` over every item on `threads` workers and
+/// return the results in input order.
+///
+/// `work` runs exactly once per item. Panics in `work` propagate: the
+/// scope joins all workers, then the panic resurfaces on the caller.
+pub fn run_batch<T, R, F>(threads: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, item)| work(i, item)).collect();
+    }
+
+    // Deal job indices round-robin so each deque starts with a spread of
+    // cheap and expensive jobs rather than a contiguous (and possibly
+    // uniformly expensive) range.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|w| Mutex::new((w..n).step_by(threads).collect())).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let slots = &slots;
+            let work = &work;
+            scope.spawn(move || loop {
+                // Own queue first (front: LIFO-ish locality is irrelevant
+                // here, FIFO keeps input order roughly preserved)…
+                let job = queues[me].lock().unwrap().pop_front();
+                let job = match job {
+                    Some(j) => Some(j),
+                    // …then steal from the back of the fullest victim.
+                    None => {
+                        let victim = (0..threads)
+                            .filter(|&v| v != me)
+                            .max_by_key(|&v| queues[v].lock().unwrap().len());
+                        victim.and_then(|v| queues[v].lock().unwrap().pop_back())
+                    }
+                };
+                match job {
+                    Some(i) => {
+                        let r = work(i, &items[i]);
+                        *slots[i].lock().unwrap() = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every job ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_input_ordered_and_complete() {
+        let items: Vec<usize> = (0..137).collect();
+        for threads in [1, 2, 7, 32] {
+            let out = run_batch(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run_batch(8, &(0..64).collect::<Vec<usize>>(), |_, &x| {
+            counters[x].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn uneven_jobs_still_finish() {
+        // One expensive job at the front exercises the stealing path.
+        let items: Vec<u64> = (0..24).map(|i| if i == 0 { 2_000_000 } else { 10 }).collect();
+        let out = run_batch(4, &items, |_, &spins| {
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            spins
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<()> = run_batch(8, &Vec::<u8>::new(), |_, _| ());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Telemetry report types and their JSON rendering.
+//!
+//! An [`EngineReport`] is the engine's external instrumentation surface:
+//! one entry per kernel (cycles under the paper's throughput model,
+//! speedups, per-stage wall times, search statistics) plus engine-level
+//! cache and pipeline counters. The shapes are plain data and would
+//! `#[derive(serde::Serialize)]` verbatim; this workspace builds offline
+//! without serde, so rendering goes through the in-tree [`json`] writer
+//! instead.
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+use crate::{EngineCounters, JobResult};
+use std::time::Duration;
+use vegen::driver::StageTimes;
+
+fn micros(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e6)
+}
+
+/// Per-stage wall times in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageReport {
+    /// The stage times being reported.
+    pub stages: StageTimes,
+    /// Verification time (the engine's own stage, not the driver's).
+    pub verify: Duration,
+}
+
+impl StageReport {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("canonicalize_us", micros(self.stages.canonicalize)),
+            ("target_desc_us", micros(self.stages.target_desc)),
+            ("selection_us", micros(self.stages.selection)),
+            ("lowering_us", micros(self.stages.lowering)),
+            ("baseline_us", micros(self.stages.baseline)),
+            ("verify_us", micros(self.verify)),
+            ("total_us", micros(self.stages.total() + self.verify)),
+        ])
+    }
+}
+
+/// One kernel's row in the report.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Content address (hex).
+    pub content_hash: String,
+    /// Whether the cache served it.
+    pub cache_hit: bool,
+    /// Estimated cycles: scalar / baseline-SLP / VeGen.
+    pub scalar_cycles: f64,
+    /// Baseline cycles.
+    pub baseline_cycles: f64,
+    /// VeGen cycles.
+    pub vegen_cycles: f64,
+    /// VeGen speedup over the baseline (the paper's headline metric).
+    pub speedup_vs_baseline: f64,
+    /// VeGen speedup over scalar.
+    pub speedup_vs_scalar: f64,
+    /// Beam states expanded selecting this kernel's packs.
+    pub states_expanded: usize,
+    /// Packs the selection committed.
+    pub packs_committed: usize,
+    /// Distinct vector instructions VeGen used.
+    pub vegen_ops: Vec<String>,
+    /// Stage timings (cold-compile attribution; see [`JobResult::stages`]).
+    pub stage_times: StageReport,
+    /// Wall time this job cost in this run.
+    pub wall: Duration,
+    /// Verification failure, if any.
+    pub verify_error: Option<String>,
+}
+
+impl KernelReport {
+    /// Build a row from an engine result.
+    pub fn from_result(r: &JobResult) -> KernelReport {
+        let (scalar, baseline, vegen) = r.kernel.cycles();
+        KernelReport {
+            name: r.name.clone(),
+            content_hash: r.hash.hex(),
+            cache_hit: r.cache_hit,
+            scalar_cycles: scalar,
+            baseline_cycles: baseline,
+            vegen_cycles: vegen,
+            speedup_vs_baseline: r.kernel.speedup_vs_baseline(),
+            speedup_vs_scalar: r.kernel.speedup_vs_scalar(),
+            states_expanded: r.kernel.selection.states_expanded,
+            packs_committed: r.kernel.selection.packs.len(),
+            vegen_ops: r.kernel.vegen.vector_ops_used(),
+            stage_times: StageReport { stages: r.stages, verify: r.verify_time },
+            wall: r.wall,
+            verify_error: r.verify_error.clone(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("content_hash", Json::str(&self.content_hash)),
+            ("cache_hit", Json::Bool(self.cache_hit)),
+            ("scalar_cycles", Json::Num(self.scalar_cycles)),
+            ("baseline_cycles", Json::Num(self.baseline_cycles)),
+            ("vegen_cycles", Json::Num(self.vegen_cycles)),
+            ("speedup_vs_baseline", Json::Num(self.speedup_vs_baseline)),
+            ("speedup_vs_scalar", Json::Num(self.speedup_vs_scalar)),
+            ("states_expanded", Json::int(self.states_expanded as u64)),
+            ("packs_committed", Json::int(self.packs_committed as u64)),
+            ("vegen_ops", Json::Arr(self.vegen_ops.iter().map(Json::str).collect())),
+            ("stage_times", self.stage_times.to_json()),
+            ("wall_us", micros(self.wall)),
+            (
+                "verify_error",
+                match &self.verify_error {
+                    Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// One pass of a batch through the engine.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Run label ("cold", "warm", …).
+    pub label: String,
+    /// Total batch wall time.
+    pub wall: Duration,
+    /// Cache hits within this run.
+    pub cache_hits: usize,
+    /// Kernel rows, in input order.
+    pub kernels: Vec<KernelReport>,
+}
+
+impl RunReport {
+    /// Build a run row from a labeled batch result.
+    pub fn new(label: impl Into<String>, wall: Duration, results: &[JobResult]) -> RunReport {
+        RunReport {
+            label: label.into(),
+            wall,
+            cache_hits: results.iter().filter(|r| r.cache_hit).count(),
+            kernels: results.iter().map(KernelReport::from_result).collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(&self.label)),
+            ("wall_us", micros(self.wall)),
+            ("cache_hits", Json::int(self.cache_hits as u64)),
+            ("kernels_total", Json::int(self.kernels.len() as u64)),
+            ("kernels", Json::Arr(self.kernels.iter().map(|k| k.to_json()).collect())),
+        ])
+    }
+}
+
+/// The full instrumentation report of an engine session.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Target ISA name.
+    pub target: String,
+    /// Beam width used.
+    pub beam_width: usize,
+    /// Worker threads (resolved, not the `0` sentinel).
+    pub threads: usize,
+    /// Verification trials per cache entry.
+    pub verify_trials: u64,
+    /// Runs, in execution order.
+    pub runs: Vec<RunReport>,
+    /// Cache counters at report time.
+    pub cache: CacheStats,
+    /// Engine-lifetime pipeline counters.
+    pub counters: EngineCounters,
+}
+
+impl EngineReport {
+    /// Render as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("vegen-engine-report/v1")),
+            ("target", Json::str(&self.target)),
+            ("beam_width", Json::int(self.beam_width as u64)),
+            ("threads", Json::int(self.threads as u64)),
+            ("verify_trials", Json::int(self.verify_trials)),
+            ("runs", Json::Arr(self.runs.iter().map(|r| r.to_json()).collect())),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::int(self.cache.hits)),
+                    ("misses", Json::int(self.cache.misses)),
+                    ("evictions", Json::int(self.cache.evictions)),
+                    ("entries", Json::int(self.cache.entries as u64)),
+                    ("capacity", Json::int(self.cache.capacity as u64)),
+                    ("hit_rate", Json::Num(self.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "counters",
+                Json::obj([
+                    ("states_expanded", Json::int(self.counters.states_expanded)),
+                    ("packs_committed", Json::int(self.counters.packs_committed)),
+                    ("compilations", Json::int(self.counters.compilations)),
+                ]),
+            ),
+        ])
+    }
+}

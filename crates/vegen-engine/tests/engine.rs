@@ -1,0 +1,119 @@
+//! Engine integration tests: determinism across runs and engines, cache
+//! behavior on warm batches, and serial/parallel agreement.
+
+use std::sync::Arc;
+use vegen::driver::PipelineConfig;
+use vegen_core::BeamConfig;
+use vegen_engine::{Engine, EngineConfig, Job};
+use vegen_isa::TargetIsa;
+use vegen_vm::listing;
+
+/// A cheap but non-trivial batch: the OpenCV dot products plus a few isel
+/// tests, at a small beam width so debug-mode CI stays fast.
+fn batch() -> Vec<Job> {
+    // idct4/chroma are the saturating kernels whose clamp constants once
+    // exposed HashSet-ordered (nondeterministic) canonicalization.
+    let names = [
+        "int8x32", "uint8x32", "int32x8", "int16x16", "pmaddwd", "hadd_i16", "max_pd", "idct4",
+        "chroma",
+    ];
+    let pipeline = PipelineConfig {
+        target: TargetIsa::avx2(),
+        beam: BeamConfig::with_width(4),
+        canonicalize_patterns: true,
+    };
+    names
+        .iter()
+        .map(|n| {
+            let k = vegen_kernels::find(n).unwrap_or_else(|| panic!("kernel {n} must exist"));
+            Job::new(k.name, (k.build)(), pipeline.clone())
+        })
+        .collect()
+}
+
+fn engine(threads: usize) -> Engine {
+    Engine::new(EngineConfig { threads, verify_trials: 4, ..EngineConfig::default() })
+}
+
+/// All three program listings of a result set, for byte-exact comparison.
+fn listings(results: &[vegen_engine::JobResult]) -> Vec<(String, String, String)> {
+    results
+        .iter()
+        .map(|r| (listing(&r.kernel.scalar), listing(&r.kernel.baseline), listing(&r.kernel.vegen)))
+        .collect()
+}
+
+#[test]
+fn warm_run_is_all_hits_and_identical() {
+    let jobs = batch();
+    let engine = engine(4);
+    let cold = engine.compile_batch(&jobs);
+    assert!(cold.iter().all(|r| !r.cache_hit), "first run must miss everywhere");
+    assert!(cold.iter().all(|r| r.verify_error.is_none()));
+
+    let warm = engine.compile_batch(&jobs);
+    assert!(warm.iter().all(|r| r.cache_hit), "second run must be 100% cache hits");
+    assert_eq!(listings(&cold), listings(&warm), "programs must be byte-identical");
+    // Hits share the cold run's Arc — one compilation per content address.
+    for (c, w) in cold.iter().zip(&warm) {
+        assert!(Arc::ptr_eq(&c.kernel, &w.kernel), "{}", c.name);
+        assert_eq!(c.hash, w.hash);
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits as usize, jobs.len());
+    assert_eq!(stats.misses as usize, jobs.len());
+    assert_eq!(engine.counters().compilations as usize, jobs.len());
+}
+
+#[test]
+fn independent_engines_agree_byte_for_byte() {
+    let jobs = batch();
+    let a = engine(2).compile_batch(&jobs);
+    let b = engine(7).compile_batch(&jobs);
+    assert_eq!(listings(&a), listings(&b), "fresh engines must produce identical programs");
+    // Content addresses are stable across engines too (FNV, not SipHash).
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.hash, rb.hash, "{}", ra.name);
+    }
+}
+
+#[test]
+fn parallel_compilation_matches_serial() {
+    let jobs = batch();
+    let serial = engine(1).compile_batch(&jobs);
+    for threads in [2, 4, 8] {
+        let parallel = engine(threads).compile_batch(&jobs);
+        assert_eq!(
+            serial.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            parallel.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            "results must be input-ordered at {threads} threads"
+        );
+        assert_eq!(
+            listings(&serial),
+            listings(&parallel),
+            "thread count must not change generated code ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn identical_functions_share_one_compilation() {
+    // Same body under different names: the cache is content-addressed, so
+    // only one compilation happens and both jobs get the same Arc.
+    let k = vegen_kernels::find("pmaddwd").unwrap();
+    let pipeline = PipelineConfig {
+        target: TargetIsa::avx2(),
+        beam: BeamConfig::with_width(4),
+        canonicalize_patterns: true,
+    };
+    let jobs = vec![
+        Job::new("first", (k.build)(), pipeline.clone()),
+        Job::new("second", (k.build)(), pipeline),
+    ];
+    let engine = engine(1);
+    let results = engine.compile_batch(&jobs);
+    assert_eq!(results[0].hash, results[1].hash);
+    assert!(Arc::ptr_eq(&results[0].kernel, &results[1].kernel));
+    assert_eq!(engine.counters().compilations, 1);
+    assert_eq!(engine.cache_stats().hits, 1);
+}

@@ -96,18 +96,16 @@ fn rebalance_adds(f: &Function) -> Function {
             flatten(f, v, op, &is_interior, &mut leaves);
             if leaves.len() >= 4 {
                 // Pair adjacent terms (in original order) until one remains.
-                let mut level: Vec<ValueId> =
-                    leaves.iter().map(|l| remap[l.index()]).collect();
+                let mut level: Vec<ValueId> = leaves.iter().map(|l| remap[l.index()]).collect();
                 let ty = inst.ty;
                 while level.len() > 1 {
                     let mut next = Vec::with_capacity(level.len().div_ceil(2));
                     let mut it = level.chunks(2);
                     for pair in &mut it {
                         next.push(match pair {
-                            [a, b] => out.push(Inst {
-                                kind: InstKind::Bin { op, lhs: *a, rhs: *b },
-                                ty,
-                            }),
+                            [a, b] => {
+                                out.push(Inst { kind: InstKind::Bin { op, lhs: *a, rhs: *b }, ty })
+                            }
                             [a] => *a,
                             _ => unreachable!(),
                         });
@@ -333,10 +331,8 @@ fn simplify_to_value(out: &mut Function, inst: &Inst) -> Option<ValueId> {
                     (CastOp::ZExt, CastOp::SExt) => return None, // zext(sext) does not compose
                     _ => CastOp::SExt,
                 };
-                let v = out.push(Inst {
-                    kind: InstKind::Cast { op: combined, arg: src },
-                    ty: inst.ty,
-                });
+                let v =
+                    out.push(Inst { kind: InstKind::Cast { op: combined, arg: src }, ty: inst.ty });
                 return Some(v);
             }
             None
@@ -370,10 +366,9 @@ fn simplify_to_value(out: &mut Function, inst: &Inst) -> Option<ValueId> {
 fn rewrite(out: &mut Function, mut inst: Inst) -> Inst {
     let is_const = |out: &Function, v: ValueId| matches!(out.inst(v).kind, InstKind::Const(_));
     match &mut inst.kind {
-        InstKind::Bin { op, lhs, rhs }
-            if op.is_commutative() && should_swap(out, *lhs, *rhs) => {
-                std::mem::swap(lhs, rhs);
-            }
+        InstKind::Bin { op, lhs, rhs } if op.is_commutative() && should_swap(out, *lhs, *rhs) => {
+            std::mem::swap(lhs, rhs);
+        }
         InstKind::Cmp { pred, lhs, rhs } => {
             // Constant to the right.
             if is_const(out, *lhs) && !is_const(out, *rhs) {
@@ -420,7 +415,8 @@ fn rewrite(out: &mut Function, mut inst: Inst) -> Inst {
                     let bits = nty.bits();
                     let fits = match lop {
                         CastOp::SExt => {
-                            let smax = crate::constant::sext(crate::constant::mask(bits) >> 1, bits);
+                            let smax =
+                                crate::constant::sext(crate::constant::mask(bits) >> 1, bits);
                             c.as_i64() <= smax && c.as_i64() >= -smax - 1
                         }
                         _ => c.as_u64() <= crate::constant::mask(bits),
@@ -460,7 +456,8 @@ fn rewrite(out: &mut Function, mut inst: Inst) -> Inst {
                     let smax = crate::constant::sext(crate::constant::mask(bits) >> 1, bits);
                     let smin = -smax - 1;
                     let umax = crate::constant::mask(bits);
-                    let replace = |out: &mut Function, v: i64| push_const_ret(out, Constant::int(c.ty(), v));
+                    let replace =
+                        |out: &mut Function, v: i64| push_const_ret(out, Constant::int(c.ty(), v));
                     match *pred {
                         CmpPred::Sle if c.as_i64() < smax => {
                             *pred = CmpPred::Slt;
@@ -524,15 +521,18 @@ fn push_const_ret(out: &mut Function, c: Constant) -> ValueId {
 /// they fold into a constant vector).
 pub fn add_narrow_constants(f: &Function) -> Function {
     let mut out = f.clone();
-    let mut existing: std::collections::HashSet<Constant> = f
-        .insts
-        .iter()
-        .filter_map(|i| match i.kind {
-            InstKind::Const(c) => Some(c),
-            _ => None,
-        })
-        .collect();
-    let wide: Vec<Constant> = existing.iter().copied().collect();
+    // Collect in program order: iterating the HashSet directly would append
+    // the twins in RandomState order, making the canonical form (and hence
+    // content-addressed cache keys) differ from run to run.
+    let mut existing: std::collections::HashSet<Constant> = std::collections::HashSet::new();
+    let mut wide: Vec<Constant> = Vec::new();
+    for i in &f.insts {
+        if let InstKind::Const(c) = i.kind {
+            if existing.insert(c) {
+                wide.push(c);
+            }
+        }
+    }
     for c in wide {
         if !c.ty().is_int() {
             continue;
@@ -626,14 +626,8 @@ mod tests {
         let g = canonicalize(&f);
         equivalent(&f, &g);
         // 2+3 should have become the constant 5.
-        assert!(g
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, InstKind::Const(c) if c.as_i64() == 5)));
-        assert!(!g
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, InstKind::Const(c) if c.as_i64() == 2)));
+        assert!(g.insts.iter().any(|i| matches!(i.kind, InstKind::Const(c) if c.as_i64() == 5)));
+        assert!(!g.insts.iter().any(|i| matches!(i.kind, InstKind::Const(c) if c.as_i64() == 2)));
     }
 
     #[test]

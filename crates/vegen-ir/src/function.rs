@@ -102,10 +102,7 @@ impl Function {
     /// Number of non-constant, non-store instructions (a proxy for the
     /// amount of scalar compute, used in reports).
     pub fn compute_inst_count(&self) -> usize {
-        self.insts
-            .iter()
-            .filter(|i| !matches!(i.kind, InstKind::Const(_)))
-            .count()
+        self.insts.iter().filter(|i| !matches!(i.kind, InstKind::Const(_))).count()
     }
 
     /// For each value, the list of instructions that use it.
@@ -128,7 +125,7 @@ impl fmt::Display for Function {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::builder::FunctionBuilder;
     use crate::types::Type;
 

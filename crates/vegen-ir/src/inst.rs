@@ -354,10 +354,8 @@ mod tests {
         let v0 = ValueId::from_raw(0);
         let v1 = ValueId::from_raw(1);
         let v2 = ValueId::from_raw(2);
-        let sel = Inst {
-            kind: InstKind::Select { cond: v0, on_true: v1, on_false: v2 },
-            ty: Type::I32,
-        };
+        let sel =
+            Inst { kind: InstKind::Select { cond: v0, on_true: v1, on_false: v2 }, ty: Type::I32 };
         assert_eq!(sel.operands(), vec![v0, v1, v2]);
         let ld = Inst { kind: InstKind::Load { loc: MemLoc { base: 0, offset: 3 } }, ty: Type::I8 };
         assert!(ld.operands().is_empty());
@@ -375,7 +373,8 @@ mod tests {
     fn map_operands_rewrites_all() {
         let v0 = ValueId::from_raw(0);
         let v9 = ValueId::from_raw(9);
-        let mut i = Inst { kind: InstKind::Bin { op: BinOp::Add, lhs: v0, rhs: v0 }, ty: Type::I32 };
+        let mut i =
+            Inst { kind: InstKind::Bin { op: BinOp::Add, lhs: v0, rhs: v0 }, ty: Type::I32 };
         i.map_operands(|_| v9);
         assert_eq!(i.operands(), vec![v9, v9]);
     }

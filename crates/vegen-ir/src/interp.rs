@@ -22,9 +22,7 @@ pub struct Memory {
 impl Memory {
     /// Allocate zero-filled buffers matching `f`'s parameters.
     pub fn zeroed(f: &Function) -> Memory {
-        Memory {
-            bufs: f.params.iter().map(|p| vec![Constant::zero(p.elem_ty); p.len]).collect(),
-        }
+        Memory { bufs: f.params.iter().map(|p| vec![Constant::zero(p.elem_ty); p.len]).collect() }
     }
 
     /// Allocate buffers filled by `fill(param_index, elem_index)`.

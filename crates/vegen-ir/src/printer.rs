@@ -35,11 +35,9 @@ pub fn print_function(func: &Function, f: &mut fmt::Formatter<'_>) -> fmt::Resul
                 "  {v} = load {} {}[{}]",
                 inst.ty, func.params[loc.base].name, loc.offset
             )?,
-            InstKind::Store { loc, value } => writeln!(
-                f,
-                "  store {value} -> {}[{}]",
-                func.params[loc.base].name, loc.offset
-            )?,
+            InstKind::Store { loc, value } => {
+                writeln!(f, "  store {value} -> {}[{}]", func.params[loc.base].name, loc.offset)?
+            }
         }
     }
     write!(f, "}}")

@@ -1,0 +1,83 @@
+//! A tiny deterministic PRNG for test harnesses.
+//!
+//! The workspace's property tests used to lean on the `proptest` crate;
+//! this repository must build fully offline, so the generators are driven
+//! by this xorshift64* stream instead (the same generator
+//! [`interp::random_memory`](crate::interp::random_memory) uses for
+//! memory images). Determinism is a feature: every failure reproduces
+//! from the case's seed alone.
+
+/// xorshift64* pseudo-random stream.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeded stream; any seed (including 0) is fine.
+    pub fn new(seed: u64) -> XorShift {
+        XorShift { state: seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform-ish value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform-ish value in `[lo, hi)`. `hi` must exceed `lo`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = XorShift::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = XorShift::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = XorShift::new(8);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = XorShift::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range_i64(-5, 9);
+            assert!((-5..9).contains(&v));
+        }
+    }
+}

@@ -1,9 +1,13 @@
 //! Property tests: the canonicalizer preserves semantics on arbitrary
 //! well-typed straight-line programs and is idempotent.
+//!
+//! Cases are generated with the in-tree deterministic [`XorShift`] stream
+//! (this repo builds offline; see `vegen_ir::rng`), so every failure
+//! reproduces from its case index.
 
-use proptest::prelude::*;
 use vegen_ir::canon::{add_narrow_constants, canonicalize};
 use vegen_ir::interp::{random_memory, run};
+use vegen_ir::rng::XorShift;
 use vegen_ir::{BinOp, CmpPred, Function, FunctionBuilder, Type, ValueId};
 
 /// One step of a small random program over three typed value pools.
@@ -18,16 +22,21 @@ enum Step {
     Store { v: usize },
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..2usize, 0..6usize).prop_map(|(buf, off)| Step::Load { buf, off }),
-        (-70000i64..70000).prop_map(Step::Const),
-        (0..9usize, 0..32usize, 0..32usize).prop_map(|(op, a, b)| Step::Bin { op, a, b }),
-        (0..6usize, 0..32usize, 0..32usize).prop_map(|(pred, a, b)| Step::Cmp { pred, a, b }),
-        (0..32usize, 0..32usize).prop_map(|(a, b)| Step::SelectLike { a, b }),
-        (0..3usize, 0..32usize).prop_map(|(kind, a)| Step::Cast { kind, a }),
-        (0..32usize).prop_map(|v| Step::Store { v }),
-    ]
+fn gen_step(r: &mut XorShift) -> Step {
+    match r.below(7) {
+        0 => Step::Load { buf: r.below(2), off: r.below(6) },
+        1 => Step::Const(r.range_i64(-70000, 70000)),
+        2 => Step::Bin { op: r.below(9), a: r.below(32), b: r.below(32) },
+        3 => Step::Cmp { pred: r.below(6), a: r.below(32), b: r.below(32) },
+        4 => Step::SelectLike { a: r.below(32), b: r.below(32) },
+        5 => Step::Cast { kind: r.below(3), a: r.below(32) },
+        _ => Step::Store { v: r.below(32) },
+    }
+}
+
+fn gen_steps(r: &mut XorShift, min: usize, max: usize) -> Vec<Step> {
+    let n = min + r.below(max - min);
+    (0..n).map(|_| gen_step(r)).collect()
 }
 
 fn build(steps: &[Step]) -> Option<Function> {
@@ -128,41 +137,44 @@ fn effects(f: &Function, seed: u64) -> vegen_ir::interp::Memory {
     mem
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn canonicalize_preserves_semantics(
-        steps in proptest::collection::vec(step_strategy(), 4..60),
-    ) {
-        let Some(f) = build(&steps) else { return Ok(()) };
-        prop_assert!(vegen_ir::verify::verify(&f).is_ok(), "generator made invalid IR");
+#[test]
+fn canonicalize_preserves_semantics() {
+    let mut r = XorShift::new(0xC0DE_0001);
+    for case in 0..64u32 {
+        let Some(f) = build(&gen_steps(&mut r, 4, 60)) else { continue };
+        assert!(vegen_ir::verify::verify(&f).is_ok(), "case {case}: generator made invalid IR");
         let g = canonicalize(&f);
-        prop_assert!(vegen_ir::verify::verify(&g).is_ok(), "canonicalizer broke IR:\n{g}");
+        assert!(vegen_ir::verify::verify(&g).is_ok(), "case {case}: canonicalizer broke IR:\n{g}");
         for seed in 0..4u64 {
-            prop_assert_eq!(effects(&f, seed), effects(&g, seed), "seed {}:\n{}\nvs\n{}", seed, f, g);
+            assert_eq!(
+                effects(&f, seed),
+                effects(&g, seed),
+                "case {case}, seed {seed}:\n{f}\nvs\n{g}"
+            );
         }
     }
+}
 
-    #[test]
-    fn canonicalize_is_idempotent(
-        steps in proptest::collection::vec(step_strategy(), 4..40),
-    ) {
-        let Some(f) = build(&steps) else { return Ok(()) };
+#[test]
+fn canonicalize_is_idempotent() {
+    let mut r = XorShift::new(0xC0DE_0002);
+    for case in 0..64u32 {
+        let Some(f) = build(&gen_steps(&mut r, 4, 40)) else { continue };
         let once = canonicalize(&f);
         let twice = canonicalize(&once);
-        prop_assert_eq!(&once, &twice, "not a fixpoint:\n{}\nvs\n{}", once, twice);
+        assert_eq!(once, twice, "case {case}: not a fixpoint:\n{once}\nvs\n{twice}");
     }
+}
 
-    #[test]
-    fn narrow_constants_are_pure_additions(
-        steps in proptest::collection::vec(step_strategy(), 4..40),
-    ) {
-        let Some(f) = build(&steps) else { return Ok(()) };
+#[test]
+fn narrow_constants_are_pure_additions() {
+    let mut r = XorShift::new(0xC0DE_0003);
+    for case in 0..64u32 {
+        let Some(f) = build(&gen_steps(&mut r, 4, 40)) else { continue };
         let g = add_narrow_constants(&canonicalize(&f));
-        prop_assert!(vegen_ir::verify::verify(&g).is_ok());
+        assert!(vegen_ir::verify::verify(&g).is_ok(), "case {case}");
         for seed in 0..2u64 {
-            prop_assert_eq!(effects(&f, seed), effects(&g, seed));
+            assert_eq!(effects(&f, seed), effects(&g, seed), "case {case}, seed {seed}");
         }
     }
 }

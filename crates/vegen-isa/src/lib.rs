@@ -320,8 +320,7 @@ mod tests {
         let d = db.find("packssdw_128").unwrap();
         let a: Vec<Constant> =
             [100_000, -100_000, 5, -5].iter().map(|&v| Constant::int(Type::I32, v)).collect();
-        let b: Vec<Constant> =
-            [1, 2, 3, 4].iter().map(|&v| Constant::int(Type::I32, v)).collect();
+        let b: Vec<Constant> = [1, 2, 3, 4].iter().map(|&v| Constant::int(Type::I32, v)).collect();
         let out = vegen_vidl::eval_inst(&d.sem, &[a, b]).unwrap();
         let vals: Vec<i64> = out.iter().map(|c| c.as_i64()).collect();
         assert_eq!(vals, vec![32767, -32768, 5, -5, 1, 2, 3, 4]);

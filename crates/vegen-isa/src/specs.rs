@@ -44,8 +44,7 @@ impl Spec {
     ///
     /// Propagates any stage failure from [`vegen_pseudo::translate`].
     pub fn build(&self) -> Result<InstDef, TranslateError> {
-        let inputs: Vec<(&str, u32)> =
-            self.inputs.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+        let inputs: Vec<(&str, u32)> = self.inputs.iter().map(|(n, w)| (n.as_str(), *w)).collect();
         let sem = translate(
             &self.name,
             &inputs,
@@ -175,47 +174,182 @@ fn build_all() -> Vec<Spec> {
     // ------------------------------------------------------------------
     for bits in [128u32, 256, 512] {
         for (mn, elem) in [("paddb", 8), ("paddw", 16), ("paddd", 32), ("paddq", 64)] {
-            b.push(mn, &format!("v{mn}"), int_ext(bits), bits, elem, Int, 0.33, 2,
-                simd2(bits, elem, |a, bb| format!("{a} + {bb}")));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                int_ext(bits),
+                bits,
+                elem,
+                Int,
+                0.33,
+                2,
+                simd2(bits, elem, |a, bb| format!("{a} + {bb}")),
+            );
         }
         for (mn, elem) in [("psubb", 8), ("psubw", 16), ("psubd", 32), ("psubq", 64)] {
-            b.push(mn, &format!("v{mn}"), int_ext(bits), bits, elem, Int, 0.33, 2,
-                simd2(bits, elem, |a, bb| format!("{a} - {bb}")));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                int_ext(bits),
+                bits,
+                elem,
+                Int,
+                0.33,
+                2,
+                simd2(bits, elem, |a, bb| format!("{a} - {bb}")),
+            );
         }
         // Low-half multiplies (wrapping).
-        b.push("pmullw", "vpmullw", int_ext(bits), bits, 16, Int, 0.5, 2,
-            simd2(bits, 16, |a, bb| format!("{a} * {bb}")));
+        b.push(
+            "pmullw",
+            "vpmullw",
+            int_ext(bits),
+            bits,
+            16,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 16, |a, bb| format!("{a} * {bb}")),
+        );
         let mulld_ext = if bits == 128 { Sse41 } else { int_ext(bits) };
-        b.push("pmulld", "vpmulld", mulld_ext, bits, 32, Int, 1.0, 2,
-            simd2(bits, 32, |a, bb| format!("{a} * {bb}")));
+        b.push(
+            "pmulld",
+            "vpmulld",
+            mulld_ext,
+            bits,
+            32,
+            Int,
+            1.0,
+            2,
+            simd2(bits, 32, |a, bb| format!("{a} * {bb}")),
+        );
         // Bitwise ops.
-        b.push("pand", "vpand", int_ext(bits), bits, 64, Int, 0.33, 2,
-            simd2(bits, 64, |a, bb| format!("{a} AND {bb}")));
-        b.push("por", "vpor", int_ext(bits), bits, 64, Int, 0.33, 2,
-            simd2(bits, 64, |a, bb| format!("{a} OR {bb}")));
-        b.push("pxor", "vpxor", int_ext(bits), bits, 64, Int, 0.33, 2,
-            simd2(bits, 64, |a, bb| format!("{a} XOR {bb}")));
+        b.push(
+            "pand",
+            "vpand",
+            int_ext(bits),
+            bits,
+            64,
+            Int,
+            0.33,
+            2,
+            simd2(bits, 64, |a, bb| format!("{a} AND {bb}")),
+        );
+        b.push(
+            "por",
+            "vpor",
+            int_ext(bits),
+            bits,
+            64,
+            Int,
+            0.33,
+            2,
+            simd2(bits, 64, |a, bb| format!("{a} OR {bb}")),
+        );
+        b.push(
+            "pxor",
+            "vpxor",
+            int_ext(bits),
+            bits,
+            64,
+            Int,
+            0.33,
+            2,
+            simd2(bits, 64, |a, bb| format!("{a} XOR {bb}")),
+        );
     }
 
     // Saturating adds/subs (SSE2-era; 256 needs AVX2).
     for bits in [128u32, 256] {
         let e = int_ext(bits);
-        b.push("paddsb", "vpaddsb", e, bits, 8, Int, 0.5, 2,
-            simd2(bits, 8, |a, bb| format!("Saturate8(SignExtend32({a}) + SignExtend32({bb}))")));
-        b.push("paddsw", "vpaddsw", e, bits, 16, Int, 0.5, 2,
-            simd2(bits, 16, |a, bb| format!("Saturate16(SignExtend32({a}) + SignExtend32({bb}))")));
-        b.push("psubsb", "vpsubsb", e, bits, 8, Int, 0.5, 2,
-            simd2(bits, 8, |a, bb| format!("Saturate8(SignExtend32({a}) - SignExtend32({bb}))")));
-        b.push("psubsw", "vpsubsw", e, bits, 16, Int, 0.5, 2,
-            simd2(bits, 16, |a, bb| format!("Saturate16(SignExtend32({a}) - SignExtend32({bb}))")));
-        b.push("paddusb", "vpaddusb", e, bits, 8, Int, 0.5, 2,
-            simd2(bits, 8, |a, bb| format!("SaturateU8(ZeroExtend32({a}) + ZeroExtend32({bb}))")));
-        b.push("paddusw", "vpaddusw", e, bits, 16, Int, 0.5, 2,
-            simd2(bits, 16, |a, bb| format!("SaturateU16(ZeroExtend32({a}) + ZeroExtend32({bb}))")));
-        b.push("psubusb", "vpsubusb", e, bits, 8, Int, 0.5, 2,
-            simd2(bits, 8, |a, bb| format!("SaturateU8(ZeroExtend32({a}) - ZeroExtend32({bb}))")));
-        b.push("psubusw", "vpsubusw", e, bits, 16, Int, 0.5, 2,
-            simd2(bits, 16, |a, bb| format!("SaturateU16(ZeroExtend32({a}) - ZeroExtend32({bb}))")));
+        b.push(
+            "paddsb",
+            "vpaddsb",
+            e,
+            bits,
+            8,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 8, |a, bb| format!("Saturate8(SignExtend32({a}) + SignExtend32({bb}))")),
+        );
+        b.push(
+            "paddsw",
+            "vpaddsw",
+            e,
+            bits,
+            16,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 16, |a, bb| format!("Saturate16(SignExtend32({a}) + SignExtend32({bb}))")),
+        );
+        b.push(
+            "psubsb",
+            "vpsubsb",
+            e,
+            bits,
+            8,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 8, |a, bb| format!("Saturate8(SignExtend32({a}) - SignExtend32({bb}))")),
+        );
+        b.push(
+            "psubsw",
+            "vpsubsw",
+            e,
+            bits,
+            16,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 16, |a, bb| format!("Saturate16(SignExtend32({a}) - SignExtend32({bb}))")),
+        );
+        b.push(
+            "paddusb",
+            "vpaddusb",
+            e,
+            bits,
+            8,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 8, |a, bb| format!("SaturateU8(ZeroExtend32({a}) + ZeroExtend32({bb}))")),
+        );
+        b.push(
+            "paddusw",
+            "vpaddusw",
+            e,
+            bits,
+            16,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 16, |a, bb| format!("SaturateU16(ZeroExtend32({a}) + ZeroExtend32({bb}))")),
+        );
+        b.push(
+            "psubusb",
+            "vpsubusb",
+            e,
+            bits,
+            8,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 8, |a, bb| format!("SaturateU8(ZeroExtend32({a}) - ZeroExtend32({bb}))")),
+        );
+        b.push(
+            "psubusw",
+            "vpsubusw",
+            e,
+            bits,
+            16,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 16, |a, bb| format!("SaturateU16(ZeroExtend32({a}) - ZeroExtend32({bb}))")),
+        );
     }
 
     // Integer min/max (mixed SSE2/SSE4.1 heritage) and abs (SSSE3).
@@ -237,22 +371,58 @@ fn build_all() -> Vec<Spec> {
             ("pmaxuw", 16, sse41_or_avx2, "MAXU"),
             ("pmaxud", 32, sse41_or_avx2, "MAXU"),
         ] {
-            b.push(mn, &format!("v{mn}"), ext, bits, elem, Int, 0.5, 2,
-                simd2(bits, elem, |a, bb| format!("{fun}({a}, {bb})")));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                ext,
+                bits,
+                elem,
+                Int,
+                0.5,
+                2,
+                simd2(bits, elem, |a, bb| format!("{fun}({a}, {bb})")),
+            );
         }
         for (mn, elem) in [("pabsb", 8), ("pabsw", 16), ("pabsd", 32)] {
-            b.push(mn, &format!("v{mn}"), ssse3_or_avx2, bits, elem, Int, 0.5, 1,
-                simd1(bits, elem, |a| format!("ABS({a})")));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                ssse3_or_avx2,
+                bits,
+                elem,
+                Int,
+                0.5,
+                1,
+                simd1(bits, elem, |a| format!("ABS({a})")),
+            );
         }
     }
 
     // Variable per-lane shifts (AVX2) — how shift-by-constant scalar code
     // vectorizes (the shift-amount operand becomes a constant vector).
     for bits in [128u32, 256] {
-        b.push("psllvd", "vpsllvd", Avx2, bits, 32, Int, 0.5, 2,
-            simd2(bits, 32, |a, bb| format!("{a} << {bb}")));
-        b.push("psravd", "vpsravd", Avx2, bits, 32, Int, 0.5, 2,
-            simd2(bits, 32, |a, bb| format!("{a} >> {bb}")));
+        b.push(
+            "psllvd",
+            "vpsllvd",
+            Avx2,
+            bits,
+            32,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 32, |a, bb| format!("{a} << {bb}")),
+        );
+        b.push(
+            "psravd",
+            "vpsravd",
+            Avx2,
+            bits,
+            32,
+            Int,
+            0.5,
+            2,
+            simd2(bits, 32, |a, bb| format!("{a} >> {bb}")),
+        );
     }
 
     // Averages and high-half multiplies (SSE2): rounding-average bytes and
@@ -260,10 +430,19 @@ fn build_all() -> Vec<Spec> {
     for bits in [128u32, 256] {
         let e = int_ext(bits);
         for (mn, elem, ext_fn) in [("pavgb", 8u32, "ZeroExtend16"), ("pavgw", 16, "ZeroExtend32")] {
-            b.push(mn, &format!("v{mn}"), e, bits, elem, Int, 0.5, 2,
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                e,
+                bits,
+                elem,
+                Int,
+                0.5,
+                2,
                 simd2(bits, elem, |a, bb| {
                     format!("Truncate{elem}(({ext_fn}({a}) + {ext_fn}({bb}) + 1) >> 1)")
-                }));
+                }),
+            );
         }
         for (mn, ext_fn) in [("pmulhw", "SignExtend32"), ("pmulhuw", "ZeroExtend32")] {
             let mut code = String::new();
@@ -322,19 +501,39 @@ fn build_all() -> Vec<Spec> {
     for bits in [128u32, 256, 512] {
         let e = float_ext(bits);
         for (mn, elem, op, tp) in [
-            ("addps", 32, "+", 0.5), ("addpd", 64, "+", 0.5),
-            ("subps", 32, "-", 0.5), ("subpd", 64, "-", 0.5),
-            ("mulps", 32, "*", 0.5), ("mulpd", 64, "*", 0.5),
+            ("addps", 32, "+", 0.5),
+            ("addpd", 64, "+", 0.5),
+            ("subps", 32, "-", 0.5),
+            ("subpd", 64, "-", 0.5),
+            ("mulps", 32, "*", 0.5),
+            ("mulpd", 64, "*", 0.5),
         ] {
-            b.push(mn, &format!("v{mn}"), e, bits, elem, Float, tp, 2,
-                simd2(bits, elem, |a, bb| format!("{a} {op} {bb}")));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                e,
+                bits,
+                elem,
+                Float,
+                tp,
+                2,
+                simd2(bits, elem, |a, bb| format!("{a} {op} {bb}")),
+            );
         }
-        for (mn, elem, fun) in [
-            ("minps", 32, "MIN"), ("minpd", 64, "MIN"),
-            ("maxps", 32, "MAX"), ("maxpd", 64, "MAX"),
-        ] {
-            b.push(mn, &format!("v{mn}"), e, bits, elem, Float, 0.5, 2,
-                simd2(bits, elem, |a, bb| format!("{fun}({a}, {bb})")));
+        for (mn, elem, fun) in
+            [("minps", 32, "MIN"), ("minpd", 64, "MIN"), ("maxps", 32, "MAX"), ("maxpd", 64, "MAX")]
+        {
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                e,
+                bits,
+                elem,
+                Float,
+                0.5,
+                2,
+                simd2(bits, elem, |a, bb| format!("{fun}({a}, {bb})")),
+            );
         }
     }
 
@@ -344,26 +543,62 @@ fn build_all() -> Vec<Spec> {
     for bits in [128u32, 256] {
         let sse3_or_avx = if bits == 128 { Sse3 } else { Avx };
         for (mn, elem) in [("addsubps", 32), ("addsubpd", 64)] {
-            b.push(mn, &format!("v{mn}"), sse3_or_avx, bits, elem, Float, 1.0, 2,
-                addsub(bits, elem));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                sse3_or_avx,
+                bits,
+                elem,
+                Float,
+                1.0,
+                2,
+                addsub(bits, elem),
+            );
         }
         for (mn, elem) in [("fmaddsub213ps", 32), ("fmaddsub213pd", 64)] {
-            b.push(mn, &format!("v{mn}"), Fma, bits, elem, Float, 0.5, 3,
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                Fma,
+                bits,
+                elem,
+                Float,
+                0.5,
+                3,
                 simd3(bits, elem, |a, bb, c, j| {
                     if j % 2 == 0 {
                         format!("{a} * {bb} - {c}")
                     } else {
                         format!("{a} * {bb} + {c}")
                     }
-                }));
+                }),
+            );
         }
         for (mn, elem) in [("fmadd213ps", 32), ("fmadd213pd", 64)] {
-            b.push(mn, &format!("v{mn}"), Fma, bits, elem, Float, 0.5, 3,
-                simd3(bits, elem, |a, bb, c, _| format!("{a} * {bb} + {c}")));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                Fma,
+                bits,
+                elem,
+                Float,
+                0.5,
+                3,
+                simd3(bits, elem, |a, bb, c, _| format!("{a} * {bb} + {c}")),
+            );
         }
         for (mn, elem) in [("fmsub213ps", 32), ("fmsub213pd", 64)] {
-            b.push(mn, &format!("v{mn}"), Fma, bits, elem, Float, 0.5, 3,
-                simd3(bits, elem, |a, bb, c, _| format!("{a} * {bb} - {c}")));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                Fma,
+                bits,
+                elem,
+                Float,
+                0.5,
+                3,
+                simd3(bits, elem, |a, bb, c, _| format!("{a} * {bb} - {c}")),
+            );
         }
     }
 
@@ -384,8 +619,7 @@ fn build_all() -> Vec<Spec> {
             ("phsubw", 16, "-", Int, ssse3_or_avx2, 2.0),
             ("phsubd", 32, "-", Int, ssse3_or_avx2, 2.0),
         ] {
-            b.push(mn, &format!("v{mn}"), ext, bits, elem, fp, tp, 2,
-                horizontal(bits, elem, op));
+            b.push(mn, &format!("v{mn}"), ext, bits, elem, fp, tp, 2, horizontal(bits, elem, op));
         }
     }
 
@@ -416,10 +650,28 @@ fn build_all() -> Vec<Spec> {
     // ------------------------------------------------------------------
     for bits in [128u32, 256] {
         let sse41_or_avx2 = if bits == 128 { Sse41 } else { Avx2 };
-        b.push("pmuldq", "vpmuldq", sse41_or_avx2, bits, 64, Int, 0.5, 2,
-            pmul_dq(bits, "SignExtend64"));
-        b.push("pmuludq", "vpmuludq", int_ext(bits), bits, 64, Int, 0.5, 2,
-            pmul_dq(bits, "ZeroExtend64"));
+        b.push(
+            "pmuldq",
+            "vpmuldq",
+            sse41_or_avx2,
+            bits,
+            64,
+            Int,
+            0.5,
+            2,
+            pmul_dq(bits, "SignExtend64"),
+        );
+        b.push(
+            "pmuludq",
+            "vpmuludq",
+            int_ext(bits),
+            bits,
+            64,
+            Int,
+            0.5,
+            2,
+            pmul_dq(bits, "ZeroExtend64"),
+        );
         for (mn, in_elem, sat) in [
             ("packssdw", 32, "Saturate16"),
             ("packsswb", 16, "Saturate8"),
@@ -427,8 +679,17 @@ fn build_all() -> Vec<Spec> {
             ("packuswb", 16, "SaturateU8"),
         ] {
             let ext = if mn == "packusdw" { sse41_or_avx2 } else { int_ext(bits) };
-            b.push(mn, &format!("v{mn}"), ext, bits, in_elem / 2, Int, 1.0, 2,
-                pack_saturate(bits, in_elem, sat));
+            b.push(
+                mn,
+                &format!("v{mn}"),
+                ext,
+                bits,
+                in_elem / 2,
+                Int,
+                1.0,
+                2,
+                pack_saturate(bits, in_elem, sat),
+            );
         }
     }
 

@@ -189,18 +189,7 @@ fn idct4() -> Function {
         let e0 = b.add(m64_0, m64_2);
         let e1 = b.sub(m64_0, m64_2);
         // dst rows with rounding, shift, and clamp.
-        let combos = [
-            b.add(e0, o0),
-            b.add(e1, o1),
-            {
-                
-                b.sub(e1, o1)
-            },
-            {
-                
-                b.sub(e0, o0)
-            },
-        ];
+        let combos = [b.add(e0, o0), b.add(e1, o1), { b.sub(e1, o1) }, { b.sub(e0, o0) }];
         for (k, t) in combos.into_iter().enumerate() {
             let addc = b.iconst(Type::I32, add);
             let shc = b.iconst(Type::I32, shift);
@@ -222,12 +211,8 @@ fn idct8() -> Function {
     let dst = b.param("dst", Type::I16, 32);
     let shift = 7i64;
     let add = 1i64 << (shift - 1);
-    let odd_coef: [[i64; 4]; 4] = [
-        [89, 75, 50, 18],
-        [75, -18, -89, -50],
-        [50, -89, 18, 75],
-        [18, -50, 75, -89],
-    ];
+    let odd_coef: [[i64; 4]; 4] =
+        [[89, 75, 50, 18], [75, -18, -89, -50], [50, -89, 18, 75], [18, -50, 75, -89]];
     for j in 0..4i64 {
         // Odd input rows: src[8+j], src[24+j] (and their 16-bit columns).
         let s1 = b.load(src, 4 + j);
@@ -271,12 +256,7 @@ fn idct8() -> Function {
         let m64_4 = b.mul(w4, c64);
         let ee0 = b.add(m64_0, m64_4);
         let ee1 = b.sub(m64_0, m64_4);
-        let e = [
-            b.add(ee0, eo0),
-            b.add(ee1, eo1),
-            b.sub(ee1, eo1),
-            b.sub(ee0, eo0),
-        ];
+        let e = [b.add(ee0, eo0), b.add(ee1, eo1), b.sub(ee1, eo1), b.sub(ee0, eo0)];
         // dst[j*8 + k] = clip((E[k] + O[k] + add) >> shift), and the
         // mirrored second half with subtraction.
         for k in 0..4usize {

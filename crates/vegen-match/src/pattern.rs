@@ -68,9 +68,8 @@ impl Pattern {
 /// function and runs `instcombine` on it.
 fn scaffold(op: &Operation) -> (Function, usize) {
     let mut b = FunctionBuilder::new(format!("pat_{}", op.name));
-    let params: Vec<_> = (0..op.params.len())
-        .map(|i| b.param(format!("p{i}"), op.params[i], 1))
-        .collect();
+    let params: Vec<_> =
+        (0..op.params.len()).map(|i| b.param(format!("p{i}"), op.params[i], 1)).collect();
     let out = b.param("out", op.ret, 1);
     let loads: Vec<ValueId> = params.iter().map(|&p| b.load(p, 0)).collect();
     let root = build_expr(&mut b, &op.expr, &loads);
@@ -124,11 +123,9 @@ fn extract(f: &Function, v: ValueId, n_params: usize) -> Pattern {
             rhs: Box::new(extract(f, *rhs, n_params)),
         },
         InstKind::FNeg { arg } => Pattern::FNeg(Box::new(extract(f, *arg, n_params))),
-        InstKind::Cast { op, arg } => Pattern::Cast {
-            op: *op,
-            to: f.ty(v),
-            arg: Box::new(extract(f, *arg, n_params)),
-        },
+        InstKind::Cast { op, arg } => {
+            Pattern::Cast { op: *op, to: f.ty(v), arg: Box::new(extract(f, *arg, n_params)) }
+        }
         InstKind::Cmp { pred, lhs, rhs } => Pattern::Cmp {
             pred: *pred,
             lhs: Box::new(extract(f, *lhs, n_params)),
@@ -302,8 +299,7 @@ fn go(
             if attempt(m, &[(lhs, il), (rhs, ir)], param_tys, bind, covered) {
                 return true;
             }
-            if op.is_commutative()
-                && attempt(m, &[(lhs, ir), (rhs, il)], param_tys, bind, covered)
+            if op.is_commutative() && attempt(m, &[(lhs, ir), (rhs, il)], param_tys, bind, covered)
             {
                 return true;
             }
@@ -328,28 +324,17 @@ fn go(
             false
         }
         Pattern::Select { cond, on_true, on_false } => {
-            let InstKind::Select { cond: ic, on_true: it, on_false: ie } = f.inst(v).kind
-            else {
+            let InstKind::Select { cond: ic, on_true: it, on_false: ie } = f.inst(v).kind else {
                 return false;
             };
             covered.push(v);
-            if attempt(
-                m,
-                &[(cond, ic), (on_true, it), (on_false, ie)],
-                param_tys,
-                bind,
-                covered,
-            ) {
+            if attempt(m, &[(cond, ic), (on_true, it), (on_false, ie)], param_tys, bind, covered) {
                 return true;
             }
             // Inverted form (§6): select(cmp(p, ...), x, y) also matches
             // select(cmp(!p, ...), y, x).
             if let Pattern::Cmp { pred, lhs, rhs } = &**cond {
-                let inv = Pattern::Cmp {
-                    pred: pred.inverse(),
-                    lhs: lhs.clone(),
-                    rhs: rhs.clone(),
-                };
+                let inv = Pattern::Cmp { pred: pred.inverse(), lhs: lhs.clone(), rhs: rhs.clone() };
                 if attempt(
                     m,
                     &[(&inv, ic), (on_false, it), (on_true, ie)],

@@ -31,7 +31,13 @@ pub struct OpRegistry {
 
 impl OpRegistry {
     /// Register (or find) an operation, returning its id.
-    pub fn intern(&mut self, name: &str, param_tys: Vec<Type>, ret: Type, pattern: Pattern) -> OpId {
+    pub fn intern(
+        &mut self,
+        name: &str,
+        param_tys: Vec<Type>,
+        ret: Type,
+        pattern: Pattern,
+    ) -> OpId {
         if let Some(i) = self
             .ops
             .iter()
@@ -120,9 +126,8 @@ impl TargetDesc {
                     ops.intern(&op.name, op.params.clone(), op.ret, pattern)
                 })
                 .collect();
-            let bindings: Vec<Vec<Vec<LaneUse>>> = (0..def.sem.inputs.len())
-                .map(|i| def.sem.operand_bindings(i))
-                .collect();
+            let bindings: Vec<Vec<Vec<LaneUse>>> =
+                (0..def.sem.inputs.len()).map(|i| def.sem.operand_bindings(i)).collect();
             insts.push(DescInst { def: def.clone(), lane_ops, bindings });
         }
         TargetDesc { ops, insts }
@@ -183,13 +188,8 @@ impl MatchTable {
                 if op.ret != inst.ty {
                     continue;
                 }
-                if let Some((live_ins, covered)) = crate::pattern::match_at_with_covered(
-                    f,
-                    &consts,
-                    &op.pattern,
-                    &op.param_tys,
-                    v,
-                )
+                if let Some((live_ins, covered)) =
+                    crate::pattern::match_at_with_covered(f, &consts, &op.pattern, &op.param_tys, v)
                 {
                     map.insert((v, op_id), Match { op: op_id, root: v, live_ins, covered });
                     at.entry(v).or_default().push(op_id);
@@ -295,9 +295,9 @@ mod tests {
         let pmaddwd = d.find("pmaddwd_128").unwrap();
         let madd_op = pmaddwd.lane_ops[0];
         for (i, &root) in roots.iter().enumerate() {
-            let m = table.lookup(root, madd_op).unwrap_or_else(|| {
-                panic!("madd must match at lane root {i}")
-            });
+            let m = table
+                .lookup(root, madd_op)
+                .unwrap_or_else(|| panic!("madd must match at lane root {i}"));
             assert_eq!(m.live_ins.len(), 4);
             assert!(m.live_ins.iter().all(|l| l.is_some()));
         }

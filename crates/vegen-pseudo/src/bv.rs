@@ -125,9 +125,7 @@ impl Bv {
             Bv::FNeg(a) => a.size(),
             Bv::SExt { arg, .. } | Bv::ZExt { arg, .. } | Bv::Extract { arg, .. } => arg.size(),
             Bv::Concat(parts) => parts.iter().map(|p| p.size()).sum(),
-            Bv::Ite { cond, on_true, on_false } => {
-                cond.size() + on_true.size() + on_false.size()
-            }
+            Bv::Ite { cond, on_true, on_false } => cond.size() + on_true.size() + on_false.size(),
         }
     }
 }
@@ -288,9 +286,7 @@ pub fn eval_concrete(
     match e {
         Bv::Const { width, bits } => Ok(BigBits::from_u64(*width, *bits)),
         Bv::Input { name, hi, lo } => {
-            let reg = env
-                .get(name)
-                .ok_or_else(|| BvError(format!("unbound input `{name}`")))?;
+            let reg = env.get(name).ok_or_else(|| BvError(format!("unbound input `{name}`")))?;
             if *hi >= reg.width() {
                 return Err(BvError(format!(
                     "slice {name}[{hi}:{lo}] out of range for width {}",
@@ -544,18 +540,15 @@ mod tests {
     #[test]
     fn eval_sext_and_mul() {
         // SignExtend32(a[15:0]) * SignExtend32(b...) with a = -3
-        let a = Bv::SExt {
-            width: 32,
-            arg: Box::new(Bv::Input { name: "a".into(), hi: 15, lo: 0 }),
-        };
+        let a =
+            Bv::SExt { width: 32, arg: Box::new(Bv::Input { name: "a".into(), hi: 15, lo: 0 }) };
         let e = Bv::Bin {
             op: BvBinOp::Mul,
             lhs: Box::new(a),
             rhs: Box::new(Bv::Const { width: 32, bits: 100 }),
         };
         let v =
-            eval_concrete(&e, &env1("a", BigBits::from_u64(16, (-3i64 as u64) & 0xffff)))
-                .unwrap();
+            eval_concrete(&e, &env1("a", BigBits::from_u64(16, (-3i64 as u64) & 0xffff))).unwrap();
         assert_eq!(sext(v.to_u64(), 32), -300);
     }
 
@@ -587,10 +580,8 @@ mod tests {
 
     #[test]
     fn arithmetic_above_64_bits_is_rejected() {
-        let wide = Bv::Concat(vec![
-            Bv::Const { width: 64, bits: 1 },
-            Bv::Const { width: 64, bits: 2 },
-        ]);
+        let wide =
+            Bv::Concat(vec![Bv::Const { width: 64, bits: 1 }, Bv::Const { width: 64, bits: 2 }]);
         let e = Bv::Bin { op: BvBinOp::Add, lhs: Box::new(wide.clone()), rhs: Box::new(wide) };
         assert!(eval_concrete(&e, &HashMap::new()).is_err());
     }

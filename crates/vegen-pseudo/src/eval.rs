@@ -82,7 +82,8 @@ impl Evaluator {
                     .ok_or_else(|| BvError(format!("unbound register `{base}`")))?;
                 let w = reg.width();
                 if hi as u32 >= w {
-                    return self.err(format!("slice [{hi}:{lo}] out of range for `{base}` ({w} bits)"));
+                    return self
+                        .err(format!("slice [{hi}:{lo}] out of range for `{base}` ({w} bits)"));
                 }
                 Ok(Val::Sym(extract(reg.clone(), hi as u32, lo as u32)))
             }
@@ -292,16 +293,9 @@ impl Evaluator {
             // what the Fig. 11 canonicalization ablation switches off.
             let hi_c = bv_const(w, hi + 1);
             let lo_c = bv_const(w, lo - 1);
-            let too_big = Bv::Cmp {
-                pred: CmpPred::Sge,
-                lhs: Box::new(a.clone()),
-                rhs: Box::new(hi_c),
-            };
-            let too_small = Bv::Cmp {
-                pred: CmpPred::Sle,
-                lhs: Box::new(a),
-                rhs: Box::new(lo_c),
-            };
+            let too_big =
+                Bv::Cmp { pred: CmpPred::Sge, lhs: Box::new(a.clone()), rhs: Box::new(hi_c) };
+            let too_small = Bv::Cmp { pred: CmpPred::Sle, lhs: Box::new(a), rhs: Box::new(lo_c) };
             Ok(Val::Sym(Bv::Ite {
                 cond: Box::new(too_big),
                 on_true: Box::new(bv_const(to, hi)),
@@ -369,11 +363,7 @@ impl Evaluator {
                     "MINU" => CmpPred::Ult,
                     _ => CmpPred::Ugt,
                 };
-                let c = Bv::Cmp {
-                    pred,
-                    lhs: Box::new(a.clone()),
-                    rhs: Box::new(b.clone()),
-                };
+                let c = Bv::Cmp { pred, lhs: Box::new(a.clone()), rhs: Box::new(b.clone()) };
                 Ok(Val::Sym(Bv::Ite {
                     cond: Box::new(c),
                     on_true: Box::new(a),
@@ -424,9 +414,8 @@ impl Evaluator {
                             // The guide implicitly truncates on store.
                             extract(b, want - 1, 0)
                         } else {
-                            return self.err(format!(
-                                "assigning {got} bits to [{hi}:{lo}] ({want} bits)"
-                            ));
+                            return self
+                                .err(format!("assigning {got} bits to [{hi}:{lo}] ({want} bits)"));
                         }
                     }
                 };
@@ -500,9 +489,8 @@ impl Evaluator {
                                     );
                                 }
                                 _ => {
-                                    return self.err(format!(
-                                        "`{name}` assigned in only one IF branch"
-                                    ))
+                                    return self
+                                        .err(format!("`{name}` assigned in only one IF branch"))
                                 }
                             }
                         }
@@ -570,22 +558,14 @@ pub fn eval_program(
 ) -> Result<Bv, BvError> {
     let mut env = Env::default();
     for (name, width) in inputs {
-        env.regs.insert(
-            name.to_string(),
-            Bv::Input { name: name.to_string(), hi: width - 1, lo: 0 },
-        );
+        env.regs
+            .insert(name.to_string(), Bv::Input { name: name.to_string(), hi: width - 1, lo: 0 });
     }
     let ev = Evaluator { fp };
     ev.run_block(&program.stmts, &mut env)?;
-    let dst = env
-        .regs
-        .get("dst")
-        .ok_or_else(|| BvError("program never assigned dst".into()))?;
+    let dst = env.regs.get("dst").ok_or_else(|| BvError("program never assigned dst".into()))?;
     if dst.width() != dst_bits {
-        return Err(BvError(format!(
-            "dst is {} bits, expected {dst_bits}",
-            dst.width()
-        )));
+        return Err(BvError(format!("dst is {} bits, expected {dst_bits}", dst.width())));
     }
     Ok(dst.clone())
 }
@@ -621,13 +601,8 @@ mod tests {
         "#;
         let a = BigBits::from_elems(32, &[1, 2, 3, 4]);
         let b = BigBits::from_elems(32, &[10, 20, 30, 40]);
-        let out = run_concrete(
-            src,
-            &[("a", 128), ("b", 128)],
-            128,
-            FpMode::Int,
-            &[("a", a), ("b", b)],
-        );
+        let out =
+            run_concrete(src, &[("a", 128), ("b", 128)], 128, FpMode::Int, &[("a", a), ("b", b)]);
         assert_eq!(out.to_elems(32), vec![11, 22, 33, 44]);
     }
 
@@ -643,13 +618,8 @@ mod tests {
         let enc = |v: i64| (v as u64) & 0xffff;
         let a = BigBits::from_elems(16, &[enc(3), enc(-4), enc(5), enc(6)]);
         let b = BigBits::from_elems(16, &[enc(10), enc(100), enc(-1), enc(2)]);
-        let out = run_concrete(
-            src,
-            &[("a", 64), ("b", 64)],
-            64,
-            FpMode::Int,
-            &[("a", a), ("b", b)],
-        );
+        let out =
+            run_concrete(src, &[("a", 64), ("b", 64)], 64, FpMode::Int, &[("a", a), ("b", b)]);
         let lanes = out.to_elems(32);
         assert_eq!(vegen_ir::constant::sext(lanes[0], 32), 3 * 10 + (-4) * 100);
         assert_eq!(vegen_ir::constant::sext(lanes[1], 32), -5 + 6 * 2);
@@ -669,13 +639,8 @@ mod tests {
         let enc = |v: i64| (v as u64) & 0xffff;
         let a = BigBits::from_elems(16, &[enc(-300)]);
         let b = BigBits::from_elems(16, &[enc(300)]);
-        let out = run_concrete(
-            src,
-            &[("a", 16), ("b", 16)],
-            32,
-            FpMode::Int,
-            &[("a", a), ("b", b)],
-        );
+        let out =
+            run_concrete(src, &[("a", 16), ("b", 16)], 32, FpMode::Int, &[("a", a), ("b", b)]);
         assert_eq!(vegen_ir::constant::sext(out.to_u64(), 32), -90000);
     }
 
@@ -687,13 +652,8 @@ mod tests {
         "#;
         let a = BigBits::from_elems(64, &[1.5f64.to_bits(), 2.0f64.to_bits()]);
         let b = BigBits::from_elems(64, &[0.25f64.to_bits(), 0.5f64.to_bits()]);
-        let out = run_concrete(
-            src,
-            &[("a", 128), ("b", 128)],
-            128,
-            FpMode::Float,
-            &[("a", a), ("b", b)],
-        );
+        let out =
+            run_concrete(src, &[("a", 128), ("b", 128)], 128, FpMode::Float, &[("a", a), ("b", b)]);
         let lanes = out.to_elems(64);
         assert_eq!(f64::from_bits(lanes[0]), 1.25);
         assert_eq!(f64::from_bits(lanes[1]), 2.5);
@@ -707,13 +667,8 @@ mod tests {
         let run = |x: i64, y: i64| -> i64 {
             let a = BigBits::from_u64(16, (x as u64) & 0xffff);
             let b = BigBits::from_u64(16, (y as u64) & 0xffff);
-            let out = run_concrete(
-                src,
-                &[("a", 16), ("b", 16)],
-                16,
-                FpMode::Int,
-                &[("a", a), ("b", b)],
-            );
+            let out =
+                run_concrete(src, &[("a", 16), ("b", 16)], 16, FpMode::Int, &[("a", a), ("b", b)]);
             vegen_ir::constant::sext(out.to_u64(), 16)
         };
         assert_eq!(run(30000, 10000), 32767);
@@ -731,8 +686,7 @@ mod tests {
         let run = |x: u64, y: u64| -> u64 {
             let a = BigBits::from_u64(8, x);
             let b = BigBits::from_u64(8, y);
-            run_concrete(src, &[("a", 8), ("b", 8)], 8, FpMode::Int, &[("a", a), ("b", b)])
-                .to_u64()
+            run_concrete(src, &[("a", 8), ("b", 8)], 8, FpMode::Int, &[("a", a), ("b", b)]).to_u64()
         };
         assert_eq!(run(10, 3), 7);
         assert_eq!(run(3, 10), 0, "negative difference saturates to zero");
@@ -765,8 +719,7 @@ mod tests {
             dst[7:0] := 0
         "#;
         let a = BigBits::from_u64(16, 0xabcd);
-        let out =
-            run_concrete(src, &[("a", 16)], 16, FpMode::Int, &[("a", a)]);
+        let out = run_concrete(src, &[("a", 16)], 16, FpMode::Int, &[("a", a)]);
         assert_eq!(out.to_u64(), 0xab00);
     }
 
@@ -780,8 +733,7 @@ mod tests {
         let enc = |v: i64| (v as u64) & 0xff;
         let a = BigBits::from_u64(8, enc(-5));
         let b = BigBits::from_u64(8, enc(3));
-        let out =
-            run_concrete(src, &[("a", 8), ("b", 8)], 24, FpMode::Int, &[("a", a), ("b", b)]);
+        let out = run_concrete(src, &[("a", 8), ("b", 8)], 24, FpMode::Int, &[("a", a), ("b", b)]);
         let lanes = out.to_elems(8);
         assert_eq!(vegen_ir::constant::sext(lanes[0], 8), -5);
         assert_eq!(vegen_ir::constant::sext(lanes[1], 8), 3);
@@ -813,8 +765,7 @@ mod tests {
         let src = "dst[7:0] := MINU(a[7:0], b[7:0])";
         let a = BigBits::from_u64(8, 0xff); // 255 unsigned
         let b = BigBits::from_u64(8, 1);
-        let out =
-            run_concrete(src, &[("a", 8), ("b", 8)], 8, FpMode::Int, &[("a", a), ("b", b)]);
+        let out = run_concrete(src, &[("a", 8), ("b", 8)], 8, FpMode::Int, &[("a", a), ("b", b)]);
         assert_eq!(out.to_u64(), 1);
     }
 }

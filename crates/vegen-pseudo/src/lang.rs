@@ -233,25 +233,22 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, PseudoParseError> {
                         while j < b.len() && b[j].is_ascii_hexdigit() {
                             j += 1;
                         }
-                        let v = i64::from_str_radix(
-                            std::str::from_utf8(&b[i + 2..j]).unwrap(),
-                            16,
-                        )
-                        .map_err(|_| PseudoParseError {
-                            line: line_no,
-                            message: "bad hex literal".into(),
-                        })?;
+                        let v = i64::from_str_radix(std::str::from_utf8(&b[i + 2..j]).unwrap(), 16)
+                            .map_err(|_| PseudoParseError {
+                                line: line_no,
+                                message: "bad hex literal".into(),
+                            })?;
                         out.push((line_no, Tok::Num(v)));
                     } else {
                         while j < b.len() && b[j].is_ascii_digit() {
                             j += 1;
                         }
-                        let v: i64 = std::str::from_utf8(&b[i..j])
-                            .unwrap()
-                            .parse()
-                            .map_err(|_| PseudoParseError {
-                                line: line_no,
-                                message: "bad integer literal".into(),
+                        let v: i64 =
+                            std::str::from_utf8(&b[i..j]).unwrap().parse().map_err(|_| {
+                                PseudoParseError {
+                                    line: line_no,
+                                    message: "bad integer literal".into(),
+                                }
                             })?;
                         out.push((line_no, Tok::Num(v)));
                     }
@@ -291,9 +288,10 @@ struct P {
 
 impl P {
     fn line(&self) -> usize {
-        self.toks.get(self.idx).map(|t| t.0).unwrap_or_else(|| {
-            self.toks.last().map(|t| t.0).unwrap_or(0)
-        })
+        self.toks
+            .get(self.idx)
+            .map(|t| t.0)
+            .unwrap_or_else(|| self.toks.last().map(|t| t.0).unwrap_or(0))
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, PseudoParseError> {
@@ -359,44 +357,38 @@ impl P {
                 self.expect(Tok::RParen)?;
                 Ok(e)
             }
-            Some(Tok::Ident(name)) => {
-                match self.peek() {
-                    Some(Tok::LParen) => {
-                        self.idx += 1;
-                        let mut args = Vec::new();
-                        self.skip_newlines_if_continuation();
-                        if self.peek() != Some(&Tok::RParen) {
-                            loop {
-                                args.push(self.expr(0)?);
-                                self.skip_newlines_if_continuation();
-                                if !self.eat(&Tok::Comma) {
-                                    break;
-                                }
+            Some(Tok::Ident(name)) => match self.peek() {
+                Some(Tok::LParen) => {
+                    self.idx += 1;
+                    let mut args = Vec::new();
+                    self.skip_newlines_if_continuation();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            self.skip_newlines_if_continuation();
+                            if !self.eat(&Tok::Comma) {
+                                break;
                             }
                         }
-                        self.skip_newlines_if_continuation();
-                        self.expect(Tok::RParen)?;
-                        Ok(PExpr::Call { name, args })
                     }
-                    Some(Tok::LBracket) => {
-                        self.idx += 1;
-                        let first = self.expr(0)?;
-                        if self.eat(&Tok::Colon) {
-                            let lo = self.expr(0)?;
-                            self.expect(Tok::RBracket)?;
-                            Ok(PExpr::Slice {
-                                base: name,
-                                hi: Box::new(first),
-                                lo: Box::new(lo),
-                            })
-                        } else {
-                            self.expect(Tok::RBracket)?;
-                            Ok(PExpr::Bit { base: name, idx: Box::new(first) })
-                        }
-                    }
-                    _ => Ok(PExpr::Var(name)),
+                    self.skip_newlines_if_continuation();
+                    self.expect(Tok::RParen)?;
+                    Ok(PExpr::Call { name, args })
                 }
-            }
+                Some(Tok::LBracket) => {
+                    self.idx += 1;
+                    let first = self.expr(0)?;
+                    if self.eat(&Tok::Colon) {
+                        let lo = self.expr(0)?;
+                        self.expect(Tok::RBracket)?;
+                        Ok(PExpr::Slice { base: name, hi: Box::new(first), lo: Box::new(lo) })
+                    } else {
+                        self.expect(Tok::RBracket)?;
+                        Ok(PExpr::Bit { base: name, idx: Box::new(first) })
+                    }
+                }
+                _ => Ok(PExpr::Var(name)),
+            },
             other => {
                 self.idx = self.idx.saturating_sub(1);
                 self.err(format!("expected expression, found {other:?}"))
@@ -545,11 +537,7 @@ impl P {
                 self.idx += 1;
                 if self.eat(&Tok::LBracket) {
                     let hi = self.expr(0)?;
-                    let lo = if self.eat(&Tok::Colon) {
-                        Some(self.expr(0)?)
-                    } else {
-                        None
-                    };
+                    let lo = if self.eat(&Tok::Colon) { Some(self.expr(0)?) } else { None };
                     self.expect(Tok::RBracket)?;
                     self.expect(Tok::Assign)?;
                     let value = self.expr(0)?;

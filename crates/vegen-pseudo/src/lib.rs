@@ -123,7 +123,6 @@ pub fn translate(
     let desc = lift_to_vidl(name, inputs, out_elem_bits, fp, &formula)
         .map_err(|e| TranslateError::Lift(e.to_string()))?;
     vegen_vidl::check_inst(&desc).map_err(|e| TranslateError::Lift(e.to_string()))?;
-    validate_description(&formula, inputs, &desc, 64)
-        .map_err(TranslateError::Validate)?;
+    validate_description(&formula, inputs, &desc, 64).map_err(TranslateError::Validate)?;
     Ok(desc)
 }

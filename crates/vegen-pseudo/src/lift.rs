@@ -71,9 +71,7 @@ impl<'a> Abstraction<'a> {
         // reads (e.g. the truncating arm of a saturation) become
         // trunc/lshr of the element parameter.
         if lo / eb != hi / eb {
-            return err(format!(
-                "slice {name}[{hi}:{lo}] straddles the {eb}-bit element grid"
-            ));
+            return err(format!("slice {name}[{hi}:{lo}] straddles the {eb}-bit element grid"));
         }
         let ty = type_for(kind, eb)?;
         let lane = LaneRef { input, lane: (lo / eb) as usize };
@@ -244,11 +242,9 @@ fn remap_params(e: &Expr, remap: &[usize]) -> Expr {
             rhs: Box::new(remap_params(rhs, remap)),
         },
         Expr::FNeg(a) => Expr::FNeg(Box::new(remap_params(a, remap))),
-        Expr::Cast { op, to, arg } => Expr::Cast {
-            op: *op,
-            to: *to,
-            arg: Box::new(remap_params(arg, remap)),
-        },
+        Expr::Cast { op, to, arg } => {
+            Expr::Cast { op: *op, to: *to, arg: Box::new(remap_params(arg, remap)) }
+        }
         Expr::Cmp { pred, lhs, rhs } => Expr::Cmp {
             pred: *pred,
             lhs: Box::new(remap_params(lhs, remap)),
@@ -353,11 +349,8 @@ pub fn lift_to_vidl(
         let hi = (lane_idx as u32 + 1) * out_elem_bits - 1;
         let lo = lane_idx as u32 * out_elem_bits;
         let lane_formula = simplify(&Bv::Extract { hi, lo, arg: Box::new(formula.clone()) });
-        let mut abs = Abstraction {
-            input_order: &input_order,
-            elem_bits: &elem_bits,
-            params: Vec::new(),
-        };
+        let mut abs =
+            Abstraction { input_order: &input_order, elem_bits: &elem_bits, params: Vec::new() };
         let expr = abs.convert(&lane_formula, lane_kind)?;
         // Canonical parameter order: by (input register, lane) rather than
         // first use. This keeps the generated patterns' operand vectors in
@@ -623,15 +616,9 @@ mod tests {
 
     #[test]
     fn repeated_lane_read_shares_parameter() {
-        let d = pipeline(
-            "square",
-            &[("a", 32)],
-            32,
-            32,
-            FpMode::Int,
-            "dst[31:0] := a[31:0] * a[31:0]",
-        )
-        .unwrap();
+        let d =
+            pipeline("square", &[("a", 32)], 32, 32, FpMode::Int, "dst[31:0] := a[31:0] * a[31:0]")
+                .unwrap();
         assert_eq!(d.ops[0].params.len(), 1, "a[0] appears once as a parameter");
         assert_eq!(d.lanes[0].args.len(), 1);
     }

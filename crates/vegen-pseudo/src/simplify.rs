@@ -30,16 +30,12 @@ pub fn simplify(e: &Bv) -> Bv {
 fn walk(e: &Bv) -> Bv {
     let node = match e {
         Bv::Const { .. } | Bv::Input { .. } => e.clone(),
-        Bv::Bin { op, lhs, rhs } => Bv::Bin {
-            op: *op,
-            lhs: Box::new(walk(lhs)),
-            rhs: Box::new(walk(rhs)),
-        },
-        Bv::FBin { op, lhs, rhs } => Bv::FBin {
-            op: *op,
-            lhs: Box::new(walk(lhs)),
-            rhs: Box::new(walk(rhs)),
-        },
+        Bv::Bin { op, lhs, rhs } => {
+            Bv::Bin { op: *op, lhs: Box::new(walk(lhs)), rhs: Box::new(walk(rhs)) }
+        }
+        Bv::FBin { op, lhs, rhs } => {
+            Bv::FBin { op: *op, lhs: Box::new(walk(lhs)), rhs: Box::new(walk(rhs)) }
+        }
         Bv::FNeg(a) => Bv::FNeg(Box::new(walk(a))),
         Bv::SExt { width, arg } => Bv::SExt { width: *width, arg: Box::new(walk(arg)) },
         Bv::ZExt { width, arg } => Bv::ZExt { width: *width, arg: Box::new(walk(arg)) },
@@ -50,11 +46,9 @@ fn walk(e: &Bv) -> Bv {
             on_true: Box::new(walk(on_true)),
             on_false: Box::new(walk(on_false)),
         },
-        Bv::Cmp { pred, lhs, rhs } => Bv::Cmp {
-            pred: *pred,
-            lhs: Box::new(walk(lhs)),
-            rhs: Box::new(walk(rhs)),
-        },
+        Bv::Cmp { pred, lhs, rhs } => {
+            Bv::Cmp { pred: *pred, lhs: Box::new(walk(lhs)), rhs: Box::new(walk(rhs)) }
+        }
     };
     rewrite(node)
 }
@@ -112,9 +106,7 @@ fn rewrite_extract(hi: u32, lo: u32, arg: Bv) -> Bv {
             Bv::Extract { hi: ilo + hi, lo: ilo + lo, arg: inner }
         }
         // extract of input slice narrows the slice.
-        Bv::Input { name, hi: _ihi, lo: ilo } => {
-            Bv::Input { name, hi: ilo + hi, lo: ilo + lo }
-        }
+        Bv::Input { name, hi: _ihi, lo: ilo } => Bv::Input { name, hi: ilo + hi, lo: ilo + lo },
         // extract of concat: resolve into the parts it covers.
         Bv::Concat(parts) => {
             let mut pieces: Vec<Bv> = Vec::new();
@@ -228,21 +220,17 @@ fn rewrite_concat(parts: Vec<Bv>) -> Bv {
 /// Try to merge `low` (less significant) and `high` into one node.
 fn merge_adjacent(low: &Bv, high: &Bv) -> Option<Bv> {
     match (low, high) {
-        (
-            Bv::Input { name: n1, hi: h1, lo: l1 },
-            Bv::Input { name: n2, hi: h2, lo: l2 },
-        ) if n1 == n2 && *l2 == h1 + 1 => {
+        (Bv::Input { name: n1, hi: h1, lo: l1 }, Bv::Input { name: n2, hi: h2, lo: l2 })
+            if n1 == n2 && *l2 == h1 + 1 =>
+        {
             Some(Bv::Input { name: n1.clone(), hi: *h2, lo: *l1 })
         }
-        (Bv::Const { width: w1, bits: b1 }, Bv::Const { width: w2, bits: b2 })
-            if w1 + w2 <= 64 =>
-        {
+        (Bv::Const { width: w1, bits: b1 }, Bv::Const { width: w2, bits: b2 }) if w1 + w2 <= 64 => {
             Some(Bv::Const { width: w1 + w2, bits: b1 | (b2 << w1) })
         }
-        (
-            Bv::Extract { hi: h1, lo: l1, arg: a1 },
-            Bv::Extract { hi: h2, lo: l2, arg: a2 },
-        ) if a1 == a2 && *l2 == h1 + 1 => {
+        (Bv::Extract { hi: h1, lo: l1, arg: a1 }, Bv::Extract { hi: h2, lo: l2, arg: a2 })
+            if a1 == a2 && *l2 == h1 + 1 =>
+        {
             let hi = *h2;
             let lo = *l1;
             Some(if lo == 0 && hi + 1 == a1.width() {

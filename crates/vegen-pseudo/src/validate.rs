@@ -55,9 +55,9 @@ fn draw_elem(rng: &mut Rng, ty: Type) -> u64 {
             let bits = ty.bits();
             match r % 8 {
                 // Extremes exercise saturation and overflow paths.
-                0 => vegen_ir::constant::mask(bits),           // all ones (-1)
-                1 => vegen_ir::constant::mask(bits) >> 1,      // max positive
-                2 => 1u64 << (bits - 1),                       // min negative
+                0 => vegen_ir::constant::mask(bits), // all ones (-1)
+                1 => vegen_ir::constant::mask(bits) >> 1, // max positive
+                2 => 1u64 << (bits - 1),             // min negative
                 3 => 0,
                 _ => r & vegen_ir::constant::mask(bits),
             }
@@ -88,13 +88,8 @@ pub fn validate_description(
             assert_eq!(shape.bits(), *total, "shape mismatch for input {name}");
             let elems: Vec<u64> =
                 (0..shape.lanes).map(|_| draw_elem(&mut rng, shape.elem)).collect();
-            reg_env.insert(
-                name.to_string(),
-                BigBits::from_elems(shape.elem.bits(), &elems),
-            );
-            vidl_inputs.push(
-                elems.iter().map(|&b| constant_from_bits(shape.elem, b)).collect(),
-            );
+            reg_env.insert(name.to_string(), BigBits::from_elems(shape.elem.bits(), &elems));
+            vidl_inputs.push(elems.iter().map(|&b| constant_from_bits(shape.elem, b)).collect());
         }
         // Pseudocode side.
         let expected = eval_concrete(formula, &reg_env)

@@ -1,94 +1,83 @@
 //! Property tests: the formula simplifier (the z3 stand-in) preserves
 //! concrete semantics on arbitrary well-formed bit-vector formulas.
+//!
+//! Formulas are generated with the in-tree deterministic [`XorShift`]
+//! stream (the repo builds offline; see `vegen_ir::rng`).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use vegen_ir::rng::XorShift;
 use vegen_pseudo::bv::{eval_concrete, BigBits, Bv, BvBinOp};
 use vegen_pseudo::simplify::simplify;
 
 /// Generate formulas over two 64-bit inputs. Widths are tracked so every
 /// generated tree is well-formed; arithmetic stays at width <= 64.
-fn leaf(width: u32) -> BoxedStrategy<Bv> {
-    prop_oneof![
-        (0..u64::MAX).prop_map(move |bits| Bv::Const {
-            width,
-            bits: bits & vegen_ir::constant::mask(width)
-        }),
-        (0..2usize, 0..(64 - width + 1)).prop_map(move |(var, lo)| {
-            let name = if var == 0 { "a" } else { "b" };
-            Bv::Input { name: name.into(), hi: lo + width - 1, lo }
-        }),
-    ]
-    .boxed()
+fn leaf(r: &mut XorShift, width: u32) -> Bv {
+    if r.bool() {
+        Bv::Const { width, bits: r.next_u64() & vegen_ir::constant::mask(width) }
+    } else {
+        let name = if r.below(2) == 0 { "a" } else { "b" };
+        let lo = r.below((64 - width + 1) as usize) as u32;
+        Bv::Input { name: name.into(), hi: lo + width - 1, lo }
+    }
 }
 
-fn formula(width: u32, depth: u32) -> BoxedStrategy<Bv> {
+fn formula(r: &mut XorShift, width: u32, depth: u32) -> Bv {
     if depth == 0 {
-        return leaf(width);
+        return leaf(r, width);
     }
-    let bin = (any::<u8>(), formula(width, depth - 1), formula(width, depth - 1)).prop_map(
-        move |(op, l, r)| {
-            let ops = [
-                BvBinOp::Add,
-                BvBinOp::Sub,
-                BvBinOp::Mul,
-                BvBinOp::And,
-                BvBinOp::Or,
-                BvBinOp::Xor,
-            ];
-            Bv::Bin {
-                op: ops[op as usize % ops.len()],
-                lhs: Box::new(l),
-                rhs: Box::new(r),
-            }
-        },
-    );
-    let mut options: Vec<BoxedStrategy<Bv>> = vec![leaf(width), bin.boxed()];
-    // Extension of a narrower sub-formula.
+    // The option set mirrors the old proptest union: leaf, binary op, and —
+    // where the width permits — extension, extraction, concat, and ite.
+    let mut options: Vec<u8> = vec![0, 1];
     if width > 8 {
-        let narrow = width / 2;
-        options.push(
-            (any::<bool>(), formula(narrow, depth - 1))
-                .prop_map(move |(signed, a)| {
-                    if signed {
-                        Bv::SExt { width, arg: Box::new(a) }
-                    } else {
-                        Bv::ZExt { width, arg: Box::new(a) }
-                    }
-                })
-                .boxed(),
-        );
+        options.push(2);
     }
-    // Extraction from a wider sub-formula.
     if width < 64 {
-        let wide = width * 2;
-        options.push(
-            (0..(wide - width + 1), formula(wide, depth - 1))
-                .prop_map(move |(lo, a)| Bv::Extract {
-                    hi: lo + width - 1,
-                    lo,
-                    arg: Box::new(a),
-                })
-                .boxed(),
-        );
+        options.push(3);
     }
-    // Concat of two halves (keeps total width).
     if width.is_multiple_of(2) && width >= 4 {
-        let half = width / 2;
-        options.push(
-            (formula(half, depth - 1), formula(half, depth - 1))
-                .prop_map(|(lo, hi)| Bv::Concat(vec![lo, hi]))
-                .boxed(),
-        );
+        options.push(4);
     }
-    // Ite on a comparison.
-    options.push(
-        (
-            formula(width, depth - 1),
-            formula(width, depth - 1),
-            formula(width.min(32), depth - 1),
-        )
-            .prop_map(move |(t, e, c)| Bv::Ite {
+    options.push(5);
+    match options[r.below(options.len())] {
+        0 => leaf(r, width),
+        1 => {
+            let ops =
+                [BvBinOp::Add, BvBinOp::Sub, BvBinOp::Mul, BvBinOp::And, BvBinOp::Or, BvBinOp::Xor];
+            let op = ops[r.below(ops.len())];
+            let lhs = formula(r, width, depth - 1);
+            let rhs = formula(r, width, depth - 1);
+            Bv::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        }
+        2 => {
+            // Extension of a narrower sub-formula.
+            let narrow = width / 2;
+            let a = formula(r, narrow, depth - 1);
+            if r.bool() {
+                Bv::SExt { width, arg: Box::new(a) }
+            } else {
+                Bv::ZExt { width, arg: Box::new(a) }
+            }
+        }
+        3 => {
+            // Extraction from a wider sub-formula.
+            let wide = width * 2;
+            let lo = r.below((wide - width + 1) as usize) as u32;
+            let a = formula(r, wide, depth - 1);
+            Bv::Extract { hi: lo + width - 1, lo, arg: Box::new(a) }
+        }
+        4 => {
+            // Concat of two halves (keeps total width).
+            let half = width / 2;
+            let lo = formula(r, half, depth - 1);
+            let hi = formula(r, half, depth - 1);
+            Bv::Concat(vec![lo, hi])
+        }
+        _ => {
+            // Ite on a comparison.
+            let t = formula(r, width, depth - 1);
+            let e = formula(r, width, depth - 1);
+            let c = formula(r, width.min(32), depth - 1);
+            Bv::Ite {
                 cond: Box::new(Bv::Cmp {
                     pred: vegen_ir::CmpPred::Slt,
                     lhs: Box::new(c.clone()),
@@ -96,41 +85,55 @@ fn formula(width: u32, depth: u32) -> BoxedStrategy<Bv> {
                 }),
                 on_true: Box::new(t),
                 on_false: Box::new(e),
-            })
-            .boxed(),
-    );
-    proptest::strategy::Union::new(options).boxed()
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    #[test]
-    fn simplify_preserves_semantics(
-        e in formula(32, 3),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
+#[test]
+fn simplify_preserves_semantics() {
+    let mut r = XorShift::new(0x51F1_0001);
+    for case in 0..256u32 {
+        let e = formula(&mut r, 32, 3);
+        let a = r.next_u64();
+        let b = r.next_u64();
         let s = simplify(&e);
-        prop_assert_eq!(s.width(), e.width(), "width must be preserved");
+        assert_eq!(s.width(), e.width(), "case {case}: width must be preserved");
         let mut env = HashMap::new();
         env.insert("a".to_string(), BigBits::from_u64(64, a));
         env.insert("b".to_string(), BigBits::from_u64(64, b));
         let before = eval_concrete(&e, &env);
         let after = eval_concrete(&s, &env);
-        prop_assert_eq!(before.ok(), after.ok(), "simplify changed semantics:\n{}\nvs\n{}", e, s);
+        assert_eq!(
+            before.ok(),
+            after.ok(),
+            "case {case}: simplify changed semantics:\n{e}\nvs\n{s}"
+        );
     }
+}
 
-    #[test]
-    fn simplify_is_idempotent(e in formula(32, 3)) {
+#[test]
+fn simplify_is_idempotent() {
+    let mut r = XorShift::new(0x51F1_0002);
+    for case in 0..256u32 {
+        let e = formula(&mut r, 32, 3);
         let once = simplify(&e);
         let twice = simplify(&once);
-        prop_assert_eq!(&once, &twice, "not a fixpoint: {} vs {}", once, twice);
+        assert_eq!(once, twice, "case {case}: not a fixpoint: {once} vs {twice}");
     }
+}
 
-    #[test]
-    fn simplify_never_grows(e in formula(16, 3)) {
+#[test]
+fn simplify_never_grows() {
+    let mut r = XorShift::new(0x51F1_0003);
+    for case in 0..256u32 {
+        let e = formula(&mut r, 16, 3);
         let s = simplify(&e);
-        prop_assert!(s.size() <= e.size() + 2, "simplifier grew {} -> {}", e.size(), s.size());
+        assert!(
+            s.size() <= e.size() + 2,
+            "case {case}: simplifier grew {} -> {}",
+            e.size(),
+            s.size()
+        );
     }
 }

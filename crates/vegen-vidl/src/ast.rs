@@ -171,9 +171,10 @@ impl InstSemantics {
     /// i.e. a plain SIMD instruction under the paper's definition.
     pub fn is_simd(&self) -> bool {
         let Some(first) = self.lanes.first() else { return true };
-        self.lanes.iter().enumerate().all(|(lane, b)| {
-            b.op == first.op && b.args.iter().all(|r| r.lane == lane)
-        })
+        self.lanes
+            .iter()
+            .enumerate()
+            .all(|(lane, b)| b.op == first.op && b.args.iter().all(|r| r.lane == lane))
     }
 
     /// The static lane-binding map for input register `input`: for each lane
@@ -313,9 +314,7 @@ mod tests {
             inputs: vec![VecShape { lanes: 4, elem: Type::I32 }; 2],
             out_elem: Type::I32,
             ops: vec![addop],
-            lanes: (0..4)
-                .map(|l| LaneBinding { op: 0, args: vec![lr(0, l), lr(1, l)] })
-                .collect(),
+            lanes: (0..4).map(|l| LaneBinding { op: 0, args: vec![lr(0, l), lr(1, l)] }).collect(),
         };
         assert!(i.is_simd());
     }

@@ -196,9 +196,7 @@ mod tests {
             inputs: vec![VecShape { lanes: 4, elem: Type::I32 }; 2],
             out_elem: Type::I32,
             ops: vec![add_op(Type::I32)],
-            lanes: (0..4)
-                .map(|l| LaneBinding { op: 0, args: vec![lr(0, l), lr(1, l)] })
-                .collect(),
+            lanes: (0..4).map(|l| LaneBinding { op: 0, args: vec![lr(0, l), lr(1, l)] }).collect(),
         }
     }
 

@@ -18,9 +18,7 @@ pub fn eval_expr(e: &Expr, args: &[Constant]) -> Result<Constant, EvalError> {
     match e {
         Expr::Param(i) => Ok(args[*i]),
         Expr::Const(c) => Ok(*c),
-        Expr::Bin { op, lhs, rhs } => {
-            eval_bin(*op, eval_expr(lhs, args)?, eval_expr(rhs, args)?)
-        }
+        Expr::Bin { op, lhs, rhs } => eval_bin(*op, eval_expr(lhs, args)?, eval_expr(rhs, args)?),
         Expr::FNeg(a) => {
             let v = eval_expr(a, args)?;
             Ok(match v.ty() {
@@ -84,8 +82,7 @@ pub fn eval_inst(
     let mut out = Vec::with_capacity(inst.lanes.len());
     for binding in &inst.lanes {
         let op = &inst.ops[binding.op];
-        let args: Vec<Constant> =
-            binding.args.iter().map(|r| inputs[r.input][r.lane]).collect();
+        let args: Vec<Constant> = binding.args.iter().map(|r| inputs[r.input][r.lane]).collect();
         out.push(eval_operation(op, &args)?);
     }
     Ok(out)
@@ -126,8 +123,7 @@ mod tests {
     #[test]
     fn pmaddwd_matches_reference() {
         let inst = pmaddwd();
-        let a: Vec<Constant> =
-            [3, -4, 5, 6].iter().map(|&v| Constant::int(Type::I16, v)).collect();
+        let a: Vec<Constant> = [3, -4, 5, 6].iter().map(|&v| Constant::int(Type::I16, v)).collect();
         let b: Vec<Constant> =
             [10, 100, -1, 2].iter().map(|&v| Constant::int(Type::I16, v)).collect();
         let out = eval_inst(&inst, &[a, b]).unwrap();

@@ -130,8 +130,7 @@ impl<'a> Lexer<'a> {
                     {
                         end += 1;
                     }
-                    let word =
-                        std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                    let word = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
                     self.pos = end;
                     out.push((start, Tok::Ident(word)));
                 }
@@ -153,10 +152,7 @@ impl<'a> Lexer<'a> {
             match self.src[self.pos] {
                 b'0'..=b'9' => self.pos += 1,
                 b'.' if !is_float
-                    && self
-                        .src
-                        .get(self.pos + 1)
-                        .is_some_and(|c| c.is_ascii_digit()) =>
+                    && self.src.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit()) =>
                 {
                     is_float = true;
                     self.pos += 1;
@@ -562,8 +558,7 @@ pub fn parse_operation(src: &str) -> Result<Operation, ParseError> {
     if p.peek().is_some() {
         return p.err("trailing input after operation");
     }
-    crate::check::check_operation(&op)
-        .map_err(|e| ParseError { at: 0, message: e.0 })?;
+    crate::check::check_operation(&op).map_err(|e| ParseError { at: 0, message: e.0 })?;
     Ok(op)
 }
 
@@ -628,11 +623,7 @@ mod tests {
                    select(cmp_slt(x, -32768:i32), -32768:i32, x))";
         let op = parse_operation(src).unwrap();
         assert_eq!(op.params.len(), 1);
-        let v = crate::eval::eval_operation(
-            &op,
-            &[Constant::int(Type::I32, 100_000)],
-        )
-        .unwrap();
+        let v = crate::eval::eval_operation(&op, &[Constant::int(Type::I32, 100_000)]).unwrap();
         assert_eq!(v.as_i64(), 32767);
     }
 
@@ -687,8 +678,7 @@ mod tests {
     fn negative_literals() {
         let src = "op s (x: i16) -> i16 = add(x, -7:i16)";
         let op = parse_operation(src).unwrap();
-        let v =
-            crate::eval::eval_operation(&op, &[Constant::int(Type::I16, 10)]).unwrap();
+        let v = crate::eval::eval_operation(&op, &[Constant::int(Type::I16, 10)]).unwrap();
         assert_eq!(v.as_i64(), 3);
     }
 
@@ -696,11 +686,8 @@ mod tests {
     fn float_ops_parse() {
         let src = "op f (x: f32, y: f32) -> f32 = fmul(fneg(x), fadd(y, 1.5:f32))";
         let op = parse_operation(src).unwrap();
-        let v = crate::eval::eval_operation(
-            &op,
-            &[Constant::f32(2.0), Constant::f32(0.5)],
-        )
-        .unwrap();
+        let v =
+            crate::eval::eval_operation(&op, &[Constant::f32(2.0), Constant::f32(0.5)]).unwrap();
         assert_eq!(v.as_f32(), -4.0);
     }
 

@@ -25,12 +25,9 @@ pub fn expr_text(e: &Expr) -> String {
         Expr::Cmp { pred, lhs, rhs } => {
             format!("cmp_{}({}, {})", pred.name(), expr_text(lhs), expr_text(rhs))
         }
-        Expr::Select { cond, on_true, on_false } => format!(
-            "select({}, {}, {})",
-            expr_text(cond),
-            expr_text(on_true),
-            expr_text(on_false)
-        ),
+        Expr::Select { cond, on_true, on_false } => {
+            format!("select({}, {}, {})", expr_text(cond), expr_text(on_true), expr_text(on_false))
+        }
     }
 }
 

@@ -1,110 +1,107 @@
 //! Property tests: VIDL descriptions survive a print → parse round trip,
 //! and the evaluator agrees before and after.
+//!
+//! Random descriptions are generated with the in-tree deterministic
+//! [`XorShift`] stream (the repo builds offline; see `vegen_ir::rng`).
 
-use proptest::prelude::*;
+use vegen_ir::rng::XorShift;
 use vegen_ir::{BinOp, CmpPred, Constant, Type};
 use vegen_vidl::print::{inst_text, operation_text};
 use vegen_vidl::{
-    check_inst, eval_inst, parse_inst, parse_operation, Expr, InstSemantics, LaneBinding,
-    LaneRef, Operation, VecShape,
+    check_inst, eval_inst, parse_inst, parse_operation, Expr, InstSemantics, LaneBinding, LaneRef,
+    Operation, VecShape,
 };
 
-fn int_ty() -> impl Strategy<Value = Type> {
-    prop_oneof![Just(Type::I8), Just(Type::I16), Just(Type::I32), Just(Type::I64)]
+fn int_ty(r: &mut XorShift) -> Type {
+    [Type::I8, Type::I16, Type::I32, Type::I64][r.below(4)]
 }
 
 /// A well-typed expression over `n` parameters of type `ty`.
-fn expr(ty: Type, n: usize, depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (0..n).prop_map(Expr::Param),
-        (-100i64..100).prop_map(move |v| Expr::Const(Constant::int(ty, v))),
-    ]
-    .boxed();
+fn expr(r: &mut XorShift, ty: Type, n: usize, depth: u32) -> Expr {
+    let leaf = |r: &mut XorShift| {
+        if r.bool() {
+            Expr::Param(r.below(n))
+        } else {
+            Expr::Const(Constant::int(ty, r.range_i64(-100, 100)))
+        }
+    };
     if depth == 0 {
-        return leaf;
+        return leaf(r);
     }
-    let bin = (any::<u8>(), expr(ty, n, depth - 1), expr(ty, n, depth - 1)).prop_map(
-        move |(op, l, r)| {
+    match r.below(3) {
+        0 => leaf(r),
+        1 => {
             let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor];
-            Expr::Bin {
-                op: ops[op as usize % ops.len()],
-                lhs: Box::new(l),
-                rhs: Box::new(r),
+            let op = ops[r.below(ops.len())];
+            let lhs = expr(r, ty, n, depth - 1);
+            let rhs = expr(r, ty, n, depth - 1);
+            Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        }
+        _ => {
+            let a = expr(r, ty, n, depth - 1);
+            let b = expr(r, ty, n, depth - 1);
+            let c = expr(r, ty, n, depth - 1);
+            let pred = if r.bool() { CmpPred::Slt } else { CmpPred::Sgt };
+            Expr::Select {
+                cond: Box::new(Expr::Cmp { pred, lhs: Box::new(a.clone()), rhs: Box::new(b) }),
+                on_true: Box::new(a),
+                on_false: Box::new(c),
             }
-        },
-    );
-    let sel = (
-        expr(ty, n, depth - 1),
-        expr(ty, n, depth - 1),
-        expr(ty, n, depth - 1),
-        any::<bool>(),
-    )
-        .prop_map(move |(a, b, c, lt)| Expr::Select {
-            cond: Box::new(Expr::Cmp {
-                pred: if lt { CmpPred::Slt } else { CmpPred::Sgt },
-                lhs: Box::new(a.clone()),
-                rhs: Box::new(b.clone()),
-            }),
-            on_true: Box::new(a),
-            on_false: Box::new(c),
-        });
-    prop_oneof![leaf, bin.boxed(), sel.boxed()].boxed()
+        }
+    }
 }
 
-fn operation() -> impl Strategy<Value = Operation> {
-    (int_ty(), 1..4usize).prop_flat_map(|(ty, n)| {
-        expr(ty, n, 2).prop_map(move |e| Operation {
-            name: "op0".into(),
-            params: vec![ty; n],
-            ret: ty,
-            expr: e,
-        })
-    })
+fn operation(r: &mut XorShift) -> Operation {
+    let ty = int_ty(r);
+    let n = 1 + r.below(3);
+    Operation { name: "op0".into(), params: vec![ty; n], ret: ty, expr: expr(r, ty, n, 2) }
 }
 
 /// A SIMD-style instruction wrapping one random operation.
-fn instruction() -> impl Strategy<Value = InstSemantics> {
-    (operation(), 2..9usize).prop_map(|(op, lanes)| {
-        let n = op.params.len();
-        let ty = op.ret;
-        InstSemantics {
-            name: "randinst".into(),
-            inputs: vec![VecShape { lanes, elem: ty }; n],
-            out_elem: ty,
-            ops: vec![op],
-            lanes: (0..lanes)
-                .map(|l| LaneBinding {
-                    op: 0,
-                    args: (0..n).map(|input| LaneRef { input, lane: l }).collect(),
-                })
-                .collect(),
-        }
-    })
+fn instruction(r: &mut XorShift) -> InstSemantics {
+    let op = operation(r);
+    let lanes = 2 + r.below(7);
+    let n = op.params.len();
+    let ty = op.ret;
+    InstSemantics {
+        name: "randinst".into(),
+        inputs: vec![VecShape { lanes, elem: ty }; n],
+        out_elem: ty,
+        ops: vec![op],
+        lanes: (0..lanes)
+            .map(|l| LaneBinding {
+                op: 0,
+                args: (0..n).map(|input| LaneRef { input, lane: l }).collect(),
+            })
+            .collect(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn operation_roundtrips(op in operation()) {
+#[test]
+fn operation_roundtrips() {
+    let mut r = XorShift::new(0x51D1_0001);
+    for case in 0..128u32 {
+        let op = operation(&mut r);
         let text = operation_text(&op);
         let parsed = parse_operation(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(op, parsed);
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
+        assert_eq!(op, parsed, "case {case}");
     }
+}
 
-    #[test]
-    fn instruction_roundtrips_and_evaluates(
-        inst in instruction(),
-        seed in any::<u64>(),
-    ) {
-        prop_assert!(check_inst(&inst).is_ok());
+#[test]
+fn instruction_roundtrips_and_evaluates() {
+    let mut r = XorShift::new(0x51D1_0002);
+    for case in 0..128u32 {
+        let inst = instruction(&mut r);
+        let seed = r.next_u64();
+        assert!(check_inst(&inst).is_ok(), "case {case}");
         let text = inst_text(&inst);
         let parsed = parse_inst(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(&inst.ops, &parsed.ops);
-        prop_assert_eq!(&inst.lanes, &parsed.lanes);
-        prop_assert_eq!(&inst.inputs, &parsed.inputs);
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
+        assert_eq!(&inst.ops, &parsed.ops, "case {case}");
+        assert_eq!(&inst.lanes, &parsed.lanes, "case {case}");
+        assert_eq!(&inst.inputs, &parsed.inputs, "case {case}");
         // And both evaluate identically on a random input.
         let mut state = seed | 1;
         let mut next = move || {
@@ -118,12 +115,14 @@ proptest! {
             .iter()
             .map(|sh| {
                 (0..sh.lanes)
-                    .map(|_| Constant::int(sh.elem, vegen_ir::constant::sext(next(), sh.elem.bits())))
+                    .map(|_| {
+                        Constant::int(sh.elem, vegen_ir::constant::sext(next(), sh.elem.bits()))
+                    })
                     .collect()
             })
             .collect();
         let a = eval_inst(&inst, &inputs);
         let b = eval_inst(&parsed, &inputs);
-        prop_assert_eq!(a.ok(), b.ok());
+        assert_eq!(a.ok(), b.ok(), "case {case}");
     }
 }

@@ -96,7 +96,8 @@ mod tests {
 
     #[test]
     fn costs_accumulate() {
-        let mut p = VmProgram::new("t", vec![Param { name: "A".into(), elem_ty: Type::I32, len: 8 }]);
+        let mut p =
+            VmProgram::new("t", vec![Param { name: "A".into(), elem_ty: Type::I32, len: 8 }]);
         let a = p.fresh_reg();
         let b = p.fresh_reg();
         p.push(VmInst::VecLoad { dst: a, base: 0, start: 0, lanes: 4, elem: Type::I32 });

@@ -203,7 +203,8 @@ mod tests {
 
     #[test]
     fn unset_register_is_an_error() {
-        let mut p = VmProgram::new("t", vec![Param { name: "A".into(), elem_ty: Type::I32, len: 1 }]);
+        let mut p =
+            VmProgram::new("t", vec![Param { name: "A".into(), elem_ty: Type::I32, len: 1 }]);
         let r = p.fresh_reg();
         p.push(VmInst::StoreScalar { base: 0, offset: 0, src: r });
         let mut f = vegen_ir::Function::new("dummy");

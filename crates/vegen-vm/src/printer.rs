@@ -44,8 +44,7 @@ pub fn listing(prog: &VmProgram) -> String {
                 );
             }
             VmInst::VecStore { base, start, src } => {
-                let _ =
-                    writeln!(s, "  vmovdqu [{}+{start}], {src}", prog.params[*base].name);
+                let _ = writeln!(s, "  vmovdqu [{}+{start}], {src}", prog.params[*base].name);
             }
             VmInst::VecOp { dst, sem, args } => {
                 let mut ops = String::new();
@@ -97,10 +96,8 @@ mod tests {
 
     #[test]
     fn listing_covers_instruction_kinds() {
-        let mut p = VmProgram::new(
-            "show",
-            vec![Param { name: "A".into(), elem_ty: Type::I32, len: 8 }],
-        );
+        let mut p =
+            VmProgram::new("show", vec![Param { name: "A".into(), elem_ty: Type::I32, len: 8 }]);
         let a = p.fresh_reg();
         let b = p.fresh_reg();
         let x = p.fresh_reg();

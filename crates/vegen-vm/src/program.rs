@@ -245,36 +245,18 @@ mod tests {
     fn classify_permute_and_shuffle() {
         let a = Reg(0);
         let b = Reg(1);
-        let perm = vec![
-            LaneSrc::FromVec { src: a, lane: 1 },
-            LaneSrc::FromVec { src: a, lane: 0 },
-        ];
+        let perm = vec![LaneSrc::FromVec { src: a, lane: 1 }, LaneSrc::FromVec { src: a, lane: 0 }];
         assert_eq!(classify_build(&perm), BuildKind::Permute);
-        let shuf = vec![
-            LaneSrc::FromVec { src: a, lane: 0 },
-            LaneSrc::FromVec { src: b, lane: 0 },
-        ];
+        let shuf = vec![LaneSrc::FromVec { src: a, lane: 0 }, LaneSrc::FromVec { src: b, lane: 0 }];
         assert_eq!(classify_build(&shuf), BuildKind::TwoSourceShuffle);
     }
 
     #[test]
     fn classify_inserts() {
-        let lanes = vec![
-            LaneSrc::FromScalar(Reg(0)),
-            LaneSrc::FromScalar(Reg(1)),
-        ];
-        assert_eq!(
-            classify_build(&lanes),
-            BuildKind::Insert { scalar_lanes: 2, vec_sources: 0 }
-        );
-        let mixed = vec![
-            LaneSrc::FromVec { src: Reg(7), lane: 0 },
-            LaneSrc::FromScalar(Reg(1)),
-        ];
-        assert_eq!(
-            classify_build(&mixed),
-            BuildKind::Insert { scalar_lanes: 1, vec_sources: 1 }
-        );
+        let lanes = vec![LaneSrc::FromScalar(Reg(0)), LaneSrc::FromScalar(Reg(1))];
+        assert_eq!(classify_build(&lanes), BuildKind::Insert { scalar_lanes: 2, vec_sources: 0 });
+        let mixed = vec![LaneSrc::FromVec { src: Reg(7), lane: 0 }, LaneSrc::FromScalar(Reg(1))];
+        assert_eq!(classify_build(&mixed), BuildKind::Insert { scalar_lanes: 1, vec_sources: 1 });
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! pack produces directly, and only beam search (not the greedy SLP
 //! heuristic) is willing to pay for them up front.
 
-use vegen::driver::{compile, PipelineConfig};
 use vegen::core::BeamConfig;
+use vegen::driver::{compile, PipelineConfig};
 use vegen::isa::TargetIsa;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -9,8 +9,8 @@
 //! running example) and on `psubusb` (the saturating subtract whose
 //! ambiguous documentation the paper's random testing caught).
 
-use vegen::pseudo::{eval_program, lift_to_vidl, parse_program, validate_description, FpMode};
 use vegen::pseudo::simplify::simplify;
+use vegen::pseudo::{eval_program, lift_to_vidl, parse_program, validate_description, FpMode};
 use vegen::vidl::print::inst_text;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 use vegen_baseline::{vectorize_baseline, BaselineConfig};
 use vegen_codegen::{check_equivalence, lower, lower_scalar};
 use vegen_core::{select_packs, BeamConfig, CostModel, SelectionResult, VectorizerCtx};
@@ -32,11 +33,7 @@ pub struct PipelineConfig {
 impl PipelineConfig {
     /// Defaults for a target, with the given beam width.
     pub fn new(target: TargetIsa, width: usize) -> PipelineConfig {
-        PipelineConfig {
-            target,
-            beam: BeamConfig::with_width(width),
-            canonicalize_patterns: true,
-        }
+        PipelineConfig { target, beam: BeamConfig::with_width(width), canonicalize_patterns: true }
     }
 }
 
@@ -58,31 +55,94 @@ pub struct CompiledKernel {
 }
 
 /// Fetch (and cache) the generated target description for a target.
+///
+/// `TargetDesc::build` is the expensive offline phase (pattern generation
+/// over the whole instruction database); the cache `Mutex` is held only for
+/// lookups and inserts, never across the build itself, so concurrent engine
+/// workers targeting *different* ISAs do not serialize on each other. Two
+/// racing builders of the same key both build, and the double-checked
+/// insert keeps the first — wasted work in a rare race beats a global lock
+/// on every compilation.
 pub fn target_desc(target: &TargetIsa, canonicalize_patterns: bool) -> Arc<TargetDesc> {
     type DescCache = Mutex<HashMap<(String, bool), Arc<TargetDesc>>>;
     static CACHE: OnceLock<DescCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (target.name.clone(), canonicalize_patterns);
-    let mut guard = cache.lock().unwrap();
-    guard
-        .entry(key)
-        .or_insert_with(|| {
-            Arc::new(TargetDesc::build(
-                &InstDb::for_target(target),
-                canonicalize_patterns,
-            ))
-        })
-        .clone()
+    if let Some(desc) = cache.lock().unwrap().get(&key) {
+        return desc.clone();
+    }
+    let built = Arc::new(TargetDesc::build(&InstDb::for_target(target), canonicalize_patterns));
+    cache.lock().unwrap().entry(key).or_insert(built).clone()
+}
+
+/// Wall time of each pipeline stage of one [`compile_timed`] call.
+///
+/// These are the stage boundaries the engine's telemetry hooks into: the §6
+/// offline phase shows up as `target_desc` (amortized to ~0 by the process
+/// cache), everything else is the online phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Canonicalization + narrow-constant annotation (§6).
+    pub canonicalize: Duration,
+    /// Target-description fetch (builds once per (ISA, canon) per process).
+    pub target_desc: Duration,
+    /// Match-table construction + pack selection (§4.4, §5).
+    pub selection: Duration,
+    /// Lowering the pack set to the vector VM, incl. the scalar lowering
+    /// and the profitability backstop.
+    pub lowering: Duration,
+    /// The baseline LLVM-style SLP comparator.
+    pub baseline: Duration,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.canonicalize + self.target_desc + self.selection + self.lowering + self.baseline
+    }
+}
+
+/// Canonicalize and annotate a scalar function — the front half of the
+/// pipeline, exposed so callers (the engine's content-addressed cache) can
+/// hash the canonical form before deciding whether to compile at all.
+pub fn prepare(f: &Function) -> Function {
+    add_narrow_constants(&canonicalize(f))
 }
 
 /// Compile `f` three ways (scalar / baseline / VeGen).
 pub fn compile(f: &Function, cfg: &PipelineConfig) -> CompiledKernel {
-    let prepared = add_narrow_constants(&canonicalize(f));
-    let scalar = lower_scalar(&prepared);
+    compile_timed(f, cfg).0
+}
 
+/// [`compile`], also reporting per-stage wall times.
+pub fn compile_timed(f: &Function, cfg: &PipelineConfig) -> (CompiledKernel, StageTimes) {
+    let t = Instant::now();
+    let prepared = prepare(f);
+    let canonicalize_time = t.elapsed();
+    let (kernel, mut times) = compile_prepared_timed(prepared, cfg);
+    times.canonicalize = canonicalize_time;
+    (kernel, times)
+}
+
+/// Compile an already-[`prepare`]d function, reporting per-stage wall
+/// times (with `canonicalize` zero, since that stage was the caller's).
+pub fn compile_prepared_timed(
+    prepared: Function,
+    cfg: &PipelineConfig,
+) -> (CompiledKernel, StageTimes) {
+    let mut times = StageTimes::default();
+
+    let t = Instant::now();
     let desc = target_desc(&cfg.target, cfg.canonicalize_patterns);
+    times.target_desc = t.elapsed();
+
+    let t = Instant::now();
     let ctx = VectorizerCtx::new(&prepared, &desc, CostModel::default());
     let selection = select_packs(&ctx, &cfg.beam);
+    times.selection = t.elapsed();
+
+    let t = Instant::now();
+    let scalar = lower_scalar(&prepared);
     let mut vegen = lower(&ctx, &selection.packs);
     // Profitability backstop: like any production vectorizer, keep the
     // scalar code when the vectorized program does not actually win under
@@ -90,21 +150,22 @@ pub fn compile(f: &Function, cfg: &PipelineConfig) -> CompiledKernel {
     if static_cycles(&vegen) >= static_cycles(&scalar) {
         vegen = scalar.clone();
     }
+    times.lowering = t.elapsed();
 
-    let bl_cfg = BaselineConfig {
-        max_bits: cfg.target.max_bits,
-        ..BaselineConfig::default()
-    };
+    let t = Instant::now();
+    let bl_cfg = BaselineConfig { max_bits: cfg.target.max_bits, ..BaselineConfig::default() };
     let bl = vectorize_baseline(&prepared, &bl_cfg);
+    times.baseline = t.elapsed();
 
-    CompiledKernel {
+    let kernel = CompiledKernel {
         function: prepared,
         scalar,
         vegen,
         baseline: bl.program,
         selection,
         baseline_trees: bl.trees_vectorized,
-    }
+    };
+    (kernel, times)
 }
 
 impl CompiledKernel {
@@ -126,11 +187,7 @@ impl CompiledKernel {
     /// Estimated cycles for each program under the throughput model:
     /// `(scalar, baseline, vegen)`.
     pub fn cycles(&self) -> (f64, f64, f64) {
-        (
-            static_cycles(&self.scalar),
-            static_cycles(&self.baseline),
-            static_cycles(&self.vegen),
-        )
+        (static_cycles(&self.scalar), static_cycles(&self.baseline), static_cycles(&self.vegen))
     }
 
     /// VeGen's speedup over the baseline ("Speedup over LLVM" in the

@@ -3,8 +3,8 @@
 //! scalar reference under execution (scalar, baseline, and VeGen programs
 //! alike).
 
-use vegen::driver::{compile, PipelineConfig};
 use vegen::core::BeamConfig;
+use vegen::driver::{compile, PipelineConfig};
 use vegen::isa::TargetIsa;
 
 fn check_all(target: TargetIsa, width: usize) {
@@ -49,7 +49,6 @@ fn kernels_without_pattern_canonicalization_stay_correct() {
             canonicalize_patterns: false,
         };
         let ck = compile(&f, &cfg);
-        ck.verify(8)
-            .unwrap_or_else(|e| panic!("kernel {} (no canon) diverged: {e}", k.name));
+        ck.verify(8).unwrap_or_else(|e| panic!("kernel {} (no canon) diverged: {e}", k.name));
     }
 }

@@ -4,11 +4,14 @@
 //!
 //! This is the reproduction's strongest correctness weapon — the paper
 //! leaned on LLVM's maturity and hardware runs; we generate arbitrary
-//! well-typed kernels and execute everything.
+//! well-typed kernels and execute everything. Cases come from the in-tree
+//! deterministic [`XorShift`] stream (the repo builds offline, so the
+//! former `proptest` harness was replaced); every failure reproduces from
+//! its case index.
 
-use proptest::prelude::*;
 use vegen::core::BeamConfig;
 use vegen::driver::{compile, PipelineConfig};
+use vegen::ir::rng::XorShift;
 use vegen::ir::{BinOp, CmpPred, Function, FunctionBuilder, Type, ValueId};
 use vegen::isa::TargetIsa;
 
@@ -22,27 +25,22 @@ enum Step {
     Store { off: usize, v: usize },
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..3usize, 0..8usize).prop_map(|(buf, off)| Step::Load { buf, off }),
-        (0..6usize, 0..64usize, 0..64usize).prop_map(|(op, a, b)| Step::Bin { op, a, b }),
-        (any::<bool>(), 0..64usize, 0..64usize)
-            .prop_map(|(max, a, b)| Step::MinMax { max, a, b }),
-        (0..64usize).prop_map(|a| Step::Clamp { a }),
-        (0..64usize).prop_map(|a| Step::Widen { a }),
-        (0..16usize, 0..64usize).prop_map(|(off, v)| Step::Store { off, v }),
-    ]
+fn gen_step(r: &mut XorShift) -> Step {
+    match r.below(6) {
+        0 => Step::Load { buf: r.below(3), off: r.below(8) },
+        1 => Step::Bin { op: r.below(6), a: r.below(64), b: r.below(64) },
+        2 => Step::MinMax { max: r.bool(), a: r.below(64), b: r.below(64) },
+        3 => Step::Clamp { a: r.below(64) },
+        4 => Step::Widen { a: r.below(64) },
+        _ => Step::Store { off: r.below(16), v: r.below(64) },
+    }
 }
 
 /// Interpret a step list into a well-typed function: values are tracked in
 /// two pools (i16 and i32); indices select modulo pool size.
 fn build(steps: &[Step]) -> Option<Function> {
     let mut b = FunctionBuilder::new("fuzz");
-    let bufs = [
-        b.param("A", Type::I16, 8),
-        b.param("B", Type::I16, 8),
-        b.param("C", Type::I16, 8),
-    ];
+    let bufs = [b.param("A", Type::I16, 8), b.param("B", Type::I16, 8), b.param("C", Type::I16, 8)];
     let out = b.param("O", Type::I32, 16);
     let out16 = b.param("P", Type::I16, 16);
     let mut narrow: Vec<ValueId> = Vec::new();
@@ -116,18 +114,18 @@ fn build(steps: &[Step]) -> Option<Function> {
     Some(f)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_programs_vectorize_correctly(
-        steps in proptest::collection::vec(step_strategy(), 8..80),
-        width in prop_oneof![Just(1usize), Just(4), Just(16)],
-    ) {
-        let Some(f) = build(&steps) else { return Ok(()) };
-        prop_assert!(vegen::ir::verify::verify(&f).is_ok());
+#[test]
+fn random_programs_vectorize_correctly() {
+    let widths = [1usize, 4, 16];
+    let mut r = XorShift::new(0xF022_BEEF);
+    for case in 0..192u32 {
+        let n = 8 + r.below(72);
+        let steps: Vec<Step> = (0..n).map(|_| gen_step(&mut r)).collect();
+        let width = widths[r.below(widths.len())];
+        let Some(f) = build(&steps) else { continue };
+        assert!(vegen::ir::verify::verify(&f).is_ok(), "case {case}");
         if std::env::var("VEGEN_FUZZ_DUMP").is_ok() {
-            eprintln!("=== candidate ===\n{f}");
+            eprintln!("=== candidate {case} (beam {width}) ===\n{f}");
         }
         let cfg = PipelineConfig {
             target: TargetIsa::avx2(),
@@ -136,7 +134,7 @@ proptest! {
         };
         let ck = compile(&f, &cfg);
         if let Err(e) = ck.verify(8) {
-            panic!("fuzzed program diverged (beam {width}):\n{f}\n{e}");
+            panic!("fuzzed program diverged (case {case}, beam {width}):\n{f}\n{e}");
         }
     }
 }

@@ -11,11 +11,8 @@ use vegen::isa::TargetIsa;
 
 fn compiled(name: &str, target: TargetIsa, width: usize) -> CompiledKernel {
     let k = vegen::kernels::find(name).unwrap_or_else(|| panic!("kernel {name}"));
-    let cfg = PipelineConfig {
-        target,
-        beam: BeamConfig::with_width(width),
-        canonicalize_patterns: true,
-    };
+    let cfg =
+        PipelineConfig { target, beam: BeamConfig::with_width(width), canonicalize_patterns: true };
     let ck = compile(&(k.build)(), &cfg);
     ck.verify(16).unwrap_or_else(|e| panic!("{name} diverged: {e}"));
     ck
@@ -77,10 +74,7 @@ fn simd_isel_tests_tie_the_baseline() {
     for name in ["max_pd", "min_ps", "abs_i16", "abs_i32"] {
         let ck = compiled(name, TargetIsa::avx2(), 16);
         let (_, bl, vg) = ck.cycles();
-        assert!(
-            (bl - vg).abs() < 1e-9,
-            "{name}: expected a tie, got baseline {bl} vs vegen {vg}"
-        );
+        assert!((bl - vg).abs() < 1e-9, "{name}: expected a tie, got baseline {bl} vs vegen {vg}");
     }
 }
 
@@ -91,11 +85,7 @@ fn simd_isel_tests_tie_the_baseline() {
 fn vegen_loses_float_abs_as_in_the_paper() {
     for name in ["abs_pd", "abs_ps"] {
         let ck = compiled(name, TargetIsa::avx2(), 16);
-        assert_eq!(
-            ck.vegen.vector_op_count(),
-            0,
-            "{name}: VeGen must fail to vectorize"
-        );
+        assert_eq!(ck.vegen.vector_op_count(), 0, "{name}: VeGen must fail to vectorize");
         assert!(ck.baseline_trees > 0, "{name}: the baseline must vectorize");
         let (_, bl, vg) = ck.cycles();
         assert!(vg > bl, "{name}: VeGen loses here, as reported");
@@ -140,10 +130,7 @@ fn idct4_needs_beam_search() {
     let wide = compiled("idct4", TargetIsa::avx512vnni(), 128);
     let (_, _, vg_narrow) = narrow.cycles();
     let (_, _, vg_wide) = wide.cycles();
-    assert!(
-        vg_wide < vg_narrow,
-        "beam-128 ({vg_wide}) must beat the SLP heuristic ({vg_narrow})"
-    );
+    assert!(vg_wide < vg_narrow, "beam-128 ({vg_wide}) must beat the SLP heuristic ({vg_narrow})");
     assert!(uses(&wide, "vpmaddwd"));
     assert!(uses(&wide, "vpackssdw"));
 }
