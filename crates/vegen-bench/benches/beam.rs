@@ -1,0 +1,75 @@
+//! Beam-search microbenchmark: `select_packs` in isolation (no lowering,
+//! no baseline, no verification) at the paper's beam widths 1 / 64 / 128,
+//! on the largest kernels in the suite by instruction count.
+//!
+//! Each line also reports the search-effort counters
+//! ([`vegen_core::BeamStats`]) of one representative run: states expanded,
+//! transitions generated, dedup hits, and the producer-cache hit/miss
+//! split, so a regression in search *shape* (not just wall time) is
+//! visible. Each timed iteration builds a fresh `VectorizerCtx` so the
+//! measurement is a cold selection — the producer memo is rebuilt, not
+//! amortized across samples.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use vegen::driver::{prepare, target_desc};
+use vegen_core::{select_packs, BeamConfig, CostModel, VectorizerCtx};
+use vegen_ir::Function;
+use vegen_isa::TargetIsa;
+
+/// Median wall time of `f` over a fixed sample count, with a short warmup.
+fn bench(label: &str, mut f: impl FnMut()) {
+    const SAMPLES: usize = 9;
+    let warmup_until = Instant::now() + Duration::from_millis(30);
+    while Instant::now() < warmup_until {
+        f();
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let median = times[SAMPLES / 2];
+    let min = times[0];
+    let max = times[SAMPLES - 1];
+    println!("{label:<34} median {median:>10.2?}  (min {min:.2?}, max {max:.2?})");
+}
+
+fn main() {
+    // The largest kernels by canonicalized instruction count — where
+    // selection time dominates the pipeline.
+    let mut prepared: Vec<(&'static str, Function)> =
+        vegen_kernels::all().iter().map(|k| (k.name, prepare(&(k.build)()))).collect();
+    prepared.sort_by_key(|(_, f)| std::cmp::Reverse(f.insts.len()));
+    prepared.truncate(4);
+
+    let desc = target_desc(&TargetIsa::avx2(), true);
+    for (name, f) in &prepared {
+        println!("kernel {name}: {} insts", f.insts.len());
+        for width in [1usize, 64, 128] {
+            let cfg = BeamConfig::with_width(width);
+            bench(&format!("select/{name}/beam{width}"), || {
+                let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
+                black_box(select_packs(&ctx, &cfg));
+            });
+            // Search-effort counters from one representative run.
+            let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
+            let r = select_packs(&ctx, &cfg);
+            let s = r.stats;
+            println!(
+                "  states {} transitions {} dedup_hits {} hash_collisions {} \
+                 producer hit/miss {}/{} interned ops/packs {}/{}",
+                s.states_expanded,
+                s.transitions,
+                s.dedup_hits,
+                s.hash_collisions,
+                s.producer_cache_hits,
+                s.producer_cache_misses,
+                s.interned_operands,
+                s.interned_packs,
+            );
+        }
+    }
+}

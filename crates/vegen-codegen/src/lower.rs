@@ -1,14 +1,14 @@
 //! Lowering pack sets to vector programs.
 
 use std::collections::{HashMap, HashSet};
-use vegen_core::{Pack, PackId, PackSet, VectorizerCtx};
+use vegen_core::{Pack, PackSet, SetPackId, VectorizerCtx};
 use vegen_ir::{Function, InstKind, ValueId};
 use vegen_vm::{LaneSrc, Reg, ScalarOp, VmInst, VmProgram};
 
 /// A schedulable unit: one pack or one scalar instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum Unit {
-    Pack(PackId),
+    Pack(SetPackId),
     Scalar(ValueId),
 }
 
@@ -16,13 +16,13 @@ struct Lowering<'c, 'a> {
     ctx: &'c VectorizerCtx<'a>,
     packs: &'c PackSet,
     /// Which pack lane produces each value.
-    vector_home: HashMap<ValueId, (PackId, usize)>,
+    vector_home: HashMap<ValueId, (SetPackId, usize)>,
     /// Scalar instructions that must be emitted.
     need_scalar: HashSet<ValueId>,
     prog: VmProgram,
-    pack_reg: HashMap<PackId, Reg>,
+    pack_reg: HashMap<SetPackId, Reg>,
     scalar_reg: HashMap<ValueId, Reg>,
-    extract_reg: HashMap<(PackId, usize), Reg>,
+    extract_reg: HashMap<(SetPackId, usize), Reg>,
     operand_reg: HashMap<Vec<Option<ValueId>>, Reg>,
 }
 
@@ -292,7 +292,7 @@ impl<'c, 'a> Lowering<'c, 'a> {
         self.scalar_reg.insert(v, dst);
     }
 
-    fn emit_pack(&mut self, id: PackId) {
+    fn emit_pack(&mut self, id: SetPackId) {
         let pack = self.packs.get(id).clone();
         match &pack {
             Pack::Load { base, start, loads, elem } => {

@@ -14,14 +14,33 @@
 //! Instructions interior to a selected match whose every user is decided
 //! become dead ("some machine operations replace multiple IR instructions
 //! and turn the intermediate instructions into dead code").
+//!
+//! ## Search-state representation
+//!
+//! The hot path works entirely on interned ids (see [`crate::intern`]):
+//!
+//! * `V` is a set of [`OperandId`]s (each paired with its resolved operand
+//!   so iteration order stays the operand-lexicographic order the search
+//!   has always used);
+//! * the pack path is a persistent cons list of [`PackId`]s shared between
+//!   a state and its successors, so a transition is O(1) instead of
+//!   cloning the whole path;
+//! * the (F, V, S) identity is maintained as an incrementally-updated
+//!   128-bit XOR hash — applying a transition folds the changed elements
+//!   in and out instead of materializing a key. Deduplication buckets by
+//!   that hash and falls back to a full component comparison only on
+//!   collision (counted in [`BeamStats::hash_collisions`]).
 
 use crate::ctx::VectorizerCtx;
+use crate::intern::{OperandId, PackId};
 use crate::operand::OperandVec;
 use crate::pack::{Pack, PackSet};
 use crate::seeds::{enumerate_seeds, AffinityParams};
 use crate::slp::SlpCost;
+use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 use vegen_ir::{InstKind, ValueId};
 
 /// Configuration for pack selection.
@@ -64,6 +83,34 @@ impl BeamConfig {
     }
 }
 
+/// Search-effort and cache statistics for one `select_packs` call.
+///
+/// Producer-cache counters are deltas over the call (the underlying memo
+/// lives in the context and is shared across calls); interner sizes are
+/// the context totals at the end of the call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BeamStats {
+    /// States popped from the beam and expanded.
+    pub states_expanded: usize,
+    /// Successor states generated across all expansions.
+    pub transitions: u64,
+    /// Pooled states merged into an already-seen (F, V, S) state.
+    pub dedup_hits: u64,
+    /// Distinct states whose 128-bit hashes collided (resolved by the
+    /// full-key comparison).
+    pub hash_collisions: u64,
+    /// Producer-index lookups served from the context memo.
+    pub producer_cache_hits: u64,
+    /// Producer-index lookups that enumerated Algorithm 1.
+    pub producer_cache_misses: u64,
+    /// Distinct operands interned in the context after this call.
+    pub interned_operands: usize,
+    /// Distinct packs interned in the context after this call.
+    pub interned_packs: usize,
+    /// Wall time spent inside `select_packs`.
+    pub beam_wall: Duration,
+}
+
 /// The outcome of pack selection.
 #[derive(Debug, Clone)]
 pub struct SelectionResult {
@@ -75,6 +122,8 @@ pub struct SelectionResult {
     pub scalar_cost: f64,
     /// Number of states expanded (search-effort statistic).
     pub states_expanded: usize,
+    /// Detailed search statistics.
+    pub stats: BeamStats,
 }
 
 /// How a decided value was produced.
@@ -90,14 +139,45 @@ enum Prod {
     Dead,
 }
 
+/// A requested vector operand: the interned id plus the resolved operand.
+/// Ordered by the operand's lane values so `vset` iterates in the same
+/// lexicographic order as the pre-interning `BTreeSet<OperandVec>` (the
+/// order of floating-point cost accumulation depends on it); equality is
+/// id equality, which interning makes equivalent.
 #[derive(Clone)]
-struct State {
-    free: Rc<Vec<u64>>,
-    prod: Rc<Vec<Prod>>,
-    vset: BTreeSet<OperandVec>,
-    sset: BTreeSet<ValueId>,
-    g: f64,
-    packs: Rc<Vec<Pack>>,
+struct VOp {
+    id: OperandId,
+    vec: Rc<OperandVec>,
+}
+
+impl PartialEq for VOp {
+    fn eq(&self, other: &VOp) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for VOp {}
+impl PartialOrd for VOp {
+    fn partial_cmp(&self, other: &VOp) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for VOp {
+    fn cmp(&self, other: &VOp) -> Ordering {
+        if self.id == other.id {
+            Ordering::Equal
+        } else {
+            self.vec.cmp(&other.vec)
+        }
+    }
+}
+
+/// Persistent pack path: a cons list shared between a state and its
+/// successors, so applying a pack is O(1).
+struct PackNode {
+    pack: PackId,
+    prev: Option<Rc<PackNode>>,
+    /// Path length up to and including this node.
+    len: u16,
 }
 
 fn bit(words: &[u64], i: usize) -> bool {
@@ -108,9 +188,42 @@ fn clear_bit(words: &mut [u64], i: usize) {
     words[i / 64] &= !(1u64 << (i % 64));
 }
 
-/// The (F, V, S) identity of a state, used for deduplication and
-/// deterministic ordering.
-type StateKey = (Vec<u64>, Vec<OperandVec>, Vec<ValueId>);
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mix one element of a state component into 128 bits. The state hash is
+/// the XOR of these over every decided instruction, `S` member, and `V`
+/// member — XOR is commutative and self-inverse, so the hash is a
+/// path-independent function of the (F, V, S) sets and each insert/remove
+/// is O(1).
+fn mix128(tag: u64, x: u64) -> u128 {
+    let a = splitmix64(tag ^ x);
+    let b = splitmix64(a ^ 0xD1B5_4A32_D192_ED03);
+    ((a as u128) << 64) | b as u128
+}
+
+// Component tags must differ in their high bits: element indices are
+// < 2^32, so `tag ^ x` seeds from different components can never coincide
+// (low-bit-only tags would alias, e.g. free-bit 3 with S-member 0).
+const TAG_FREE: u64 = 0xA076_1D64_78BD_642F;
+const TAG_S: u64 = 0xE703_7ED1_A0B4_28DB;
+const TAG_V: u64 = 0x8EBC_6AF0_9C88_C6E3;
+
+#[derive(Clone)]
+struct State {
+    free: Rc<Vec<u64>>,
+    prod: Rc<Vec<Prod>>,
+    vset: BTreeSet<VOp>,
+    sset: BTreeSet<ValueId>,
+    g: f64,
+    packs: Option<Rc<PackNode>>,
+    /// Incremental 128-bit hash of the (F, V, S) identity.
+    hash: u128,
+}
 
 impl State {
     fn is_free(&self, v: ValueId) -> bool {
@@ -121,20 +234,107 @@ impl State {
         self.vset.is_empty() && self.sset.is_empty()
     }
 
-    fn key(&self) -> StateKey {
-        (
-            (*self.free).clone(),
-            self.vset.iter().cloned().collect(),
-            self.sset.iter().copied().collect(),
-        )
+    fn clear_free(&mut self, v: ValueId) {
+        clear_bit(Rc::make_mut(&mut self.free).as_mut_slice(), v.index());
+        self.hash ^= mix128(TAG_FREE, v.index() as u64);
     }
+
+    fn set_prod(&mut self, v: ValueId, p: Prod) {
+        Rc::make_mut(&mut self.prod)[v.index()] = p;
+    }
+
+    fn sset_insert(&mut self, v: ValueId) {
+        if self.sset.insert(v) {
+            self.hash ^= mix128(TAG_S, v.index() as u64);
+        }
+    }
+
+    fn sset_remove(&mut self, v: ValueId) -> bool {
+        let removed = self.sset.remove(&v);
+        if removed {
+            self.hash ^= mix128(TAG_S, v.index() as u64);
+        }
+        removed
+    }
+
+    fn vset_insert(&mut self, x: VOp) {
+        let h = mix128(TAG_V, x.id.0 as u64);
+        if self.vset.insert(x) {
+            self.hash ^= h;
+        }
+    }
+
+    fn vset_remove(&mut self, x: &VOp) {
+        if self.vset.remove(x) {
+            self.hash ^= mix128(TAG_V, x.id.0 as u64);
+        }
+    }
+
+    fn pack_len(&self) -> u16 {
+        self.packs.as_ref().map_or(0, |n| n.len)
+    }
+
+    fn push_pack(&mut self, pack: PackId) {
+        let len = self.pack_len() + 1;
+        self.packs = Some(Rc::new(PackNode { pack, prev: self.packs.take(), len }));
+    }
+
+    /// Iterate the pack path, newest first.
+    fn packs_iter(&self) -> impl Iterator<Item = PackId> + '_ {
+        let mut node = self.packs.as_deref();
+        std::iter::from_fn(move || {
+            let n = node?;
+            node = n.prev.as_deref();
+            Some(n.pack)
+        })
+    }
+}
+
+/// Full (F, V, S) equality — the collision fallback behind the hash.
+fn same_key(a: &State, b: &State) -> bool {
+    a.free == b.free && a.sset == b.sset && a.vset == b.vset
+}
+
+/// The deterministic (F, V, S) tie-break order: free words, then the
+/// requested operands lexicographically, then the scalar demands — exactly
+/// the tuple order of the former materialized state key, compared lazily.
+fn key_cmp(a: &State, b: &State) -> Ordering {
+    a.free
+        .cmp(&b.free)
+        .then_with(|| a.vset.iter().cmp(b.vset.iter()))
+        .then_with(|| a.sset.iter().cmp(b.sset.iter()))
+}
+
+/// Deduplicate identical (F, V, S) states, keeping the cheapest path
+/// (first-seen wins ties). States are bucketed by their incremental hash;
+/// a full-key comparison resolves collisions.
+fn dedup_pool(pool: Vec<State>, dedup_hits: &mut u64, hash_collisions: &mut u64) -> Vec<State> {
+    let mut buckets: HashMap<u128, Vec<State>> = HashMap::new();
+    for st in pool {
+        let bucket = buckets.entry(st.hash).or_default();
+        match bucket.iter_mut().find(|prev| same_key(prev, &st)) {
+            Some(prev) => {
+                *dedup_hits += 1;
+                if st.g < prev.g {
+                    *prev = st;
+                }
+            }
+            None => {
+                if !bucket.is_empty() {
+                    *hash_collisions += 1;
+                }
+                bucket.push(st);
+            }
+        }
+    }
+    buckets.into_values().flatten().collect()
 }
 
 struct Search<'c, 'a> {
     ctx: &'c VectorizerCtx<'a>,
     slp: SlpCost<'c, 'a>,
     cfg: BeamConfig,
-    seed_packs: Vec<Pack>,
+    seed_packs: Vec<PackId>,
 }
 
 impl<'c, 'a> Search<'c, 'a> {
@@ -159,8 +359,8 @@ impl<'c, 'a> Search<'c, 'a> {
             return Some(0.0);
         }
         // If an existing pack produces x exactly, joining is free.
-        for p in st.packs.iter() {
-            if x.produced_by(&p.values()) {
+        for pid in st.packs_iter() {
+            if x.produced_by(&self.ctx.pack_data(pid).values) {
                 return Some(0.0);
             }
         }
@@ -184,66 +384,66 @@ impl<'c, 'a> Search<'c, 'a> {
     }
 
     /// Transition: apply a pack.
-    fn apply_pack(&self, st: &State, pack: &Pack) -> Option<State> {
-        let vals = pack.defined_values();
+    fn apply_pack(&self, st: &State, pid: PackId) -> Option<State> {
+        let data = self.ctx.pack_data(pid);
         // All produced values must be free with all users decided.
-        if !vals.iter().all(|&v| st.is_free(v) && self.ready(st, v)) {
+        if !data.defined.iter().all(|&v| st.is_free(v) && self.ready(st, v)) {
             return None;
         }
+        let pack = self.ctx.pack(pid);
         // Legality: no contracted cycle with already-chosen packs.
         {
-            let mut refs: Vec<&Pack> = st.packs.iter().collect();
-            refs.push(pack);
+            let mut path: Vec<Rc<Pack>> = st.packs_iter().map(|p| self.ctx.pack(p)).collect();
+            path.reverse();
+            let mut refs: Vec<&Pack> = path.iter().map(Rc::as_ref).collect();
+            refs.push(&pack);
             if !self.ctx.packs_legal(&refs) {
                 return None;
             }
         }
-        let operands = self.ctx.pack_operands(pack)?;
+        let operand_ids = self.ctx.pack_operand_ids(pid)?;
         let mut next = st.clone();
-        let free = Rc::make_mut(&mut next.free);
-        let prod = Rc::make_mut(&mut next.prod);
-        let pidx = next.packs.len() as u16;
-        next.g += self.ctx.pack_cost(pack);
+        let pidx = next.pack_len();
+        next.g += self.ctx.pack_cost(&pack);
 
-        for &v in &vals {
-            clear_bit(free, v.index());
+        for &v in &data.defined {
+            next.clear_free(v);
             // Extraction cost for values some scalar already demanded —
             // store packs are exempt (§5.2).
-            if next.sset.remove(&v) && !pack.is_store() {
+            if next.sset_remove(v) && !pack.is_store() {
                 next.g += self.ctx.cost.c_extract;
-                prod[v.index()] = Prod::PackX(pidx);
+                next.set_prod(v, Prod::PackX(pidx));
             } else {
-                prod[v.index()] = Prod::Pack(pidx);
+                next.set_prod(v, Prod::Pack(pidx));
             }
         }
         // Shuffle charge: vectors overlapping but not exactly produced.
-        let pack_values = pack.values();
-        let mut to_remove: Vec<OperandVec> = Vec::new();
+        let mut to_remove: Vec<VOp> = Vec::new();
         for x in &next.vset {
-            let overlap = vals.iter().any(|v| x.contains(*v));
+            let overlap = data.defined.iter().any(|v| x.vec.contains(*v));
             if !overlap {
                 continue;
             }
-            if !x.produced_by(&pack_values) {
+            if !x.vec.produced_by(&data.values) {
                 next.g += self.ctx.cost.c_shuffle;
             }
-            if x.defined().all(|l| !bit(free, l.index())) {
+            if x.vec.defined().all(|l| !bit(&next.free, l.index())) {
                 to_remove.push(x.clone());
             }
         }
-        for x in to_remove {
-            next.vset.remove(&x);
+        for x in &to_remove {
+            next.vset_remove(x);
         }
 
         // Dead-code the interiors of the matches: interior nodes whose
         // users are all decided (iterated to fixpoint, since interiors
         // use each other).
-        if let Pack::Compute { matches, .. } = pack {
+        if let Pack::Compute { matches, .. } = &*pack {
             let mut interior: Vec<ValueId> = matches
                 .iter()
                 .flatten()
                 .flat_map(|m| m.covered.iter().copied())
-                .filter(|v| bit(free, v.index()))
+                .filter(|&v| next.is_free(v))
                 .collect();
             interior.sort();
             interior.dedup();
@@ -251,11 +451,11 @@ impl<'c, 'a> Search<'c, 'a> {
             while changed {
                 changed = false;
                 for &v in &interior {
-                    if bit(free, v.index())
-                        && self.ctx.users[v.index()].iter().all(|u| !bit(free, u.index()))
+                    if next.is_free(v)
+                        && self.ctx.users[v.index()].iter().all(|u| !next.is_free(*u))
                     {
-                        clear_bit(free, v.index());
-                        prod[v.index()] = Prod::Dead;
+                        next.clear_free(v);
+                        next.set_prod(v, Prod::Dead);
                         changed = true;
                     }
                 }
@@ -263,7 +463,8 @@ impl<'c, 'a> Search<'c, 'a> {
         }
 
         // Request the pack's operands.
-        for x in operands {
+        for &oid in operand_ids.iter() {
+            let x = self.ctx.operand(oid);
             if x.defined_count() == 0 {
                 continue;
             }
@@ -275,11 +476,11 @@ impl<'c, 'a> Search<'c, 'a> {
             }
             next.g += self.join_cost(&next, &x)?;
             if x.defined().any(|l| bit(&next.free, l.index())) {
-                next.vset.insert(x);
+                next.vset_insert(VOp { id: oid, vec: x });
             }
         }
 
-        Rc::make_mut(&mut next.packs).push(pack.clone());
+        next.push_pack(pid);
         self.sweep_dead(&mut next);
         Some(next)
     }
@@ -291,7 +492,7 @@ impl<'c, 'a> Search<'c, 'a> {
     fn sweep_dead(&self, st: &mut State) {
         let mut demanded: BTreeSet<ValueId> = st.sset.clone();
         for x in &st.vset {
-            demanded.extend(x.defined());
+            demanded.extend(x.vec.defined());
         }
         loop {
             let mut changed = false;
@@ -300,10 +501,8 @@ impl<'c, 'a> Search<'c, 'a> {
                     continue;
                 }
                 if self.ctx.users[v.index()].iter().all(|u| !st.is_free(*u)) {
-                    let free = Rc::make_mut(&mut st.free);
-                    let prod = Rc::make_mut(&mut st.prod);
-                    clear_bit(free, v.index());
-                    prod[v.index()] = Prod::Dead;
+                    st.clear_free(v);
+                    st.set_prod(v, Prod::Dead);
                     changed = true;
                 }
             }
@@ -323,27 +522,33 @@ impl<'c, 'a> Search<'c, 'a> {
         next.g += self.ctx.cost.scalar_inst_cost(f, v);
         // Insertion cost into every requested vector that wants v.
         for x in &next.vset {
-            next.g += self.ctx.cost.insert_one_cost(f, v, x);
+            next.g += self.ctx.cost.insert_one_cost(f, v, &x.vec);
         }
-        let free = Rc::make_mut(&mut next.free);
-        let prod = Rc::make_mut(&mut next.prod);
-        clear_bit(free, v.index());
-        prod[v.index()] = Prod::Scalar;
-        next.sset.remove(&v);
+        next.clear_free(v);
+        next.set_prod(v, Prod::Scalar);
+        next.sset_remove(v);
         // Satisfied vectors leave V.
-        next.vset.retain(|x| x.defined().any(|l| bit(free, l.index())));
+        let to_remove: Vec<VOp> = next
+            .vset
+            .iter()
+            .filter(|x| x.vec.defined().all(|l| !bit(&next.free, l.index())))
+            .cloned()
+            .collect();
+        for x in &to_remove {
+            next.vset_remove(x);
+        }
         // Operands become scalar demands; pack-produced operands extract.
         for o in f.inst(v).operands() {
             if matches!(f.inst(o).kind, InstKind::Const(_)) {
                 continue;
             }
-            if bit(free, o.index()) {
-                next.sset.insert(o);
+            if next.is_free(o) {
+                next.sset_insert(o);
             } else {
                 // (Dead operands revive as scalars at lowering time.)
-                if let Prod::Pack(i) = prod[o.index()] {
+                if let Prod::Pack(i) = next.prod[o.index()] {
                     next.g += self.ctx.cost.c_extract;
-                    prod[o.index()] = Prod::PackX(i);
+                    next.set_prod(o, Prod::PackX(i));
                 }
             }
         }
@@ -361,7 +566,7 @@ impl<'c, 'a> Search<'c, 'a> {
     fn estimate(&self, st: &State) -> f64 {
         let mut h = 0.0;
         for x in &st.vset {
-            h += self.slp.cost(x);
+            h += self.slp.cost_id(x.id);
         }
         for &s in &st.sset {
             h += self.ctx.cost.scalar_closure_cost(self.ctx.f, [s]);
@@ -383,31 +588,31 @@ impl<'c, 'a> Search<'c, 'a> {
             if n >= self.cfg.max_transitions {
                 break;
             }
-            for p in self.ctx.producers(&x) {
-                push(self.apply_pack(st, &p), out, &mut n);
+            for &pid in self.ctx.producers_for(x.id).iter() {
+                push(self.apply_pack(st, pid), out, &mut n);
             }
-            for p in self.ctx.covering_load_packs(&x) {
-                push(self.apply_pack(st, &p), out, &mut n);
+            for &pid in self.ctx.covering_for(x.id).iter() {
+                push(self.apply_pack(st, pid), out, &mut n);
             }
             // Mixed-opcode operands: packs producing one opcode group each
             // (blended at a shuffle cost when they meet).
-            for g in self.ctx.opcode_group_subvectors(&x) {
-                for p in self.ctx.producers(&g) {
-                    push(self.apply_pack(st, &p), out, &mut n);
+            for &g in self.ctx.groups_for(x.id).iter() {
+                for &pid in self.ctx.producers_for(g).iter() {
+                    push(self.apply_pack(st, pid), out, &mut n);
                 }
             }
         }
         // 2. Seed packs (store chains + affinity seeds).
-        for p in &self.seed_packs {
+        for &pid in &self.seed_packs {
             if n >= self.cfg.max_transitions {
                 break;
             }
-            push(self.apply_pack(st, p), out, &mut n);
+            push(self.apply_pack(st, pid), out, &mut n);
         }
         // 3. Scalar fixes: values demanded by S or by requested vectors.
         let mut fix: BTreeSet<ValueId> = st.sset.clone();
         for x in &st.vset {
-            for v in x.defined() {
+            for v in x.vec.defined() {
                 if st.is_free(v) {
                     fix.insert(v);
                 }
@@ -429,16 +634,20 @@ impl<'c, 'a> Search<'c, 'a> {
 /// all-scalar path is always available), the result is the empty pack set
 /// at scalar cost.
 pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResult {
+    let t0 = Instant::now();
+    let intern0 = ctx.intern_stats();
     let f = ctx.f;
     let n = f.insts.len();
     let scalar_cost: f64 = f.value_ids().map(|v| ctx.cost.scalar_inst_cost(f, v)).sum();
 
     // Precompute seed packs: store chains always; affinity seeds resolved
     // through Algorithm 1 into concrete packs.
-    let mut seed_packs = ctx.store_chain_packs();
+    let mut seed_packs: Vec<PackId> =
+        ctx.store_chain_packs().into_iter().map(|p| ctx.intern_pack(p)).collect();
     if cfg.use_affinity_seeds {
         for x in enumerate_seeds(ctx, &cfg.seeds) {
-            seed_packs.extend(ctx.producers(&x));
+            let id = ctx.intern_operand(&x);
+            seed_packs.extend(ctx.producers_for(id).iter().copied());
         }
     }
     seed_packs.dedup();
@@ -451,19 +660,26 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
     for i in n..words * 64 {
         clear_bit(&mut free, i);
     }
-    let init = State {
+    let mut init = State {
         free: Rc::new(free),
         prod: Rc::new(vec![Prod::Free; n]),
         vset: BTreeSet::new(),
-        sset: f.stores().into_iter().collect(),
+        sset: BTreeSet::new(),
         g: 0.0,
-        packs: Rc::new(Vec::new()),
+        packs: None,
+        hash: 0,
     };
+    for s in f.stores() {
+        init.sset_insert(s);
+    }
 
     let max_iters = cfg.max_iters.unwrap_or(2 * n + 32);
     let mut beam: Vec<State> = vec![init];
     let mut best_terminal: Option<State> = None;
     let mut expanded = 0usize;
+    let mut transitions = 0u64;
+    let mut dedup_hits = 0u64;
+    let mut hash_collisions = 0u64;
 
     for _ in 0..max_iters {
         let mut pool: Vec<State> = Vec::new();
@@ -475,24 +691,16 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
             }
             any_expanded = true;
             expanded += 1;
+            let before = pool.len();
             search.expand(st, &mut pool);
+            transitions += (pool.len() - before) as u64;
         }
         if !any_expanded {
             break;
         }
-        // Dedup identical (F, V, S) states, keeping the cheapest path.
-        let mut dedup: HashMap<StateKey, State> = HashMap::new();
-        for st in pool {
-            let key = st.key();
-            match dedup.get(&key) {
-                Some(prev) if prev.g <= st.g => {}
-                _ => {
-                    dedup.insert(key, st);
-                }
-            }
-        }
-        let mut pool: Vec<(f64, f64, State)> = dedup
-            .into_values()
+        let deduped = dedup_pool(pool, &mut dedup_hits, &mut hash_collisions);
+        let mut pool: Vec<(f64, f64, State)> = deduped
+            .into_iter()
             .map(|st| {
                 let h = search.estimate(&st);
                 (st.g + h, h, st)
@@ -503,9 +711,7 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
         // (F, V, S) key, so HashMap iteration order never leaks into the
         // result.
         pool.sort_by(|a, b| {
-            a.0.total_cmp(&b.0)
-                .then_with(|| a.1.total_cmp(&b.1))
-                .then_with(|| a.2.key().cmp(&b.2.key()))
+            a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)).then_with(|| key_cmp(&a.2, &b.2))
         });
         pool.truncate(cfg.width.max(1));
         beam = pool.into_iter().map(|(_, _, st)| st).collect();
@@ -522,19 +728,41 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
         }
     }
 
+    let intern1 = ctx.intern_stats();
+    let stats = BeamStats {
+        states_expanded: expanded,
+        transitions,
+        dedup_hits,
+        hash_collisions,
+        producer_cache_hits: intern1.producer_hits - intern0.producer_hits,
+        producer_cache_misses: intern1.producer_misses - intern0.producer_misses,
+        interned_operands: intern1.operands,
+        interned_packs: intern1.packs,
+        beam_wall: t0.elapsed(),
+    };
+
     match best_terminal {
         Some(st) => {
+            let mut ids: Vec<PackId> = st.packs_iter().collect();
+            ids.reverse();
             let mut packs = PackSet::new();
-            for p in st.packs.iter() {
-                packs.insert(p.clone());
+            for pid in ids {
+                packs.insert((*ctx.pack(pid)).clone());
             }
-            SelectionResult { packs, vector_cost: st.g, scalar_cost, states_expanded: expanded }
+            SelectionResult {
+                packs,
+                vector_cost: st.g,
+                scalar_cost,
+                states_expanded: expanded,
+                stats,
+            }
         }
         None => SelectionResult {
             packs: PackSet::new(),
             vector_cost: scalar_cost,
             scalar_cost,
             states_expanded: expanded,
+            stats,
         },
     }
 }
@@ -710,5 +938,97 @@ mod tests {
             .count()
             == 2;
         assert!(has_256 || two_128, "{:?}", r.packs.iter().collect::<Vec<_>>());
+    }
+
+    fn tiny_state(store: u32, g: f64, hash: u128) -> State {
+        let mut st = State {
+            free: Rc::new(vec![0b11]),
+            prod: Rc::new(vec![Prod::Free; 2]),
+            vset: BTreeSet::new(),
+            sset: BTreeSet::new(),
+            g,
+            packs: None,
+            hash: 0,
+        };
+        st.sset.insert(ValueId::from_raw(store));
+        st.hash = hash; // forced, to exercise the collision path
+        st
+    }
+
+    #[test]
+    fn colliding_hashes_keep_distinct_states() {
+        // Two states with different (F, V, S) but the same (forced) hash
+        // must both survive dedup via the full-key comparison.
+        let pool = vec![tiny_state(0, 1.0, 42), tiny_state(1, 2.0, 42)];
+        let (mut hits, mut collisions) = (0u64, 0u64);
+        let out = dedup_pool(pool, &mut hits, &mut collisions);
+        assert_eq!(out.len(), 2, "a collision must not merge distinct states");
+        assert_eq!(collisions, 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn dedup_keeps_cheapest_and_first_on_tie() {
+        let pool = vec![tiny_state(0, 2.0, 7), tiny_state(0, 1.0, 7)];
+        let (mut hits, mut collisions) = (0u64, 0u64);
+        let out = dedup_pool(pool, &mut hits, &mut collisions);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].g, 1.0, "cheaper duplicate must win");
+        assert_eq!((hits, collisions), (1, 0));
+
+        // Equal g: the first-pooled state wins (matching the old map
+        // semantics that expansion order decides ties).
+        let mut a = tiny_state(0, 3.0, 9);
+        a.g = 3.0;
+        let b = tiny_state(0, 3.0, 9);
+        let (mut hits, mut collisions) = (0u64, 0u64);
+        let out = dedup_pool(vec![a, b], &mut hits, &mut collisions);
+        assert_eq!(out.len(), 1);
+        assert_eq!((hits, collisions), (1, 0));
+    }
+
+    #[test]
+    fn incremental_hash_is_path_independent() {
+        // Reaching the same (F, V, S) by different operation orders must
+        // produce the same hash (XOR accumulation is commutative).
+        let mut a = tiny_state(0, 0.0, 0);
+        a.hash = 0;
+        let mut b = a.clone();
+        a.sset_insert(ValueId::from_raw(1));
+        a.clear_free(ValueId::from_raw(0));
+        b.clear_free(ValueId::from_raw(0));
+        b.sset_insert(ValueId::from_raw(1));
+        assert_eq!(a.hash, b.hash);
+        // Insert/remove round-trips back to the original hash.
+        let h0 = a.hash;
+        a.sset_insert(ValueId::from_raw(1)); // already present: no-op
+        assert_eq!(a.hash, h0);
+        a.sset_remove(ValueId::from_raw(1));
+        a.sset_insert(ValueId::from_raw(1));
+        assert_eq!(a.hash, h0);
+    }
+
+    #[test]
+    fn selection_reports_search_stats() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let r1 = select_packs(&ctx, &BeamConfig::slp());
+        assert!(r1.stats.states_expanded > 0);
+        assert_eq!(r1.stats.states_expanded, r1.states_expanded);
+        assert!(r1.stats.transitions >= r1.stats.states_expanded as u64);
+        assert!(r1.stats.interned_operands > 0);
+        assert!(r1.stats.interned_packs > 0);
+        assert!(r1.stats.producer_cache_misses > 0, "first run must enumerate");
+        // A second run on the same context is served from the producer
+        // memo entirely.
+        let r2 = select_packs(&ctx, &BeamConfig::slp());
+        assert_eq!(r2.stats.producer_cache_misses, 0, "second run must hit the memo");
+        assert!(r2.stats.producer_cache_hits > 0);
+        assert_eq!(
+            r1.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            r2.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            "memoized run must select identical packs"
+        );
     }
 }

@@ -2,9 +2,12 @@
 //! (Algorithm 1), memory packs, and pack-set legality.
 
 use crate::cost::CostModel;
+use crate::intern::{InternStats, Interner, OperandId, PackData, PackId};
 use crate::operand::OperandVec;
 use crate::pack::{Pack, PackedMatch};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use vegen_ir::deps::DepGraph;
 use vegen_ir::{Function, InstKind, Type, ValueId};
 use vegen_match::{MatchTable, TargetDesc};
@@ -28,6 +31,9 @@ pub struct VectorizerCtx<'a> {
     pub max_bits: u32,
     /// Load instruction at each `(base, offset)`.
     loads_at: HashMap<(usize, i64), ValueId>,
+    /// Operand/pack arenas + memoized candidate indices (interior-mutable:
+    /// enumeration lazily fills the memos through `&self`).
+    interner: RefCell<Interner>,
 }
 
 impl<'a> VectorizerCtx<'a> {
@@ -45,7 +51,108 @@ impl<'a> VectorizerCtx<'a> {
             }
         }
         let max_bits = desc.insts.iter().map(|i| i.def.bits).max().unwrap_or(128);
-        VectorizerCtx { f, desc, table, deps, users, cost, max_bits, loads_at }
+        VectorizerCtx {
+            f,
+            desc,
+            table,
+            deps,
+            users,
+            cost,
+            max_bits,
+            loads_at,
+            interner: RefCell::new(Interner::default()),
+        }
+    }
+
+    // ---- interning layer -------------------------------------------------
+
+    /// Intern an operand (same operand → same id).
+    pub fn intern_operand(&self, x: &OperandVec) -> OperandId {
+        self.interner.borrow_mut().intern_operand(x)
+    }
+
+    /// Resolve an interned operand.
+    pub fn operand(&self, id: OperandId) -> Rc<OperandVec> {
+        self.interner.borrow().operand(id)
+    }
+
+    /// Intern a pack (same pack → same id).
+    pub fn intern_pack(&self, p: Pack) -> PackId {
+        self.interner.borrow_mut().intern_pack(p)
+    }
+
+    /// Resolve an interned pack.
+    pub fn pack(&self, id: PackId) -> Rc<Pack> {
+        self.interner.borrow().pack(id)
+    }
+
+    /// Cached lane data (`values` / `defined_values`) of an interned pack.
+    pub fn pack_data(&self, id: PackId) -> Rc<PackData> {
+        self.interner.borrow().pack_data(id)
+    }
+
+    /// Sizes and producer-index counters of the interning layer.
+    pub fn intern_stats(&self) -> InternStats {
+        self.interner.borrow().stats()
+    }
+
+    /// Memoized Algorithm 1: producers of the interned operand `id`,
+    /// computed once per distinct operand. Candidate packs are interned and
+    /// their operand lists cached as a side effect, so applying a produced
+    /// pack never re-derives lane bindings.
+    pub fn producers_for(&self, id: OperandId) -> Rc<[PackId]> {
+        if let Some(hit) = self.interner.borrow_mut().producers_get(id) {
+            return hit;
+        }
+        let x = self.operand(id);
+        let mut ids = Vec::new();
+        for (pack, operands) in self.producers_raw(&x) {
+            let pid = self.intern_pack(pack);
+            let operand_ids: Vec<OperandId> =
+                operands.iter().map(|o| self.intern_operand(o)).collect();
+            let mut interner = self.interner.borrow_mut();
+            interner.pack_operands_set(pid, Some(operand_ids));
+            ids.push(pid);
+        }
+        self.interner.borrow_mut().producers_set(id, ids)
+    }
+
+    /// Memoized covering load packs for the interned operand `id`.
+    pub fn covering_for(&self, id: OperandId) -> Rc<[PackId]> {
+        if let Some(hit) = self.interner.borrow().covering_get(id) {
+            return hit;
+        }
+        let x = self.operand(id);
+        let ids: Vec<PackId> =
+            self.covering_load_packs_raw(&x).into_iter().map(|p| self.intern_pack(p)).collect();
+        self.interner.borrow_mut().covering_set(id, ids)
+    }
+
+    /// Memoized opcode-group split of the interned operand `id`.
+    pub fn groups_for(&self, id: OperandId) -> Rc<[OperandId]> {
+        if let Some(hit) = self.interner.borrow().groups_get(id) {
+            return hit;
+        }
+        let x = self.operand(id);
+        let ids: Vec<OperandId> = self
+            .opcode_group_subvectors_raw(&x)
+            .into_iter()
+            .map(|g| self.intern_operand(&g))
+            .collect();
+        self.interner.borrow_mut().groups_set(id, ids)
+    }
+
+    /// Memoized [`Self::pack_operands`] for an interned pack: `None` if the
+    /// lane bindings conflict.
+    pub fn pack_operand_ids(&self, id: PackId) -> Option<Rc<[OperandId]>> {
+        if let Some(cached) = self.interner.borrow().pack_operands_get(id) {
+            return cached;
+        }
+        let pack = self.pack(id);
+        let operands = self.pack_operands(&pack);
+        let operand_ids =
+            operands.map(|ops| ops.iter().map(|o| self.intern_operand(o)).collect::<Vec<_>>());
+        self.interner.borrow_mut().pack_operands_set(id, operand_ids)
     }
 
     /// The element type shared by the defined lanes of `x`, if consistent.
@@ -61,8 +168,17 @@ impl<'a> VectorizerCtx<'a> {
     }
 
     /// Algorithm 1 extended with load packs: all packs that produce the
-    /// vector operand `x`.
+    /// vector operand `x`. Served from the memoized producer index — the
+    /// enumeration itself runs once per distinct operand.
     pub fn producers(&self, x: &OperandVec) -> Vec<Pack> {
+        let id = self.intern_operand(x);
+        self.producers_for(id).iter().map(|&pid| (*self.pack(pid)).clone()).collect()
+    }
+
+    /// The uncached Algorithm-1 enumeration, yielding each feasible pack
+    /// together with the operands its lane bindings derived (so the caller
+    /// can memoize both without recomputation).
+    fn producers_raw(&self, x: &OperandVec) -> Vec<(Pack, Vec<OperandVec>)> {
         let defined: Vec<ValueId> = x.defined().collect();
         if defined.is_empty() {
             return Vec::new();
@@ -92,15 +208,15 @@ impl<'a> VectorizerCtx<'a> {
             }
             let pack = Pack::Compute { inst: di, matches };
             // The lane bindings must agree on the vector operands.
-            if self.pack_operands(&pack).is_some() {
-                out.push(pack);
+            if let Some(operands) = self.pack_operands(&pack) {
+                out.push((pack, operands));
             }
         }
 
         // Load packs: defined lanes must be loads of consecutive elements
         // of one buffer; don't-care lanes extend the run (in bounds).
         if let Some(p) = self.load_pack_for(x, ty) {
-            out.push(p);
+            out.push((p, Vec::new()));
         }
         out
     }
@@ -137,8 +253,13 @@ impl<'a> VectorizerCtx<'a> {
     /// producing it exactly. Deciding these loads as vector loads and then
     /// paying one shuffle is how VeGen forms operands like the interleaved
     /// `src[4+j], src[12+j]` vector of idct4 (Fig. 12's `vpermi2d` before
-    /// `vpmaddwd`).
+    /// `vpmaddwd`). Served from the per-operand memo.
     pub fn covering_load_packs(&self, x: &OperandVec) -> Vec<Pack> {
+        let id = self.intern_operand(x);
+        self.covering_for(id).iter().map(|&pid| (*self.pack(pid)).clone()).collect()
+    }
+
+    fn covering_load_packs_raw(&self, x: &OperandVec) -> Vec<Pack> {
         use std::collections::BTreeMap;
         let mut by_base: BTreeMap<usize, Vec<i64>> = BTreeMap::new();
         for v in x.defined() {
@@ -187,8 +308,14 @@ impl<'a> VectorizerCtx<'a> {
     /// don't-care). An operand like fft4's `[add, add, add, sub]` final
     /// stage has no single producer, but each opcode group may — the two
     /// packs are then blended, paying `Cshuffle` (§5's cost formulation
-    /// explicitly prices operands produced by several packs).
+    /// explicitly prices operands produced by several packs). Served from
+    /// the per-operand memo.
     pub fn opcode_group_subvectors(&self, x: &OperandVec) -> Vec<OperandVec> {
+        let id = self.intern_operand(x);
+        self.groups_for(id).iter().map(|&gid| (*self.operand(gid)).clone()).collect()
+    }
+
+    fn opcode_group_subvectors_raw(&self, x: &OperandVec) -> Vec<OperandVec> {
         use std::collections::BTreeMap;
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (i, lane) in x.lanes().iter().enumerate() {
@@ -265,9 +392,13 @@ impl<'a> VectorizerCtx<'a> {
     }
 
     /// All contiguous store-chain chunks (the classic SLP seeds), at every
-    /// power-of-two width that fits the target's registers.
+    /// power-of-two width that fits the target's registers. Emission is
+    /// program-ordered (bases in parameter order, offsets ascending) — a
+    /// `HashMap` here would leak its iteration order into the seed-pack
+    /// list and, through transition tie-breaks, into the selected packs.
     pub fn store_chain_packs(&self) -> Vec<Pack> {
-        let mut by_base: HashMap<usize, Vec<(i64, ValueId, ValueId)>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut by_base: BTreeMap<usize, Vec<(i64, ValueId, ValueId)>> = BTreeMap::new();
         for (v, inst) in self.f.iter() {
             if let InstKind::Store { loc, value } = inst.kind {
                 by_base.entry(loc.base).or_default().push((loc.offset, v, value));
@@ -627,6 +758,43 @@ mod tests {
             let prods = ctx.producers(op);
             assert!(prods.iter().any(|p| p.is_load()), "operand {op} needs a load pack");
         }
+    }
+
+    #[test]
+    fn store_chains_emit_in_program_order() {
+        // Many distinct store bases: a HashMap-backed grouping would emit
+        // the chains in hash order, which varies per map instance. The
+        // emission must be program-ordered and identical across contexts.
+        let desc = avx2_desc();
+        let mut b = FunctionBuilder::new("many_bases");
+        let src = b.param("S", Type::I32, 2);
+        let x = b.load(src, 0);
+        let y = b.load(src, 1);
+        let s = b.add(x, y);
+        let d = b.mul(x, y);
+        let outs: Vec<_> = (0..8).map(|i| b.param(format!("O{i}"), Type::I32, 2)).collect();
+        for &o in &outs {
+            b.store(o, 0, s);
+            b.store(o, 1, d);
+        }
+        let f = canonicalize(&b.finish());
+        let order = |ctx: &VectorizerCtx<'_>| -> Vec<(usize, i64, usize)> {
+            ctx.store_chain_packs()
+                .iter()
+                .map(|p| match p {
+                    Pack::Store { base, start, stores, .. } => (*base, *start, stores.len()),
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let ctx1 = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let ctx2 = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let o1 = order(&ctx1);
+        assert_eq!(o1, order(&ctx2), "chain emission must not depend on map instance");
+        let mut sorted = o1.clone();
+        sorted.sort();
+        assert_eq!(o1, sorted, "chains must come out in (base, offset) program order");
+        assert_eq!(o1.len(), 8);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Arena interners for the pack-selection hot path.
+//!
+//! The beam search (Fig. 9) and the `costSLP` DP (Fig. 7) revisit the same
+//! vector operands and candidate packs thousands of times per kernel. This
+//! module gives [`crate::ctx::VectorizerCtx`] an interning/indexing layer:
+//!
+//! * [`OperandId`] / [`PackId`] — arena handles, so operands and packs are
+//!   compared, hashed, and stored as `u32`s instead of heap-allocated
+//!   vectors;
+//! * a memoized producer index (`producers(OperandId) -> Rc<[PackId]>`,
+//!   with hit/miss counters) computed once per distinct operand and shared
+//!   by the beam search, the SLP cost DP, and seed resolution;
+//! * per-pack cached lane data ([`PackData`]) and memoized pack operands,
+//!   so transitions never re-derive lane bindings.
+//!
+//! Note: [`PackId`] here is the context-level arena handle; the selection
+//! *output* keeps its own insertion-ordered [`crate::pack::SetPackId`].
+
+use crate::operand::OperandVec;
+use crate::pack::Pack;
+use std::collections::HashMap;
+use std::rc::Rc;
+use vegen_ir::ValueId;
+
+/// Handle of an interned [`OperandVec`] in a context's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperandId(pub u32);
+
+/// Handle of an interned [`Pack`] in a context's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PackId(pub u32);
+
+/// Lane data of an interned pack, computed once at interning time so the
+/// search never re-allocates `values()` / `defined_values()` per visit.
+#[derive(Debug)]
+pub struct PackData {
+    /// `values(p)`: produced IR values, lane by lane.
+    pub values: Vec<Option<ValueId>>,
+    /// The defined produced values.
+    pub defined: Vec<ValueId>,
+}
+
+/// Snapshot of interner sizes and producer-index counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Distinct operands interned.
+    pub operands: usize,
+    /// Distinct packs interned.
+    pub packs: usize,
+    /// Producer-index lookups served from the memo.
+    pub producer_hits: u64,
+    /// Producer-index lookups that had to enumerate (Algorithm 1).
+    pub producer_misses: u64,
+}
+
+/// The arena + memo state. Owned by `VectorizerCtx` behind a `RefCell`;
+/// all public access goes through the context's wrapper methods.
+#[derive(Debug, Default)]
+pub struct Interner {
+    operands: Vec<Rc<OperandVec>>,
+    operand_ids: HashMap<Rc<OperandVec>, OperandId>,
+    packs: Vec<Rc<Pack>>,
+    pack_data: Vec<Rc<PackData>>,
+    pack_ids: HashMap<Rc<Pack>, PackId>,
+    /// `OperandId`-indexed memo of Algorithm-1 producers.
+    producers: Vec<Option<Rc<[PackId]>>>,
+    /// `OperandId`-indexed memo of covering load packs.
+    covering: Vec<Option<Rc<[PackId]>>>,
+    /// `OperandId`-indexed memo of opcode-group subvectors.
+    groups: Vec<Option<Rc<[OperandId]>>>,
+    /// `PackId`-indexed memo of pack operands (`None` = not yet computed,
+    /// `Some(None)` = infeasible lane bindings).
+    pack_operands: Vec<Option<Option<Rc<[OperandId]>>>>,
+    producer_hits: u64,
+    producer_misses: u64,
+}
+
+fn slot<T: Clone>(memo: &[Option<T>], i: usize) -> Option<T> {
+    memo.get(i).cloned().flatten()
+}
+
+fn set_slot<T>(memo: &mut Vec<Option<T>>, i: usize, value: T) {
+    if memo.len() <= i {
+        memo.resize_with(i + 1, || None);
+    }
+    memo[i] = Some(value);
+}
+
+impl Interner {
+    /// Intern `x`, returning its stable id (same operand → same id).
+    pub fn intern_operand(&mut self, x: &OperandVec) -> OperandId {
+        if let Some(&id) = self.operand_ids.get(x) {
+            return id;
+        }
+        let id = OperandId(self.operands.len() as u32);
+        let rc = Rc::new(x.clone());
+        self.operands.push(rc.clone());
+        self.operand_ids.insert(rc, id);
+        id
+    }
+
+    /// Resolve an operand id (cheap `Rc` clone).
+    pub fn operand(&self, id: OperandId) -> Rc<OperandVec> {
+        self.operands[id.0 as usize].clone()
+    }
+
+    /// Intern `p`, returning its stable id (same pack → same id).
+    pub fn intern_pack(&mut self, p: Pack) -> PackId {
+        if let Some(&id) = self.pack_ids.get(&p) {
+            return id;
+        }
+        let id = PackId(self.packs.len() as u32);
+        let values = p.values();
+        let defined = values.iter().copied().flatten().collect();
+        let rc = Rc::new(p);
+        self.packs.push(rc.clone());
+        self.pack_data.push(Rc::new(PackData { values, defined }));
+        self.pack_ids.insert(rc, id);
+        id
+    }
+
+    /// Resolve a pack id (cheap `Rc` clone).
+    pub fn pack(&self, id: PackId) -> Rc<Pack> {
+        self.packs[id.0 as usize].clone()
+    }
+
+    /// Cached lane data of a pack.
+    pub fn pack_data(&self, id: PackId) -> Rc<PackData> {
+        self.pack_data[id.0 as usize].clone()
+    }
+
+    /// Memoized producers: `None` means not yet computed (counted as a
+    /// miss; the caller computes and stores).
+    pub fn producers_get(&mut self, id: OperandId) -> Option<Rc<[PackId]>> {
+        let hit = slot(&self.producers, id.0 as usize);
+        match hit {
+            Some(_) => self.producer_hits += 1,
+            None => self.producer_misses += 1,
+        }
+        hit
+    }
+
+    /// Store the producer list for `id`.
+    pub fn producers_set(&mut self, id: OperandId, packs: Vec<PackId>) -> Rc<[PackId]> {
+        let rc: Rc<[PackId]> = packs.into();
+        set_slot(&mut self.producers, id.0 as usize, rc.clone());
+        rc
+    }
+
+    /// Memoized covering load packs.
+    pub fn covering_get(&self, id: OperandId) -> Option<Rc<[PackId]>> {
+        slot(&self.covering, id.0 as usize)
+    }
+
+    /// Store the covering-load list for `id`.
+    pub fn covering_set(&mut self, id: OperandId, packs: Vec<PackId>) -> Rc<[PackId]> {
+        let rc: Rc<[PackId]> = packs.into();
+        set_slot(&mut self.covering, id.0 as usize, rc.clone());
+        rc
+    }
+
+    /// Memoized opcode-group subvectors.
+    pub fn groups_get(&self, id: OperandId) -> Option<Rc<[OperandId]>> {
+        slot(&self.groups, id.0 as usize)
+    }
+
+    /// Store the opcode-group list for `id`.
+    pub fn groups_set(&mut self, id: OperandId, groups: Vec<OperandId>) -> Rc<[OperandId]> {
+        let rc: Rc<[OperandId]> = groups.into();
+        set_slot(&mut self.groups, id.0 as usize, rc.clone());
+        rc
+    }
+
+    /// Memoized pack operands (outer `None` = not computed).
+    pub fn pack_operands_get(&self, id: PackId) -> Option<Option<Rc<[OperandId]>>> {
+        slot(&self.pack_operands, id.0 as usize)
+    }
+
+    /// Store the operand list (or infeasibility) for pack `id`.
+    pub fn pack_operands_set(
+        &mut self,
+        id: PackId,
+        operands: Option<Vec<OperandId>>,
+    ) -> Option<Rc<[OperandId]>> {
+        let rc = operands.map(|o| -> Rc<[OperandId]> { o.into() });
+        set_slot(&mut self.pack_operands, id.0 as usize, rc.clone());
+        rc
+    }
+
+    /// Current sizes and counters.
+    pub fn stats(&self) -> InternStats {
+        InternStats {
+            operands: self.operands.len(),
+            packs: self.packs.len(),
+            producer_hits: self.producer_hits,
+            producer_misses: self.producer_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vegen_ir::Type;
+
+    fn v(i: u32) -> ValueId {
+        ValueId::from_raw(i)
+    }
+
+    #[test]
+    fn operand_round_trip_and_dedup() {
+        let mut it = Interner::default();
+        let a = OperandVec::from_values([v(1), v(2)]);
+        let b = OperandVec::new(vec![Some(v(1)), None, Some(v(3))]);
+        let ia = it.intern_operand(&a);
+        let ib = it.intern_operand(&b);
+        assert_ne!(ia, ib);
+        // Round trip: resolve returns the interned operand.
+        assert_eq!(*it.operand(ia), a);
+        assert_eq!(*it.operand(ib), b);
+        // Dedup: the same operand (a fresh allocation) maps to the same id.
+        assert_eq!(it.intern_operand(&OperandVec::from_values([v(1), v(2)])), ia);
+        assert_eq!(it.stats().operands, 2);
+    }
+
+    #[test]
+    fn pack_round_trip_dedup_and_lane_data() {
+        let mut it = Interner::default();
+        let p = Pack::Load { base: 0, start: 0, loads: vec![Some(v(4)), None], elem: Type::I32 };
+        let id = it.intern_pack(p.clone());
+        assert_eq!(it.intern_pack(p.clone()), id, "same pack must dedup to one id");
+        assert_eq!(*it.pack(id), p);
+        let data = it.pack_data(id);
+        assert_eq!(data.values, vec![Some(v(4)), None]);
+        assert_eq!(data.defined, vec![v(4)]);
+        assert_eq!(it.stats().packs, 1);
+    }
+
+    #[test]
+    fn producer_memo_counts_hits_and_misses() {
+        let mut it = Interner::default();
+        let x = OperandVec::from_values([v(1), v(2)]);
+        let id = it.intern_operand(&x);
+        assert!(it.producers_get(id).is_none());
+        let stored = it.producers_set(id, vec![PackId(0), PackId(7)]);
+        assert_eq!(&*stored, &[PackId(0), PackId(7)]);
+        let again = it.producers_get(id).expect("memo must hit after set");
+        assert_eq!(&*again, &[PackId(0), PackId(7)]);
+        let s = it.stats();
+        assert_eq!((s.producer_hits, s.producer_misses), (1, 1));
+    }
+
+    #[test]
+    fn pack_operand_memo_distinguishes_infeasible_from_unknown() {
+        let mut it = Interner::default();
+        let p = Pack::Load { base: 0, start: 0, loads: vec![Some(v(1))], elem: Type::I8 };
+        let id = it.intern_pack(p);
+        assert_eq!(it.pack_operands_get(id), None, "nothing computed yet");
+        it.pack_operands_set(id, None);
+        assert_eq!(it.pack_operands_get(id), Some(None), "cached infeasibility");
+        let ops = it.pack_operands_set(id, Some(vec![OperandId(3)]));
+        assert_eq!(&*ops.unwrap(), &[OperandId(3)]);
+    }
+}

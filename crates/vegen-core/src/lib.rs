@@ -22,13 +22,15 @@
 pub mod beam;
 pub mod cost;
 pub mod ctx;
+pub mod intern;
 pub mod operand;
 pub mod pack;
 pub mod seeds;
 pub mod slp;
 
-pub use beam::{select_packs, BeamConfig, SelectionResult};
+pub use beam::{select_packs, BeamConfig, BeamStats, SelectionResult};
 pub use cost::CostModel;
 pub use ctx::VectorizerCtx;
+pub use intern::{InternStats, OperandId, PackId};
 pub use operand::OperandVec;
-pub use pack::{Pack, PackId, PackSet};
+pub use pack::{Pack, PackSet, SetPackId};

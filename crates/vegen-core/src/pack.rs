@@ -116,9 +116,10 @@ impl Pack {
     }
 }
 
-/// An id of a pack inside a [`PackSet`].
+/// An id of a pack inside a [`PackSet`] (the selection *output*; distinct
+/// from the context-level arena handle [`crate::intern::PackId`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PackId(pub usize);
+pub struct SetPackId(pub usize);
 
 /// A deduplicated, insertion-ordered set of packs — the vectorizer's
 /// output.
@@ -134,22 +135,22 @@ impl PackSet {
     }
 
     /// Insert a pack, returning its id (existing id if already present).
-    pub fn insert(&mut self, p: Pack) -> PackId {
+    pub fn insert(&mut self, p: Pack) -> SetPackId {
         if let Some(i) = self.packs.iter().position(|q| *q == p) {
-            return PackId(i);
+            return SetPackId(i);
         }
         self.packs.push(p);
-        PackId(self.packs.len() - 1)
+        SetPackId(self.packs.len() - 1)
     }
 
     /// The pack with the given id.
-    pub fn get(&self, id: PackId) -> &Pack {
+    pub fn get(&self, id: SetPackId) -> &Pack {
         &self.packs[id.0]
     }
 
-    /// Iterate `(PackId, &Pack)`.
-    pub fn iter(&self) -> impl Iterator<Item = (PackId, &Pack)> {
-        self.packs.iter().enumerate().map(|(i, p)| (PackId(i), p))
+    /// Iterate `(SetPackId, &Pack)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SetPackId, &Pack)> {
+        self.packs.iter().enumerate().map(|(i, p)| (SetPackId(i), p))
     }
 
     /// Number of packs.
@@ -164,7 +165,7 @@ impl PackSet {
 
     /// Which pack (if any) produces `v` as one of its lanes, and at which
     /// lane index.
-    pub fn producer_of(&self, v: ValueId) -> Option<(PackId, usize)> {
+    pub fn producer_of(&self, v: ValueId) -> Option<(SetPackId, usize)> {
         for (id, p) in self.iter() {
             if let Some(lane) = p.values().iter().position(|l| *l == Some(v)) {
                 return Some((id, lane));
@@ -217,7 +218,7 @@ mod tests {
             loads: vec![Some(v(0)), None, Some(v(2))],
             elem: Type::I8,
         });
-        assert_eq!(s.producer_of(v(2)), Some((PackId(0), 2)));
+        assert_eq!(s.producer_of(v(2)), Some((SetPackId(0), 2)));
         assert_eq!(s.producer_of(v(1)), None);
     }
 }

@@ -15,27 +15,29 @@
 //! its state-evaluation function (§5.2).
 
 use crate::ctx::VectorizerCtx;
+use crate::intern::{OperandId, PackId};
 use crate::operand::OperandVec;
 use crate::pack::Pack;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 
 /// Memoized Fig. 7 evaluator.
+///
+/// The memo is keyed by interned [`OperandId`] in a flat vector — a lookup
+/// is one bounds check and one load, instead of hashing a heap-allocated
+/// operand per visit.
 #[derive(Debug)]
 pub struct SlpCost<'c, 'a> {
     ctx: &'c VectorizerCtx<'a>,
-    memo: RefCell<HashMap<OperandVec, f64>>,
-    in_progress: RefCell<HashSet<OperandVec>>,
+    /// `OperandId`-indexed memo (`None` = not yet computed).
+    memo: RefCell<Vec<Option<f64>>>,
+    /// `OperandId`-indexed cycle marks for the in-flight recursion.
+    in_progress: RefCell<Vec<bool>>,
 }
 
 impl<'c, 'a> SlpCost<'c, 'a> {
     /// New evaluator over a context.
     pub fn new(ctx: &'c VectorizerCtx<'a>) -> SlpCost<'c, 'a> {
-        SlpCost {
-            ctx,
-            memo: RefCell::new(HashMap::new()),
-            in_progress: RefCell::new(HashSet::new()),
-        }
+        SlpCost { ctx, memo: RefCell::new(Vec::new()), in_progress: RefCell::new(Vec::new()) }
     }
 
     /// The insertion arm of the recurrence: build `v` from scalars.
@@ -46,34 +48,52 @@ impl<'c, 'a> SlpCost<'c, 'a> {
 
     /// `costSLP(x)`.
     pub fn cost(&self, x: &OperandVec) -> f64 {
-        if let Some(&c) = self.memo.borrow().get(x) {
+        self.cost_id(self.ctx.intern_operand(x))
+    }
+
+    /// `costSLP` of an interned operand.
+    pub fn cost_id(&self, id: OperandId) -> f64 {
+        let i = id.0 as usize;
+        if let Some(c) = self.memo.borrow().get(i).copied().flatten() {
             return c;
         }
-        if !self.in_progress.borrow_mut().insert(x.clone()) {
-            // Cycle through producers: treat as unproducible on this path.
-            return f64::INFINITY;
+        {
+            let mut in_progress = self.in_progress.borrow_mut();
+            if in_progress.len() <= i {
+                in_progress.resize(i + 1, false);
+            }
+            if in_progress[i] {
+                // Cycle through producers: unproducible on this path.
+                return f64::INFINITY;
+            }
+            in_progress[i] = true;
         }
-        let mut best = self.insert_arm(x);
-        if let Some(c) = self.cover_arm(x) {
+        let x = self.ctx.operand(id);
+        let mut best = self.insert_arm(&x);
+        if let Some(c) = self.cover_arm_id(id, &x) {
             best = best.min(c);
         }
-        for p in self.ctx.producers(x) {
-            if let Some(c) = self.pack_arm(&p) {
+        for &pid in self.ctx.producers_for(id).iter() {
+            if let Some(c) = self.pack_arm_id(pid) {
                 best = best.min(c);
             }
         }
         // Blend arm: a mixed-opcode operand produced by one pack per
         // opcode group plus shuffles to merge them.
-        let groups = self.ctx.opcode_group_subvectors(x);
+        let groups = self.ctx.groups_for(id);
         if !groups.is_empty() {
             let mut c = self.ctx.cost.c_shuffle * (groups.len() - 1) as f64;
-            for g in &groups {
-                c += self.cost(g);
+            for &g in groups.iter() {
+                c += self.cost_id(g);
             }
             best = best.min(c);
         }
-        self.in_progress.borrow_mut().remove(x);
-        self.memo.borrow_mut().insert(x.clone(), best);
+        self.in_progress.borrow_mut()[i] = false;
+        let mut memo = self.memo.borrow_mut();
+        if memo.len() <= i {
+            memo.resize(i + 1, None);
+        }
+        memo[i] = Some(best);
         best
     }
 
@@ -81,6 +101,10 @@ impl<'c, 'a> SlpCost<'c, 'a> {
     /// wide vector loads plus a shuffle (the strategy behind Fig. 12's
     /// `vpermi2d` and Fig. 14's `vpshufd`).
     pub fn cover_arm(&self, x: &OperandVec) -> Option<f64> {
+        self.cover_arm_id(self.ctx.intern_operand(x), x)
+    }
+
+    fn cover_arm_id(&self, id: OperandId, x: &OperandVec) -> Option<f64> {
         use vegen_ir::InstKind;
         let f = self.ctx.f;
         if x.defined_count() == 0
@@ -88,28 +112,34 @@ impl<'c, 'a> SlpCost<'c, 'a> {
         {
             return None;
         }
-        let packs = self.ctx.covering_load_packs(x);
+        let packs = self.ctx.covering_for(id);
         if packs.is_empty() {
             return None;
         }
         // Every defined lane must actually be inside some covering pack.
-        let covered = |v| packs.iter().any(|p| p.values().contains(&Some(v)));
+        let covered =
+            |v| packs.iter().any(|&pid| self.ctx.pack_data(pid).values.contains(&Some(v)));
         if !x.defined().all(covered) {
             return None;
         }
-        let loads: f64 = packs.iter().map(|p| self.ctx.pack_cost(p)).sum();
+        let loads: f64 = packs.iter().map(|&pid| self.ctx.pack_cost(&self.ctx.pack(pid))).sum();
         Some(loads + self.ctx.cost.c_shuffle * packs.len() as f64)
     }
 
     /// Cost of producing via a specific pack: `costop + Σ costSLP(operands)`.
     pub fn pack_arm(&self, p: &Pack) -> Option<f64> {
-        let operands = self.ctx.pack_operands(p)?;
-        let mut c = self.ctx.pack_cost(p);
-        for x in &operands {
-            if x.defined_count() == 0 {
+        self.pack_arm_id(self.ctx.intern_pack(p.clone()))
+    }
+
+    /// [`Self::pack_arm`] for an interned pack.
+    pub fn pack_arm_id(&self, pid: PackId) -> Option<f64> {
+        let operand_ids = self.ctx.pack_operand_ids(pid)?;
+        let mut c = self.ctx.pack_cost(&self.ctx.pack(pid));
+        for &oid in operand_ids.iter() {
+            if self.ctx.operand(oid).defined_count() == 0 {
                 continue;
             }
-            c += self.cost(x);
+            c += self.cost_id(oid);
         }
         Some(c)
     }
@@ -118,16 +148,17 @@ impl<'c, 'a> SlpCost<'c, 'a> {
     /// plain insertion.
     pub fn best_producer(&self, x: &OperandVec) -> Option<Pack> {
         let insert = self.insert_arm(x);
-        let mut best: Option<(f64, Pack)> = None;
-        for p in self.ctx.producers(x) {
-            if let Some(c) = self.pack_arm(&p) {
-                if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
-                    best = Some((c, p));
+        let id = self.ctx.intern_operand(x);
+        let mut best: Option<(f64, PackId)> = None;
+        for &pid in self.ctx.producers_for(id).iter() {
+            if let Some(c) = self.pack_arm_id(pid) {
+                if best.is_none_or(|(bc, _)| c < bc) {
+                    best = Some((c, pid));
                 }
             }
         }
         match best {
-            Some((c, p)) if c < insert => Some(p),
+            Some((c, pid)) if c < insert => Some((*self.ctx.pack(pid)).clone()),
             _ => None,
         }
     }

@@ -122,6 +122,14 @@ pub struct JobResult {
 pub struct EngineCounters {
     /// Beam-search states expanded across all cache-miss compilations.
     pub states_expanded: u64,
+    /// Beam-search successor states generated across all misses.
+    pub transitions: u64,
+    /// Pooled states merged into an already-seen search state.
+    pub dedup_hits: u64,
+    /// Producer-index lookups served from the per-context memo.
+    pub producer_cache_hits: u64,
+    /// Producer-index lookups that enumerated Algorithm 1.
+    pub producer_cache_misses: u64,
     /// Packs committed by selected pack sets across all misses.
     pub packs_committed: u64,
     /// Compilations performed (cache misses that ran the pipeline).
@@ -133,6 +141,10 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: CompileCache,
     states_expanded: AtomicU64,
+    transitions: AtomicU64,
+    dedup_hits: AtomicU64,
+    producer_cache_hits: AtomicU64,
+    producer_cache_misses: AtomicU64,
     packs_committed: AtomicU64,
     compilations: AtomicU64,
 }
@@ -145,6 +157,10 @@ impl Engine {
             cfg,
             cache: CompileCache::new(capacity),
             states_expanded: AtomicU64::new(0),
+            transitions: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            producer_cache_hits: AtomicU64::new(0),
+            producer_cache_misses: AtomicU64::new(0),
             packs_committed: AtomicU64::new(0),
             compilations: AtomicU64::new(0),
         }
@@ -183,7 +199,12 @@ impl Engine {
 
         let (kernel, mut stages) = compile_prepared_timed(canonical, pipeline);
         stages.canonicalize = canonicalize_time;
+        let stats = kernel.selection.stats;
         self.states_expanded.fetch_add(kernel.selection.states_expanded as u64, Ordering::Relaxed);
+        self.transitions.fetch_add(stats.transitions, Ordering::Relaxed);
+        self.dedup_hits.fetch_add(stats.dedup_hits, Ordering::Relaxed);
+        self.producer_cache_hits.fetch_add(stats.producer_cache_hits, Ordering::Relaxed);
+        self.producer_cache_misses.fetch_add(stats.producer_cache_misses, Ordering::Relaxed);
         self.packs_committed.fetch_add(kernel.selection.packs.len() as u64, Ordering::Relaxed);
         self.compilations.fetch_add(1, Ordering::Relaxed);
 
@@ -237,6 +258,10 @@ impl Engine {
     pub fn counters(&self) -> EngineCounters {
         EngineCounters {
             states_expanded: self.states_expanded.load(Ordering::Relaxed),
+            transitions: self.transitions.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            producer_cache_hits: self.producer_cache_hits.load(Ordering::Relaxed),
+            producer_cache_misses: self.producer_cache_misses.load(Ordering::Relaxed),
             packs_committed: self.packs_committed.load(Ordering::Relaxed),
             compilations: self.compilations.load(Ordering::Relaxed),
         }

@@ -62,6 +62,8 @@ pub struct KernelReport {
     pub speedup_vs_scalar: f64,
     /// Beam states expanded selecting this kernel's packs.
     pub states_expanded: usize,
+    /// Beam search-effort and cache statistics for this kernel.
+    pub beam: vegen_core::beam::BeamStats,
     /// Packs the selection committed.
     pub packs_committed: usize,
     /// Distinct vector instructions VeGen used.
@@ -88,6 +90,7 @@ impl KernelReport {
             speedup_vs_baseline: r.kernel.speedup_vs_baseline(),
             speedup_vs_scalar: r.kernel.speedup_vs_scalar(),
             states_expanded: r.kernel.selection.states_expanded,
+            beam: r.kernel.selection.stats,
             packs_committed: r.kernel.selection.packs.len(),
             vegen_ops: r.kernel.vegen.vector_ops_used(),
             stage_times: StageReport { stages: r.stages, verify: r.verify_time },
@@ -107,6 +110,19 @@ impl KernelReport {
             ("speedup_vs_baseline", Json::Num(self.speedup_vs_baseline)),
             ("speedup_vs_scalar", Json::Num(self.speedup_vs_scalar)),
             ("states_expanded", Json::int(self.states_expanded as u64)),
+            (
+                "beam",
+                Json::obj([
+                    ("transitions", Json::int(self.beam.transitions)),
+                    ("dedup_hits", Json::int(self.beam.dedup_hits)),
+                    ("hash_collisions", Json::int(self.beam.hash_collisions)),
+                    ("producer_cache_hits", Json::int(self.beam.producer_cache_hits)),
+                    ("producer_cache_misses", Json::int(self.beam.producer_cache_misses)),
+                    ("interned_operands", Json::int(self.beam.interned_operands as u64)),
+                    ("interned_packs", Json::int(self.beam.interned_packs as u64)),
+                    ("beam_wall_us", micros(self.beam.beam_wall)),
+                ]),
+            ),
             ("packs_committed", Json::int(self.packs_committed as u64)),
             ("vegen_ops", Json::Arr(self.vegen_ops.iter().map(Json::str).collect())),
             ("stage_times", self.stage_times.to_json()),
@@ -180,7 +196,7 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v1")),
+            ("schema", Json::str("vegen-engine-report/v2")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
@@ -201,6 +217,10 @@ impl EngineReport {
                 "counters",
                 Json::obj([
                     ("states_expanded", Json::int(self.counters.states_expanded)),
+                    ("transitions", Json::int(self.counters.transitions)),
+                    ("dedup_hits", Json::int(self.counters.dedup_hits)),
+                    ("producer_cache_hits", Json::int(self.counters.producer_cache_hits)),
+                    ("producer_cache_misses", Json::int(self.counters.producer_cache_misses)),
                     ("packs_committed", Json::int(self.counters.packs_committed)),
                     ("compilations", Json::int(self.counters.compilations)),
                 ]),
