@@ -57,6 +57,11 @@ pub struct BeamConfig {
     pub max_transitions: usize,
     /// Hard iteration cap (defaults to a multiple of the function size).
     pub max_iters: Option<usize>,
+    /// Record a per-iteration [`DecisionLog`] (kept and pruned candidates
+    /// with their score breakdowns, plus the committed pack sequence) in
+    /// the [`SelectionResult`]. Observation only: the search explores and
+    /// ranks identically with logging on or off.
+    pub log_decisions: bool,
 }
 
 impl Default for BeamConfig {
@@ -67,6 +72,7 @@ impl Default for BeamConfig {
             use_affinity_seeds: true,
             max_transitions: 256,
             max_iters: None,
+            log_decisions: false,
         }
     }
 }
@@ -124,6 +130,99 @@ pub struct SelectionResult {
     pub states_expanded: usize,
     /// Detailed search statistics.
     pub stats: BeamStats,
+    /// Per-iteration decision log ([`BeamConfig::log_decisions`] only).
+    pub decisions: Option<DecisionLog>,
+}
+
+/// Why the beam kept (or pruned) each candidate, iteration by iteration —
+/// the evidence behind a selection, surfaced by `vegen-engine explain`.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionLog {
+    /// One entry per beam iteration.
+    pub iterations: Vec<IterationLog>,
+    /// The winning state's pack sequence, in commit order.
+    pub committed: Vec<CommittedPack>,
+}
+
+/// One beam iteration: frontier and pool sizes plus the top candidates
+/// around the keep/prune boundary.
+#[derive(Debug, Clone)]
+pub struct IterationLog {
+    /// Iteration number (0-based).
+    pub index: usize,
+    /// Frontier size entering the iteration.
+    pub beam_in: usize,
+    /// Raw successor pool (carried terminals included).
+    pub pool: usize,
+    /// Pool size after (F, V, S) deduplication.
+    pub deduped: usize,
+    /// Frontier size after truncation to the beam width.
+    pub kept: usize,
+    /// The best-ranked kept candidates followed by the best-ranked pruned
+    /// candidates (capped; see `MAX_LOGGED_CANDIDATES`).
+    pub candidates: Vec<CandidateLog>,
+}
+
+/// One ranked candidate state: the transition that created it and its
+/// Fig. 9 score breakdown (`score = g + est`).
+#[derive(Debug, Clone)]
+pub struct CandidateLog {
+    /// Human-readable transition: `"pack <desc>"`, `"scalar v<n>"`, or
+    /// `"init"` for a carried state.
+    pub action: String,
+    /// Path cost so far (`g`).
+    pub g: f64,
+    /// Completion estimate (`Σ costSLP(v) + Σ costscalar(s)`).
+    pub est: f64,
+    /// Ranking score (`g + est`).
+    pub score: f64,
+    /// Packs committed on the state's path.
+    pub packs: usize,
+    /// Whether the candidate survived truncation.
+    pub kept: bool,
+}
+
+/// One pack on the winning path.
+#[derive(Debug, Clone)]
+pub struct CommittedPack {
+    /// Position in the commit sequence (0-based).
+    pub step: usize,
+    /// Human-readable pack description.
+    pub pack: String,
+    /// The pack's own cost (`costop`).
+    pub cost: f64,
+}
+
+/// Per-iteration cap on logged candidates on each side of the keep/prune
+/// boundary — enough to see why the boundary fell where it did without
+/// letting wide beams balloon the log.
+const MAX_LOGGED_CANDIDATES: usize = 8;
+
+/// Render a pack for decision logs and `explain` output.
+pub fn describe_pack(ctx: &VectorizerCtx<'_>, pack: &Pack) -> String {
+    match pack {
+        Pack::Compute { inst, matches } => {
+            let lanes: Vec<String> = matches
+                .iter()
+                .map(|m| m.as_ref().map_or("_".to_string(), |m| format!("v{}", m.root.index())))
+                .collect();
+            format!("{}[{}]", ctx.desc.insts[*inst].def.name, lanes.join(" "))
+        }
+        Pack::Load { base, start, loads, .. } => {
+            format!("vload p{}[{}..{})", base, start, *start + loads.len() as i64)
+        }
+        Pack::Store { base, start, stores, .. } => {
+            format!("vstore p{}[{}..{})", base, start, *start + stores.len() as i64)
+        }
+    }
+}
+
+/// The transition that produced a state (for decision logging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Init,
+    Pack(PackId),
+    Scalar(ValueId),
 }
 
 /// How a decided value was produced.
@@ -223,6 +322,9 @@ struct State {
     packs: Option<Rc<PackNode>>,
     /// Incremental 128-bit hash of the (F, V, S) identity.
     hash: u128,
+    /// The transition that created this state (decision logging only; not
+    /// part of the state identity).
+    action: Action,
 }
 
 impl State {
@@ -403,6 +505,7 @@ impl<'c, 'a> Search<'c, 'a> {
         }
         let operand_ids = self.ctx.pack_operand_ids(pid)?;
         let mut next = st.clone();
+        next.action = Action::Pack(pid);
         let pidx = next.pack_len();
         next.g += self.ctx.pack_cost(&pack);
 
@@ -519,6 +622,7 @@ impl<'c, 'a> Search<'c, 'a> {
         }
         let f = self.ctx.f;
         let mut next = st.clone();
+        next.action = Action::Scalar(v);
         next.g += self.ctx.cost.scalar_inst_cost(f, v);
         // Insertion cost into every requested vector that wants v.
         for x in &next.vset {
@@ -634,6 +738,7 @@ impl<'c, 'a> Search<'c, 'a> {
 /// all-scalar path is always available), the result is the empty pack set
 /// at scalar cost.
 pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResult {
+    let _sp = vegen_trace::span("beam", "select_packs");
     let t0 = Instant::now();
     let intern0 = ctx.intern_stats();
     let f = ctx.f;
@@ -668,6 +773,7 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
         g: 0.0,
         packs: None,
         hash: 0,
+        action: Action::Init,
     };
     for s in f.stores() {
         init.sset_insert(s);
@@ -680,8 +786,13 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
     let mut transitions = 0u64;
     let mut dedup_hits = 0u64;
     let mut hash_collisions = 0u64;
+    let mut decisions = cfg.log_decisions.then(DecisionLog::default);
 
-    for _ in 0..max_iters {
+    for iter in 0..max_iters {
+        let beam_in = beam.len();
+        if vegen_trace::enabled() {
+            vegen_trace::counter("beam", "frontier", beam_in as f64);
+        }
         let mut pool: Vec<State> = Vec::new();
         let mut any_expanded = false;
         for st in &beam {
@@ -698,7 +809,9 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
         if !any_expanded {
             break;
         }
+        let raw_pool = pool.len();
         let deduped = dedup_pool(pool, &mut dedup_hits, &mut hash_collisions);
+        let deduped_len = deduped.len();
         let mut pool: Vec<(f64, f64, State)> = deduped
             .into_iter()
             .map(|st| {
@@ -713,6 +826,48 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
         pool.sort_by(|a, b| {
             a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)).then_with(|| key_cmp(&a.2, &b.2))
         });
+        let width = cfg.width.max(1);
+        if vegen_trace::enabled() {
+            vegen_trace::counter("beam", "pool", raw_pool as f64);
+            vegen_trace::counter("beam", "deduped", deduped_len as f64);
+            vegen_trace::counter("beam", "pruned", pool.len().saturating_sub(width) as f64);
+        }
+        if let Some(log) = decisions.as_mut() {
+            // Log the candidates around the keep/prune boundary: the best
+            // kept and the best pruned (ranking is already final here — the
+            // log reads the sorted pool, it never reorders it).
+            let mut candidates = Vec::new();
+            for (rank, (score, h, st)) in pool.iter().enumerate() {
+                let kept = rank < width;
+                if (kept && rank >= MAX_LOGGED_CANDIDATES)
+                    || (!kept && rank >= width + MAX_LOGGED_CANDIDATES)
+                {
+                    continue;
+                }
+                candidates.push(CandidateLog {
+                    action: match st.action {
+                        Action::Init => "init".to_string(),
+                        Action::Pack(pid) => {
+                            format!("pack {}", describe_pack(ctx, &ctx.pack(pid)))
+                        }
+                        Action::Scalar(v) => format!("scalar v{}", v.index()),
+                    },
+                    g: st.g,
+                    est: *h,
+                    score: *score,
+                    packs: st.pack_len() as usize,
+                    kept,
+                });
+            }
+            log.iterations.push(IterationLog {
+                index: iter,
+                beam_in,
+                pool: raw_pool,
+                deduped: deduped_len,
+                kept: pool.len().min(width),
+                candidates,
+            });
+        }
         pool.truncate(cfg.width.max(1));
         beam = pool.into_iter().map(|(_, _, st)| st).collect();
         for st in &beam {
@@ -745,6 +900,16 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
         Some(st) => {
             let mut ids: Vec<PackId> = st.packs_iter().collect();
             ids.reverse();
+            if let Some(log) = decisions.as_mut() {
+                for (step, &pid) in ids.iter().enumerate() {
+                    let pack = ctx.pack(pid);
+                    log.committed.push(CommittedPack {
+                        step,
+                        pack: describe_pack(ctx, &pack),
+                        cost: ctx.pack_cost(&pack),
+                    });
+                }
+            }
             let mut packs = PackSet::new();
             for pid in ids {
                 packs.insert((*ctx.pack(pid)).clone());
@@ -755,6 +920,7 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
                 scalar_cost,
                 states_expanded: expanded,
                 stats,
+                decisions,
             }
         }
         None => SelectionResult {
@@ -763,6 +929,7 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
             scalar_cost,
             states_expanded: expanded,
             stats,
+            decisions,
         },
     }
 }
@@ -949,6 +1116,7 @@ mod tests {
             g,
             packs: None,
             hash: 0,
+            action: Action::Init,
         };
         st.sset.insert(ValueId::from_raw(store));
         st.hash = hash; // forced, to exercise the collision path
@@ -1006,6 +1174,42 @@ mod tests {
         a.sset_remove(ValueId::from_raw(1));
         a.sset_insert(ValueId::from_raw(1));
         assert_eq!(a.hash, h0);
+    }
+
+    #[test]
+    fn decision_log_is_off_by_default_and_observation_only() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let plain = select_packs(&ctx, &BeamConfig::with_width(8));
+        assert!(plain.decisions.is_none(), "logging must be opt-in");
+
+        let logged =
+            select_packs(&ctx, &BeamConfig { log_decisions: true, ..BeamConfig::with_width(8) });
+        let log = logged.decisions.as_ref().expect("log_decisions must populate the log");
+        // Same packs, same cost: logging must not perturb the search.
+        assert_eq!(
+            plain.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            logged.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>()
+        );
+        assert_eq!(plain.vector_cost, logged.vector_cost);
+
+        assert!(!log.iterations.is_empty());
+        assert!(!log.committed.is_empty(), "dot4 commits packs");
+        assert!(log.committed.iter().any(|c| c.pack.contains("pmaddwd")), "{:?}", log.committed);
+        for it in &log.iterations {
+            assert!(it.kept <= 8);
+            assert!(it.deduped <= it.pool);
+            // Kept candidates are logged before pruned ones and scores are
+            // nondecreasing within each group (the pool is sorted).
+            let kept: Vec<&CandidateLog> = it.candidates.iter().filter(|c| c.kept).collect();
+            for w in kept.windows(2) {
+                assert!(w[0].score <= w[1].score);
+            }
+            for c in &it.candidates {
+                assert!((c.score - (c.g + c.est)).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

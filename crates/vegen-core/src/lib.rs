@@ -28,7 +28,10 @@ pub mod pack;
 pub mod seeds;
 pub mod slp;
 
-pub use beam::{select_packs, BeamConfig, BeamStats, SelectionResult};
+pub use beam::{
+    describe_pack, select_packs, BeamConfig, BeamStats, CandidateLog, CommittedPack, DecisionLog,
+    IterationLog, SelectionResult,
+};
 pub use cost::CostModel;
 pub use ctx::VectorizerCtx;
 pub use intern::{InternStats, OperandId, PackId};

@@ -1,156 +1,8 @@
-//! `vegen-engine` — batch-compile the full `vegen-kernels` suite through
-//! the parallel, cached engine and emit a JSON `EngineReport`.
-//!
-//! By default the batch runs twice against one engine: a cold pass that
-//! compiles everything, then a warm pass that must be served entirely from
-//! the content-addressed cache. The report carries both runs so the cache
-//! effect is visible in the artifact itself.
-//!
-//! ```text
-//! vegen-engine [--target avx2|avx512vnni] [--beam N] [--threads N]
-//!              [--runs N] [--no-verify] [--compact] [--out FILE]
-//! ```
-
-use std::time::Instant;
-use vegen::driver::PipelineConfig;
-use vegen_core::BeamConfig;
-use vegen_engine::report::{EngineReport, RunReport};
-use vegen_engine::{Engine, EngineConfig, Job};
-use vegen_isa::TargetIsa;
-
-struct Options {
-    target: TargetIsa,
-    beam: usize,
-    threads: usize,
-    runs: usize,
-    verify_trials: u64,
-    compact: bool,
-    out: Option<String>,
-}
-
-fn parse_args() -> Result<Options, String> {
-    let mut opts = Options {
-        target: TargetIsa::avx2(),
-        beam: 16,
-        threads: 0,
-        runs: 2,
-        verify_trials: 16,
-        compact: false,
-        out: None,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
-        match arg.as_str() {
-            "--target" => {
-                opts.target = match value("--target")?.to_ascii_lowercase().as_str() {
-                    "avx2" => TargetIsa::avx2(),
-                    "avx512vnni" | "avx512-vnni" | "vnni" => TargetIsa::avx512vnni(),
-                    other => return Err(format!("unknown target {other:?}")),
-                }
-            }
-            "--beam" => opts.beam = value("--beam")?.parse().map_err(|e| format!("--beam: {e}"))?,
-            "--threads" => {
-                opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
-            }
-            "--runs" => {
-                opts.runs =
-                    value("--runs")?.parse::<usize>().map_err(|e| format!("--runs: {e}"))?.max(1)
-            }
-            "--no-verify" => opts.verify_trials = 0,
-            "--compact" => opts.compact = true,
-            "--out" => opts.out = Some(value("--out")?),
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: vegen-engine [--target avx2|avx512vnni] [--beam N] [--threads N]\n\
-                     \x20                   [--runs N] [--no-verify] [--compact] [--out FILE]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument {other:?}")),
-        }
-    }
-    Ok(opts)
-}
+//! `vegen-engine` — suite runner, `explain`, and `diff` (see
+//! [`vegen_engine::cli`] for the full usage; all logic lives in the
+//! library so tests can drive it).
 
 fn main() {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("vegen-engine: {e}");
-            std::process::exit(2);
-        }
-    };
-
-    let engine = Engine::new(EngineConfig {
-        threads: opts.threads,
-        verify_trials: opts.verify_trials,
-        ..EngineConfig::default()
-    });
-    let pipeline = PipelineConfig {
-        target: opts.target.clone(),
-        beam: BeamConfig::with_width(opts.beam),
-        canonicalize_patterns: true,
-    };
-    let jobs: Vec<Job> = vegen_kernels::all()
-        .into_iter()
-        .map(|k| Job::new(k.name, (k.build)(), pipeline.clone()))
-        .collect();
-    let resolved_threads = if opts.threads == 0 {
-        vegen_engine::pool::default_threads(jobs.len())
-    } else {
-        opts.threads
-    };
-
-    let mut runs = Vec::new();
-    let mut failed = false;
-    for i in 0..opts.runs {
-        let label = match i {
-            0 => "cold".to_string(),
-            1 => "warm".to_string(),
-            n => format!("warm{n}"),
-        };
-        let t0 = Instant::now();
-        let results = engine.compile_batch(&jobs);
-        let wall = t0.elapsed();
-        for r in &results {
-            if let Some(e) = &r.verify_error {
-                eprintln!("vegen-engine: kernel {} FAILED verification: {e}", r.name);
-                failed = true;
-            }
-        }
-        let hits = results.iter().filter(|r| r.cache_hit).count();
-        eprintln!(
-            "vegen-engine: {label} run — {} kernels in {wall:.2?} on {resolved_threads} threads, \
-             {hits}/{} cache hits",
-            results.len(),
-            results.len(),
-        );
-        runs.push(RunReport::new(label, wall, &results));
-    }
-
-    let report = EngineReport {
-        target: opts.target.name.clone(),
-        beam_width: opts.beam,
-        threads: resolved_threads,
-        verify_trials: opts.verify_trials,
-        runs,
-        cache: engine.cache_stats(),
-        counters: engine.counters(),
-    };
-    let doc = report.to_json();
-    let text = if opts.compact { doc.render() } else { doc.render_pretty() };
-    match &opts.out {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &text) {
-                eprintln!("vegen-engine: cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-            eprintln!("vegen-engine: report written to {path}");
-        }
-        None => println!("{text}"),
-    }
-    if failed {
-        std::process::exit(1);
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(vegen_engine::cli::main_with_args(&args));
 }

@@ -1,0 +1,567 @@
+//! Command-line front end of the `vegen-engine` binary.
+//!
+//! Three entry points behind one executable:
+//!
+//! * the default **suite** mode — batch-compile the full `vegen-kernels`
+//!   suite (cold + warm runs) and emit an [`EngineReport`]; `--trace` /
+//!   `--folded` capture a [`vegen_trace`] session alongside;
+//! * **`explain <kernel>`** — recompile one kernel with the beam search's
+//!   decision log on and print why each pack was committed (and what was
+//!   pruned against it);
+//! * **`diff <old.json> <new.json>`** — compare two reports
+//!   kernel-by-kernel with configurable regression thresholds, for CI
+//!   gating.
+//!
+//! Everything lives in the library (the binary is a one-line wrapper) so
+//! tests can drive the exact code paths, including exit codes.
+
+use crate::report::{EngineReport, RunReport, TraceSummary};
+use crate::{Engine, EngineConfig, Job, JobResult};
+use std::time::Instant;
+use vegen::driver::{prepare, target_desc, PipelineConfig};
+use vegen_core::slp::SlpCost;
+use vegen_core::{select_packs, BeamConfig, CostModel, VectorizerCtx};
+use vegen_isa::TargetIsa;
+use vegen_trace::json::Json;
+
+/// Run the CLI with pre-split arguments (everything after the program
+/// name) and return the process exit code: `0` success, `1` verification
+/// failure or regression, `2` usage/I-O error.
+pub fn main_with_args(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("explain") => run_explain(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        _ => run_suite(args),
+    }
+}
+
+/// Names of jobs whose compiled kernels failed verification, in input
+/// order (the suite prints each to stderr and exits nonzero).
+pub fn failing_kernels(results: &[JobResult]) -> Vec<String> {
+    results.iter().filter(|r| r.verify_error.is_some()).map(|r| r.name.clone()).collect()
+}
+
+fn parse_target(s: &str) -> Result<TargetIsa, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "avx2" => Ok(TargetIsa::avx2()),
+        "avx512vnni" | "avx512-vnni" | "vnni" => Ok(TargetIsa::avx512vnni()),
+        other => Err(format!("unknown target {other:?}")),
+    }
+}
+
+struct SuiteOptions {
+    target: TargetIsa,
+    beam: usize,
+    threads: usize,
+    runs: usize,
+    verify_trials: u64,
+    compact: bool,
+    out: Option<String>,
+    trace: Option<String>,
+    folded: Option<String>,
+    decisions: bool,
+}
+
+fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
+    let mut opts = SuiteOptions {
+        target: TargetIsa::avx2(),
+        beam: 16,
+        threads: 0,
+        runs: 2,
+        verify_trials: 16,
+        compact: false,
+        out: None,
+        trace: None,
+        folded: None,
+        decisions: false,
+    };
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().cloned().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--target" => opts.target = parse_target(&value("--target")?)?,
+            "--beam" => opts.beam = value("--beam")?.parse().map_err(|e| format!("--beam: {e}"))?,
+            "--threads" => {
+                opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--runs" => {
+                opts.runs =
+                    value("--runs")?.parse::<usize>().map_err(|e| format!("--runs: {e}"))?.max(1)
+            }
+            "--no-verify" => opts.verify_trials = 0,
+            "--compact" => opts.compact = true,
+            "--out" => opts.out = Some(value("--out")?),
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--folded" => opts.folded = Some(value("--folded")?),
+            "--decisions" => opts.decisions = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vegen-engine [--target avx2|avx512vnni] [--beam N] [--threads N]\n\
+                     \x20                   [--runs N] [--no-verify] [--compact] [--out FILE]\n\
+                     \x20                   [--trace FILE] [--folded FILE] [--decisions]\n\
+                     \x20      vegen-engine explain <kernel> [--target T] [--beam N] [--max-iters N]\n\
+                     \x20      vegen-engine diff <old.json> <new.json> [--max-regress PCT]\n\
+                     \x20                   [--strict-counters]"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn run_suite(args: &[String]) -> i32 {
+    let opts = match parse_suite_args(args) {
+        Ok(Some(o)) => o,
+        Ok(None) => return 0,
+        Err(e) => {
+            eprintln!("vegen-engine: {e}");
+            return 2;
+        }
+    };
+
+    let tracing = opts.trace.is_some() || opts.folded.is_some();
+    if tracing {
+        vegen_trace::enable(vegen_trace::DEFAULT_CAPACITY);
+    }
+
+    let engine = Engine::new(EngineConfig {
+        threads: opts.threads,
+        verify_trials: opts.verify_trials,
+        ..EngineConfig::default()
+    });
+    let pipeline = PipelineConfig {
+        target: opts.target.clone(),
+        beam: BeamConfig { log_decisions: opts.decisions, ..BeamConfig::with_width(opts.beam) },
+        canonicalize_patterns: true,
+    };
+    let jobs: Vec<Job> = vegen_kernels::all()
+        .into_iter()
+        .map(|k| Job::new(k.name, (k.build)(), pipeline.clone()))
+        .collect();
+    let resolved_threads =
+        if opts.threads == 0 { crate::pool::default_threads(jobs.len()) } else { opts.threads };
+
+    let mut runs = Vec::new();
+    let mut failed = false;
+    for i in 0..opts.runs {
+        let label = match i {
+            0 => "cold".to_string(),
+            1 => "warm".to_string(),
+            n => format!("warm{n}"),
+        };
+        let _run_span = vegen_trace::enabled()
+            .then(|| vegen_trace::span_owned("engine", format!("run:{label}")));
+        let t0 = Instant::now();
+        let results = engine.compile_batch(&jobs);
+        let wall = t0.elapsed();
+        for r in &results {
+            if let Some(e) = &r.verify_error {
+                eprintln!("vegen-engine: kernel {} FAILED verification: {e}", r.name);
+                failed = true;
+            }
+        }
+        let hits = results.iter().filter(|r| r.cache_hit).count();
+        eprintln!(
+            "vegen-engine: {label} run — {} kernels in {wall:.2?} on {resolved_threads} threads, \
+             {hits}/{} cache hits",
+            results.len(),
+            results.len(),
+        );
+        runs.push(RunReport::new(label, wall, &results));
+    }
+
+    let mut trace_summary = TraceSummary::default();
+    if tracing {
+        let data = vegen_trace::drain();
+        vegen_trace::disable();
+        trace_summary = TraceSummary {
+            enabled: true,
+            events: data.event_count(),
+            dropped: data.dropped(),
+            threads: data.threads.len(),
+            file: opts.trace.clone(),
+            folded_file: opts.folded.clone(),
+        };
+        if let Some(path) = &opts.trace {
+            let text = vegen_trace::export::chrome_trace(&data).render();
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("vegen-engine: cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!(
+                "vegen-engine: trace written to {path} ({} events, {} dropped)",
+                trace_summary.events, trace_summary.dropped
+            );
+        }
+        if let Some(path) = &opts.folded {
+            if let Err(e) = std::fs::write(path, vegen_trace::export::folded_stacks(&data)) {
+                eprintln!("vegen-engine: cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("vegen-engine: folded stacks written to {path}");
+        }
+    }
+
+    let report = EngineReport {
+        target: opts.target.name.clone(),
+        beam_width: opts.beam,
+        threads: resolved_threads,
+        verify_trials: opts.verify_trials,
+        runs,
+        cache: engine.cache_stats(),
+        counters: engine.counters(),
+        trace: trace_summary,
+    };
+    let doc = report.to_json();
+    let text = if opts.compact { doc.render() } else { doc.render_pretty() };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("vegen-engine: cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("vegen-engine: report written to {path}");
+        }
+        None => println!("{text}"),
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// explain
+// ---------------------------------------------------------------------------
+
+fn run_explain(args: &[String]) -> i32 {
+    let mut name: Option<String> = None;
+    let mut target = TargetIsa::avx2();
+    let mut beam = 64usize;
+    let mut max_iters: Option<usize> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        let mut value = |n: &str| args.next().cloned().ok_or(format!("{n} needs a value"));
+        match arg.as_str() {
+            "--target" => match value("--target").and_then(|v| parse_target(&v)) {
+                Ok(t) => target = t,
+                Err(e) => {
+                    eprintln!("vegen-engine explain: {e}");
+                    return 2;
+                }
+            },
+            "--beam" => match value("--beam").and_then(|v| v.parse().map_err(|e| format!("{e}"))) {
+                Ok(w) => beam = w,
+                Err(e) => {
+                    eprintln!("vegen-engine explain: --beam: {e}");
+                    return 2;
+                }
+            },
+            "--max-iters" => {
+                match value("--max-iters").and_then(|v| v.parse().map_err(|e| format!("{e}"))) {
+                    Ok(n) => max_iters = Some(n),
+                    Err(e) => {
+                        eprintln!("vegen-engine explain: --max-iters: {e}");
+                        return 2;
+                    }
+                }
+            }
+            other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
+            other => {
+                eprintln!("vegen-engine explain: unknown argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("usage: vegen-engine explain <kernel> [--target T] [--beam N] [--max-iters N]");
+        return 2;
+    };
+    let Some(kernel) = vegen_kernels::find(&name) else {
+        eprintln!("vegen-engine explain: unknown kernel {name:?}; available:");
+        for k in vegen_kernels::all() {
+            eprintln!("  {} ({:?})", k.name, k.suite);
+        }
+        return 2;
+    };
+
+    let f = prepare(&(kernel.build)());
+    let desc = target_desc(&target, true);
+    let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+
+    println!("explain {} (target {}, beam {beam})", kernel.name, target.name);
+    println!("function: {} instructions, {} stores", f.insts.len(), f.stores().len());
+
+    // costSLP of each store chain's value operand — the Σ costSLP(v) terms
+    // the search starts from (this is the diagnostic the old scratch `dbg`
+    // binary printed for fft8's output chunks, generalized).
+    let slp = SlpCost::new(&ctx);
+    for chain in ctx.store_chain_packs() {
+        if let Some(x) = chain.store_operand() {
+            println!("costSLP({}) = {:.1}", vegen_core::describe_pack(&ctx, &chain), slp.cost(&x));
+        }
+    }
+
+    let cfg = BeamConfig { log_decisions: true, max_iters, ..BeamConfig::with_width(beam) };
+    let t0 = Instant::now();
+    let r = select_packs(&ctx, &cfg);
+    let wall = t0.elapsed();
+    println!(
+        "selection: scalar {:.1} → vector {:.1} ({:.2}x estimated), {} states expanded in {wall:.2?}",
+        r.scalar_cost,
+        r.vector_cost,
+        r.scalar_cost / r.vector_cost.max(1e-9),
+        r.states_expanded,
+    );
+
+    let log = r.decisions.as_ref().expect("log_decisions was set");
+    println!("committed packs ({}):", log.committed.len());
+    for c in &log.committed {
+        println!("  {:>3}. {:<40} costop {:.1}", c.step, c.pack, c.cost);
+    }
+    println!("iterations ({}):", log.iterations.len());
+    for it in &log.iterations {
+        println!(
+            "  iter {:>3}: beam {} → pool {} → dedup {} → kept {}",
+            it.index, it.beam_in, it.pool, it.deduped, it.kept
+        );
+        for c in &it.candidates {
+            println!(
+                "    {} {:<44} g={:<8.1} est={:<8.1} score={:<8.1} packs={}",
+                if c.kept { "KEEP " } else { "PRUNE" },
+                c.action,
+                c.g,
+                c.est,
+                c.score,
+                c.packs
+            );
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+struct KernelRow {
+    vegen_cycles: f64,
+    speedup_vs_baseline: f64,
+    states_expanded: f64,
+    transitions: f64,
+}
+
+/// A report regression found by [`diff_reports`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Kernel name (or `"<suite>"` for report-level findings).
+    pub kernel: String,
+    /// What regressed, with old → new values.
+    pub what: String,
+}
+
+/// Thresholds for [`diff_reports`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Allowed relative worsening, in percent, of cycles and speedups.
+    pub max_regress_pct: f64,
+    /// Treat search-effort counter growth beyond the threshold as a
+    /// regression too (off by default: counters are informational).
+    pub strict_counters: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig { max_regress_pct: 2.0, strict_counters: false }
+    }
+}
+
+fn pick_run(report: &Json) -> Result<&Json, String> {
+    let runs = report
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "report has no runs".to_string())?;
+    runs.iter()
+        .find(|r| r.get("label").and_then(Json::as_str) == Some("cold"))
+        .or_else(|| runs.first())
+        .ok_or_else(|| "report has zero runs".to_string())
+}
+
+fn kernel_rows(run: &Json) -> Result<Vec<(String, KernelRow)>, String> {
+    let kernels = run
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "run has no kernels".to_string())?;
+    let mut rows = Vec::new();
+    for k in kernels {
+        let name = k
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "kernel without a name".to_string())?;
+        let num = |key: &str| k.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let beam_num = |key: &str| {
+            k.get("beam").and_then(|b| b.get(key)).and_then(Json::as_f64).unwrap_or(0.0)
+        };
+        rows.push((
+            name.to_string(),
+            KernelRow {
+                vegen_cycles: num("vegen_cycles"),
+                speedup_vs_baseline: num("speedup_vs_baseline"),
+                states_expanded: num("states_expanded"),
+                transitions: beam_num("transitions"),
+            },
+        ));
+    }
+    Ok(rows)
+}
+
+fn check_schema(report: &Json, which: &str) -> Result<(), String> {
+    let schema = report
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{which}: missing schema field"))?;
+    if !schema.starts_with("vegen-engine-report/") {
+        return Err(format!("{which}: unrecognized schema {schema:?}"));
+    }
+    Ok(())
+}
+
+/// Compare two parsed engine reports. Returns the regressions (empty =
+/// gate passes) and informational lines describing non-gating changes.
+///
+/// # Errors
+///
+/// Returns a message when either document is not an engine report.
+pub fn diff_reports(
+    old: &Json,
+    new: &Json,
+    cfg: &DiffConfig,
+) -> Result<(Vec<Regression>, Vec<String>), String> {
+    check_schema(old, "old")?;
+    check_schema(new, "new")?;
+    let old_rows = kernel_rows(pick_run(old)?)?;
+    let new_rows = kernel_rows(pick_run(new)?)?;
+    let factor = 1.0 + cfg.max_regress_pct / 100.0;
+
+    let mut regressions = Vec::new();
+    let mut info = Vec::new();
+    for (name, o) in &old_rows {
+        let Some((_, n)) = new_rows.iter().find(|(nn, _)| nn == name) else {
+            regressions.push(Regression {
+                kernel: name.clone(),
+                what: "kernel missing from new report".to_string(),
+            });
+            continue;
+        };
+        if n.vegen_cycles > o.vegen_cycles * factor {
+            regressions.push(Regression {
+                kernel: name.clone(),
+                what: format!(
+                    "vegen_cycles {:.1} → {:.1} (+{:.1}%)",
+                    o.vegen_cycles,
+                    n.vegen_cycles,
+                    (n.vegen_cycles / o.vegen_cycles - 1.0) * 100.0
+                ),
+            });
+        }
+        if n.speedup_vs_baseline * factor < o.speedup_vs_baseline {
+            regressions.push(Regression {
+                kernel: name.clone(),
+                what: format!(
+                    "speedup_vs_baseline {:.3} → {:.3}",
+                    o.speedup_vs_baseline, n.speedup_vs_baseline
+                ),
+            });
+        }
+        for (label, ov, nv) in [
+            ("states_expanded", o.states_expanded, n.states_expanded),
+            ("transitions", o.transitions, n.transitions),
+        ] {
+            if nv > ov * factor && ov > 0.0 {
+                let line =
+                    format!("{name}: {label} {ov:.0} → {nv:.0} (+{:.1}%)", (nv / ov - 1.0) * 100.0);
+                if cfg.strict_counters {
+                    regressions.push(Regression { kernel: name.clone(), what: line });
+                } else {
+                    info.push(line);
+                }
+            }
+        }
+    }
+    for (name, _) in &new_rows {
+        if !old_rows.iter().any(|(on, _)| on == name) {
+            info.push(format!("{name}: new kernel (not in old report)"));
+        }
+    }
+    Ok((regressions, info))
+}
+
+fn run_diff(args: &[String]) -> i32 {
+    let mut files = Vec::new();
+    let mut cfg = DiffConfig::default();
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                match args.next().map(|v| v.parse::<f64>()) {
+                    Some(Ok(pct)) if pct >= 0.0 => cfg.max_regress_pct = pct,
+                    _ => {
+                        eprintln!("vegen-engine diff: --max-regress needs a percentage");
+                        return 2;
+                    }
+                };
+            }
+            "--strict-counters" => cfg.strict_counters = true,
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => {
+                eprintln!("vegen-engine diff: unknown argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!(
+            "usage: vegen-engine diff <old.json> <new.json> [--max-regress PCT] \
+             [--strict-counters]"
+        );
+        return 2;
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("vegen-engine diff: {e}");
+            return 2;
+        }
+    };
+    match diff_reports(&old, &new, &cfg) {
+        Ok((regressions, info)) => {
+            for line in &info {
+                println!("info: {line}");
+            }
+            for r in &regressions {
+                println!("REGRESSION {}: {}", r.kernel, r.what);
+            }
+            if regressions.is_empty() {
+                println!(
+                    "vegen-engine diff: no regressions (threshold {:.1}%)",
+                    cfg.max_regress_pct
+                );
+                0
+            } else {
+                println!("vegen-engine diff: {} regression(s)", regressions.len());
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("vegen-engine diff: {e}");
+            2
+        }
+    }
+}

@@ -44,9 +44,13 @@
 //! ```
 
 pub mod cache;
-pub mod json;
+pub mod cli;
 pub mod pool;
 pub mod report;
+
+/// The in-tree JSON writer/parser now lives in [`vegen_trace::json`];
+/// re-exported here for compatibility with existing imports.
+pub use vegen_trace::json;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -178,6 +182,8 @@ impl Engine {
         function: &Function,
         pipeline: &PipelineConfig,
     ) -> JobResult {
+        let _job_span = vegen_trace::enabled()
+            .then(|| vegen_trace::span_owned("engine", format!("job:{name}")));
         let t0 = Instant::now();
         let prep_start = Instant::now();
         let canonical = prepare(function);
@@ -185,6 +191,7 @@ impl Engine {
         let hash = content_hash(&canonical, pipeline);
 
         if let Some(hit) = self.cache.get(hash) {
+            vegen_trace::instant("engine", "cache_hit");
             return JobResult {
                 name: name.to_string(),
                 hash,
@@ -197,6 +204,7 @@ impl Engine {
             };
         }
 
+        vegen_trace::instant("engine", "cache_miss");
         let (kernel, mut stages) = compile_prepared_timed(canonical, pipeline);
         stages.canonicalize = canonicalize_time;
         let stats = kernel.selection.stats;
@@ -210,6 +218,7 @@ impl Engine {
 
         let verify_start = Instant::now();
         let verify_error = if self.cfg.verify_trials > 0 {
+            let _sp = vegen_trace::span("engine", "verify");
             kernel.verify(self.cfg.verify_trials).err()
         } else {
             None

@@ -50,22 +50,33 @@ where
             let slots = &slots;
             let work = &work;
             scope.spawn(move || loop {
-                // Own queue first (front: LIFO-ish locality is irrelevant
-                // here, FIFO keeps input order roughly preserved)…
-                let job = queues[me].lock().unwrap().pop_front();
-                let job = match job {
-                    Some(j) => Some(j),
-                    // …then steal from the back of the fullest victim.
-                    None => {
-                        let victim = (0..threads)
-                            .filter(|&v| v != me)
-                            .max_by_key(|&v| queues[v].lock().unwrap().len());
-                        victim.and_then(|v| queues[v].lock().unwrap().pop_back())
+                let job = {
+                    let _wait = vegen_trace::span("pool", "queue_wait");
+                    // Own queue first (front: LIFO-ish locality is
+                    // irrelevant here, FIFO keeps input order roughly
+                    // preserved)…
+                    let job = queues[me].lock().unwrap().pop_front();
+                    match job {
+                        Some(j) => Some(j),
+                        // …then steal from the back of the fullest victim.
+                        None => {
+                            let victim = (0..threads)
+                                .filter(|&v| v != me)
+                                .max_by_key(|&v| queues[v].lock().unwrap().len());
+                            let stolen = victim.and_then(|v| queues[v].lock().unwrap().pop_back());
+                            if stolen.is_some() {
+                                vegen_trace::instant("pool", "steal");
+                            }
+                            stolen
+                        }
                     }
                 };
                 match job {
                     Some(i) => {
-                        let r = work(i, &items[i]);
+                        let r = {
+                            let _sp = vegen_trace::span("pool", "job");
+                            work(i, &items[i])
+                        };
                         *slots[i].lock().unwrap() = Some(r);
                     }
                     None => break,

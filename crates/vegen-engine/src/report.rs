@@ -74,6 +74,50 @@ pub struct KernelReport {
     pub wall: Duration,
     /// Verification failure, if any.
     pub verify_error: Option<String>,
+    /// Decision-log summary (present only when the batch ran with
+    /// `BeamConfig::log_decisions`).
+    pub decisions: Option<DecisionSummary>,
+}
+
+/// A compact rendering of a kernel's [`vegen_core::DecisionLog`] for the
+/// report (the full per-candidate log stays in `vegen-engine explain`).
+#[derive(Debug, Clone)]
+pub struct DecisionSummary {
+    /// Beam iterations run.
+    pub iterations: usize,
+    /// Candidates recorded across all iterations.
+    pub candidates: usize,
+    /// The committed pack sequence: `(description, costop)`.
+    pub committed_packs: Vec<(String, f64)>,
+}
+
+impl DecisionSummary {
+    /// Summarize a selection's decision log, if it kept one.
+    pub fn from_log(log: &vegen_core::DecisionLog) -> DecisionSummary {
+        DecisionSummary {
+            iterations: log.iterations.len(),
+            candidates: log.iterations.iter().map(|it| it.candidates.len()).sum(),
+            committed_packs: log.committed.iter().map(|c| (c.pack.clone(), c.cost)).collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("iterations", Json::int(self.iterations as u64)),
+            ("candidates", Json::int(self.candidates as u64)),
+            (
+                "committed_packs",
+                Json::Arr(
+                    self.committed_packs
+                        .iter()
+                        .map(|(pack, cost)| {
+                            Json::obj([("pack", Json::str(pack)), ("cost", Json::Num(*cost))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 impl KernelReport {
@@ -96,6 +140,7 @@ impl KernelReport {
             stage_times: StageReport { stages: r.stages, verify: r.verify_time },
             wall: r.wall,
             verify_error: r.verify_error.clone(),
+            decisions: r.kernel.selection.decisions.as_ref().map(DecisionSummary::from_log),
         }
     }
 
@@ -131,6 +176,13 @@ impl KernelReport {
                 "verify_error",
                 match &self.verify_error {
                     Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "decisions",
+                match &self.decisions {
+                    Some(d) => d.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -190,13 +242,46 @@ pub struct EngineReport {
     pub cache: CacheStats,
     /// Engine-lifetime pipeline counters.
     pub counters: EngineCounters,
+    /// Trace-session metadata for the run.
+    pub trace: TraceSummary,
+}
+
+/// Metadata about the trace session that accompanied a report (schema v3).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Whether tracing was enabled for the session.
+    pub enabled: bool,
+    /// Events recorded across all threads.
+    pub events: u64,
+    /// Events dropped to buffer overflow.
+    pub dropped: u64,
+    /// Threads that recorded at least one event.
+    pub threads: usize,
+    /// Where the Chrome trace was written, if anywhere.
+    pub file: Option<String>,
+    /// Where the folded stacks were written, if anywhere.
+    pub folded_file: Option<String>,
+}
+
+impl TraceSummary {
+    fn to_json(&self) -> Json {
+        let opt = |v: &Option<String>| v.as_ref().map_or(Json::Null, Json::str);
+        Json::obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("events", Json::int(self.events)),
+            ("dropped", Json::int(self.dropped)),
+            ("threads", Json::int(self.threads as u64)),
+            ("file", opt(&self.file)),
+            ("folded_file", opt(&self.folded_file)),
+        ])
+    }
 }
 
 impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v2")),
+            ("schema", Json::str("vegen-engine-report/v3")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
@@ -225,6 +310,7 @@ impl EngineReport {
                     ("compilations", Json::int(self.counters.compilations)),
                 ]),
             ),
+            ("trace", self.trace.to_json()),
         ])
     }
 }

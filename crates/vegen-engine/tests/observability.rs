@@ -1,0 +1,277 @@
+//! Observability integration tests: verification-failure reporting, the
+//! v3 report round-trip, trace capture across the engine's layers, the
+//! decision log, and the `diff`/`explain` subcommands (library and
+//! binary).
+
+use std::sync::Arc;
+use vegen::driver::{compile, PipelineConfig};
+use vegen_core::BeamConfig;
+use vegen_engine::cli::{diff_reports, failing_kernels, main_with_args, DiffConfig};
+use vegen_engine::json::Json;
+use vegen_engine::report::EngineReport;
+use vegen_engine::{Engine, EngineConfig, Job};
+use vegen_isa::TargetIsa;
+use vegen_vm::listing;
+
+fn pipeline(width: usize) -> PipelineConfig {
+    PipelineConfig {
+        target: TargetIsa::avx2(),
+        beam: BeamConfig::with_width(width),
+        canonicalize_patterns: true,
+    }
+}
+
+fn jobs_for(names: &[&str], pipeline: &PipelineConfig) -> Vec<Job> {
+    names
+        .iter()
+        .map(|n| {
+            let k = vegen_kernels::find(n).unwrap_or_else(|| panic!("kernel {n} must exist"));
+            Job::new(k.name, (k.build)(), pipeline.clone())
+        })
+        .collect()
+}
+
+fn small_report(decisions: bool) -> EngineReport {
+    let engine = Engine::new(EngineConfig { threads: 2, verify_trials: 4, ..Default::default() });
+    let mut pipeline = pipeline(4);
+    pipeline.beam.log_decisions = decisions;
+    let jobs = jobs_for(&["pmaddwd", "int32x8", "hadd_i16"], &pipeline);
+    let t0 = std::time::Instant::now();
+    let results = engine.compile_batch(&jobs);
+    EngineReport {
+        target: "avx2".to_string(),
+        beam_width: 4,
+        threads: 2,
+        verify_trials: 4,
+        runs: vec![vegen_engine::report::RunReport::new("cold", t0.elapsed(), &results)],
+        cache: engine.cache_stats(),
+        counters: engine.counters(),
+        trace: Default::default(),
+    }
+}
+
+/// Two functions with identical buffer layouts but different semantics
+/// (lane-wise add vs mul), so grafting one's program onto the other is a
+/// genuine, runnable wrong answer.
+fn lanewise(name: &str, mul: bool) -> vegen_ir::Function {
+    let mut b = vegen_ir::FunctionBuilder::new(name);
+    let a = b.param("A", vegen_ir::Type::I32, 8);
+    let bb = b.param("B", vegen_ir::Type::I32, 8);
+    let c = b.param("C", vegen_ir::Type::I32, 8);
+    for i in 0..8i64 {
+        let x = b.load(a, i);
+        let y = b.load(bb, i);
+        let r = if mul { b.mul(x, y) } else { b.add(x, y) };
+        b.store(c, i, r);
+    }
+    b.finish()
+}
+
+#[test]
+fn verification_failure_is_surfaced_with_kernel_name() {
+    // A genuine failure: graft the mul kernel's vectorized program onto
+    // the add kernel — equivalence checking must catch the divergence.
+    let mut ck_add = compile(&lanewise("vadd", false), &pipeline(4));
+    let ck_mul = compile(&lanewise("vmul", true), &pipeline(4));
+    assert!(ck_add.verify(8).is_ok());
+    ck_add.vegen = ck_mul.vegen;
+    let err = ck_add.verify(8).expect_err("foreign program must fail verification");
+    assert!(err.contains("vegen"), "failure must name the diverging program: {err}");
+
+    // The engine surfaces failures per job; `failing_kernels` is the list
+    // the suite prints to stderr (exiting nonzero) — check it selects
+    // exactly the failed job, by name.
+    let engine = Engine::new(EngineConfig { threads: 1, verify_trials: 4, ..Default::default() });
+    let results = engine.compile_batch(&jobs_for(&["pmaddwd", "int32x8"], &pipeline(4)));
+    assert!(failing_kernels(&results).is_empty());
+    let mut results = results;
+    results[1].verify_error = Some(err);
+    assert_eq!(failing_kernels(&results), vec!["int32x8".to_string()]);
+}
+
+#[test]
+fn engine_report_v3_round_trips_through_the_parser() {
+    let report = small_report(true);
+    let doc = report.to_json();
+    // Render pretty, hand-parse, and walk the v3 fields back out.
+    let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
+    assert_eq!(parsed, doc, "render → parse must be lossless");
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v3"));
+    let trace = parsed.get("trace").expect("v3 has trace metadata");
+    assert_eq!(trace.get("enabled").unwrap().as_bool(), Some(false));
+    assert_eq!(trace.get("file"), Some(&Json::Null));
+    let run = &parsed.get("runs").unwrap().as_arr().unwrap()[0];
+    let kernel = &run.get("kernels").unwrap().as_arr().unwrap()[0];
+    assert_eq!(kernel.get("name").unwrap().as_str(), Some("pmaddwd"));
+    assert!(kernel.get("vegen_cycles").unwrap().as_f64().unwrap() > 0.0);
+    let decisions = kernel.get("decisions").expect("log_decisions run has summaries");
+    assert!(decisions.get("iterations").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(!decisions.get("committed_packs").unwrap().as_arr().unwrap().is_empty());
+    // And the compact rendering parses to the same tree.
+    assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+}
+
+#[test]
+fn decision_summaries_are_absent_without_the_flag() {
+    let report = small_report(false);
+    let doc = report.to_json();
+    let run = &doc.get("runs").unwrap().as_arr().unwrap()[0];
+    for kernel in run.get("kernels").unwrap().as_arr().unwrap() {
+        assert_eq!(kernel.get("decisions"), Some(&Json::Null));
+    }
+}
+
+#[test]
+fn diff_of_identical_reports_is_clean_and_regressions_are_caught() {
+    let doc = small_report(false).to_json();
+    let (regressions, _) = diff_reports(&doc, &doc, &DiffConfig::default()).unwrap();
+    assert!(regressions.is_empty(), "a report must not regress against itself: {regressions:?}");
+
+    // Worsen one kernel's cycles by 10% — past the 2% default threshold.
+    let mut worse = doc.clone();
+    bump_first_kernel_field(&mut worse, "vegen_cycles", 1.10);
+    let (regressions, _) = diff_reports(&doc, &worse, &DiffConfig::default()).unwrap();
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert!(regressions[0].what.contains("vegen_cycles"));
+
+    // The same delta passes under a looser threshold.
+    let cfg = DiffConfig { max_regress_pct: 15.0, ..Default::default() };
+    let (regressions, _) = diff_reports(&doc, &worse, &cfg).unwrap();
+    assert!(regressions.is_empty());
+
+    // Counter growth is informational by default, gating under strict.
+    let mut churn = doc.clone();
+    bump_first_kernel_field(&mut churn, "states_expanded", 3.0);
+    let (regressions, info) = diff_reports(&doc, &churn, &DiffConfig::default()).unwrap();
+    assert!(regressions.is_empty());
+    assert!(info.iter().any(|l| l.contains("states_expanded")), "{info:?}");
+    let strict = DiffConfig { strict_counters: true, ..Default::default() };
+    let (regressions, _) = diff_reports(&doc, &churn, &strict).unwrap();
+    assert!(!regressions.is_empty());
+
+    // A kernel disappearing is always a regression.
+    let mut missing = doc.clone();
+    drop_first_kernel(&mut missing);
+    let (regressions, _) = diff_reports(&doc, &missing, &DiffConfig::default()).unwrap();
+    assert!(regressions.iter().any(|r| r.what.contains("missing")), "{regressions:?}");
+}
+
+fn with_first_kernel(doc: &mut Json, f: impl FnOnce(&mut Vec<Json>)) {
+    let Json::Obj(top) = doc else { panic!("report is an object") };
+    let runs = &mut top.iter_mut().find(|(k, _)| k == "runs").unwrap().1;
+    let Json::Arr(runs) = runs else { panic!() };
+    let Json::Obj(run) = &mut runs[0] else { panic!() };
+    let kernels = &mut run.iter_mut().find(|(k, _)| k == "kernels").unwrap().1;
+    let Json::Arr(kernels) = kernels else { panic!() };
+    f(kernels);
+}
+
+fn bump_first_kernel_field(doc: &mut Json, field: &str, factor: f64) {
+    with_first_kernel(doc, |kernels| {
+        let Json::Obj(kernel) = &mut kernels[0] else { panic!() };
+        let v = &mut kernel.iter_mut().find(|(k, _)| k == field).unwrap().1;
+        let Json::Num(n) = v else { panic!() };
+        *n *= factor;
+    });
+}
+
+fn drop_first_kernel(doc: &mut Json) {
+    with_first_kernel(doc, |kernels| {
+        kernels.remove(0);
+    });
+}
+
+#[test]
+fn trace_session_captures_all_three_layers_without_perturbing_codegen() {
+    let batch_names = ["pmaddwd", "int32x8", "hadd_i16", "max_pd"];
+    // Reference run, tracing off.
+    let plain = Engine::new(EngineConfig { threads: 2, verify_trials: 4, ..Default::default() })
+        .compile_batch(&jobs_for(&batch_names, &pipeline(4)));
+
+    vegen_trace::enable(vegen_trace::DEFAULT_CAPACITY);
+    let traced = Engine::new(EngineConfig { threads: 2, verify_trials: 4, ..Default::default() })
+        .compile_batch(&jobs_for(&batch_names, &pipeline(4)));
+    let data = vegen_trace::drain();
+    vegen_trace::disable();
+
+    // Observation only: identical programs with tracing on.
+    for (p, t) in plain.iter().zip(&traced) {
+        assert_eq!(listing(&p.kernel.vegen), listing(&t.kernel.vegen), "{}", p.name);
+        assert_eq!(p.hash, t.hash);
+    }
+
+    // All three instrumented layers show up.
+    let events: Vec<_> = data.threads.iter().flat_map(|t| &t.events).collect();
+    let has = |cat: &str, name: &str| events.iter().any(|e| e.cat == cat && e.name == name);
+    assert!(has("driver", "selection") && has("driver", "lowering"), "driver stage spans");
+    assert!(has("engine", "cache_miss") && has("engine", "verify"), "engine cache/verify events");
+    assert!(has("pool", "job"), "pool job spans");
+    assert!(has("beam", "select_packs") && has("beam", "frontier"), "beam spans + counters");
+
+    // Both exports are well-formed.
+    let chrome = vegen_trace::export::chrome_trace(&data);
+    let reparsed = Json::parse(&chrome.render()).unwrap();
+    assert!(!reparsed.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+    let folded = vegen_trace::export::folded_stacks(&data);
+    assert!(
+        folded.lines().any(|l| l.contains("select_packs")),
+        "folded stacks must contain beam frames:\n{folded}"
+    );
+}
+
+#[test]
+fn explain_subcommand_exits_clean_and_rejects_unknown_kernels() {
+    let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert_eq!(main_with_args(&args(&["explain", "pmaddwd", "--beam", "4"])), 0);
+    assert_eq!(main_with_args(&args(&["explain", "no-such-kernel"])), 2);
+    assert_eq!(main_with_args(&args(&["explain"])), 2);
+}
+
+#[test]
+fn diff_binary_reports_exit_codes() {
+    let dir = std::env::temp_dir().join(format!("vegen-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc = small_report(false).to_json();
+    let old = dir.join("old.json");
+    std::fs::write(&old, doc.render_pretty()).unwrap();
+    let mut worse_doc = doc.clone();
+    bump_first_kernel_field(&mut worse_doc, "vegen_cycles", 1.5);
+    let worse = dir.join("worse.json");
+    std::fs::write(&worse, worse_doc.render_pretty()).unwrap();
+
+    let run = |a: &std::path::Path, b: &std::path::Path| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_vegen-engine"))
+            .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+            .output()
+            .expect("binary must run")
+    };
+    let same = run(&old, &old);
+    assert_eq!(same.status.code(), Some(0), "{}", String::from_utf8_lossy(&same.stdout));
+    assert!(String::from_utf8_lossy(&same.stdout).contains("no regressions"));
+
+    let regressed = run(&old, &worse);
+    assert_eq!(regressed.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&regressed.stdout).contains("REGRESSION"));
+
+    let bad = run(&old, &dir.join("does-not-exist.json"));
+    assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shared_cache_arc_survives_decision_logging() {
+    // log_decisions is part of the content hash (it rides in BeamConfig's
+    // Debug form), so logged and unlogged runs must not collide in the
+    // cache.
+    let engine = Engine::new(EngineConfig { threads: 1, verify_trials: 0, ..Default::default() });
+    let mut logged = pipeline(4);
+    logged.beam.log_decisions = true;
+    let a = engine.compile_batch(&jobs_for(&["pmaddwd"], &pipeline(4)));
+    let b = engine.compile_batch(&jobs_for(&["pmaddwd"], &logged));
+    assert_ne!(a[0].hash, b[0].hash, "configs differ, addresses must differ");
+    assert!(!Arc::ptr_eq(&a[0].kernel, &b[0].kernel));
+    assert!(b[0].kernel.selection.decisions.is_some());
+    assert!(a[0].kernel.selection.decisions.is_none());
+    // Identical generated code either way.
+    assert_eq!(listing(&a[0].kernel.vegen), listing(&b[0].kernel.vegen));
+}

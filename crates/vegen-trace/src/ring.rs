@@ -1,0 +1,82 @@
+//! Single-writer event buffers.
+//!
+//! Each thread owns exactly one [`Ring`] per trace session (the
+//! thread-local in `lib.rs` is the only path to `push`), which makes the
+//! append path lock-free: write the next slot, then publish it with one
+//! release store of the length. Readers ([`Ring::snapshot`], from any
+//! thread) acquire the length and only touch published slots — slots are
+//! written once and never mutated after publication, so there is no
+//! tearing and no locking on the hot path.
+//!
+//! The buffer is bounded: an append past capacity increments a drop
+//! counter and returns. Dropping (rather than wrapping) keeps published
+//! slots immutable, which is what makes concurrent snapshotting sound.
+
+use crate::{ThreadTrace, TraceEvent};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub(crate) struct Ring {
+    slots: Box<[UnsafeCell<MaybeUninit<TraceEvent>>]>,
+    /// Published event count. Only the owner thread stores; any thread
+    /// may load.
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    tid: u64,
+    name: String,
+}
+
+// SAFETY: `push` is reachable only through the owning thread's
+// thread-local handle, so there is exactly one writer. Cross-thread reads
+// (`snapshot`) are limited to slots published by a release store of
+// `len`, which are never written again.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    pub(crate) fn new(capacity: usize, tid: u64, name: String) -> Ring {
+        let slots = (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Ring { slots, len: AtomicUsize::new(0), dropped: AtomicU64::new(0), tid, name }
+    }
+
+    /// Append one event. Owner thread only (see module docs).
+    pub(crate) fn push(&self, ev: TraceEvent) {
+        let len = self.len.load(Ordering::Relaxed);
+        if len >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: slot `len` is unpublished, so no reader touches it, and
+        // this thread is the only writer.
+        unsafe { (*self.slots[len].get()).write(ev) };
+        self.len.store(len + 1, Ordering::Release);
+    }
+
+    /// Copy out every published event. Callable from any thread, including
+    /// while the owner is still appending.
+    pub(crate) fn snapshot(&self) -> ThreadTrace {
+        let len = self.len.load(Ordering::Acquire);
+        // SAFETY: slots below the acquired `len` are fully initialized and
+        // immutable from here on.
+        let events =
+            (0..len).map(|i| unsafe { (*self.slots[i].get()).assume_init_ref() }.clone()).collect();
+        ThreadTrace {
+            tid: self.tid,
+            name: self.name.clone(),
+            events,
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        let len = *self.len.get_mut();
+        for slot in &mut self.slots[..len] {
+            // SAFETY: published slots are initialized; `&mut self` proves
+            // no other reference exists.
+            unsafe { slot.get_mut().assume_init_drop() };
+        }
+    }
+}

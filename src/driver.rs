@@ -117,7 +117,10 @@ pub fn compile(f: &Function, cfg: &PipelineConfig) -> CompiledKernel {
 /// [`compile`], also reporting per-stage wall times.
 pub fn compile_timed(f: &Function, cfg: &PipelineConfig) -> (CompiledKernel, StageTimes) {
     let t = Instant::now();
-    let prepared = prepare(f);
+    let prepared = {
+        let _sp = vegen_trace::span("driver", "canonicalize");
+        prepare(f)
+    };
     let canonicalize_time = t.elapsed();
     let (kernel, mut times) = compile_prepared_timed(prepared, cfg);
     times.canonicalize = canonicalize_time;
@@ -133,28 +136,42 @@ pub fn compile_prepared_timed(
     let mut times = StageTimes::default();
 
     let t = Instant::now();
-    let desc = target_desc(&cfg.target, cfg.canonicalize_patterns);
+    let desc = {
+        let _sp = vegen_trace::span("driver", "target_desc");
+        target_desc(&cfg.target, cfg.canonicalize_patterns)
+    };
     times.target_desc = t.elapsed();
 
     let t = Instant::now();
-    let ctx = VectorizerCtx::new(&prepared, &desc, CostModel::default());
-    let selection = select_packs(&ctx, &cfg.beam);
+    let (ctx, selection) = {
+        let _sp = vegen_trace::span("driver", "selection");
+        let ctx = VectorizerCtx::new(&prepared, &desc, CostModel::default());
+        let selection = select_packs(&ctx, &cfg.beam);
+        (ctx, selection)
+    };
     times.selection = t.elapsed();
 
     let t = Instant::now();
-    let scalar = lower_scalar(&prepared);
-    let mut vegen = lower(&ctx, &selection.packs);
-    // Profitability backstop: like any production vectorizer, keep the
-    // scalar code when the vectorized program does not actually win under
-    // the (more precise) program-level cost model.
-    if static_cycles(&vegen) >= static_cycles(&scalar) {
-        vegen = scalar.clone();
-    }
+    let (scalar, vegen) = {
+        let _sp = vegen_trace::span("driver", "lowering");
+        let scalar = lower_scalar(&prepared);
+        let mut vegen = lower(&ctx, &selection.packs);
+        // Profitability backstop: like any production vectorizer, keep the
+        // scalar code when the vectorized program does not actually win
+        // under the (more precise) program-level cost model.
+        if static_cycles(&vegen) >= static_cycles(&scalar) {
+            vegen = scalar.clone();
+        }
+        (scalar, vegen)
+    };
     times.lowering = t.elapsed();
 
     let t = Instant::now();
-    let bl_cfg = BaselineConfig { max_bits: cfg.target.max_bits, ..BaselineConfig::default() };
-    let bl = vectorize_baseline(&prepared, &bl_cfg);
+    let bl = {
+        let _sp = vegen_trace::span("driver", "baseline");
+        let bl_cfg = BaselineConfig { max_bits: cfg.target.max_bits, ..BaselineConfig::default() };
+        vectorize_baseline(&prepared, &bl_cfg)
+    };
     times.baseline = t.elapsed();
 
     let kernel = CompiledKernel {
@@ -175,6 +192,7 @@ impl CompiledKernel {
     ///
     /// Returns a description of the first divergence.
     pub fn verify(&self, trials: u64) -> Result<(), String> {
+        let _sp = vegen_trace::span("driver", "verify");
         check_equivalence(&self.function, &self.scalar, trials)
             .map_err(|e| format!("scalar: {e}"))?;
         check_equivalence(&self.function, &self.vegen, trials)
