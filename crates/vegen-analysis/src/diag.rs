@@ -1,0 +1,102 @@
+//! Structured diagnostics shared by all three analysis passes.
+
+use std::fmt;
+use vegen_ir::ValueId;
+
+/// How bad a finding is.
+///
+/// Errors mean the artifact is wrong (an illegal pack, a stored lane that
+/// does not equal its scalar counterpart, a structurally broken VM
+/// program) and gate CI; warnings flag suspicious-but-sound shapes
+/// (dead vector code, identity shuffles) and do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but semantics-preserving.
+    Warning,
+    /// The checked property is violated.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// A scalar IR instruction.
+    Value(ValueId),
+    /// A pack in the selection (by [`vegen_core::SetPackId`] index), with
+    /// an optional lane.
+    Pack {
+        /// Pack index within the selected [`vegen_core::PackSet`].
+        pack: usize,
+        /// Offending lane, when one can be named.
+        lane: Option<usize>,
+    },
+    /// A VM instruction (by index into `VmProgram::insts`), with an
+    /// optional lane.
+    VmInst {
+        /// Instruction index.
+        index: usize,
+        /// Offending lane, when one can be named.
+        lane: Option<usize>,
+    },
+    /// A memory location: parameter buffer plus constant element offset.
+    Mem {
+        /// Parameter index.
+        base: usize,
+        /// Element offset.
+        offset: i64,
+    },
+    /// The program as a whole (e.g. a dependence cycle across packs).
+    Program,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Value(v) => write!(f, "ir:{v}"),
+            Location::Pack { pack, lane: None } => write!(f, "pack:p{pack}"),
+            Location::Pack { pack, lane: Some(l) } => write!(f, "pack:p{pack}.{l}"),
+            Location::VmInst { index, lane: None } => write!(f, "vm:#{index}"),
+            Location::VmInst { index, lane: Some(l) } => write!(f, "vm:#{index}.{l}"),
+            Location::Mem { base, offset } => write!(f, "mem:arg{base}[{offset}]"),
+            Location::Program => write!(f, "program"),
+        }
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// What the finding points at.
+    pub location: Location,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error at `location`.
+    pub fn error(location: Location, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Error, location, message: message.into() }
+    }
+
+    /// A warning at `location`.
+    pub fn warning(location: Location, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Warning, location, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.severity, self.location, self.message)
+    }
+}

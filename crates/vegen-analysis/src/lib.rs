@@ -1,0 +1,145 @@
+#![warn(missing_docs)]
+
+//! `vegen-analysis` — static pack-legality checking and lane-provenance
+//! translation validation for the VeGen pipeline.
+//!
+//! The pipeline's existing correctness check,
+//! `vegen_codegen::check_equivalence`, is *dynamic*: it executes the
+//! scalar and vector programs over a handful of random memory images and
+//! compares the results. Random sampling is a strong smoke test but can
+//! miss bugs that only fire on specific values — an off-by-one comparison
+//! predicate diverges only when the operands are exactly equal
+//! (probability `2^-32` per trial on 32-bit data). This crate is the
+//! static complement; every compile is checked without executing
+//! anything:
+//!
+//! * [`legality`] independently re-derives the §4.4 pack-legality
+//!   conditions on the selected [`vegen_core::PackSet`]: lane
+//!   independence under a freshly built [`vegen_ir::deps::DepGraph`],
+//!   operand-binding consistency against the VIDL
+//!   [`vegen_vidl::InstSemantics`], well-formed memory packs, and
+//!   schedulability (no cycle in the contracted pack graph).
+//! * [`provenance`] symbolically evaluates both the scalar function and
+//!   the lowered [`vegen_vm::VmProgram`] over one shared hash-consed
+//!   expression arena and proves every stored lane equal to the scalar
+//!   store it replaces — translation validation in the spirit of the
+//!   paper's §6.1 offline validation, but per compilation.
+//! * [`lint`] structurally checks the VM program (def-before-use,
+//!   lane-width consistency, shuffle-index bounds, memory bounds) and
+//!   warns about dead vector code and redundant shuffles.
+//!
+//! All three report through one [`Diagnostic`] type; [`analyze_kernel`]
+//! bundles them into an [`AnalysisReport`].
+
+pub mod diag;
+pub mod legality;
+pub mod lint;
+pub mod provenance;
+
+pub use diag::{Diagnostic, Location, Severity};
+
+use vegen_core::PackSet;
+use vegen_ir::Function;
+use vegen_match::TargetDesc;
+use vegen_vm::VmProgram;
+
+/// The combined outcome of all three static passes on one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Pack-legality findings (empty when no pack set was checked).
+    pub legality: Vec<Diagnostic>,
+    /// Lane-provenance findings.
+    pub provenance: Vec<Diagnostic>,
+    /// VM-lint findings (errors and warnings).
+    pub lint: Vec<Diagnostic>,
+    /// Packs the legality pass examined.
+    pub packs_checked: usize,
+    /// Stored memory cells the provenance pass proved equal to the scalar
+    /// reference.
+    pub lanes_proved: usize,
+}
+
+impl AnalysisReport {
+    /// All findings, legality first, then provenance, then lint.
+    pub fn all(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.legality.iter().chain(&self.provenance).chain(&self.lint)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.all().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.all().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// True when no pass found an error (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// One-line human-readable summary.
+    pub fn verdict(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "proved: {} packs legal, {} stored lanes equal to scalar ({} warnings)",
+                self.packs_checked,
+                self.lanes_proved,
+                self.warning_count()
+            )
+        } else {
+            format!(
+                "REJECTED: {} errors ({} legality, {} provenance, {} lint)",
+                self.error_count(),
+                self.legality.iter().filter(|d| d.severity == Severity::Error).count(),
+                self.provenance.iter().filter(|d| d.severity == Severity::Error).count(),
+                self.lint.iter().filter(|d| d.severity == Severity::Error).count(),
+            )
+        }
+    }
+}
+
+/// Run all three passes on one compiled kernel.
+///
+/// `f` must be the *prepared* (canonicalized, constant-augmented) function
+/// the pipeline compiled, and `canonicalize_patterns` the flag the match
+/// table was built with.
+pub fn analyze_kernel(
+    f: &Function,
+    desc: &TargetDesc,
+    packs: &PackSet,
+    program: &VmProgram,
+    canonicalize_patterns: bool,
+) -> AnalysisReport {
+    let legality = legality::check_packs(f, desc, packs);
+    let prov = provenance::validate(f, program, canonicalize_patterns);
+    let lint = lint::lint_program(program);
+    AnalysisReport {
+        legality,
+        provenance: prov.diagnostics,
+        lint,
+        packs_checked: packs.len(),
+        lanes_proved: prov.lanes_proved,
+    }
+}
+
+/// Run the program-level passes (provenance + lint) without a pack set —
+/// for programs that did not come from pack selection, such as the scalar
+/// lowering or the baseline vectorizer's output.
+pub fn analyze_program(
+    f: &Function,
+    program: &VmProgram,
+    canonicalize_patterns: bool,
+) -> AnalysisReport {
+    let prov = provenance::validate(f, program, canonicalize_patterns);
+    let lint = lint::lint_program(program);
+    AnalysisReport {
+        legality: Vec::new(),
+        provenance: prov.diagnostics,
+        lint,
+        packs_checked: 0,
+        lanes_proved: prov.lanes_proved,
+    }
+}

@@ -11,6 +11,15 @@ use vegen_vm::{run_program, VmProgram};
 /// Run `f` and `prog` on `trials` identical random memory images and
 /// compare the resulting memories.
 ///
+/// The check is *deterministic*: trial `i` derives its memory image from
+/// seed `i` alone, so repeated calls with the same arguments visit the
+/// same inputs and return the same answer — a miss cannot flake into a
+/// catch. It is also *probabilistic* in coverage: a divergence that
+/// triggers only on specific values (say, a predicate flipped from `sle`
+/// to `slt`, which matters only when two operands compare equal) can
+/// survive any fixed trial count. `vegen-analysis` closes that gap
+/// statically; `tests/static_validation.rs` pins both properties.
+///
 /// # Errors
 ///
 /// Returns a description of the first divergence or evaluation failure.
@@ -49,6 +58,30 @@ mod tests {
 
     fn avx2_desc() -> TargetDesc {
         TargetDesc::build(&InstDb::for_target(&TargetIsa::avx2()), true)
+    }
+
+    #[test]
+    fn divergence_reports_are_deterministic() {
+        // A program that stores a different constant than the scalar
+        // function: the divergence must be found on the same seed with
+        // the same message every time (the corruption tests in
+        // tests/static_validation.rs rely on this to assert that a given
+        // trial count *misses* without flaking).
+        let mut b = FunctionBuilder::new("det");
+        let p = b.param("A", Type::I32, 1);
+        let one = b.iconst(Type::I32, 1);
+        b.store(p, 0, one);
+        let f = b.finish();
+        let mut prog = lower_scalar(&f);
+        for inst in &mut prog.insts {
+            if let vegen_vm::VmInst::Scalar { op: vegen_vm::ScalarOp::Const(c), .. } = inst {
+                *c = vegen_ir::Constant::int(Type::I32, 2);
+            }
+        }
+        let first = check_equivalence(&f, &prog, 4).unwrap_err();
+        let second = check_equivalence(&f, &prog, 4).unwrap_err();
+        assert_eq!(first, second);
+        assert!(first.contains("seed 0"), "{first}");
     }
 
     #[test]

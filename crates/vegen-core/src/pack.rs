@@ -70,6 +70,12 @@ impl Pack {
     /// `values(p)`: the IR values this pack produces, lane by lane.
     /// Store packs "produce" their store instructions (used for dependence
     /// and scheduling).
+    ///
+    /// `None` marks a don't-care lane and keeps its *position* — the
+    /// returned vector always has [`Pack::lanes`] entries. Positional
+    /// don't-cares are load-bearing: `vegen_analysis::legality` checks
+    /// per-lane independence and don't-care placement against exactly
+    /// this layout.
     pub fn values(&self) -> Vec<Option<ValueId>> {
         match self {
             Pack::Compute { matches, .. } => {
@@ -196,6 +202,23 @@ mod tests {
         assert_eq!(p.store_operand().unwrap(), OperandVec::from_values([v(2), v(3)]));
         assert!(p.is_store());
         assert_eq!(p.lanes(), 2);
+    }
+
+    #[test]
+    fn values_keeps_dont_care_lane_positions() {
+        let m = |root: u32| PackedMatch {
+            op: vegen_match::OpId(0),
+            root: v(root),
+            live_ins: vec![],
+            covered: vec![v(root)],
+        };
+        let p = Pack::Compute { inst: 3, matches: vec![Some(m(5)), None, Some(m(7))] };
+        assert_eq!(p.values(), vec![Some(v(5)), None, Some(v(7))]);
+        assert_eq!(p.lanes(), 3);
+        assert_eq!(p.defined_values(), vec![v(5), v(7)]);
+        let l = Pack::Load { base: 0, start: 0, loads: vec![None, Some(v(1))], elem: Type::I32 };
+        assert_eq!(l.values(), vec![None, Some(v(1))]);
+        assert_eq!(l.lanes(), 2);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Command-line front end of the `vegen-engine` binary.
 //!
-//! Three entry points behind one executable:
+//! Four entry points behind one executable:
 //!
 //! * the default **suite** mode — batch-compile the full `vegen-kernels`
 //!   suite (cold + warm runs) and emit an [`EngineReport`]; `--trace` /
 //!   `--folded` capture a [`vegen_trace`] session alongside;
 //! * **`explain <kernel>`** — recompile one kernel with the beam search's
 //!   decision log on and print why each pack was committed (and what was
-//!   pruned against it);
+//!   pruned against it), plus the static-validation verdict;
+//! * **`lint`** — run the static validators (pack legality, lane
+//!   provenance, VM lint) over the whole suite and fail on any
+//!   error-severity finding, for CI gating without execution;
 //! * **`diff <old.json> <new.json>`** — compare two reports
 //!   kernel-by-kernel with configurable regression thresholds, for CI
 //!   gating.
@@ -30,6 +33,7 @@ use vegen_trace::json::Json;
 pub fn main_with_args(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("explain") => run_explain(&args[1..]),
+        Some("lint") => run_lint(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
         _ => run_suite(args),
     }
@@ -100,6 +104,7 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
                      \x20                   [--runs N] [--no-verify] [--compact] [--out FILE]\n\
                      \x20                   [--trace FILE] [--folded FILE] [--decisions]\n\
                      \x20      vegen-engine explain <kernel> [--target T] [--beam N] [--max-iters N]\n\
+                     \x20      vegen-engine lint [--target T] [--beam N] [--threads N] [--out FILE]\n\
                      \x20      vegen-engine diff <old.json> <new.json> [--max-regress PCT]\n\
                      \x20                   [--strict-counters]"
                 );
@@ -340,7 +345,127 @@ fn run_explain(args: &[String]) -> i32 {
             );
         }
     }
+
+    // Static validation of the full compilation (selection re-run through
+    // the driver so the profitability backstop and lowering are the real
+    // ones): provenance verdict plus every lint diagnostic.
+    let pipeline = PipelineConfig {
+        target: target.clone(),
+        beam: BeamConfig::with_width(beam),
+        canonicalize_patterns: true,
+    };
+    let compiled = vegen::driver::compile(&(kernel.build)(), &pipeline);
+    println!("static validation: {}", compiled.analysis.verdict());
+    for d in compiled.analysis.all() {
+        println!("  {d}");
+    }
     0
+}
+
+// ---------------------------------------------------------------------------
+// lint
+// ---------------------------------------------------------------------------
+
+/// Run the static validators over the whole suite. Exit code 1 when any
+/// kernel has an error-severity finding; warnings are reported but do not
+/// gate. `--out` writes the diagnostics as a JSON artifact.
+fn run_lint(args: &[String]) -> i32 {
+    let mut target = TargetIsa::avx2();
+    let mut beam = 16usize;
+    let mut threads = 0usize;
+    let mut out: Option<String> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        let mut value = |n: &str| args.next().cloned().ok_or(format!("{n} needs a value"));
+        let parsed = match arg.as_str() {
+            "--target" => value("--target").and_then(|v| parse_target(&v)).map(|t| target = t),
+            "--beam" => value("--beam")
+                .and_then(|v| v.parse().map_err(|e| format!("--beam: {e}")))
+                .map(|w| beam = w),
+            "--threads" => value("--threads")
+                .and_then(|v| v.parse().map_err(|e| format!("--threads: {e}")))
+                .map(|n| threads = n),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vegen-engine lint [--target avx2|avx512vnni] [--beam N] \
+                     [--threads N] [--out FILE]"
+                );
+                return 0;
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("vegen-engine lint: {e}");
+            return 2;
+        }
+    }
+
+    // Verification trials off: this gate is purely static; the suite mode
+    // covers dynamic checking.
+    let engine = Engine::new(EngineConfig { threads, verify_trials: 0, ..EngineConfig::default() });
+    let pipeline = PipelineConfig {
+        target: target.clone(),
+        beam: BeamConfig::with_width(beam),
+        canonicalize_patterns: true,
+    };
+    let jobs: Vec<Job> = vegen_kernels::all()
+        .into_iter()
+        .map(|k| Job::new(k.name, (k.build)(), pipeline.clone()))
+        .collect();
+    let t0 = Instant::now();
+    let results = engine.compile_batch(&jobs);
+    let wall = t0.elapsed();
+
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut rows = Vec::new();
+    for r in &results {
+        let a = &r.kernel.analysis;
+        total_errors += a.error_count();
+        total_warnings += a.warning_count();
+        println!("{:<24} {}", r.name, a.verdict());
+        for d in a.all() {
+            println!("    {d}");
+        }
+        rows.push(Json::obj([
+            ("name", Json::str(&r.name)),
+            ("errors", Json::int(a.error_count() as u64)),
+            ("warnings", Json::int(a.warning_count() as u64)),
+            ("packs_checked", Json::int(a.packs_checked as u64)),
+            ("lanes_proved", Json::int(a.lanes_proved as u64)),
+            ("diagnostics", Json::Arr(a.all().map(|d| Json::str(d.to_string())).collect())),
+        ]));
+    }
+    println!(
+        "vegen-engine lint: {} kernels in {wall:.2?} (target {}, beam {beam}) — {} error(s), \
+         {} warning(s)",
+        results.len(),
+        target.name,
+        total_errors,
+        total_warnings
+    );
+
+    if let Some(path) = &out {
+        let doc = Json::obj([
+            ("schema", Json::str("vegen-engine-lint/v1")),
+            ("target", Json::str(&target.name)),
+            ("beam_width", Json::int(beam as u64)),
+            ("errors", Json::int(total_errors as u64)),
+            ("warnings", Json::int(total_warnings as u64)),
+            ("kernels", Json::Arr(rows)),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("vegen-engine lint: cannot write {path}: {e}");
+            return 2;
+        }
+        eprintln!("vegen-engine lint: report written to {path}");
+    }
+    if total_errors > 0 {
+        1
+    } else {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------

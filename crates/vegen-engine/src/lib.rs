@@ -138,6 +138,12 @@ pub struct EngineCounters {
     pub packs_committed: u64,
     /// Compilations performed (cache misses that ran the pipeline).
     pub compilations: u64,
+    /// Static analyses run (one per compilation; the driver's
+    /// post-lowering legality + provenance + lint stage).
+    pub analyses: u64,
+    /// Error-severity findings those analyses produced (0 on a healthy
+    /// pipeline; any nonzero value means a selection or lowering bug).
+    pub analysis_errors: u64,
 }
 
 /// A parallel, cached, instrumented batch compiler.
@@ -151,6 +157,8 @@ pub struct Engine {
     producer_cache_misses: AtomicU64,
     packs_committed: AtomicU64,
     compilations: AtomicU64,
+    analyses: AtomicU64,
+    analysis_errors: AtomicU64,
 }
 
 impl Engine {
@@ -167,6 +175,8 @@ impl Engine {
             producer_cache_misses: AtomicU64::new(0),
             packs_committed: AtomicU64::new(0),
             compilations: AtomicU64::new(0),
+            analyses: AtomicU64::new(0),
+            analysis_errors: AtomicU64::new(0),
         }
     }
 
@@ -215,6 +225,8 @@ impl Engine {
         self.producer_cache_misses.fetch_add(stats.producer_cache_misses, Ordering::Relaxed);
         self.packs_committed.fetch_add(kernel.selection.packs.len() as u64, Ordering::Relaxed);
         self.compilations.fetch_add(1, Ordering::Relaxed);
+        self.analyses.fetch_add(1, Ordering::Relaxed);
+        self.analysis_errors.fetch_add(kernel.analysis.error_count() as u64, Ordering::Relaxed);
 
         let verify_start = Instant::now();
         let verify_error = if self.cfg.verify_trials > 0 {
@@ -273,6 +285,8 @@ impl Engine {
             producer_cache_misses: self.producer_cache_misses.load(Ordering::Relaxed),
             packs_committed: self.packs_committed.load(Ordering::Relaxed),
             compilations: self.compilations.load(Ordering::Relaxed),
+            analyses: self.analyses.load(Ordering::Relaxed),
+            analysis_errors: self.analysis_errors.load(Ordering::Relaxed),
         }
     }
 

@@ -34,6 +34,7 @@ impl StageReport {
             ("target_desc_us", micros(self.stages.target_desc)),
             ("selection_us", micros(self.stages.selection)),
             ("lowering_us", micros(self.stages.lowering)),
+            ("analysis_us", micros(self.stages.analysis)),
             ("baseline_us", micros(self.stages.baseline)),
             ("verify_us", micros(self.verify)),
             ("total_us", micros(self.stages.total() + self.verify)),
@@ -74,6 +75,8 @@ pub struct KernelReport {
     pub wall: Duration,
     /// Verification failure, if any.
     pub verify_error: Option<String>,
+    /// Static-validation outcome (legality + provenance + lint).
+    pub analysis: AnalysisSummary,
     /// Decision-log summary (present only when the batch ran with
     /// `BeamConfig::log_decisions`).
     pub decisions: Option<DecisionSummary>,
@@ -140,6 +143,7 @@ impl KernelReport {
             stage_times: StageReport { stages: r.stages, verify: r.verify_time },
             wall: r.wall,
             verify_error: r.verify_error.clone(),
+            analysis: AnalysisSummary::from_report(&r.kernel.analysis),
             decisions: r.kernel.selection.decisions.as_ref().map(DecisionSummary::from_log),
         }
     }
@@ -186,6 +190,45 @@ impl KernelReport {
                     None => Json::Null,
                 },
             ),
+            ("analysis", self.analysis.to_json()),
+        ])
+    }
+}
+
+/// The static-validation block of a kernel row (schema v4).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisSummary {
+    /// Error-severity findings across all three passes.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Packs the legality pass examined.
+    pub packs_checked: usize,
+    /// Stored lanes the provenance pass proved equal to scalar.
+    pub lanes_proved: usize,
+    /// Rendered diagnostics ("severity [location]: message").
+    pub diagnostics: Vec<String>,
+}
+
+impl AnalysisSummary {
+    /// Summarize a driver analysis report.
+    pub fn from_report(a: &vegen::analysis::AnalysisReport) -> AnalysisSummary {
+        AnalysisSummary {
+            errors: a.error_count(),
+            warnings: a.warning_count(),
+            packs_checked: a.packs_checked,
+            lanes_proved: a.lanes_proved,
+            diagnostics: a.all().map(|d| d.to_string()).collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("errors", Json::int(self.errors as u64)),
+            ("warnings", Json::int(self.warnings as u64)),
+            ("packs_checked", Json::int(self.packs_checked as u64)),
+            ("lanes_proved", Json::int(self.lanes_proved as u64)),
+            ("diagnostics", Json::Arr(self.diagnostics.iter().map(Json::str).collect())),
         ])
     }
 }
@@ -281,7 +324,7 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v3")),
+            ("schema", Json::str("vegen-engine-report/v4")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
@@ -308,6 +351,8 @@ impl EngineReport {
                     ("producer_cache_misses", Json::int(self.counters.producer_cache_misses)),
                     ("packs_committed", Json::int(self.counters.packs_committed)),
                     ("compilations", Json::int(self.counters.compilations)),
+                    ("analyses", Json::int(self.counters.analyses)),
+                    ("analysis_errors", Json::int(self.counters.analysis_errors)),
                 ]),
             ),
             ("trace", self.trace.to_json()),

@@ -1,6 +1,6 @@
 //! Observability integration tests: verification-failure reporting, the
-//! v3 report round-trip, trace capture across the engine's layers, the
-//! decision log, and the `diff`/`explain` subcommands (library and
+//! v4 report round-trip, trace capture across the engine's layers, the
+//! decision log, and the `diff`/`explain`/`lint` subcommands (library and
 //! binary).
 
 use std::sync::Arc;
@@ -90,14 +90,14 @@ fn verification_failure_is_surfaced_with_kernel_name() {
 }
 
 #[test]
-fn engine_report_v3_round_trips_through_the_parser() {
+fn engine_report_v4_round_trips_through_the_parser() {
     let report = small_report(true);
     let doc = report.to_json();
     // Render pretty, hand-parse, and walk the v3 fields back out.
     let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
     assert_eq!(parsed, doc, "render → parse must be lossless");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v3"));
-    let trace = parsed.get("trace").expect("v3 has trace metadata");
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v4"));
+    let trace = parsed.get("trace").expect("report has trace metadata");
     assert_eq!(trace.get("enabled").unwrap().as_bool(), Some(false));
     assert_eq!(trace.get("file"), Some(&Json::Null));
     let run = &parsed.get("runs").unwrap().as_arr().unwrap()[0];
@@ -107,6 +107,15 @@ fn engine_report_v3_round_trips_through_the_parser() {
     let decisions = kernel.get("decisions").expect("log_decisions run has summaries");
     assert!(decisions.get("iterations").unwrap().as_f64().unwrap() >= 1.0);
     assert!(!decisions.get("committed_packs").unwrap().as_arr().unwrap().is_empty());
+    // The v4 static-validation block: clean suite kernels prove all lanes.
+    let analysis = kernel.get("analysis").expect("v4 has an analysis block");
+    assert_eq!(analysis.get("errors").unwrap().as_f64(), Some(0.0));
+    assert!(analysis.get("lanes_proved").unwrap().as_f64().unwrap() > 0.0);
+    let counters = parsed.get("counters").unwrap();
+    assert!(counters.get("analyses").unwrap().as_f64().unwrap() >= 3.0);
+    assert_eq!(counters.get("analysis_errors").unwrap().as_f64(), Some(0.0));
+    let stage = kernel.get("stage_times").unwrap();
+    assert!(stage.get("analysis_us").unwrap().as_f64().unwrap() >= 0.0);
     // And the compact rendering parses to the same tree.
     assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
 }
@@ -274,4 +283,33 @@ fn shared_cache_arc_survives_decision_logging() {
     assert!(a[0].kernel.selection.decisions.is_none());
     // Identical generated code either way.
     assert_eq!(listing(&a[0].kernel.vegen), listing(&b[0].kernel.vegen));
+}
+
+#[test]
+fn lint_subcommand_gates_and_writes_artifact() {
+    let dir = std::env::temp_dir().join(format!("vegen-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("lint.json");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_vegen-engine"))
+        .args(["lint", "--beam", "4", "--out", out.to_str().unwrap()])
+        .output()
+        .expect("binary must run");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "lint must pass on the suite:\n{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("vegen-engine-lint/v1"));
+    assert_eq!(doc.get("errors").unwrap().as_f64(), Some(0.0));
+    let kernels = doc.get("kernels").unwrap().as_arr().unwrap();
+    assert_eq!(kernels.len(), vegen_kernels::all().len());
+    for k in kernels {
+        assert_eq!(k.get("errors").unwrap().as_f64(), Some(0.0), "{k:?}");
+    }
+    // Bad usage still exits 2.
+    let bad = std::process::Command::new(env!("CARGO_BIN_EXE_vegen-engine"))
+        .args(["lint", "--bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -71,6 +71,49 @@ pub enum VmInst {
     Extract { dst: Reg, src: Reg, lane: usize },
 }
 
+impl VmInst {
+    /// The register this instruction defines, if any (stores define none).
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            VmInst::Scalar { dst, .. }
+            | VmInst::LoadScalar { dst, .. }
+            | VmInst::VecLoad { dst, .. }
+            | VmInst::VecOp { dst, .. }
+            | VmInst::Build { dst, .. }
+            | VmInst::Extract { dst, .. } => Some(*dst),
+            VmInst::StoreScalar { .. } | VmInst::VecStore { .. } => None,
+        }
+    }
+
+    /// Every register this instruction reads, in operand order (a register
+    /// read twice appears twice). Loads read none; [`VmInst::Build`] reads
+    /// only its `FromVec`/`FromScalar` lanes.
+    pub fn uses(&self) -> Vec<Reg> {
+        match self {
+            VmInst::Scalar { op, .. } => match op {
+                ScalarOp::Const(_) => vec![],
+                ScalarOp::FNeg { arg } | ScalarOp::Cast { arg, .. } => vec![*arg],
+                ScalarOp::Bin { lhs, rhs, .. } | ScalarOp::Cmp { lhs, rhs, .. } => {
+                    vec![*lhs, *rhs]
+                }
+                ScalarOp::Select { cond, on_true, on_false } => vec![*cond, *on_true, *on_false],
+            },
+            VmInst::LoadScalar { .. } | VmInst::VecLoad { .. } => vec![],
+            VmInst::StoreScalar { src, .. } | VmInst::VecStore { src, .. } => vec![*src],
+            VmInst::VecOp { args, .. } => args.clone(),
+            VmInst::Build { lanes, .. } => lanes
+                .iter()
+                .filter_map(|l| match l {
+                    LaneSrc::FromVec { src, .. } => Some(*src),
+                    LaneSrc::FromScalar(r) => Some(*r),
+                    LaneSrc::Const(_) | LaneSrc::Undef => None,
+                })
+                .collect(),
+            VmInst::Extract { src, .. } => vec![*src],
+        }
+    }
+}
+
 /// A lowered vector program.
 #[derive(Debug, Clone)]
 pub struct VmProgram {
@@ -222,6 +265,31 @@ pub fn classify_build(lanes: &[LaneSrc]) -> BuildKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn def_use_covers_every_instruction_kind() {
+        let store = VmInst::VecStore { base: 0, start: 0, src: Reg(1) };
+        assert_eq!(store.def(), None);
+        assert_eq!(store.uses(), vec![Reg(1)]);
+        let load = VmInst::VecLoad { dst: Reg(0), base: 0, start: 0, lanes: 4, elem: Type::I32 };
+        assert_eq!(load.def(), Some(Reg(0)));
+        assert!(load.uses().is_empty());
+        let op = VmInst::VecOp { dst: Reg(2), sem: 0, args: vec![Reg(0), Reg(0)] };
+        assert_eq!(op.def(), Some(Reg(2)));
+        assert_eq!(op.uses(), vec![Reg(0), Reg(0)], "repeated reads appear per operand");
+        let build = VmInst::Build {
+            dst: Reg(3),
+            elem: Type::I32,
+            lanes: vec![
+                LaneSrc::FromVec { src: Reg(2), lane: 1 },
+                LaneSrc::FromScalar(Reg(4)),
+                LaneSrc::Const(Constant::int(Type::I32, 7)),
+                LaneSrc::Undef,
+            ],
+        };
+        assert_eq!(build.def(), Some(Reg(3)));
+        assert_eq!(build.uses(), vec![Reg(2), Reg(4)], "const/undef lanes read nothing");
+    }
 
     #[test]
     fn classify_constant_vector() {

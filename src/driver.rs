@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+use vegen_analysis::{analyze_kernel, AnalysisReport};
 use vegen_baseline::{vectorize_baseline, BaselineConfig};
 use vegen_codegen::{check_equivalence, lower, lower_scalar};
 use vegen_core::{select_packs, BeamConfig, CostModel, SelectionResult, VectorizerCtx};
@@ -52,6 +53,9 @@ pub struct CompiledKernel {
     pub selection: SelectionResult,
     /// Number of SLP trees the baseline committed.
     pub baseline_trees: usize,
+    /// Static validation of the selection and the VeGen program: pack
+    /// legality, lane provenance, and VM lint.
+    pub analysis: AnalysisReport,
 }
 
 /// Fetch (and cache) the generated target description for a target.
@@ -91,6 +95,8 @@ pub struct StageTimes {
     /// Lowering the pack set to the vector VM, incl. the scalar lowering
     /// and the profitability backstop.
     pub lowering: Duration,
+    /// Static validation: pack legality + lane provenance + VM lint.
+    pub analysis: Duration,
     /// The baseline LLVM-style SLP comparator.
     pub baseline: Duration,
 }
@@ -98,7 +104,12 @@ pub struct StageTimes {
 impl StageTimes {
     /// Sum of all stages.
     pub fn total(&self) -> Duration {
-        self.canonicalize + self.target_desc + self.selection + self.lowering + self.baseline
+        self.canonicalize
+            + self.target_desc
+            + self.selection
+            + self.lowering
+            + self.analysis
+            + self.baseline
     }
 }
 
@@ -167,6 +178,13 @@ pub fn compile_prepared_timed(
     times.lowering = t.elapsed();
 
     let t = Instant::now();
+    let analysis = {
+        let _sp = vegen_trace::span("driver", "analysis");
+        analyze_kernel(&prepared, &desc, &selection.packs, &vegen, cfg.canonicalize_patterns)
+    };
+    times.analysis = t.elapsed();
+
+    let t = Instant::now();
     let bl = {
         let _sp = vegen_trace::span("driver", "baseline");
         let bl_cfg = BaselineConfig { max_bits: cfg.target.max_bits, ..BaselineConfig::default() };
@@ -181,6 +199,7 @@ pub fn compile_prepared_timed(
         baseline: bl.program,
         selection,
         baseline_trees: bl.trees_vectorized,
+        analysis,
     };
     (kernel, times)
 }

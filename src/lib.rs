@@ -12,12 +12,14 @@
 //! * [`matcher`] — generated pattern matchers and the match table.
 //! * [`core`] — vector packs and pack selection (SLP heuristic, beam search).
 //! * [`codegen`] — scheduling and lowering to vector programs.
+//! * [`analysis`] — static pack-legality and lane-provenance validation.
 //! * [`vm`] — the vector virtual machine and cycle cost model.
 //! * [`baseline`] — an LLVM-style SLP vectorizer used as the comparator.
 //! * [`kernels`] — every kernel from the paper's evaluation as scalar IR.
 
 pub mod driver;
 
+pub use vegen_analysis as analysis;
 pub use vegen_baseline as baseline;
 pub use vegen_codegen as codegen;
 pub use vegen_core as core;
