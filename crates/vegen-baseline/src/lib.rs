@@ -73,8 +73,46 @@ pub struct BaselineResult {
     pub trees_vectorized: usize,
 }
 
+/// Why the baseline SLP vectorizer rejected a function outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// A store references a parameter index out of range.
+    BadStoreBase {
+        /// The out-of-range base index.
+        base: usize,
+        /// How many parameters the function actually has.
+        params: usize,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::BadStoreBase { base, params } => {
+                write!(f, "store base {base} out of range (function has {params} params)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
 /// Run the baseline SLP vectorizer over `f` and lower the result.
+///
+/// # Panics
+///
+/// Panics on a malformed function; use [`try_vectorize_baseline`] on the
+/// pipeline path instead.
 pub fn vectorize_baseline(f: &Function, cfg: &BaselineConfig) -> BaselineResult {
+    try_vectorize_baseline(f, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`vectorize_baseline`]: malformed inputs become a
+/// typed [`BaselineError`] instead of a panic.
+pub fn try_vectorize_baseline(
+    f: &Function,
+    cfg: &BaselineConfig,
+) -> Result<BaselineResult, BaselineError> {
     let deps = DepGraph::build(f);
     let users = f.users();
     let mut forest = SlpForest::new(f, &deps, &users, cfg);
@@ -89,15 +127,19 @@ pub fn vectorize_baseline(f: &Function, cfg: &BaselineConfig) -> BaselineResult 
     let mut bases: Vec<usize> = by_base.keys().copied().collect();
     bases.sort();
     for base in bases {
-        let mut stores = by_base.remove(&base).unwrap();
+        let Some(mut stores) = by_base.remove(&base) else { continue };
         stores.sort();
-        let elem_bits = f.params[base].elem_ty.bits();
+        let param = f
+            .params
+            .get(base)
+            .ok_or(BaselineError::BadStoreBase { base, params: f.params.len() })?;
+        let elem_bits = param.elem_ty.bits();
         let max_lanes = (cfg.max_bits / elem_bits).max(1) as usize;
         // Maximal consecutive runs.
         let mut runs: Vec<Vec<(i64, ValueId, ValueId)>> = Vec::new();
         for s in stores {
             match runs.last_mut() {
-                Some(run) if run.last().unwrap().0 + 1 == s.0 => run.push(s),
+                Some(run) if run.last().is_some_and(|l| l.0 + 1 == s.0) => run.push(s),
                 _ => runs.push(vec![s]),
             }
         }
@@ -127,7 +169,7 @@ pub fn vectorize_baseline(f: &Function, cfg: &BaselineConfig) -> BaselineResult 
     }
     let trees_vectorized = forest.committed_trees();
     let program = forest.lower();
-    BaselineResult { program, trees_vectorized }
+    Ok(BaselineResult { program, trees_vectorized })
 }
 
 /// Convenience: does the baseline vectorize anything in `f`?

@@ -52,11 +52,11 @@ fn main() {
             let cfg = BeamConfig::with_width(width);
             bench(&format!("select/{name}/beam{width}"), || {
                 let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
-                black_box(select_packs(&ctx, &cfg));
+                black_box(select_packs(&ctx, &cfg).unwrap());
             });
             // Search-effort counters from one representative run.
             let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
-            let r = select_packs(&ctx, &cfg);
+            let r = select_packs(&ctx, &cfg).unwrap();
             let s = r.stats;
             println!(
                 "  states {} transitions {} dedup_hits {} hash_collisions {} \

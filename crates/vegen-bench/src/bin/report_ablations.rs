@@ -23,7 +23,7 @@ fn main() {
         let mut cells = vec![name.to_string()];
         for seeds in [true, false] {
             let cfg = BeamConfig { use_affinity_seeds: seeds, ..BeamConfig::with_width(64) };
-            let r = select_packs(&ctx, &cfg);
+            let r = select_packs(&ctx, &cfg).unwrap();
             cells.push(format!("{:.1}", r.vector_cost));
         }
         rows.push(cells);
@@ -43,7 +43,7 @@ fn main() {
         for shuffle in [1.0, 2.0, 4.0, 8.0] {
             let cost = CostModel { c_shuffle: shuffle, ..CostModel::default() };
             let ctx = VectorizerCtx::new(&f, &desc, cost);
-            let r = select_packs(&ctx, &BeamConfig::with_width(64));
+            let r = select_packs(&ctx, &BeamConfig::with_width(64)).unwrap();
             cells.push(format!("{:.1}", r.vector_cost));
         }
         rows.push(cells);
@@ -62,7 +62,7 @@ fn main() {
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
         let mut cells = vec![name.to_string()];
         for width in [1usize, 4, 16, 64, 128, 256] {
-            let r = select_packs(&ctx, &BeamConfig::with_width(width));
+            let r = select_packs(&ctx, &BeamConfig::with_width(width)).unwrap();
             cells.push(format!("{:.1}", r.vector_cost));
         }
         rows.push(cells);

@@ -15,7 +15,10 @@ fn main() {
         beam: BeamConfig::with_width(64),
         canonicalize_patterns: true,
     };
-    let ck = vegen_bench::engine().compile_one(k.name, &f, &cfg).kernel;
+    let ck = vegen_bench::engine()
+        .compile_one(k.name, &f, &cfg)
+        .kernel
+        .expect("suite kernel must compile");
     ck.verify(32).expect("int32x8 must stay correct");
     let (sc, bl, vg) = ck.cycles();
     println!(

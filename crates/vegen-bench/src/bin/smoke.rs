@@ -22,14 +22,15 @@ fn main() {
         if let Some(e) = &r.verify_error {
             panic!("kernel {} failed verification: {e}", r.name);
         }
-        let (sc, bl, vg) = r.kernel.cycles();
+        let ck = r.kernel.as_deref().expect("suite kernel must compile");
+        let (sc, bl, vg) = ck.cycles();
         rows.push(vec![
             r.name.clone(),
             format!("{sc:.1}"),
             format!("{bl:.1}"),
             format!("{vg:.1}"),
-            format!("{:.2}", r.kernel.speedup_vs_baseline()),
-            r.kernel.vegen.vector_ops_used().join(","),
+            format!("{:.2}", ck.speedup_vs_baseline()),
+            ck.vegen.vector_ops_used().join(","),
             format!("{:?}", r.stages.total() + r.verify_time),
         ]);
     }

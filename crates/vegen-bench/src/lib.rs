@@ -73,7 +73,12 @@ fn row_from(r: &JobResult) -> Row {
     if let Some(e) = &r.verify_error {
         panic!("kernel {} failed verification: {e}", r.name);
     }
-    row_of(&r.name, &r.kernel)
+    // Measurements are meaningless on a degraded rung; the figure
+    // reports demand every kernel compile cleanly.
+    let ck = r.kernel.as_deref().unwrap_or_else(|| {
+        panic!("kernel {} produced no program (rung {}): {:?}", r.name, r.rung.name(), r.faults)
+    });
+    row_of(&r.name, ck)
 }
 
 /// Extract a [`Row`] from a compiled kernel.

@@ -17,5 +17,5 @@ pub mod lower;
 mod tests_scheduling;
 pub mod verify;
 
-pub use lower::{lower, lower_scalar};
+pub use lower::{lower, lower_scalar, try_lower, try_lower_scalar, LowerError};
 pub use verify::check_equivalence;

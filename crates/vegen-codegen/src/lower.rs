@@ -1,9 +1,67 @@
 //! Lowering pack sets to vector programs.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use vegen_core::{Pack, PackSet, SetPackId, VectorizerCtx};
 use vegen_ir::{Function, InstKind, ValueId};
 use vegen_vm::{LaneSrc, Reg, ScalarOp, VmInst, VmProgram};
+
+/// Why lowering a pack set (or scalar function) to a VM program failed.
+///
+/// A legal pack set produced by the selection phase never trips these —
+/// they exist so a corrupted or adversarial pack set surfaces as a typed
+/// error on the pipeline path instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A selected pack's lanes do not agree on operands.
+    IncoherentOperands {
+        /// Debug rendering of the offending pack.
+        pack: String,
+    },
+    /// The pack set has a dependence cycle and cannot be scheduled.
+    Unschedulable {
+        /// Units successfully ordered before the cycle.
+        ordered: usize,
+        /// Total schedulable units.
+        total: usize,
+    },
+    /// A scalar value was requested before any unit produced it.
+    ValueNotEmitted {
+        /// The value in question.
+        value: String,
+    },
+    /// An operand vector mixes element types across lanes.
+    MixedElementTypes,
+    /// A scalar instruction references an operand with no register.
+    MissingOperand {
+        /// The undefined operand.
+        value: String,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::IncoherentOperands { pack } => {
+                write!(f, "pack has incoherent operands: {pack}")
+            }
+            LowerError::Unschedulable { ordered, total } => {
+                write!(f, "pack set is not schedulable ({ordered} of {total} units ordered)")
+            }
+            LowerError::ValueNotEmitted { value } => {
+                write!(f, "scalar value {value} requested before its unit was emitted")
+            }
+            LowerError::MixedElementTypes => {
+                write!(f, "operand lanes do not share an element type")
+            }
+            LowerError::MissingOperand { value } => {
+                write!(f, "scalar operand {value} has no defining register")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
 
 /// A schedulable unit: one pack or one scalar instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,8 +89,15 @@ struct Lowering<'c, 'a> {
 /// # Panics
 ///
 /// Panics if the pack set is not schedulable (a legal pack set always is;
-/// the selection phase enforces legality).
+/// the selection phase enforces legality). Use [`try_lower`] on the
+/// pipeline path to get a typed [`LowerError`] instead.
 pub fn lower(ctx: &VectorizerCtx<'_>, packs: &PackSet) -> VmProgram {
+    try_lower(ctx, packs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`lower`]: a malformed pack set becomes a
+/// [`LowerError`] instead of a panic.
+pub fn try_lower(ctx: &VectorizerCtx<'_>, packs: &PackSet) -> Result<VmProgram, LowerError> {
     let f = ctx.f;
     let mut vector_home = HashMap::new();
     for (id, p) in packs.iter() {
@@ -53,7 +118,10 @@ pub fn lower(ctx: &VectorizerCtx<'_>, packs: &PackSet) -> VmProgram {
         }
     }
     for (_, p) in packs.iter() {
-        for x in ctx.pack_operands(p).expect("selected packs have coherent operands") {
+        let operands = ctx
+            .pack_operands(p)
+            .ok_or_else(|| LowerError::IncoherentOperands { pack: format!("{p:?}") })?;
+        for x in operands {
             for v in x.defined() {
                 if !vector_home.contains_key(&v) && !matches!(f.inst(v).kind, InstKind::Const(_)) {
                     work.push(v);
@@ -84,11 +152,11 @@ pub fn lower(ctx: &VectorizerCtx<'_>, packs: &PackSet) -> VmProgram {
         extract_reg: HashMap::new(),
         operand_reg: HashMap::new(),
     };
-    let order = lowering.schedule();
+    let order = lowering.schedule()?;
     for unit in order {
-        lowering.emit_unit(unit);
+        lowering.emit_unit(unit)?;
     }
-    lowering.prog
+    Ok(lowering.prog)
 }
 
 impl<'c, 'a> Lowering<'c, 'a> {
@@ -135,7 +203,7 @@ impl<'c, 'a> Lowering<'c, 'a> {
 
     /// Topological order of the units (Kahn's algorithm, stable by
     /// original program position — the §4.5 scheduling step).
-    fn schedule(&self) -> Vec<Unit> {
+    fn schedule(&self) -> Result<Vec<Unit>, LowerError> {
         let mut units: Vec<Unit> = self.packs.iter().map(|(id, _)| Unit::Pack(id)).collect();
         units.extend(self.need_scalar.iter().map(|&v| Unit::Scalar(v)));
         // Stable ordering key: the earliest original index a unit touches.
@@ -177,122 +245,135 @@ impl<'c, 'a> Lowering<'c, 'a> {
             // Keep determinism: smallest index first.
             ready.sort_by(|a, b| b.cmp(a));
         }
-        assert_eq!(order.len(), units.len(), "pack set is not schedulable");
-        order
+        if order.len() != units.len() {
+            return Err(LowerError::Unschedulable { ordered: order.len(), total: units.len() });
+        }
+        Ok(order)
     }
 
     /// Scalar register holding `v`, emitting a constant, extraction, or
     /// (already-emitted) scalar value.
-    fn scalar_value_reg(&mut self, v: ValueId) -> Reg {
+    fn scalar_value_reg(&mut self, v: ValueId) -> Result<Reg, LowerError> {
         if let Some(&r) = self.scalar_reg.get(&v) {
-            return r;
+            return Ok(r);
         }
         if let InstKind::Const(c) = self.ctx.f.inst(v).kind {
             let dst = self.prog.fresh_reg();
             self.prog.push(VmInst::Scalar { dst, op: ScalarOp::Const(c) });
             self.scalar_reg.insert(v, dst);
-            return dst;
+            return Ok(dst);
         }
         if let Some(&(p, lane)) = self.vector_home.get(&v) {
             if let Some(&r) = self.extract_reg.get(&(p, lane)) {
-                return r;
+                return Ok(r);
             }
-            let src = self.pack_reg[&p];
+            let src = *self
+                .pack_reg
+                .get(&p)
+                .ok_or_else(|| LowerError::ValueNotEmitted { value: v.to_string() })?;
             let dst = self.prog.fresh_reg();
             self.prog.push(VmInst::Extract { dst, src, lane });
             self.extract_reg.insert((p, lane), dst);
-            return dst;
+            return Ok(dst);
         }
-        panic!("scalar value {v} requested before its unit was emitted");
+        Err(LowerError::ValueNotEmitted { value: v.to_string() })
     }
 
     /// Vector register for operand `x`: a pack that produces it exactly, or
     /// a `Build` gathering its lanes (§4.5's swizzle emission).
-    fn operand_vector_reg(&mut self, x: &vegen_core::OperandVec) -> Reg {
+    fn operand_vector_reg(&mut self, x: &vegen_core::OperandVec) -> Result<Reg, LowerError> {
         if let Some(&r) = self.operand_reg.get(x.lanes()) {
-            return r;
+            return Ok(r);
         }
         // Exact production by an emitted pack?
         for (id, p) in self.packs.iter() {
             if self.pack_reg.contains_key(&id) && x.produced_by(&p.values()) {
                 let r = self.pack_reg[&id];
                 self.operand_reg.insert(x.lanes().to_vec(), r);
-                return r;
+                return Ok(r);
             }
         }
         let f = self.ctx.f;
-        let elem = self.ctx.operand_type(x).expect("operand lanes share an element type");
-        let lanes: Vec<LaneSrc> = x
-            .lanes()
-            .iter()
-            .map(|l| match l {
+        let elem = self.ctx.operand_type(x).ok_or(LowerError::MixedElementTypes)?;
+        let mut lanes: Vec<LaneSrc> = Vec::with_capacity(x.lanes().len());
+        for l in x.lanes() {
+            lanes.push(match l {
                 None => LaneSrc::Undef,
                 Some(v) => {
                     if let InstKind::Const(c) = f.inst(*v).kind {
                         LaneSrc::Const(c)
                     } else if let Some(&(p, lane)) = self.vector_home.get(v) {
-                        LaneSrc::FromVec { src: self.pack_reg[&p], lane }
+                        let src = *self
+                            .pack_reg
+                            .get(&p)
+                            .ok_or_else(|| LowerError::ValueNotEmitted { value: v.to_string() })?;
+                        LaneSrc::FromVec { src, lane }
                     } else {
-                        LaneSrc::FromScalar(self.scalar_reg[v])
+                        let src = *self
+                            .scalar_reg
+                            .get(v)
+                            .ok_or_else(|| LowerError::ValueNotEmitted { value: v.to_string() })?;
+                        LaneSrc::FromScalar(src)
                     }
                 }
-            })
-            .collect();
+            });
+        }
         let dst = self.prog.fresh_reg();
         self.prog.push(VmInst::Build { dst, elem, lanes });
         self.operand_reg.insert(x.lanes().to_vec(), dst);
-        dst
+        Ok(dst)
     }
 
-    fn emit_unit(&mut self, u: Unit) {
+    fn emit_unit(&mut self, u: Unit) -> Result<(), LowerError> {
         match u {
             Unit::Scalar(v) => self.emit_scalar(v),
             Unit::Pack(id) => self.emit_pack(id),
         }
     }
 
-    fn emit_scalar(&mut self, v: ValueId) {
+    fn emit_scalar(&mut self, v: ValueId) -> Result<(), LowerError> {
         let f = self.ctx.f;
         let inst = f.inst(v).clone();
         let op = match &inst.kind {
             InstKind::Const(c) => ScalarOp::Const(*c),
             InstKind::Bin { op, lhs, rhs } => ScalarOp::Bin {
                 op: *op,
-                lhs: self.scalar_value_reg(*lhs),
-                rhs: self.scalar_value_reg(*rhs),
+                lhs: self.scalar_value_reg(*lhs)?,
+                rhs: self.scalar_value_reg(*rhs)?,
             },
-            InstKind::FNeg { arg } => ScalarOp::FNeg { arg: self.scalar_value_reg(*arg) },
+            InstKind::FNeg { arg } => ScalarOp::FNeg { arg: self.scalar_value_reg(*arg)? },
             InstKind::Cast { op, arg } => {
-                ScalarOp::Cast { op: *op, to: inst.ty, arg: self.scalar_value_reg(*arg) }
+                ScalarOp::Cast { op: *op, to: inst.ty, arg: self.scalar_value_reg(*arg)? }
             }
             InstKind::Cmp { pred, lhs, rhs } => ScalarOp::Cmp {
                 pred: *pred,
-                lhs: self.scalar_value_reg(*lhs),
-                rhs: self.scalar_value_reg(*rhs),
+                lhs: self.scalar_value_reg(*lhs)?,
+                rhs: self.scalar_value_reg(*rhs)?,
             },
             InstKind::Select { cond, on_true, on_false } => ScalarOp::Select {
-                cond: self.scalar_value_reg(*cond),
-                on_true: self.scalar_value_reg(*on_true),
-                on_false: self.scalar_value_reg(*on_false),
+                cond: self.scalar_value_reg(*cond)?,
+                on_true: self.scalar_value_reg(*on_true)?,
+                on_false: self.scalar_value_reg(*on_false)?,
             },
             InstKind::Load { loc } => {
                 let dst = self.prog.fresh_reg();
                 self.prog.push(VmInst::LoadScalar { dst, base: loc.base, offset: loc.offset });
                 self.scalar_reg.insert(v, dst);
-                return;
+                return Ok(());
             }
             InstKind::Store { loc, value } => {
-                let src = self.scalar_value_reg(*value);
+                let src = self.scalar_value_reg(*value)?;
                 self.prog.push(VmInst::StoreScalar { base: loc.base, offset: loc.offset, src });
-                return;
+                return Ok(());
             }
         };
         let dst = self.prog.fresh_reg();
         self.prog.push(VmInst::Scalar { dst, op });
         self.scalar_reg.insert(v, dst);
+        Ok(())
     }
 
-    fn emit_pack(&mut self, id: SetPackId) {
+    fn emit_pack(&mut self, id: SetPackId) -> Result<(), LowerError> {
         let pack = self.packs.get(id).clone();
         match &pack {
             Pack::Load { base, start, loads, elem } => {
@@ -308,50 +389,62 @@ impl<'c, 'a> Lowering<'c, 'a> {
             }
             Pack::Store { base, start, values, .. } => {
                 let x = vegen_core::OperandVec::from_values(values.clone());
-                let src = self.operand_vector_reg(&x);
+                let src = self.operand_vector_reg(&x)?;
                 self.prog.push(VmInst::VecStore { base: *base, start: *start, src });
                 self.pack_reg.insert(id, src);
             }
             Pack::Compute { inst, .. } => {
-                let operands =
-                    self.ctx.pack_operands(&pack).expect("selected packs have coherent operands");
+                let operands = self
+                    .ctx
+                    .pack_operands(&pack)
+                    .ok_or_else(|| LowerError::IncoherentOperands { pack: format!("{pack:?}") })?;
                 let di = &self.ctx.desc.insts[*inst];
-                let args: Vec<Reg> = operands
-                    .iter()
-                    .enumerate()
-                    .map(|(i, x)| {
-                        if x.defined_count() == 0 {
-                            // Entirely don't-care operand (every matched
-                            // lane ignores this input): any value works.
-                            let elem = di.def.sem.inputs[i].elem;
-                            let dst = self.prog.fresh_reg();
-                            self.prog.push(VmInst::Build {
-                                dst,
-                                elem,
-                                lanes: vec![LaneSrc::Undef; x.len()],
-                            });
-                            dst
-                        } else {
-                            self.operand_vector_reg(x)
-                        }
-                    })
-                    .collect();
+                let mut args: Vec<Reg> = Vec::with_capacity(operands.len());
+                for (i, x) in operands.iter().enumerate() {
+                    if x.defined_count() == 0 {
+                        // Entirely don't-care operand (every matched
+                        // lane ignores this input): any value works.
+                        let elem = di.def.sem.inputs[i].elem;
+                        let dst = self.prog.fresh_reg();
+                        self.prog.push(VmInst::Build {
+                            dst,
+                            elem,
+                            lanes: vec![LaneSrc::Undef; x.len()],
+                        });
+                        args.push(dst);
+                    } else {
+                        args.push(self.operand_vector_reg(x)?);
+                    }
+                }
                 let sem = self.prog.intern_sem(&di.def.sem, &di.def.asm, di.def.cost);
                 let dst = self.prog.fresh_reg();
                 self.prog.push(VmInst::VecOp { dst, sem, args });
                 self.pack_reg.insert(id, dst);
             }
         }
+        Ok(())
     }
 }
 
 /// Lower a scalar function 1:1 into a (vector-free) VM program — the
 /// "scalar build" every experiment compares against.
+///
+/// # Panics
+///
+/// Panics on a malformed function (an operand used before definition).
+/// Use [`try_lower_scalar`] on the pipeline path instead.
 pub fn lower_scalar(f: &Function) -> VmProgram {
+    try_lower_scalar(f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`lower_scalar`].
+pub fn try_lower_scalar(f: &Function) -> Result<VmProgram, LowerError> {
     let mut prog = VmProgram::new(f.name.clone(), f.params.clone());
     let mut regs: HashMap<ValueId, Reg> = HashMap::new();
     for (v, inst) in f.iter() {
-        let r = |regs: &HashMap<ValueId, Reg>, x: ValueId| regs[&x];
+        let r = |regs: &HashMap<ValueId, Reg>, x: ValueId| -> Result<Reg, LowerError> {
+            regs.get(&x).copied().ok_or_else(|| LowerError::MissingOperand { value: x.to_string() })
+        };
         match &inst.kind {
             InstKind::Load { loc } => {
                 let dst = prog.fresh_reg();
@@ -362,26 +455,26 @@ pub fn lower_scalar(f: &Function) -> VmProgram {
                 prog.push(VmInst::StoreScalar {
                     base: loc.base,
                     offset: loc.offset,
-                    src: r(&regs, *value),
+                    src: r(&regs, *value)?,
                 });
             }
             other => {
                 let op = match other {
                     InstKind::Const(c) => ScalarOp::Const(*c),
                     InstKind::Bin { op, lhs, rhs } => {
-                        ScalarOp::Bin { op: *op, lhs: r(&regs, *lhs), rhs: r(&regs, *rhs) }
+                        ScalarOp::Bin { op: *op, lhs: r(&regs, *lhs)?, rhs: r(&regs, *rhs)? }
                     }
-                    InstKind::FNeg { arg } => ScalarOp::FNeg { arg: r(&regs, *arg) },
+                    InstKind::FNeg { arg } => ScalarOp::FNeg { arg: r(&regs, *arg)? },
                     InstKind::Cast { op, arg } => {
-                        ScalarOp::Cast { op: *op, to: inst.ty, arg: r(&regs, *arg) }
+                        ScalarOp::Cast { op: *op, to: inst.ty, arg: r(&regs, *arg)? }
                     }
                     InstKind::Cmp { pred, lhs, rhs } => {
-                        ScalarOp::Cmp { pred: *pred, lhs: r(&regs, *lhs), rhs: r(&regs, *rhs) }
+                        ScalarOp::Cmp { pred: *pred, lhs: r(&regs, *lhs)?, rhs: r(&regs, *rhs)? }
                     }
                     InstKind::Select { cond, on_true, on_false } => ScalarOp::Select {
-                        cond: r(&regs, *cond),
-                        on_true: r(&regs, *on_true),
-                        on_false: r(&regs, *on_false),
+                        cond: r(&regs, *cond)?,
+                        on_true: r(&regs, *on_true)?,
+                        on_false: r(&regs, *on_false)?,
                     },
                     InstKind::Load { .. } | InstKind::Store { .. } => unreachable!(),
                 };
@@ -391,5 +484,5 @@ pub fn lower_scalar(f: &Function) -> VmProgram {
             }
         }
     }
-    prog
+    Ok(prog)
 }

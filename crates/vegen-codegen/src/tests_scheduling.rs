@@ -18,7 +18,7 @@ fn pipeline(f: &Function, width: usize) -> (Function, vegen_vm::VmProgram) {
     let prepared = add_narrow_constants(&canonicalize(f));
     let desc = avx2_desc();
     let ctx = VectorizerCtx::new(&prepared, &desc, CostModel::default());
-    let sel = select_packs(&ctx, &BeamConfig::with_width(width));
+    let sel = select_packs(&ctx, &BeamConfig::with_width(width)).unwrap();
     let prog = lower(&ctx, &sel.packs);
     check_equivalence(&prepared, &prog, 32).unwrap();
     (prepared, prog)

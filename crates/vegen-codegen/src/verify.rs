@@ -124,7 +124,7 @@ mod tests {
         let f = canonicalize(&b.finish());
         let desc = avx2_desc();
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let sel = select_packs(&ctx, &BeamConfig::slp());
+        let sel = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         assert!(!sel.packs.is_empty());
         let prog = lower(&ctx, &sel.packs);
         assert!(prog.vector_ops_used().iter().any(|n| n.contains("pmaddwd")), "{prog:?}");
@@ -156,7 +156,7 @@ mod tests {
         let f = canonicalize(&b.finish());
         let desc = avx2_desc();
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let sel = select_packs(&ctx, &BeamConfig::with_width(16));
+        let sel = select_packs(&ctx, &BeamConfig::with_width(16)).unwrap();
         let prog = lower(&ctx, &sel.packs);
         check_equivalence(&f, &prog, 64).unwrap();
         assert!(
@@ -189,7 +189,7 @@ mod tests {
         let f = canonicalize(&b.finish());
         let desc = avx2_desc();
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let sel = select_packs(&ctx, &BeamConfig::with_width(16));
+        let sel = select_packs(&ctx, &BeamConfig::with_width(16)).unwrap();
         let prog = lower(&ctx, &sel.packs);
         check_equivalence(&f, &prog, 64).unwrap();
     }

@@ -39,9 +39,110 @@ use crate::seeds::{enumerate_seeds, AffinityParams};
 use crate::slp::SlpCost;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vegen_ir::{InstKind, ValueId};
+
+/// A shared cooperative cancellation flag, checked once per beam
+/// iteration. Cloning shares the flag; cancelling any clone cancels the
+/// search that polls it.
+#[derive(Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the searcher's
+    /// next iteration boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(AtomicOrdering::Relaxed)
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CancelToken({})", self.is_cancelled())
+    }
+}
+
+/// Resource budgets for one `select_packs` call.
+///
+/// Budgets never change a *successful* selection — exhausting one turns
+/// the whole call into a [`SelectError`] instead of silently truncating
+/// the search; the caller decides how to degrade (retry narrower, fall
+/// back to scalar). That invariant is why budgets are excluded from
+/// content-addressed compilation caching.
+#[derive(Debug, Clone, Default)]
+pub struct SearchBudget {
+    /// Cap on successor states generated across the whole search
+    /// (deterministic: independent of wall clock and machine speed).
+    pub max_steps: Option<u64>,
+    /// Wall-clock budget, checked once per beam iteration.
+    pub wall: Option<Duration>,
+    /// External cooperative cancellation.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SearchBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> SearchBudget {
+        SearchBudget::default()
+    }
+
+    /// True when no step, wall, or cancellation budget is configured —
+    /// a search under this budget can never return a [`SelectError`].
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none() && self.wall.is_none() && self.cancel.is_none()
+    }
+}
+
+/// Why a budgeted search stopped before reaching a terminal state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// The transition budget ([`SearchBudget::max_steps`]) ran out.
+    StepBudget {
+        /// Transitions generated when the search stopped.
+        steps: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// The wall-clock budget ([`SearchBudget::wall`]) ran out.
+    Deadline {
+        /// The configured budget.
+        budget: Duration,
+        /// Wall time actually spent when the check fired.
+        elapsed: Duration,
+    },
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::StepBudget { steps, limit } => {
+                write!(f, "step budget exhausted ({steps} transitions, limit {limit})")
+            }
+            SelectError::Deadline { budget, elapsed } => {
+                write!(f, "wall budget exceeded ({elapsed:?} spent of {budget:?})")
+            }
+            SelectError::Cancelled => write!(f, "search cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
 
 /// Configuration for pack selection.
 #[derive(Debug, Clone)]
@@ -62,6 +163,10 @@ pub struct BeamConfig {
     /// the [`SelectionResult`]. Observation only: the search explores and
     /// ranks identically with logging on or off.
     pub log_decisions: bool,
+    /// Step/wall/cancellation budgets. Unlimited by default; when a limit
+    /// trips, `select_packs` returns a [`SelectError`] instead of a
+    /// truncated selection.
+    pub budget: SearchBudget,
 }
 
 impl Default for BeamConfig {
@@ -73,6 +178,7 @@ impl Default for BeamConfig {
             max_transitions: 256,
             max_iters: None,
             log_decisions: false,
+            budget: SearchBudget::default(),
         }
     }
 }
@@ -118,7 +224,7 @@ pub struct BeamStats {
 }
 
 /// The outcome of pack selection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SelectionResult {
     /// The selected packs.
     pub packs: PackSet,
@@ -737,7 +843,16 @@ impl<'c, 'a> Search<'c, 'a> {
 /// terminal state within its iteration budget (it should not — the
 /// all-scalar path is always available), the result is the empty pack set
 /// at scalar cost.
-pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResult {
+///
+/// # Errors
+///
+/// Returns a [`SelectError`] when a configured [`SearchBudget`] limit
+/// (steps, wall clock, or cancellation) trips before the search finishes.
+/// With the default unlimited budget this function never fails.
+pub fn select_packs(
+    ctx: &VectorizerCtx<'_>,
+    cfg: &BeamConfig,
+) -> Result<SelectionResult, SelectError> {
     let _sp = vegen_trace::span("beam", "select_packs");
     let t0 = Instant::now();
     let intern0 = ctx.intern_stats();
@@ -789,6 +904,28 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
     let mut decisions = cfg.log_decisions.then(DecisionLog::default);
 
     for iter in 0..max_iters {
+        // Budget checks at the iteration boundary: the search either runs
+        // to completion or reports exactly why it could not — a partial
+        // frontier is never silently returned as a selection.
+        if let Some(limit) = cfg.budget.max_steps {
+            if transitions >= limit {
+                vegen_trace::instant("beam", "budget_steps");
+                return Err(SelectError::StepBudget { steps: transitions, limit });
+            }
+        }
+        if let Some(budget) = cfg.budget.wall {
+            let elapsed = t0.elapsed();
+            if elapsed >= budget {
+                vegen_trace::instant("beam", "budget_wall");
+                return Err(SelectError::Deadline { budget, elapsed });
+            }
+        }
+        if let Some(token) = &cfg.budget.cancel {
+            if token.is_cancelled() {
+                vegen_trace::instant("beam", "cancelled");
+                return Err(SelectError::Cancelled);
+            }
+        }
         let beam_in = beam.len();
         if vegen_trace::enabled() {
             vegen_trace::counter("beam", "frontier", beam_in as f64);
@@ -896,7 +1033,7 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
         beam_wall: t0.elapsed(),
     };
 
-    match best_terminal {
+    Ok(match best_terminal {
         Some(st) => {
             let mut ids: Vec<PackId> = st.packs_iter().collect();
             ids.reverse();
@@ -931,7 +1068,7 @@ pub fn select_packs(ctx: &VectorizerCtx<'_>, cfg: &BeamConfig) -> SelectionResul
             stats,
             decisions,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -988,7 +1125,7 @@ mod tests {
         let desc = avx2_desc();
         let f = simd_add_kernel(4);
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r = select_packs(&ctx, &BeamConfig::slp());
+        let r = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         assert!(r.vector_cost < r.scalar_cost, "vadd must be profitable");
         // Expect: 1 store pack, 1 paddd pack, 2 load packs.
         assert!(r.packs.iter().any(|(_, p)| p.is_store()));
@@ -1002,7 +1139,7 @@ mod tests {
         let desc = avx2_desc();
         let f = dot4();
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r = select_packs(&ctx, &BeamConfig::slp());
+        let r = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         assert!(
             r.packs.iter().any(|(_, p)| matches!(p, Pack::Compute { inst, .. }
                 if desc.insts[*inst].def.name == "pmaddwd_128")),
@@ -1017,8 +1154,8 @@ mod tests {
         let desc = avx2_desc();
         let f = dot4();
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r1 = select_packs(&ctx, &BeamConfig::slp());
-        let r64 = select_packs(&ctx, &BeamConfig::with_width(64));
+        let r1 = select_packs(&ctx, &BeamConfig::slp()).unwrap();
+        let r64 = select_packs(&ctx, &BeamConfig::with_width(64)).unwrap();
         assert!(r64.vector_cost <= r1.vector_cost + 1e-9);
     }
 
@@ -1036,7 +1173,7 @@ mod tests {
         b.store(p, 1, acc);
         let f = canonicalize(&b.finish());
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r = select_packs(&ctx, &BeamConfig::slp());
+        let r = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         assert!(r.packs.is_empty(), "{:?}", r.packs.iter().collect::<Vec<_>>());
         assert!((r.vector_cost - r.scalar_cost).abs() < 1e-9);
     }
@@ -1046,7 +1183,7 @@ mod tests {
         let desc = avx2_desc();
         let f = simd_add_kernel(2);
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r = select_packs(&ctx, &BeamConfig::slp());
+        let r = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         // 2 x i32 is only 64 bits — no 64-bit instructions exist in the
         // database, so this must stay scalar.
         assert!(r.packs.is_empty() || r.vector_cost <= r.scalar_cost);
@@ -1070,7 +1207,7 @@ mod tests {
         }
         let f = canonicalize(&b.finish());
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r = select_packs(&ctx, &BeamConfig::with_width(32));
+        let r = select_packs(&ctx, &BeamConfig::with_width(32)).unwrap();
         assert!(r.vector_cost < r.scalar_cost, "blend path must be profitable");
         let names: Vec<&str> = r
             .packs
@@ -1089,7 +1226,7 @@ mod tests {
         let desc = avx2_desc();
         let f = simd_add_kernel(8);
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r = select_packs(&ctx, &BeamConfig::with_width(8));
+        let r = select_packs(&ctx, &BeamConfig::with_width(8)).unwrap();
         assert!(r.vector_cost < r.scalar_cost);
         let has_256 = r.packs.iter().any(|(_, p)| {
             matches!(p, Pack::Compute { inst, .. }
@@ -1181,11 +1318,12 @@ mod tests {
         let desc = avx2_desc();
         let f = dot4();
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let plain = select_packs(&ctx, &BeamConfig::with_width(8));
+        let plain = select_packs(&ctx, &BeamConfig::with_width(8)).unwrap();
         assert!(plain.decisions.is_none(), "logging must be opt-in");
 
         let logged =
-            select_packs(&ctx, &BeamConfig { log_decisions: true, ..BeamConfig::with_width(8) });
+            select_packs(&ctx, &BeamConfig { log_decisions: true, ..BeamConfig::with_width(8) })
+                .unwrap();
         let log = logged.decisions.as_ref().expect("log_decisions must populate the log");
         // Same packs, same cost: logging must not perturb the search.
         assert_eq!(
@@ -1213,11 +1351,74 @@ mod tests {
     }
 
     #[test]
+    fn step_budget_exhaustion_is_a_typed_error() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let cfg = BeamConfig {
+            budget: SearchBudget { max_steps: Some(1), ..SearchBudget::default() },
+            ..BeamConfig::with_width(8)
+        };
+        match select_packs(&ctx, &cfg) {
+            Err(SelectError::StepBudget { steps, limit }) => {
+                assert_eq!(limit, 1);
+                assert!(steps >= 1);
+            }
+            other => panic!("expected StepBudget, got {other:?}"),
+        }
+        // The same search without a budget succeeds, and a budget generous
+        // enough to finish changes nothing about the result.
+        let free = select_packs(&ctx, &BeamConfig::with_width(8)).unwrap();
+        let roomy = BeamConfig {
+            budget: SearchBudget { max_steps: Some(u64::MAX), ..SearchBudget::default() },
+            ..BeamConfig::with_width(8)
+        };
+        let budgeted = select_packs(&ctx, &roomy).unwrap();
+        assert_eq!(
+            free.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            budgeted.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            "a non-binding budget must not perturb the selection"
+        );
+    }
+
+    #[test]
+    fn zero_wall_budget_trips_deadline() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let cfg = BeamConfig {
+            budget: SearchBudget { wall: Some(Duration::ZERO), ..SearchBudget::default() },
+            ..BeamConfig::with_width(8)
+        };
+        assert!(matches!(select_packs(&ctx, &cfg), Err(SelectError::Deadline { .. })));
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_search() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = BeamConfig {
+            budget: SearchBudget { cancel: Some(token), ..SearchBudget::default() },
+            ..BeamConfig::with_width(8)
+        };
+        assert!(matches!(select_packs(&ctx, &cfg), Err(SelectError::Cancelled)));
+        // An uncancelled token is inert.
+        let cfg = BeamConfig {
+            budget: SearchBudget { cancel: Some(CancelToken::new()), ..SearchBudget::default() },
+            ..BeamConfig::with_width(8)
+        };
+        assert!(select_packs(&ctx, &cfg).is_ok());
+    }
+
+    #[test]
     fn selection_reports_search_stats() {
         let desc = avx2_desc();
         let f = dot4();
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-        let r1 = select_packs(&ctx, &BeamConfig::slp());
+        let r1 = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         assert!(r1.stats.states_expanded > 0);
         assert_eq!(r1.stats.states_expanded, r1.states_expanded);
         assert!(r1.stats.transitions >= r1.stats.states_expanded as u64);
@@ -1226,7 +1427,7 @@ mod tests {
         assert!(r1.stats.producer_cache_misses > 0, "first run must enumerate");
         // A second run on the same context is served from the producer
         // memo entirely.
-        let r2 = select_packs(&ctx, &BeamConfig::slp());
+        let r2 = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         assert_eq!(r2.stats.producer_cache_misses, 0, "second run must hit the memo");
         assert!(r2.stats.producer_cache_hits > 0);
         assert_eq!(

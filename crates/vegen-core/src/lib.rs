@@ -29,8 +29,8 @@ pub mod seeds;
 pub mod slp;
 
 pub use beam::{
-    describe_pack, select_packs, BeamConfig, BeamStats, CandidateLog, CommittedPack, DecisionLog,
-    IterationLog, SelectionResult,
+    describe_pack, select_packs, BeamConfig, BeamStats, CancelToken, CandidateLog, CommittedPack,
+    DecisionLog, IterationLog, SearchBudget, SelectError, SelectionResult,
 };
 pub use cost::CostModel;
 pub use ctx::VectorizerCtx;

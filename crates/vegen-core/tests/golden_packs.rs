@@ -80,7 +80,7 @@ fn render_suite() -> String {
         let f = add_narrow_constants(&canonicalize(&(k.build)()));
         let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
         for width in WIDTHS {
-            let r = select_packs(&ctx, &BeamConfig::with_width(width));
+            let r = select_packs(&ctx, &BeamConfig::with_width(width)).unwrap();
             writeln!(out, "kernel {} width {}", k.name, width).unwrap();
             writeln!(out, "  vector_cost {:?} scalar_cost {:?}", r.vector_cost, r.scalar_cost)
                 .unwrap();

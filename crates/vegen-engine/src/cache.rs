@@ -57,9 +57,19 @@ pub fn content_hash(canonical: &Function, cfg: &PipelineConfig) -> ContentHash {
     key.push('\u{1f}');
     key.push_str(&cfg.target.name);
     key.push('\u{1f}');
-    // BeamConfig (incl. AffinityParams) derives Debug from plain scalar
-    // fields, so its Debug form is a faithful, stable serialization.
-    key.push_str(&format!("{:?}", cfg.beam));
+    // Explicitly serialize the BeamConfig fields that can change what the
+    // caller gets back. `budget` is deliberately excluded: budgets never
+    // alter a *successful* selection — exhaustion turns the whole call
+    // into an error, which is never cached — so results are shareable
+    // across any budget setting. `log_decisions` stays in the key because
+    // the decision log rides inside the cached SelectionResult: a logged
+    // request served from an unlogged entry would silently come back
+    // without its log.
+    let b = &cfg.beam;
+    key.push_str(&format!(
+        "width={} seeds={:?} affinity={} max_transitions={} max_iters={:?} log={}",
+        b.width, b.seeds, b.use_affinity_seeds, b.max_transitions, b.max_iters, b.log_decisions
+    ));
     key.push('\u{1f}');
     key.push_str(if cfg.canonicalize_patterns { "canon" } else { "raw" });
     fnv128(key.as_bytes())
@@ -133,7 +143,7 @@ impl CompileCache {
     /// Look up an address, refreshing its recency on a hit.
     pub fn get(&self, key: ContentHash) -> Option<CachedCompile> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut map = self.map.lock().unwrap();
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
         match map.get_mut(&key) {
             Some(entry) => {
                 entry.last_used = tick;
@@ -153,7 +163,7 @@ impl CompileCache {
     /// always agree on one `Arc` per address.
     pub fn insert(&self, key: ContentHash, value: CachedCompile) -> CachedCompile {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut map = self.map.lock().unwrap();
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(existing) = map.get_mut(&key) {
             existing.last_used = tick;
             return existing.value.clone();
@@ -176,14 +186,14 @@ impl CompileCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.map.lock().unwrap().len(),
+            entries: self.map.lock().unwrap_or_else(|e| e.into_inner()).len(),
             capacity: self.capacity,
         }
     }
 
     /// Drop all entries (counters are kept).
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 

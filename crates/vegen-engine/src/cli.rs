@@ -19,9 +19,10 @@
 //! tests can drive the exact code paths, including exit codes.
 
 use crate::report::{EngineReport, RunReport, TraceSummary};
-use crate::{Engine, EngineConfig, Job, JobResult};
-use std::time::Instant;
+use crate::{Engine, EngineConfig, Job, JobResult, Rung};
+use std::time::{Duration, Instant};
 use vegen::driver::{prepare, target_desc, PipelineConfig};
+use vegen::fault::FaultPlan;
 use vegen_core::slp::SlpCost;
 use vegen_core::{select_packs, BeamConfig, CostModel, VectorizerCtx};
 use vegen_isa::TargetIsa;
@@ -45,6 +46,56 @@ pub fn failing_kernels(results: &[JobResult]) -> Vec<String> {
     results.iter().filter(|r| r.verify_error.is_some()).map(|r| r.name.clone()).collect()
 }
 
+/// Print the per-kernel failure table: every job that completed below
+/// [`Rung::Primary`], with its rung and the faults collected on the way
+/// down. Returns `(degraded, failed)` counts. Silent when the batch was
+/// entirely clean.
+pub fn print_failure_table(results: &[JobResult]) -> (usize, usize) {
+    let troubled: Vec<&JobResult> = results.iter().filter(|r| r.rung != Rung::Primary).collect();
+    if troubled.is_empty() {
+        return (0, 0);
+    }
+    eprintln!("vegen-engine: {} kernel(s) below primary rung:", troubled.len());
+    eprintln!("  {:<24} {:<8} faults", "kernel", "rung");
+    let mut degraded = 0;
+    let mut failed = 0;
+    for r in &troubled {
+        match r.rung {
+            Rung::Width1 | Rung::Scalar => degraded += 1,
+            Rung::Failed => failed += 1,
+            Rung::Primary | Rung::Skipped => {}
+        }
+        let first = r.faults.first().map(|e| e.to_string()).unwrap_or_default();
+        eprintln!("  {:<24} {:<8} {first}", r.name, r.rung.name());
+        for fault in r.faults.iter().skip(1) {
+            eprintln!("  {:<24} {:<8} {fault}", "", "");
+        }
+    }
+    (degraded, failed)
+}
+
+/// Resolve the fault plan from explicit CLI options or the `VEGEN_FAULTS`
+/// environment variable (CLI wins). `None` means no injection.
+fn resolve_fault_plan(
+    spec: &Option<String>,
+    seed: Option<u64>,
+    count: usize,
+    kernel_names: &[&str],
+) -> Result<Option<FaultPlan>, String> {
+    if let Some(spec) = spec {
+        return FaultPlan::parse(spec).map(Some).map_err(|e| format!("--faults: {e}"));
+    }
+    if let Some(seed) = seed {
+        return Ok(Some(FaultPlan::seeded(kernel_names, seed, count)));
+    }
+    match std::env::var("VEGEN_FAULTS") {
+        Ok(spec) if !spec.is_empty() => {
+            FaultPlan::parse(&spec).map(Some).map_err(|e| format!("VEGEN_FAULTS: {e}"))
+        }
+        _ => Ok(None),
+    }
+}
+
 fn parse_target(s: &str) -> Result<TargetIsa, String> {
     match s.to_ascii_lowercase().as_str() {
         "avx2" => Ok(TargetIsa::avx2()),
@@ -64,6 +115,11 @@ struct SuiteOptions {
     trace: Option<String>,
     folded: Option<String>,
     decisions: bool,
+    deadline_ms: Option<u64>,
+    fail_fast: bool,
+    faults: Option<String>,
+    fault_seed: Option<u64>,
+    fault_count: usize,
 }
 
 fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
@@ -78,6 +134,11 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
         trace: None,
         folded: None,
         decisions: false,
+        deadline_ms: None,
+        fail_fast: false,
+        faults: None,
+        fault_seed: None,
+        fault_count: 3,
     };
     let mut args = args.iter();
     while let Some(arg) = args.next() {
@@ -98,15 +159,34 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
             "--trace" => opts.trace = Some(value("--trace")?),
             "--folded" => opts.folded = Some(value("--folded")?),
             "--decisions" => opts.decisions = true,
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--fail-fast" => opts.fail_fast = true,
+            "--faults" => opts.faults = Some(value("--faults")?),
+            "--fault-seed" => {
+                opts.fault_seed =
+                    Some(value("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?)
+            }
+            "--fault-count" => {
+                opts.fault_count =
+                    value("--fault-count")?.parse().map_err(|e| format!("--fault-count: {e}"))?
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vegen-engine [--target avx2|avx512vnni] [--beam N] [--threads N]\n\
                      \x20                   [--runs N] [--no-verify] [--compact] [--out FILE]\n\
                      \x20                   [--trace FILE] [--folded FILE] [--decisions]\n\
+                     \x20                   [--deadline-ms N] [--fail-fast]\n\
+                     \x20                   [--faults SPEC] [--fault-seed N] [--fault-count N]\n\
                      \x20      vegen-engine explain <kernel> [--target T] [--beam N] [--max-iters N]\n\
                      \x20      vegen-engine lint [--target T] [--beam N] [--threads N] [--out FILE]\n\
                      \x20      vegen-engine diff <old.json> <new.json> [--max-regress PCT]\n\
-                     \x20                   [--strict-counters]"
+                     \x20                   [--strict-counters]\n\
+                     fault SPEC is kernel:stage:kind[,...], kind = panic|error|delay=<ms>,\n\
+                     `!` suffix fires on every ladder attempt; VEGEN_FAULTS env is the fallback"
                 );
                 return Ok(None);
             }
@@ -134,6 +214,8 @@ fn run_suite(args: &[String]) -> i32 {
     let engine = Engine::new(EngineConfig {
         threads: opts.threads,
         verify_trials: opts.verify_trials,
+        deadline: opts.deadline_ms.map(Duration::from_millis),
+        fail_fast: opts.fail_fast,
         ..EngineConfig::default()
     });
     let pipeline = PipelineConfig {
@@ -145,11 +227,28 @@ fn run_suite(args: &[String]) -> i32 {
         .into_iter()
         .map(|k| Job::new(k.name, (k.build)(), pipeline.clone()))
         .collect();
+    let kernel_names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+    match resolve_fault_plan(&opts.faults, opts.fault_seed, opts.fault_count, &kernel_names) {
+        Ok(Some(plan)) => {
+            let targets: Vec<String> = plan
+                .specs()
+                .map(|s| format!("{}:{}:{}", s.kernel, s.stage, s.kind.tag()))
+                .collect();
+            eprintln!("vegen-engine: fault injection active — {}", targets.join(", "));
+            vegen::fault::install(plan);
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("vegen-engine: {e}");
+            return 2;
+        }
+    }
     let resolved_threads =
         if opts.threads == 0 { crate::pool::default_threads(jobs.len()) } else { opts.threads };
 
     let mut runs = Vec::new();
     let mut failed = false;
+    let mut hard_failures = 0usize;
     for i in 0..opts.runs {
         let label = match i {
             0 => "cold".to_string(),
@@ -174,8 +273,17 @@ fn run_suite(args: &[String]) -> i32 {
             results.len(),
             results.len(),
         );
+        // Degraded kernels (width-1 / scalar rungs) are reported, not
+        // fatal: graceful degradation is the whole point. Only a kernel
+        // with *no* program at all (or a fail-fast abort) gates.
+        let (_, run_failed) = print_failure_table(&results);
+        hard_failures += run_failed;
+        if opts.fail_fast && results.iter().any(|r| r.rung != Rung::Primary) {
+            hard_failures += 1;
+        }
         runs.push(RunReport::new(label, wall, &results));
     }
+    vegen::fault::clear();
 
     let mut trace_summary = TraceSummary::default();
     if tracing {
@@ -231,7 +339,7 @@ fn run_suite(args: &[String]) -> i32 {
         }
         None => println!("{text}"),
     }
-    if failed {
+    if failed || hard_failures > 0 {
         1
     } else {
         0
@@ -312,7 +420,15 @@ fn run_explain(args: &[String]) -> i32 {
 
     let cfg = BeamConfig { log_decisions: true, max_iters, ..BeamConfig::with_width(beam) };
     let t0 = Instant::now();
-    let r = select_packs(&ctx, &cfg);
+    // No budget is set here, so the search cannot fail — but surface a
+    // typed error cleanly rather than panicking if that ever changes.
+    let r = match select_packs(&ctx, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vegen-engine explain: selection failed: {e}");
+            return 2;
+        }
+    };
     let wall = t0.elapsed();
     println!(
         "selection: scalar {:.1} → vector {:.1} ({:.2}x estimated), {} states expanded in {wall:.2?}",
@@ -421,7 +537,29 @@ fn run_lint(args: &[String]) -> i32 {
     let mut total_warnings = 0usize;
     let mut rows = Vec::new();
     for r in &results {
-        let a = &r.kernel.analysis;
+        // A job that produced no program at all is an error-severity
+        // finding in its own right; degraded rungs still carry a real
+        // analysis (or an empty one for the scalar rung) and lint it.
+        let Some(kernel) = r.kernel.as_deref() else {
+            total_errors += 1;
+            let fault =
+                r.faults.first().map(|e| e.to_string()).unwrap_or_else(|| "no program".into());
+            println!("{:<24} {} — {fault}", r.name, r.rung.name());
+            rows.push(Json::obj([
+                ("name", Json::str(&r.name)),
+                ("rung", Json::str(r.rung.name())),
+                ("errors", Json::int(1)),
+                ("warnings", Json::int(0)),
+                ("packs_checked", Json::int(0)),
+                ("lanes_proved", Json::int(0)),
+                (
+                    "diagnostics",
+                    Json::Arr(r.faults.iter().map(|e| Json::str(e.to_string())).collect()),
+                ),
+            ]));
+            continue;
+        };
+        let a = &kernel.analysis;
         total_errors += a.error_count();
         total_warnings += a.warning_count();
         println!("{:<24} {}", r.name, a.verdict());
@@ -430,6 +568,7 @@ fn run_lint(args: &[String]) -> i32 {
         }
         rows.push(Json::obj([
             ("name", Json::str(&r.name)),
+            ("rung", Json::str(r.rung.name())),
             ("errors", Json::int(a.error_count() as u64)),
             ("warnings", Json::int(a.warning_count() as u64)),
             ("packs_checked", Json::int(a.packs_checked as u64)),
@@ -437,6 +576,7 @@ fn run_lint(args: &[String]) -> i32 {
             ("diagnostics", Json::Arr(a.all().map(|d| Json::str(d.to_string())).collect())),
         ]));
     }
+    print_failure_table(&results);
     println!(
         "vegen-engine lint: {} kernels in {wall:.2?} (target {}, beam {beam}) — {} error(s), \
          {} warning(s)",

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 
-//! `vegen-engine` — a parallel, cached, instrumented batch-compilation
-//! service around the [`vegen::driver`] pipeline.
+//! `vegen-engine` — a parallel, cached, instrumented, **fault-tolerant**
+//! batch-compilation service around the [`vegen::driver`] pipeline.
 //!
 //! The paper splits VeGen into an expensive *offline* phase (generating
 //! the target description from instruction semantics, §6.1) and a fast
@@ -16,16 +16,25 @@
 //!   hit/miss counters;
 //! * a [work-stealing batch executor](pool) on `std` scoped threads that
 //!   compiles a batch of named kernels in parallel and returns
-//!   deterministic, input-ordered results;
+//!   deterministic, input-ordered results — with per-job panic isolation;
+//! * a **graceful-degradation ladder**: a job that fails (typed error,
+//!   panic, deadline, budget exhaustion) is retried at beam width 1 (the
+//!   SLP heuristic) with a fresh deadline window, then falls back to the
+//!   always-correct scalar lowering, and only reports `Failed` when even
+//!   that is impossible. Every result records the [`Rung`] it completed
+//!   on and the faults collected on the way down;
 //! * a telemetry layer: per-stage wall times from
 //!   [`vegen::driver::StageTimes`] plus engine-level counters (cache
-//!   hits, beam states expanded, packs committed), exported as a
-//!   JSON-serializable [`report::EngineReport`];
+//!   hits, beam states expanded, packs committed, failures, retries,
+//!   degradations, deadline hits), exported as a JSON-serializable
+//!   [`report::EngineReport`] (schema v5);
 //! * a `vegen-engine` binary that pushes the whole `vegen-kernels` suite
-//!   through the engine, cold and warm, and emits the JSON report.
+//!   through the engine, cold and warm, and emits the JSON report — with
+//!   `--deadline-ms`, `--fail-fast`, and deterministic `--faults`
+//!   injection knobs.
 //!
 //! ```
-//! use vegen_engine::{Engine, EngineConfig, Job};
+//! use vegen_engine::{Engine, EngineConfig, Job, Rung};
 //! use vegen::driver::PipelineConfig;
 //! use vegen_isa::TargetIsa;
 //!
@@ -38,6 +47,7 @@
 //!     .collect();
 //! let results = engine.compile_batch(&jobs);
 //! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.rung == Rung::Primary && r.kernel.is_some()));
 //! // A second run of the same batch is served from the cache.
 //! let again = engine.compile_batch(&jobs);
 //! assert!(again.iter().all(|r| r.cache_hit));
@@ -52,12 +62,18 @@ pub mod report;
 /// re-exported here for compatibility with existing imports.
 pub use vegen_trace::json;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cache::{content_hash, CacheStats, CachedCompile, CompileCache, ContentHash};
-use vegen::driver::{compile_prepared_timed, prepare, CompiledKernel, PipelineConfig, StageTimes};
+use vegen::driver::{
+    compile_scalar_fallback, try_compile_prepared_timed, try_prepare, CompiledKernel,
+    PipelineConfig, StageTimes,
+};
+use vegen::error::{panic_message, take_panic_stage, CompileError, ErrorCause, Stage};
+use vegen_core::BeamConfig;
 use vegen_ir::Function;
 
 /// Engine construction parameters.
@@ -72,11 +88,26 @@ pub struct EngineConfig {
     /// three programs; `0` skips verification. Verification runs once per
     /// cache entry — hits are served without re-checking.
     pub verify_trials: u64,
+    /// Per-job wall-clock deadline. Checked at every stage boundary and
+    /// threaded into the beam search as a cooperative wall budget. Each
+    /// degradation rung gets a *fresh* window (otherwise a deadline that
+    /// killed the primary attempt would instantly kill the retry too).
+    pub deadline: Option<Duration>,
+    /// Abort the rest of a batch after the first job that ends below
+    /// [`Rung::Primary`]. Remaining jobs come back as [`Rung::Skipped`].
+    /// Default off: degrade-and-continue is the production posture.
+    pub fail_fast: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
-        EngineConfig { threads: 0, cache_capacity: 512, verify_trials: 16 }
+        EngineConfig {
+            threads: 0,
+            cache_capacity: 512,
+            verify_trials: 16,
+            deadline: None,
+            fail_fast: false,
+        }
     }
 }
 
@@ -98,15 +129,57 @@ impl Job {
     }
 }
 
+/// Which rung of the degradation ladder a job completed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// The requested configuration succeeded.
+    Primary,
+    /// The requested configuration failed; the beam-width-1 (SLP
+    /// heuristic) retry succeeded.
+    Width1,
+    /// Both search rungs failed; the verified scalar lowering was used.
+    Scalar,
+    /// Every rung failed; `kernel` is `None` and `faults` says why.
+    Failed,
+    /// Not attempted: an earlier failure aborted the batch
+    /// (`fail_fast`).
+    Skipped,
+}
+
+impl Rung {
+    /// Stable lower-case name for reports and failure tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Primary => "primary",
+            Rung::Width1 => "width1",
+            Rung::Scalar => "scalar",
+            Rung::Failed => "failed",
+            Rung::Skipped => "skipped",
+        }
+    }
+
+    /// Did the job produce a program (any rung but `Failed`/`Skipped`)?
+    pub fn produced_kernel(self) -> bool {
+        matches!(self, Rung::Primary | Rung::Width1 | Rung::Scalar)
+    }
+}
+
 /// The engine's answer for one [`Job`].
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// The job's display name.
     pub name: String,
-    /// Content address this job resolved to.
-    pub hash: ContentHash,
+    /// Content address this job resolved to (`None` when preparation
+    /// itself failed, so no canonical form was ever hashed).
+    pub hash: Option<ContentHash>,
     /// The compiled kernel (shared with the cache and any equal jobs).
-    pub kernel: Arc<CompiledKernel>,
+    /// `None` exactly when `rung` is [`Rung::Failed`] or [`Rung::Skipped`].
+    pub kernel: Option<Arc<CompiledKernel>>,
+    /// Which degradation rung produced `kernel`.
+    pub rung: Rung,
+    /// Typed faults collected on the way down the ladder (empty for a
+    /// clean [`Rung::Primary`] result).
+    pub faults: Vec<CompileError>,
     /// Per-stage wall times of the compile that produced `kernel` — on a
     /// cache hit these are the *original* (cold) times, kept so warm runs
     /// can still attribute where the cold time went.
@@ -119,6 +192,13 @@ pub struct JobResult {
     pub verify_error: Option<String>,
     /// Wall time this job cost in *this* run (hash + lookup on a hit).
     pub wall: Duration,
+}
+
+impl JobResult {
+    /// Did this job fail outright (no program at all)?
+    pub fn failed(&self) -> bool {
+        !self.rung.produced_kernel()
+    }
 }
 
 /// Engine-lifetime counters (monotonic; never reset).
@@ -136,7 +216,8 @@ pub struct EngineCounters {
     pub producer_cache_misses: u64,
     /// Packs committed by selected pack sets across all misses.
     pub packs_committed: u64,
-    /// Compilations performed (cache misses that ran the pipeline).
+    /// Compilations performed (cache misses that ran the pipeline,
+    /// counting every ladder attempt that ran to completion).
     pub compilations: u64,
     /// Static analyses run (one per compilation; the driver's
     /// post-lowering legality + provenance + lint stage).
@@ -144,6 +225,15 @@ pub struct EngineCounters {
     /// Error-severity findings those analyses produced (0 on a healthy
     /// pipeline; any nonzero value means a selection or lowering bug).
     pub analysis_errors: u64,
+    /// Compile attempts that ended in a typed error or caught panic
+    /// (every rung's failures counted individually).
+    pub failures: u64,
+    /// Width-1 retry attempts started (rung 2 of the ladder).
+    pub retries: u64,
+    /// Jobs that completed below [`Rung::Primary`] (width-1 or scalar).
+    pub degradations: u64,
+    /// Failures classified as deadline/budget exhaustion.
+    pub deadline_hits: u64,
 }
 
 /// A parallel, cached, instrumented batch compiler.
@@ -159,7 +249,14 @@ pub struct Engine {
     compilations: AtomicU64,
     analyses: AtomicU64,
     analysis_errors: AtomicU64,
+    failures: AtomicU64,
+    retries: AtomicU64,
+    degradations: AtomicU64,
+    deadline_hits: AtomicU64,
 }
+
+/// Outcome of one isolated compile attempt.
+type Attempt = Result<(CompiledKernel, StageTimes), CompileError>;
 
 impl Engine {
     /// An engine with the given configuration.
@@ -177,6 +274,10 @@ impl Engine {
             compilations: AtomicU64::new(0),
             analyses: AtomicU64::new(0),
             analysis_errors: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degradations: AtomicU64::new(0),
+            deadline_hits: AtomicU64::new(0),
         }
     }
 
@@ -185,38 +286,45 @@ impl Engine {
         &self.cfg
     }
 
-    /// Compile one function, through the cache.
-    pub fn compile_one(
+    /// One pipeline attempt with panic isolation: a panic anywhere inside
+    /// the driver becomes a typed [`CompileError`] attributed to the
+    /// stage that was live when it fired.
+    fn attempt(
         &self,
         name: &str,
-        function: &Function,
+        canonical: &Function,
         pipeline: &PipelineConfig,
-    ) -> JobResult {
-        let _job_span = vegen_trace::enabled()
-            .then(|| vegen_trace::span_owned("engine", format!("job:{name}")));
-        let t0 = Instant::now();
-        let prep_start = Instant::now();
-        let canonical = prepare(function);
-        let canonicalize_time = prep_start.elapsed();
-        let hash = content_hash(&canonical, pipeline);
-
-        if let Some(hit) = self.cache.get(hash) {
-            vegen_trace::instant("engine", "cache_hit");
-            return JobResult {
-                name: name.to_string(),
-                hash,
-                kernel: hit.kernel,
-                stages: hit.stages,
-                cache_hit: true,
-                verify_time: Duration::ZERO,
-                verify_error: None,
-                wall: t0.elapsed(),
-            };
+        deadline: Option<Duration>,
+    ) -> Attempt {
+        let deadline = deadline.map(|d| (Instant::now() + d, d));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            try_compile_prepared_timed(canonical.clone(), pipeline, deadline)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let stage = take_panic_stage().unwrap_or(Stage::Selection);
+                Err(CompileError::new(
+                    stage,
+                    name,
+                    ErrorCause::Panic { message: panic_message(payload.as_ref()) },
+                ))
+            }
         }
+    }
 
-        vegen_trace::instant("engine", "cache_miss");
-        let (kernel, mut stages) = compile_prepared_timed(canonical, pipeline);
-        stages.canonicalize = canonicalize_time;
+    /// Record a failed attempt in the counters and fault log.
+    fn note_failure(&self, error: CompileError, faults: &mut Vec<CompileError>) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        if error.cause.is_timeout() {
+            self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        vegen_trace::instant("engine", "attempt_failed");
+        faults.push(error);
+    }
+
+    /// Fold one successful compile's search statistics into the counters.
+    fn note_compilation(&self, kernel: &CompiledKernel) {
         let stats = kernel.selection.stats;
         self.states_expanded.fetch_add(kernel.selection.states_expanded as u64, Ordering::Relaxed);
         self.transitions.fetch_add(stats.transitions, Ordering::Relaxed);
@@ -227,7 +335,10 @@ impl Engine {
         self.compilations.fetch_add(1, Ordering::Relaxed);
         self.analyses.fetch_add(1, Ordering::Relaxed);
         self.analysis_errors.fetch_add(kernel.analysis.error_count() as u64, Ordering::Relaxed);
+    }
 
+    /// Verify `kernel`, returning `(verify_time, verify_error)`.
+    fn verify(&self, kernel: &CompiledKernel) -> (Duration, Option<String>) {
         let verify_start = Instant::now();
         let verify_error = if self.cfg.verify_trials > 0 {
             let _sp = vegen_trace::span("engine", "verify");
@@ -235,39 +346,257 @@ impl Engine {
         } else {
             None
         };
-        let verify_time = verify_start.elapsed();
+        (verify_start.elapsed(), verify_error)
+    }
 
-        let kernel = Arc::new(kernel);
-        // Failed compilations are not poisoned into the cache.
-        let value = if verify_error.is_none() {
-            self.cache.insert(hash, CachedCompile { kernel: kernel.clone(), stages })
-        } else {
-            CachedCompile { kernel: kernel.clone(), stages }
+    /// Compile one function, through the cache and down the degradation
+    /// ladder: requested config → beam width 1 → scalar fallback →
+    /// `Failed`. Panics anywhere in the pipeline are caught and typed;
+    /// this method itself never panics on a malformed kernel.
+    pub fn compile_one(
+        &self,
+        name: &str,
+        function: &Function,
+        pipeline: &PipelineConfig,
+    ) -> JobResult {
+        let _job_span = vegen_trace::enabled()
+            .then(|| vegen_trace::span_owned("engine", format!("job:{name}")));
+        let t0 = Instant::now();
+        let mut faults: Vec<CompileError> = Vec::new();
+
+        // Preparation (canonicalize) with its own panic isolation: if we
+        // cannot even canonicalize, there is no scalar fallback either.
+        let prep_start = Instant::now();
+        let prepared = catch_unwind(AssertUnwindSafe(|| try_prepare(function)));
+        let canonicalize_time = prep_start.elapsed();
+        let canonical = match prepared {
+            Ok(Ok(f)) => f,
+            Ok(Err(e)) => {
+                self.note_failure(e, &mut faults);
+                return self.failed_result(name, None, faults, t0);
+            }
+            Err(payload) => {
+                let stage = take_panic_stage().unwrap_or(Stage::Canonicalize);
+                let e = CompileError::new(
+                    stage,
+                    name,
+                    ErrorCause::Panic { message: panic_message(payload.as_ref()) },
+                );
+                self.note_failure(e, &mut faults);
+                return self.failed_result(name, None, faults, t0);
+            }
         };
+        let hash = content_hash(&canonical, pipeline);
+
+        if let Some(hit) = self.cache.get(hash) {
+            vegen_trace::instant("engine", "cache_hit");
+            return JobResult {
+                name: name.to_string(),
+                hash: Some(hash),
+                kernel: Some(hit.kernel),
+                rung: Rung::Primary,
+                faults,
+                stages: hit.stages,
+                cache_hit: true,
+                verify_time: Duration::ZERO,
+                verify_error: None,
+                wall: t0.elapsed(),
+            };
+        }
+        vegen_trace::instant("engine", "cache_miss");
+
+        // Rung 1: the requested configuration.
+        match self.attempt(name, &canonical, pipeline, self.cfg.deadline) {
+            Ok((kernel, mut stages)) => {
+                stages.canonicalize = canonicalize_time;
+                self.note_compilation(&kernel);
+                let (verify_time, verify_error) = self.verify(&kernel);
+                let kernel = Arc::new(kernel);
+                // Failed compilations are not poisoned into the cache;
+                // only clean primary-rung results are shareable.
+                let value = if verify_error.is_none() {
+                    self.cache.insert(hash, CachedCompile { kernel: kernel.clone(), stages })
+                } else {
+                    CachedCompile { kernel: kernel.clone(), stages }
+                };
+                return JobResult {
+                    name: name.to_string(),
+                    hash: Some(hash),
+                    kernel: Some(value.kernel),
+                    rung: Rung::Primary,
+                    faults,
+                    stages: value.stages,
+                    cache_hit: false,
+                    verify_time,
+                    verify_error,
+                    wall: t0.elapsed(),
+                };
+            }
+            Err(e) => self.note_failure(e, &mut faults),
+        }
+
+        // Rung 2: beam width 1 (the SLP heuristic) — cheap, deterministic,
+        // and with a fresh deadline window. Skipped when the primary
+        // config already *was* width 1 (retrying it changes nothing
+        // unless the failure was an injected one-shot fault, which is
+        // exactly what the harness wants to exercise).
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        vegen_trace::instant("engine", "retry_width1");
+        let narrow = PipelineConfig {
+            beam: BeamConfig { budget: pipeline.beam.budget.clone(), ..BeamConfig::slp() },
+            ..pipeline.clone()
+        };
+        match self.attempt(name, &canonical, &narrow, self.cfg.deadline) {
+            Ok((kernel, mut stages)) => {
+                stages.canonicalize = canonicalize_time;
+                self.note_compilation(&kernel);
+                self.degradations.fetch_add(1, Ordering::Relaxed);
+                vegen_trace::instant("engine", "degraded_width1");
+                let (verify_time, verify_error) = self.verify(&kernel);
+                return JobResult {
+                    name: name.to_string(),
+                    hash: Some(hash),
+                    kernel: Some(Arc::new(kernel)),
+                    rung: Rung::Width1,
+                    faults,
+                    stages,
+                    cache_hit: false,
+                    verify_time,
+                    verify_error,
+                    wall: t0.elapsed(),
+                };
+            }
+            Err(e) => self.note_failure(e, &mut faults),
+        }
+
+        // Rung 3: the verified scalar lowering — always correct by
+        // construction, no search, no baseline; isolated all the same.
+        let scalar = catch_unwind(AssertUnwindSafe(|| compile_scalar_fallback(canonical.clone())));
+        match scalar {
+            Ok(Ok((kernel, mut stages))) => {
+                stages.canonicalize = canonicalize_time;
+                self.degradations.fetch_add(1, Ordering::Relaxed);
+                vegen_trace::instant("engine", "degraded_scalar");
+                let (verify_time, verify_error) = self.verify(&kernel);
+                JobResult {
+                    name: name.to_string(),
+                    hash: Some(hash),
+                    kernel: Some(Arc::new(kernel)),
+                    rung: Rung::Scalar,
+                    faults,
+                    stages,
+                    cache_hit: false,
+                    verify_time,
+                    verify_error,
+                    wall: t0.elapsed(),
+                }
+            }
+            Ok(Err(e)) => {
+                self.note_failure(e, &mut faults);
+                self.failed_result(name, Some(hash), faults, t0)
+            }
+            Err(payload) => {
+                let stage = take_panic_stage().unwrap_or(Stage::Lowering);
+                let e = CompileError::new(
+                    stage,
+                    name,
+                    ErrorCause::Panic { message: panic_message(payload.as_ref()) },
+                );
+                self.note_failure(e, &mut faults);
+                self.failed_result(name, Some(hash), faults, t0)
+            }
+        }
+    }
+
+    /// A terminal [`Rung::Failed`] result.
+    fn failed_result(
+        &self,
+        name: &str,
+        hash: Option<ContentHash>,
+        faults: Vec<CompileError>,
+        t0: Instant,
+    ) -> JobResult {
+        vegen_trace::instant("engine", "job_failed");
         JobResult {
             name: name.to_string(),
             hash,
-            kernel: value.kernel,
-            stages: value.stages,
+            kernel: None,
+            rung: Rung::Failed,
+            faults,
+            stages: StageTimes::default(),
             cache_hit: false,
-            verify_time,
-            verify_error,
+            verify_time: Duration::ZERO,
+            verify_error: None,
             wall: t0.elapsed(),
+        }
+    }
+
+    /// A [`Rung::Skipped`] result (fail-fast aborted the batch).
+    fn skipped_result(name: &str) -> JobResult {
+        JobResult {
+            name: name.to_string(),
+            hash: None,
+            kernel: None,
+            rung: Rung::Skipped,
+            faults: Vec::new(),
+            stages: StageTimes::default(),
+            cache_hit: false,
+            verify_time: Duration::ZERO,
+            verify_error: None,
+            wall: Duration::ZERO,
         }
     }
 
     /// Compile a batch in parallel. Results are input-ordered and
     /// deterministic: the programs produced never depend on thread count
-    /// or scheduling, only the timing fields do.
+    /// or scheduling, only the timing fields do. One job's failure (even
+    /// a panic) never takes sibling jobs with it; under
+    /// [`EngineConfig::fail_fast`] jobs *started after* the first
+    /// sub-primary result come back [`Rung::Skipped`].
     pub fn compile_batch(&self, jobs: &[Job]) -> Vec<JobResult> {
         let threads = if self.cfg.threads == 0 {
             pool::default_threads(jobs.len())
         } else {
             self.cfg.threads
         };
-        pool::run_batch(threads, jobs, |_, job| {
-            self.compile_one(&job.name, &job.function, &job.pipeline)
-        })
+        let abort = AtomicBool::new(false);
+        pool::run_batch_recover(
+            threads,
+            jobs,
+            |_, job| {
+                if self.cfg.fail_fast && abort.load(Ordering::Relaxed) {
+                    return Engine::skipped_result(&job.name);
+                }
+                let result = self.compile_one(&job.name, &job.function, &job.pipeline);
+                if self.cfg.fail_fast && result.rung != Rung::Primary {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                result
+            },
+            // Second line of defense: a panic that escapes compile_one's
+            // own isolation (engine bookkeeping, cache code) still only
+            // fails its job, not the batch.
+            |_, job, message| {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                let stage = take_panic_stage().unwrap_or(Stage::Canonicalize);
+                JobResult {
+                    name: job.name.clone(),
+                    hash: None,
+                    kernel: None,
+                    rung: Rung::Failed,
+                    faults: vec![CompileError::new(
+                        stage,
+                        &job.name,
+                        ErrorCause::Panic { message },
+                    )],
+                    stages: StageTimes::default(),
+                    cache_hit: false,
+                    verify_time: Duration::ZERO,
+                    verify_error: None,
+                    wall: Duration::ZERO,
+                }
+            },
+        )
     }
 
     /// Current cache counters.
@@ -287,6 +616,10 @@ impl Engine {
             compilations: self.compilations.load(Ordering::Relaxed),
             analyses: self.analyses.load(Ordering::Relaxed),
             analysis_errors: self.analysis_errors.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
         }
     }
 

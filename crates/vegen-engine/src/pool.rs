@@ -6,8 +6,19 @@
 //! own front, and steals from the *back* of the busiest victim when it runs
 //! dry. Results land in their input slot, so the returned vector is always
 //! in input order no matter how execution interleaved.
+//!
+//! ## Panic isolation
+//!
+//! Every job runs under `catch_unwind`, so one poisoned job can never take
+//! down the worker (and with it, every job still queued on that worker's
+//! deque). [`run_batch`] preserves the historical contract — the first
+//! panic resurfaces on the caller *after* the whole batch completes —
+//! while [`run_batch_recover`] maps each panic through a recovery closure
+//! into an ordinary result, which is how the engine turns a crashed
+//! compilation into a `Failed` job instead of an aborted batch.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Number of workers to use for `n` jobs: the available parallelism,
@@ -17,12 +28,8 @@ pub fn default_threads(n: usize) -> usize {
     hw.min(n).max(1)
 }
 
-/// Run `work(index, &item)` over every item on `threads` workers and
-/// return the results in input order.
-///
-/// `work` runs exactly once per item. Panics in `work` propagate: the
-/// scope joins all workers, then the panic resurfaces on the caller.
-pub fn run_batch<T, R, F>(threads: usize, items: &[T], work: F) -> Vec<R>
+/// Run every job, catching panics; slot `i` holds job `i`'s outcome.
+fn run_core<T, R, F>(threads: usize, items: &[T], work: F) -> Vec<std::thread::Result<R>>
 where
     T: Sync,
     R: Send,
@@ -33,8 +40,9 @@ where
         return Vec::new();
     }
     let threads = threads.clamp(1, n);
+    let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| work(i, &items[i])));
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, item)| work(i, item)).collect();
+        return (0..n).map(guarded).collect();
     }
 
     // Deal job indices round-robin so each deque starts with a spread of
@@ -42,28 +50,31 @@ where
     // uniformly expensive) range.
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..threads).map(|w| Mutex::new((w..n).step_by(threads).collect())).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for me in 0..threads {
             let queues = &queues;
             let slots = &slots;
-            let work = &work;
+            let guarded = &guarded;
             scope.spawn(move || loop {
                 let job = {
                     let _wait = vegen_trace::span("pool", "queue_wait");
                     // Own queue first (front: LIFO-ish locality is
                     // irrelevant here, FIFO keeps input order roughly
                     // preserved)…
-                    let job = queues[me].lock().unwrap().pop_front();
+                    let job = queues[me].lock().unwrap_or_else(|e| e.into_inner()).pop_front();
                     match job {
                         Some(j) => Some(j),
                         // …then steal from the back of the fullest victim.
                         None => {
-                            let victim = (0..threads)
-                                .filter(|&v| v != me)
-                                .max_by_key(|&v| queues[v].lock().unwrap().len());
-                            let stolen = victim.and_then(|v| queues[v].lock().unwrap().pop_back());
+                            let victim = (0..threads).filter(|&v| v != me).max_by_key(|&v| {
+                                queues[v].lock().unwrap_or_else(|e| e.into_inner()).len()
+                            });
+                            let stolen = victim.and_then(|v| {
+                                queues[v].lock().unwrap_or_else(|e| e.into_inner()).pop_back()
+                            });
                             if stolen.is_some() {
                                 vegen_trace::instant("pool", "steal");
                             }
@@ -75,9 +86,12 @@ where
                     Some(i) => {
                         let r = {
                             let _sp = vegen_trace::span("pool", "job");
-                            work(i, &items[i])
+                            guarded(i)
                         };
-                        *slots[i].lock().unwrap() = Some(r);
+                        if r.is_err() {
+                            vegen_trace::instant("pool", "job_panicked");
+                        }
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                     }
                     None => break,
                 }
@@ -87,7 +101,55 @@ where
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every job ran exactly once"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every job ran exactly once")
+        })
+        .collect()
+}
+
+/// Run `work(index, &item)` over every item on `threads` workers and
+/// return the results in input order.
+///
+/// `work` runs exactly once per item. A panicking job does **not** abort
+/// the batch — every remaining job still runs — but the first panic (in
+/// input order) resurfaces on the caller once the batch completes. Use
+/// [`run_batch_recover`] to convert panics into results instead.
+pub fn run_batch<T, R, F>(threads: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in run_core(threads, items, work) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`run_batch`], but a panicking job is mapped through
+/// `recover(index, &item, panic_message)` into an ordinary result, so the
+/// returned vector is always complete and input-ordered no matter how
+/// many jobs crashed.
+pub fn run_batch_recover<T, R, F, G>(threads: usize, items: &[T], work: F, recover: G) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    G: Fn(usize, &T, String) -> R,
+{
+    run_core(threads, items, work)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(v) => v,
+            Err(payload) => recover(i, &items[i], vegen::error::panic_message(payload.as_ref())),
+        })
         .collect()
 }
 
@@ -136,5 +198,52 @@ mod tests {
     fn empty_batch_is_fine() {
         let out: Vec<()> = run_batch(8, &Vec::<u8>::new(), |_, _| ());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_job_does_not_lose_siblings() {
+        // Every non-faulted job completes; the recover closure sees the
+        // panic message; order is preserved.
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 3, 8] {
+            let ran: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
+            let out = run_batch_recover(
+                threads,
+                &items,
+                |_, &x| {
+                    ran[x].fetch_add(1, Ordering::SeqCst);
+                    if x % 7 == 3 {
+                        panic!("boom at {x}");
+                    }
+                    x as i64
+                },
+                |i, &x, msg| {
+                    assert_eq!(i, x);
+                    assert!(msg.contains(&format!("boom at {x}")), "payload preserved: {msg}");
+                    -(x as i64)
+                },
+            );
+            let want: Vec<i64> =
+                items.iter().map(|&x| if x % 7 == 3 { -(x as i64) } else { x as i64 }).collect();
+            assert_eq!(out, want, "threads={threads}");
+            assert!(ran.iter().all(|c| c.load(Ordering::SeqCst) == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_batch_still_propagates_the_first_panic_after_completion() {
+        let ran = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_batch(4, &items, |_, &x| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if x == 5 {
+                    panic!("legacy contract");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err(), "panic must resurface");
+        assert_eq!(ran.load(Ordering::SeqCst), 16, "but only after every job ran");
     }
 }

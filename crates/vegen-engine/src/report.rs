@@ -47,10 +47,18 @@ impl StageReport {
 pub struct KernelReport {
     /// Kernel name.
     pub name: String,
-    /// Content address (hex).
+    /// Content address (hex; empty when preparation failed before
+    /// anything could be hashed).
     pub content_hash: String,
     /// Whether the cache served it.
     pub cache_hit: bool,
+    /// Degradation rung the job completed on ("primary", "width1",
+    /// "scalar", "failed", "skipped").
+    pub rung: &'static str,
+    /// Whether the job produced no program at all.
+    pub failed: bool,
+    /// Rendered faults collected down the ladder (empty on a clean run).
+    pub faults: Vec<String>,
     /// Estimated cycles: scalar / baseline-SLP / VeGen.
     pub scalar_cycles: f64,
     /// Baseline cycles.
@@ -124,27 +132,47 @@ impl DecisionSummary {
 }
 
 impl KernelReport {
-    /// Build a row from an engine result.
+    /// Build a row from an engine result. A failed/skipped job (no
+    /// kernel) yields a row with zeroed metrics and its faults rendered.
     pub fn from_result(r: &JobResult) -> KernelReport {
-        let (scalar, baseline, vegen) = r.kernel.cycles();
-        KernelReport {
+        let faults = r.faults.iter().map(|e| e.to_string()).collect();
+        let base = KernelReport {
             name: r.name.clone(),
-            content_hash: r.hash.hex(),
+            content_hash: r.hash.map(|h| h.hex()).unwrap_or_default(),
             cache_hit: r.cache_hit,
-            scalar_cycles: scalar,
-            baseline_cycles: baseline,
-            vegen_cycles: vegen,
-            speedup_vs_baseline: r.kernel.speedup_vs_baseline(),
-            speedup_vs_scalar: r.kernel.speedup_vs_scalar(),
-            states_expanded: r.kernel.selection.states_expanded,
-            beam: r.kernel.selection.stats,
-            packs_committed: r.kernel.selection.packs.len(),
-            vegen_ops: r.kernel.vegen.vector_ops_used(),
+            rung: r.rung.name(),
+            failed: r.failed(),
+            faults,
+            scalar_cycles: 0.0,
+            baseline_cycles: 0.0,
+            vegen_cycles: 0.0,
+            speedup_vs_baseline: 0.0,
+            speedup_vs_scalar: 0.0,
+            states_expanded: 0,
+            beam: Default::default(),
+            packs_committed: 0,
+            vegen_ops: Vec::new(),
             stage_times: StageReport { stages: r.stages, verify: r.verify_time },
             wall: r.wall,
             verify_error: r.verify_error.clone(),
-            analysis: AnalysisSummary::from_report(&r.kernel.analysis),
-            decisions: r.kernel.selection.decisions.as_ref().map(DecisionSummary::from_log),
+            analysis: AnalysisSummary::default(),
+            decisions: None,
+        };
+        let Some(kernel) = r.kernel.as_deref() else { return base };
+        let (scalar, baseline, vegen) = kernel.cycles();
+        KernelReport {
+            scalar_cycles: scalar,
+            baseline_cycles: baseline,
+            vegen_cycles: vegen,
+            speedup_vs_baseline: kernel.speedup_vs_baseline(),
+            speedup_vs_scalar: kernel.speedup_vs_scalar(),
+            states_expanded: kernel.selection.states_expanded,
+            beam: kernel.selection.stats,
+            packs_committed: kernel.selection.packs.len(),
+            vegen_ops: kernel.vegen.vector_ops_used(),
+            analysis: AnalysisSummary::from_report(&kernel.analysis),
+            decisions: kernel.selection.decisions.as_ref().map(DecisionSummary::from_log),
+            ..base
         }
     }
 
@@ -153,6 +181,9 @@ impl KernelReport {
             ("name", Json::str(&self.name)),
             ("content_hash", Json::str(&self.content_hash)),
             ("cache_hit", Json::Bool(self.cache_hit)),
+            ("rung", Json::str(self.rung)),
+            ("failed", Json::Bool(self.failed)),
+            ("faults", Json::Arr(self.faults.iter().map(Json::str).collect())),
             ("scalar_cycles", Json::Num(self.scalar_cycles)),
             ("baseline_cycles", Json::Num(self.baseline_cycles)),
             ("vegen_cycles", Json::Num(self.vegen_cycles)),
@@ -195,7 +226,7 @@ impl KernelReport {
     }
 }
 
-/// The static-validation block of a kernel row (schema v4).
+/// The static-validation block of a kernel row (since schema v4).
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisSummary {
     /// Error-severity findings across all three passes.
@@ -289,7 +320,8 @@ pub struct EngineReport {
     pub trace: TraceSummary,
 }
 
-/// Metadata about the trace session that accompanied a report (schema v3).
+/// Metadata about the trace session that accompanied a report (since
+/// schema v3).
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
     /// Whether tracing was enabled for the session.
@@ -324,7 +356,7 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v4")),
+            ("schema", Json::str("vegen-engine-report/v5")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
@@ -353,6 +385,10 @@ impl EngineReport {
                     ("compilations", Json::int(self.counters.compilations)),
                     ("analyses", Json::int(self.counters.analyses)),
                     ("analysis_errors", Json::int(self.counters.analysis_errors)),
+                    ("failures", Json::int(self.counters.failures)),
+                    ("retries", Json::int(self.counters.retries)),
+                    ("degradations", Json::int(self.counters.degradations)),
+                    ("deadline_hits", Json::int(self.counters.deadline_hits)),
                 ]),
             ),
             ("trace", self.trace.to_json()),

@@ -90,13 +90,13 @@ fn verification_failure_is_surfaced_with_kernel_name() {
 }
 
 #[test]
-fn engine_report_v4_round_trips_through_the_parser() {
+fn engine_report_v5_round_trips_through_the_parser() {
     let report = small_report(true);
     let doc = report.to_json();
-    // Render pretty, hand-parse, and walk the v3 fields back out.
+    // Render pretty, hand-parse, and walk the fields back out.
     let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
     assert_eq!(parsed, doc, "render → parse must be lossless");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v4"));
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v5"));
     let trace = parsed.get("trace").expect("report has trace metadata");
     assert_eq!(trace.get("enabled").unwrap().as_bool(), Some(false));
     assert_eq!(trace.get("file"), Some(&Json::Null));
@@ -111,9 +111,17 @@ fn engine_report_v4_round_trips_through_the_parser() {
     let analysis = kernel.get("analysis").expect("v4 has an analysis block");
     assert_eq!(analysis.get("errors").unwrap().as_f64(), Some(0.0));
     assert!(analysis.get("lanes_proved").unwrap().as_f64().unwrap() > 0.0);
+    // The v5 fault-tolerance fields: a clean run is all primary-rung,
+    // fault-free, with zeroed failure counters.
+    assert_eq!(kernel.get("rung").unwrap().as_str(), Some("primary"));
+    assert_eq!(kernel.get("failed").unwrap().as_bool(), Some(false));
+    assert!(kernel.get("faults").unwrap().as_arr().unwrap().is_empty());
     let counters = parsed.get("counters").unwrap();
     assert!(counters.get("analyses").unwrap().as_f64().unwrap() >= 3.0);
     assert_eq!(counters.get("analysis_errors").unwrap().as_f64(), Some(0.0));
+    for c in ["failures", "retries", "degradations", "deadline_hits"] {
+        assert_eq!(counters.get(c).unwrap().as_f64(), Some(0.0), "{c}");
+    }
     let stage = kernel.get("stage_times").unwrap();
     assert!(stage.get("analysis_us").unwrap().as_f64().unwrap() >= 0.0);
     // And the compact rendering parses to the same tree.
@@ -205,7 +213,8 @@ fn trace_session_captures_all_three_layers_without_perturbing_codegen() {
 
     // Observation only: identical programs with tracing on.
     for (p, t) in plain.iter().zip(&traced) {
-        assert_eq!(listing(&p.kernel.vegen), listing(&t.kernel.vegen), "{}", p.name);
+        let (pk, tk) = (p.kernel.as_deref().unwrap(), t.kernel.as_deref().unwrap());
+        assert_eq!(listing(&pk.vegen), listing(&tk.vegen), "{}", p.name);
         assert_eq!(p.hash, t.hash);
     }
 
@@ -278,11 +287,12 @@ fn shared_cache_arc_survives_decision_logging() {
     let a = engine.compile_batch(&jobs_for(&["pmaddwd"], &pipeline(4)));
     let b = engine.compile_batch(&jobs_for(&["pmaddwd"], &logged));
     assert_ne!(a[0].hash, b[0].hash, "configs differ, addresses must differ");
-    assert!(!Arc::ptr_eq(&a[0].kernel, &b[0].kernel));
-    assert!(b[0].kernel.selection.decisions.is_some());
-    assert!(a[0].kernel.selection.decisions.is_none());
+    assert!(!Arc::ptr_eq(a[0].kernel.as_ref().unwrap(), b[0].kernel.as_ref().unwrap()));
+    let (ak, bk) = (a[0].kernel.as_deref().unwrap(), b[0].kernel.as_deref().unwrap());
+    assert!(bk.selection.decisions.is_some());
+    assert!(ak.selection.decisions.is_none());
     // Identical generated code either way.
-    assert_eq!(listing(&a[0].kernel.vegen), listing(&b[0].kernel.vegen));
+    assert_eq!(listing(&ak.vegen), listing(&bk.vegen));
 }
 
 #[test]

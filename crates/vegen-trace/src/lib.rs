@@ -139,7 +139,7 @@ impl TraceData {
 /// Start a trace session with the given per-thread capacity. Any previous
 /// session's buffers are discarded.
 pub fn enable(capacity: usize) {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     reg.clear();
     CAPACITY.store(capacity.max(16), Ordering::Relaxed);
     // Bumping the generation invalidates every thread's cached buffer, so
@@ -178,7 +178,7 @@ fn record(ev: TraceEvent) {
                     .map(str::to_string)
                     .unwrap_or_else(|| format!("thread-{tid}"));
                 let ring = Arc::new(Ring::new(CAPACITY.load(Ordering::Relaxed), tid, name));
-                registry().lock().unwrap().push(ring.clone());
+                registry().lock().unwrap_or_else(|e| e.into_inner()).push(ring.clone());
                 ring.push(ev);
                 *slot = Some((generation, ring));
             }
@@ -236,6 +236,17 @@ pub fn instant(cat: &'static str, name: &'static str) {
     });
 }
 
+/// Record a point-in-time marker with a computed name (e.g. a fault
+/// site: `"fault:panic:selection:kernel"`). Callers on hot paths should
+/// guard the `format!` with [`enabled`].
+#[inline]
+pub fn instant_owned(cat: &'static str, name: String) {
+    if !enabled() {
+        return;
+    }
+    record(TraceEvent { ts_us: now_us(), cat, name: Cow::Owned(name), kind: EventKind::Instant });
+}
+
 /// Record a counter sample.
 #[inline]
 pub fn counter(cat: &'static str, name: &'static str, value: f64) {
@@ -254,7 +265,7 @@ pub fn counter(cat: &'static str, name: &'static str, value: f64) {
 /// clear buffers; call [`disable`] (or [`enable`] for a fresh session)
 /// around it at session end.
 pub fn drain() -> TraceData {
-    let reg = registry().lock().unwrap();
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     let mut threads: Vec<ThreadTrace> = reg.iter().map(|r| r.snapshot()).collect();
     threads.sort_by_key(|t| t.tid);
     TraceData { threads }

@@ -130,7 +130,17 @@ impl<'a> Lexer<'a> {
                     {
                         end += 1;
                     }
-                    let word = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                    // The span is all ASCII by construction, but a typed
+                    // error beats a panic if that invariant ever breaks.
+                    let word = match std::str::from_utf8(&self.src[self.pos..end]) {
+                        Ok(w) => w.to_string(),
+                        Err(_) => {
+                            return Err(ParseError {
+                                at: start,
+                                message: "invalid UTF-8 in identifier".into(),
+                            })
+                        }
+                    };
                     self.pos = end;
                     out.push((start, Tok::Ident(word)));
                 }
@@ -160,7 +170,8 @@ impl<'a> Lexer<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[begin..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.src[begin..self.pos])
+            .map_err(|_| ParseError { at: start, message: "invalid UTF-8 in number".into() })?;
         let sign = if neg { -1.0 } else { 1.0 };
         if is_float {
             let v: f64 = text
@@ -378,56 +389,46 @@ impl Parser {
             }
         }
         self.expect(Tok::RParen)?;
-        let arity = |n: usize| -> Result<(), ParseError> {
-            if args.len() == n {
-                Ok(())
-            } else {
-                Err(ParseError {
-                    at: self.toks[self.idx - 1].0,
-                    message: format!("`{name}` takes {n} arguments, got {}", args.len()),
-                })
-            }
-        };
         if let Some(op) = parse_binop(name) {
-            arity(2)?;
-            let mut it = args.into_iter();
-            return Ok(Expr::Bin {
-                op,
-                lhs: Box::new(it.next().unwrap()),
-                rhs: Box::new(it.next().unwrap()),
-            });
+            let [lhs, rhs] = self.args_n(name, args)?;
+            return Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
         }
         if let Some((op, to)) = parse_cast_name(name) {
-            arity(1)?;
-            return Ok(Expr::Cast { op, to, arg: Box::new(args.into_iter().next().unwrap()) });
+            let [arg] = self.args_n(name, args)?;
+            return Ok(Expr::Cast { op, to, arg: Box::new(arg) });
         }
         if let Some(pred_name) = name.strip_prefix("cmp_") {
             if let Some(pred) = parse_pred(pred_name) {
-                arity(2)?;
-                let mut it = args.into_iter();
-                return Ok(Expr::Cmp {
-                    pred,
-                    lhs: Box::new(it.next().unwrap()),
-                    rhs: Box::new(it.next().unwrap()),
-                });
+                let [lhs, rhs] = self.args_n(name, args)?;
+                return Ok(Expr::Cmp { pred, lhs: Box::new(lhs), rhs: Box::new(rhs) });
             }
         }
         match name {
             "select" => {
-                arity(3)?;
-                let mut it = args.into_iter();
+                let [cond, on_true, on_false] = self.args_n(name, args)?;
                 Ok(Expr::Select {
-                    cond: Box::new(it.next().unwrap()),
-                    on_true: Box::new(it.next().unwrap()),
-                    on_false: Box::new(it.next().unwrap()),
+                    cond: Box::new(cond),
+                    on_true: Box::new(on_true),
+                    on_false: Box::new(on_false),
                 })
             }
             "fneg" => {
-                arity(1)?;
-                Ok(Expr::FNeg(Box::new(args.into_iter().next().unwrap())))
+                let [arg] = self.args_n(name, args)?;
+                Ok(Expr::FNeg(Box::new(arg)))
             }
             _ => self.err(format!("unknown function `{name}`")),
         }
+    }
+
+    /// Enforce a call's arity and move its arguments into a fixed-size
+    /// array — the typed replacement for `arity(n)` checks followed by
+    /// panicking `it.next().unwrap()` destructuring.
+    fn args_n<const N: usize>(&self, name: &str, args: Vec<Expr>) -> Result<[Expr; N], ParseError> {
+        let got = args.len();
+        <[Expr; N]>::try_from(args).map_err(|_| ParseError {
+            at: self.toks.get(self.idx.saturating_sub(1)).map(|t| t.0).unwrap_or(0),
+            message: format!("`{name}` takes {N} arguments, got {got}"),
+        })
     }
 
     /// op NAME ( name: ty, ... ) -> ty = expr

@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The unchanged, target-independent vectorizer picks it up.
     let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
-    let sel = select_packs(&ctx, &BeamConfig::with_width(16));
+    let sel = select_packs(&ctx, &BeamConfig::with_width(16)).unwrap();
     let prog = vegen::codegen::lower(&ctx, &sel.packs);
     println!("\nGenerated code:\n{}", vegen::vm::listing(&prog));
     assert!(

@@ -7,12 +7,14 @@
 //! pipeline) — all lowered to the same vector VM so they can be executed
 //! (correctness) and costed (performance).
 
+use crate::error::{enter_stage, CompileError, ErrorCause, Stage};
+use crate::fault;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use vegen_analysis::{analyze_kernel, AnalysisReport};
-use vegen_baseline::{vectorize_baseline, BaselineConfig};
-use vegen_codegen::{check_equivalence, lower, lower_scalar};
+use vegen_baseline::{try_vectorize_baseline, BaselineConfig};
+use vegen_codegen::{check_equivalence, try_lower, try_lower_scalar};
 use vegen_core::{select_packs, BeamConfig, CostModel, SelectionResult, VectorizerCtx};
 use vegen_ir::canon::{add_narrow_constants, canonicalize};
 use vegen_ir::Function;
@@ -72,11 +74,15 @@ pub fn target_desc(target: &TargetIsa, canonicalize_patterns: bool) -> Arc<Targe
     static CACHE: OnceLock<DescCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (target.name.clone(), canonicalize_patterns);
-    if let Some(desc) = cache.lock().unwrap().get(&key) {
+    // `unwrap_or_else(into_inner)`: a worker that panicked while holding
+    // this lock (caught at the engine boundary) must not poison target
+    // descriptions for every later compilation — the map is only ever
+    // grown, so the recovered state is always consistent.
+    if let Some(desc) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
         return desc.clone();
     }
     let built = Arc::new(TargetDesc::build(&InstDb::for_target(target), canonicalize_patterns));
-    cache.lock().unwrap().entry(key).or_insert(built).clone()
+    cache.lock().unwrap_or_else(|e| e.into_inner()).entry(key).or_insert(built).clone()
 }
 
 /// Wall time of each pipeline stage of one [`compile_timed`] call.
@@ -120,6 +126,19 @@ pub fn prepare(f: &Function) -> Function {
     add_narrow_constants(&canonicalize(f))
 }
 
+/// [`prepare`] with stage attribution and fault injection — the form the
+/// engine uses so canonicalize-stage faults and panics are typed.
+///
+/// # Errors
+///
+/// Returns an injected canonicalize-stage fault, if one is installed.
+pub fn try_prepare(f: &Function) -> Result<Function, CompileError> {
+    let _st = enter_stage(Stage::Canonicalize);
+    fault::fire(Stage::Canonicalize, &f.name)
+        .map_err(|c| CompileError::new(Stage::Canonicalize, &f.name, c))?;
+    Ok(prepare(f))
+}
+
 /// Compile `f` three ways (scalar / baseline / VeGen).
 pub fn compile(f: &Function, cfg: &PipelineConfig) -> CompiledKernel {
     compile_timed(f, cfg).0
@@ -140,33 +159,107 @@ pub fn compile_timed(f: &Function, cfg: &PipelineConfig) -> (CompiledKernel, Sta
 
 /// Compile an already-[`prepare`]d function, reporting per-stage wall
 /// times (with `canonicalize` zero, since that stage was the caller's).
+///
+/// # Panics
+///
+/// Panics on any pipeline failure; use [`try_compile_prepared_timed`] on
+/// fault-tolerant paths (the engine) to get a typed [`CompileError`].
 pub fn compile_prepared_timed(
     prepared: Function,
     cfg: &PipelineConfig,
 ) -> (CompiledKernel, StageTimes) {
+    try_compile_prepared_timed(prepared, cfg, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Check an engine-level deadline at a stage boundary.
+fn check_deadline(
+    stage: Stage,
+    kernel: &str,
+    deadline: Option<(Instant, Duration)>,
+) -> Result<(), CompileError> {
+    if let Some((at, limit)) = deadline {
+        if Instant::now() >= at {
+            vegen_trace::instant("driver", "deadline");
+            return Err(CompileError::new(stage, kernel, ErrorCause::Deadline { limit }));
+        }
+    }
+    Ok(())
+}
+
+/// Fallible form of [`compile_prepared_timed`]: every stage failure —
+/// budget exhaustion, malformed input, injected fault — comes back as a
+/// typed [`CompileError`] naming the stage, kernel, and cause.
+///
+/// `deadline` is an engine-level per-job budget `(expiry, configured
+/// limit)`: it is checked at every stage boundary, and the *remaining*
+/// window is threaded into the beam search as a wall budget so the
+/// selection loop (the only unbounded stage) observes it cooperatively.
+///
+/// # Errors
+///
+/// Returns the first stage failure. Panics are *not* caught here — that
+/// is the engine boundary's job (`catch_unwind` around the whole call) —
+/// but stage attribution for caught panics is recorded via
+/// [`crate::error::StageGuard`].
+pub fn try_compile_prepared_timed(
+    prepared: Function,
+    cfg: &PipelineConfig,
+    deadline: Option<(Instant, Duration)>,
+) -> Result<(CompiledKernel, StageTimes), CompileError> {
+    let name = prepared.name.clone();
     let mut times = StageTimes::default();
 
     let t = Instant::now();
+    check_deadline(Stage::TargetDesc, &name, deadline)?;
     let desc = {
         let _sp = vegen_trace::span("driver", "target_desc");
+        let _st = enter_stage(Stage::TargetDesc);
+        fault::fire(Stage::TargetDesc, &name)
+            .map_err(|c| CompileError::new(Stage::TargetDesc, &name, c))?;
         target_desc(&cfg.target, cfg.canonicalize_patterns)
     };
     times.target_desc = t.elapsed();
 
     let t = Instant::now();
+    check_deadline(Stage::Selection, &name, deadline)?;
     let (ctx, selection) = {
         let _sp = vegen_trace::span("driver", "selection");
+        let _st = enter_stage(Stage::Selection);
+        fault::fire(Stage::Selection, &name)
+            .map_err(|c| CompileError::new(Stage::Selection, &name, c))?;
+        // Thread the remaining job window into the beam as a wall budget
+        // (tightening any caller-set budget, never loosening it).
+        let beam = match deadline {
+            Some((at, _)) => {
+                let remaining = at.saturating_duration_since(Instant::now());
+                let wall = match cfg.beam.budget.wall {
+                    Some(w) => w.min(remaining),
+                    None => remaining,
+                };
+                let mut beam = cfg.beam.clone();
+                beam.budget.wall = Some(wall);
+                beam
+            }
+            None => cfg.beam.clone(),
+        };
         let ctx = VectorizerCtx::new(&prepared, &desc, CostModel::default());
-        let selection = select_packs(&ctx, &cfg.beam);
+        let selection = select_packs(&ctx, &beam)
+            .map_err(|e| CompileError::new(Stage::Selection, &name, ErrorCause::Search(e)))?;
         (ctx, selection)
     };
     times.selection = t.elapsed();
 
     let t = Instant::now();
+    check_deadline(Stage::Lowering, &name, deadline)?;
     let (scalar, vegen) = {
         let _sp = vegen_trace::span("driver", "lowering");
-        let scalar = lower_scalar(&prepared);
-        let mut vegen = lower(&ctx, &selection.packs);
+        let _st = enter_stage(Stage::Lowering);
+        fault::fire(Stage::Lowering, &name)
+            .map_err(|c| CompileError::new(Stage::Lowering, &name, c))?;
+        let scalar = try_lower_scalar(&prepared)
+            .map_err(|e| CompileError::new(Stage::Lowering, &name, ErrorCause::Lowering(e)))?;
+        let mut vegen = try_lower(&ctx, &selection.packs)
+            .map_err(|e| CompileError::new(Stage::Lowering, &name, ErrorCause::Lowering(e)))?;
         // Profitability backstop: like any production vectorizer, keep the
         // scalar code when the vectorized program does not actually win
         // under the (more precise) program-level cost model.
@@ -178,17 +271,26 @@ pub fn compile_prepared_timed(
     times.lowering = t.elapsed();
 
     let t = Instant::now();
+    check_deadline(Stage::Analysis, &name, deadline)?;
     let analysis = {
         let _sp = vegen_trace::span("driver", "analysis");
+        let _st = enter_stage(Stage::Analysis);
+        fault::fire(Stage::Analysis, &name)
+            .map_err(|c| CompileError::new(Stage::Analysis, &name, c))?;
         analyze_kernel(&prepared, &desc, &selection.packs, &vegen, cfg.canonicalize_patterns)
     };
     times.analysis = t.elapsed();
 
     let t = Instant::now();
+    check_deadline(Stage::Baseline, &name, deadline)?;
     let bl = {
         let _sp = vegen_trace::span("driver", "baseline");
+        let _st = enter_stage(Stage::Baseline);
+        fault::fire(Stage::Baseline, &name)
+            .map_err(|c| CompileError::new(Stage::Baseline, &name, c))?;
         let bl_cfg = BaselineConfig { max_bits: cfg.target.max_bits, ..BaselineConfig::default() };
-        vectorize_baseline(&prepared, &bl_cfg)
+        try_vectorize_baseline(&prepared, &bl_cfg)
+            .map_err(|e| CompileError::new(Stage::Baseline, &name, ErrorCause::Baseline(e)))?
     };
     times.baseline = t.elapsed();
 
@@ -201,7 +303,36 @@ pub fn compile_prepared_timed(
         baseline_trees: bl.trees_vectorized,
         analysis,
     };
-    (kernel, times)
+    Ok((kernel, times))
+}
+
+/// Lower `prepared` scalar-only — the bottom rung of the engine's
+/// degradation ladder. No selection, no baseline, no analysis: all three
+/// program slots hold the 1:1 scalar lowering, which is always correct
+/// by construction and cheap to produce even for adversarial inputs.
+pub fn compile_scalar_fallback(
+    prepared: Function,
+) -> Result<(CompiledKernel, StageTimes), CompileError> {
+    let name = prepared.name.clone();
+    let mut times = StageTimes::default();
+    let t = Instant::now();
+    let scalar = {
+        let _sp = vegen_trace::span("driver", "scalar_fallback");
+        let _st = enter_stage(Stage::Lowering);
+        try_lower_scalar(&prepared)
+            .map_err(|e| CompileError::new(Stage::Lowering, &name, ErrorCause::Lowering(e)))?
+    };
+    times.lowering = t.elapsed();
+    let kernel = CompiledKernel {
+        function: prepared,
+        vegen: scalar.clone(),
+        baseline: scalar.clone(),
+        scalar,
+        selection: SelectionResult::default(),
+        baseline_trees: 0,
+        analysis: AnalysisReport::default(),
+    };
+    Ok((kernel, times))
 }
 
 impl CompiledKernel {

@@ -1,0 +1,295 @@
+//! Typed errors for the compilation pipeline.
+//!
+//! Every stage of [`crate::driver`] can fail — by running over budget, by
+//! hitting a malformed input, by an injected fault, or by an outright
+//! panic caught at the engine boundary. All of those become a
+//! [`CompileError`] carrying the [`Stage`] it happened in, the kernel
+//! name, and a typed [`ErrorCause`], so the engine's degradation ladder
+//! and the report schema can reason about *why* a compilation failed
+//! instead of pattern-matching on panic strings.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::Duration;
+use vegen_baseline::BaselineError;
+use vegen_codegen::LowerError;
+use vegen_core::SelectError;
+
+/// The pipeline stages, in execution order. Used for error attribution,
+/// fault injection sites, and trace labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Canonicalization + narrow-constant annotation (§6).
+    Canonicalize,
+    /// Target-description fetch/build (the offline phase).
+    TargetDesc,
+    /// Match-table construction + pack selection (§4.4, §5).
+    Selection,
+    /// Lowering pack set and scalar reference to the vector VM.
+    Lowering,
+    /// Static validation (pack legality, lane provenance, VM lint).
+    Analysis,
+    /// The baseline LLVM-style SLP comparator.
+    Baseline,
+    /// Randomized equivalence checking of the three programs.
+    Verify,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Canonicalize,
+        Stage::TargetDesc,
+        Stage::Selection,
+        Stage::Lowering,
+        Stage::Analysis,
+        Stage::Baseline,
+        Stage::Verify,
+    ];
+
+    /// Stable lower-case name (used in fault specs, traces, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Canonicalize => "canonicalize",
+            Stage::TargetDesc => "target_desc",
+            Stage::Selection => "selection",
+            Stage::Lowering => "lowering",
+            Stage::Analysis => "analysis",
+            Stage::Baseline => "baseline",
+            Stage::Verify => "verify",
+        }
+    }
+
+    /// Parse a stage name as produced by [`Stage::name`].
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a stage failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorCause {
+    /// A panic caught at the engine boundary (payload message preserved).
+    Panic {
+        /// The panic payload, downcast to a string when possible.
+        message: String,
+    },
+    /// Pack selection ran out of budget or was cancelled.
+    Search(SelectError),
+    /// The engine-level per-job deadline expired between stages.
+    Deadline {
+        /// The configured per-job deadline.
+        limit: Duration,
+    },
+    /// Lowering rejected the pack set or function.
+    Lowering(LowerError),
+    /// The baseline vectorizer rejected the function.
+    Baseline(BaselineError),
+    /// A deterministic injected fault (testing only).
+    Injected {
+        /// The fault description, e.g. `"panic at selection"`.
+        detail: String,
+    },
+    /// Randomized equivalence checking found a divergence.
+    Verify {
+        /// The first divergence found.
+        detail: String,
+    },
+}
+
+impl ErrorCause {
+    /// Does this cause represent a timeout/budget exhaustion (as opposed
+    /// to a hard failure)? Drives the engine's `deadline_hits` counter.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ErrorCause::Deadline { .. }
+                | ErrorCause::Search(SelectError::Deadline { .. })
+                | ErrorCause::Search(SelectError::StepBudget { .. })
+                | ErrorCause::Search(SelectError::Cancelled)
+        )
+    }
+
+    /// Stable short tag for reports and failure tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ErrorCause::Panic { .. } => "panic",
+            ErrorCause::Search(SelectError::StepBudget { .. }) => "step_budget",
+            ErrorCause::Search(SelectError::Deadline { .. }) => "deadline",
+            ErrorCause::Search(SelectError::Cancelled) => "cancelled",
+            ErrorCause::Deadline { .. } => "deadline",
+            ErrorCause::Lowering(_) => "lowering",
+            ErrorCause::Baseline(_) => "baseline",
+            ErrorCause::Injected { .. } => "injected",
+            ErrorCause::Verify { .. } => "verify",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCause::Panic { message } => write!(f, "panic: {message}"),
+            ErrorCause::Search(e) => write!(f, "{e}"),
+            ErrorCause::Deadline { limit } => write!(f, "job deadline ({limit:?}) expired"),
+            ErrorCause::Lowering(e) => write!(f, "{e}"),
+            ErrorCause::Baseline(e) => write!(f, "{e}"),
+            ErrorCause::Injected { detail } => write!(f, "injected fault: {detail}"),
+            ErrorCause::Verify { detail } => write!(f, "verification failed: {detail}"),
+        }
+    }
+}
+
+/// A typed compilation failure: which stage, which kernel, what cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// The stage the failure is attributed to.
+    pub stage: Stage,
+    /// The kernel (function) being compiled.
+    pub kernel: String,
+    /// The typed cause.
+    pub cause: ErrorCause,
+}
+
+impl CompileError {
+    /// Construct an error for `kernel` at `stage`.
+    pub fn new(stage: Stage, kernel: impl Into<String>, cause: ErrorCause) -> CompileError {
+        CompileError { stage, kernel: kernel.into(), cause }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel `{}`: {} stage: {}", self.kernel, self.stage, self.cause)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+thread_local! {
+    static CURRENT_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+}
+
+/// RAII marker for the currently-executing pipeline stage on this thread.
+///
+/// If the stage panics, the guard's `Drop` runs *during unwinding* and
+/// records its stage into a thread-local slot; the engine's
+/// `catch_unwind` boundary then reads [`take_panic_stage`] to attribute
+/// the caught panic. The innermost live guard wins.
+pub struct StageGuard {
+    stage: Stage,
+    prev: Option<Stage>,
+}
+
+/// Mark `stage` as the live stage for this thread until the guard drops.
+pub fn enter_stage(stage: Stage) -> StageGuard {
+    let prev = CURRENT_STAGE.with(|c| c.replace(Some(stage)));
+    StageGuard { stage, prev }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Innermost guard unwinds first; keep its attribution.
+            PANIC_STAGE.with(|c| {
+                if c.get().is_none() {
+                    c.set(Some(self.stage));
+                }
+            });
+        }
+        CURRENT_STAGE.with(|c| c.set(self.prev));
+    }
+}
+
+/// The stage currently live on this thread, if any.
+pub fn current_stage() -> Option<Stage> {
+    CURRENT_STAGE.with(|c| c.get())
+}
+
+thread_local! {
+    static PANIC_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+}
+
+/// Take (and clear) the stage recorded by the most recent panicking
+/// [`StageGuard`] on this thread. Call at the `catch_unwind` boundary;
+/// clear-on-read keeps a stale attribution from leaking into the next
+/// job on a reused worker thread.
+pub fn take_panic_stage() -> Option<Stage> {
+    PANIC_STAGE.with(|c| c.take())
+}
+
+/// Downcast a panic payload to a human-readable message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.name()), Some(s));
+        }
+        assert_eq!(Stage::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn stage_guard_nests_and_restores() {
+        assert_eq!(current_stage(), None);
+        {
+            let _g = enter_stage(Stage::Selection);
+            assert_eq!(current_stage(), Some(Stage::Selection));
+            {
+                let _h = enter_stage(Stage::Lowering);
+                assert_eq!(current_stage(), Some(Stage::Lowering));
+            }
+            assert_eq!(current_stage(), Some(Stage::Selection));
+        }
+        assert_eq!(current_stage(), None);
+    }
+
+    #[test]
+    fn panicking_stage_is_attributed() {
+        let caught = std::panic::catch_unwind(|| {
+            let _g = enter_stage(Stage::Lowering);
+            let _h = enter_stage(Stage::Selection);
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        assert_eq!(take_panic_stage(), Some(Stage::Selection), "innermost guard wins");
+        assert_eq!(take_panic_stage(), None, "attribution is clear-on-read");
+        assert_eq!(panic_message(caught.unwrap_err().as_ref()), "boom");
+    }
+
+    #[test]
+    fn timeouts_are_classified() {
+        assert!(ErrorCause::Deadline { limit: Duration::from_millis(5) }.is_timeout());
+        assert!(ErrorCause::Search(SelectError::Cancelled).is_timeout());
+        assert!(!ErrorCause::Panic { message: "boom".into() }.is_timeout());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError::new(
+            Stage::Selection,
+            "dot4",
+            ErrorCause::Search(SelectError::StepBudget { steps: 10, limit: 10 }),
+        );
+        let s = e.to_string();
+        assert!(s.contains("dot4") && s.contains("selection") && s.contains("step budget"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Deterministic fault injection for the compilation pipeline.
+//!
+//! A [`FaultPlan`] is a set of `(kernel, stage, kind)` triples installed
+//! process-wide; the driver calls [`fire`] at every stage boundary and
+//! the matching spec detonates — a panic, a delay (to trip deadlines),
+//! or a typed analysis error. Plans are deterministic: either spelled
+//! out explicitly (`kernel:stage:kind` syntax, `VEGEN_FAULTS` env /
+//! `--faults` flag) or derived from a seed over a kernel list
+//! ([`FaultPlan::seeded`]), so a CI smoke run injects the *same* faults
+//! every time.
+//!
+//! Each spec fires **once** by default: the engine's degradation ladder
+//! retries a failed kernel at beam width 1, and a fault that re-fired on
+//! every attempt would make the retry rung untestable. Set
+//! [`FaultSpec::once`] to `false` to fault every attempt and force the
+//! kernel all the way down to the scalar rung.
+
+use crate::error::{ErrorCause, Stage};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+use vegen_ir::rng::XorShift;
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with a recognizable message (tests the `catch_unwind` path).
+    Panic,
+    /// Sleep for the given duration (tests deadline/budget paths).
+    Delay(Duration),
+    /// Return a typed [`ErrorCause::Injected`] error.
+    Error,
+}
+
+impl FaultKind {
+    /// Stable lower-case name ("panic" / "delay" / "error").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::Error => "error",
+        }
+    }
+}
+
+/// One injected fault: fires when `kernel` reaches `stage`.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Kernel (function) name the fault targets.
+    pub kernel: String,
+    /// Stage boundary at which it fires.
+    pub stage: Stage,
+    /// What happens.
+    pub kind: FaultKind,
+    /// Fire only on the first matching attempt (default). `false` makes
+    /// the fault hit every ladder rung that re-runs the stage.
+    pub once: bool,
+}
+
+struct ArmedSpec {
+    spec: FaultSpec,
+    fired: AtomicBool,
+}
+
+/// A deterministic set of faults, installable process-wide.
+#[derive(Default)]
+pub struct FaultPlan {
+    specs: Vec<ArmedSpec>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.specs.iter().map(|a| &a.spec)).finish()
+    }
+}
+
+impl FaultPlan {
+    /// A plan over explicit specs.
+    pub fn new(specs: Vec<FaultSpec>) -> FaultPlan {
+        FaultPlan {
+            specs: specs
+                .into_iter()
+                .map(|spec| ArmedSpec { spec, fired: AtomicBool::new(false) })
+                .collect(),
+        }
+    }
+
+    /// Parse the `kernel:stage:kind[,kernel:stage:kind...]` syntax used
+    /// by `--faults` and `VEGEN_FAULTS`. `kind` is `panic`, `error`,
+    /// `delay=<ms>`; append `!` to a kind to make it fire on every
+    /// attempt instead of once (e.g. `dot4:selection:panic!`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed spec.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut specs = Vec::new();
+        for item in s.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+            let parts: Vec<&str> = item.split(':').collect();
+            if parts.len() != 3 {
+                return Err(format!("fault spec `{item}`: want kernel:stage:kind"));
+            }
+            let stage = Stage::parse(parts[1])
+                .ok_or_else(|| format!("fault spec `{item}`: unknown stage `{}`", parts[1]))?;
+            let (kind_str, once) = match parts[2].strip_suffix('!') {
+                Some(k) => (k, false),
+                None => (parts[2], true),
+            };
+            let kind = if kind_str == "panic" {
+                FaultKind::Panic
+            } else if kind_str == "error" {
+                FaultKind::Error
+            } else if let Some(ms) = kind_str.strip_prefix("delay=") {
+                let ms: u64 =
+                    ms.parse().map_err(|_| format!("fault spec `{item}`: bad delay `{ms}`"))?;
+                FaultKind::Delay(Duration::from_millis(ms))
+            } else {
+                return Err(format!(
+                    "fault spec `{item}`: unknown kind `{kind_str}` (want panic|error|delay=<ms>)"
+                ));
+            };
+            specs.push(FaultSpec { kernel: parts[0].to_string(), stage, kind, once });
+        }
+        Ok(FaultPlan::new(specs))
+    }
+
+    /// A deterministic plan over `kernels`: pick `count` distinct kernels
+    /// with an [`XorShift`] seeded by `seed` and alternate fault kinds
+    /// (panic at selection, delay at selection, error at lowering) so a
+    /// seeded smoke run exercises every ladder path.
+    pub fn seeded(kernels: &[&str], seed: u64, count: usize) -> FaultPlan {
+        let mut rng = XorShift::new(seed ^ 0x5eed_fa17);
+        let mut pool: Vec<&str> = kernels.to_vec();
+        let mut specs = Vec::new();
+        let n = count.min(pool.len());
+        for i in 0..n {
+            let pick = rng.below(pool.len());
+            let kernel = pool.swap_remove(pick);
+            let (stage, kind) = match i % 3 {
+                0 => (Stage::Selection, FaultKind::Panic),
+                1 => (Stage::Selection, FaultKind::Delay(Duration::from_millis(50))),
+                _ => (Stage::Lowering, FaultKind::Error),
+            };
+            specs.push(FaultSpec { kernel: kernel.to_string(), stage, kind, once: true });
+        }
+        FaultPlan::new(specs)
+    }
+
+    /// The specs in this plan (for reporting which kernels are faulted).
+    pub fn specs(&self) -> impl Iterator<Item = &FaultSpec> {
+        self.specs.iter().map(|a| &a.spec)
+    }
+
+    /// Number of specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+fn installed() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static PLAN: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    PLAN.get_or_init(|| Mutex::new(None))
+}
+
+/// Install `plan` process-wide (replacing any previous plan).
+pub fn install(plan: FaultPlan) {
+    *installed().lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(plan));
+}
+
+/// Remove the installed plan.
+pub fn clear() {
+    *installed().lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Is a plan currently installed?
+pub fn active() -> bool {
+    installed().lock().unwrap_or_else(|e| e.into_inner()).is_some()
+}
+
+/// Fire any fault registered for `(stage, kernel)`.
+///
+/// Called by the driver at each stage boundary. A `Panic` fault panics
+/// (with a `"injected fault"` message so tests can recognize it); a
+/// `Delay` sleeps and returns `Ok`; an `Error` returns the typed cause.
+/// Emits a `fault` trace instant either way.
+///
+/// # Errors
+///
+/// Returns [`ErrorCause::Injected`] for `Error`-kind faults.
+///
+/// # Panics
+///
+/// Panics deliberately for `Panic`-kind faults.
+pub fn fire(stage: Stage, kernel: &str) -> Result<(), ErrorCause> {
+    let plan = {
+        let guard = installed().lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(p) => p.clone(),
+            None => return Ok(()),
+        }
+    };
+    for armed in &plan.specs {
+        if armed.spec.stage != stage || armed.spec.kernel != kernel {
+            continue;
+        }
+        if armed.spec.once && armed.fired.swap(true, Ordering::Relaxed) {
+            continue; // already fired once
+        }
+        if vegen_trace::enabled() {
+            vegen_trace::instant_owned(
+                "fault",
+                format!("{}:{}:{}", armed.spec.kind.tag(), stage.name(), kernel),
+            );
+        }
+        match &armed.spec.kind {
+            FaultKind::Panic => {
+                panic!("injected fault: panic at {} for kernel `{kernel}`", stage.name());
+            }
+            FaultKind::Delay(d) => {
+                std::thread::sleep(*d);
+            }
+            FaultKind::Error => {
+                return Err(ErrorCause::Injected {
+                    detail: format!("error at {} for kernel `{kernel}`", stage.name()),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_cli_syntax() {
+        let plan =
+            FaultPlan::parse("dot4:selection:panic, idct4:lowering:delay=25,fir:analysis:error!")
+                .unwrap();
+        let specs: Vec<&FaultSpec> = plan.specs().collect();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].kernel, "dot4");
+        assert_eq!(specs[0].stage, Stage::Selection);
+        assert_eq!(specs[0].kind, FaultKind::Panic);
+        assert!(specs[0].once);
+        assert_eq!(specs[1].kind, FaultKind::Delay(Duration::from_millis(25)));
+        assert_eq!(specs[2].kind, FaultKind::Error);
+        assert!(!specs[2].once, "`!` suffix means fire on every attempt");
+
+        assert!(FaultPlan::parse("dot4:selection").is_err());
+        assert!(FaultPlan::parse("dot4:warp:panic").is_err());
+        assert!(FaultPlan::parse("dot4:selection:frobnicate").is_err());
+        assert!(FaultPlan::parse("dot4:selection:delay=abc").is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_distinct() {
+        let kernels = ["a", "b", "c", "d", "e"];
+        let p1 = FaultPlan::seeded(&kernels, 42, 3);
+        let p2 = FaultPlan::seeded(&kernels, 42, 3);
+        let names = |p: &FaultPlan| p.specs().map(|s| s.kernel.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&p1), names(&p2), "same seed, same plan");
+        let mut uniq = names(&p1);
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "kernels are distinct");
+        assert_eq!(FaultPlan::seeded(&kernels, 7, 100).len(), kernels.len());
+    }
+}

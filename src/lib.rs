@@ -16,8 +16,15 @@
 //! * [`vm`] — the vector virtual machine and cycle cost model.
 //! * [`baseline`] — an LLVM-style SLP vectorizer used as the comparator.
 //! * [`kernels`] — every kernel from the paper's evaluation as scalar IR.
+//!
+//! Fault tolerance lives in this facade: [`error`] is the typed
+//! [`error::CompileError`] taxonomy every pipeline stage reports through,
+//! and [`fault`] is the deterministic fault-injection harness the engine's
+//! degradation ladder is tested against.
 
 pub mod driver;
+pub mod error;
+pub mod fault;
 
 pub use vegen_analysis as analysis;
 pub use vegen_baseline as baseline;
