@@ -33,7 +33,7 @@ impl ContentHash {
 /// FNV is stable across processes, platforms, and Rust versions — unlike
 /// `DefaultHasher`, which documents no such guarantee — which is what makes
 /// the address *content*-derived rather than process-derived.
-fn fnv128(bytes: &[u8]) -> ContentHash {
+pub(crate) fn fnv128(bytes: &[u8]) -> ContentHash {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut lo: u64 = 0xcbf2_9ce4_8422_2325;
     let mut hi: u64 = 0x6c62_272e_07bb_0142; // a distinct offset basis

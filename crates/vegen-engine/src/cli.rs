@@ -1,10 +1,16 @@
 //! Command-line front end of the `vegen-engine` binary.
 //!
-//! Four entry points behind one executable:
+//! Five entry points behind one executable:
 //!
 //! * the default **suite** mode — batch-compile the full `vegen-kernels`
 //!   suite (cold + warm runs) and emit an [`EngineReport`]; `--trace` /
 //!   `--folded` capture a [`vegen_trace`] session alongside;
+//!   `--cache-dir` persists compiles to disk so a restarted run replays
+//!   from the cache;
+//! * **`serve`** — the resident compile daemon (`--socket PATH` or
+//!   `--stdio`): newline-delimited JSON requests, bounded-queue
+//!   admission, per-request deadlines, live metrics, graceful drain (see
+//!   [`crate::serve`]);
 //! * **`explain <kernel>`** — recompile one kernel with the beam search's
 //!   decision log on and print why each pack was committed (and what was
 //!   pruned against it), plus the static-validation verdict;
@@ -19,7 +25,9 @@
 //! tests can drive the exact code paths, including exit codes.
 
 use crate::report::{EngineReport, RunReport, TraceSummary};
+use crate::serve::{self, ServeConfig};
 use crate::{Engine, EngineConfig, Job, JobResult, Rung};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use vegen::driver::{prepare, target_desc, PipelineConfig};
 use vegen::fault::FaultPlan;
@@ -36,6 +44,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
         Some("explain") => run_explain(&args[1..]),
         Some("lint") => run_lint(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         _ => run_suite(args),
     }
 }
@@ -120,6 +129,8 @@ struct SuiteOptions {
     faults: Option<String>,
     fault_seed: Option<u64>,
     fault_count: usize,
+    cache_dir: Option<String>,
+    warm_start: bool,
 }
 
 fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
@@ -139,6 +150,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
         faults: None,
         fault_seed: None,
         fault_count: 3,
+        cache_dir: None,
+        warm_start: false,
     };
     let mut args = args.iter();
     while let Some(arg) = args.next() {
@@ -174,6 +187,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
                 opts.fault_count =
                     value("--fault-count")?.parse().map_err(|e| format!("--fault-count: {e}"))?
             }
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--warm-start" => opts.warm_start = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vegen-engine [--target avx2|avx512vnni] [--beam N] [--threads N]\n\
@@ -181,6 +196,10 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
                      \x20                   [--trace FILE] [--folded FILE] [--decisions]\n\
                      \x20                   [--deadline-ms N] [--fail-fast]\n\
                      \x20                   [--faults SPEC] [--fault-seed N] [--fault-count N]\n\
+                     \x20                   [--cache-dir DIR] [--warm-start]\n\
+                     \x20      vegen-engine serve (--stdio | --socket PATH) [--cache-dir DIR]\n\
+                     \x20                   [--warm-start] [--threads N] [--queue N] [--target T]\n\
+                     \x20                   [--beam N] [--deadline-ms N] [--no-verify]\n\
                      \x20      vegen-engine explain <kernel> [--target T] [--beam N] [--max-iters N]\n\
                      \x20      vegen-engine lint [--target T] [--beam N] [--threads N] [--out FILE]\n\
                      \x20      vegen-engine diff <old.json> <new.json> [--max-regress PCT]\n\
@@ -216,8 +235,16 @@ fn run_suite(args: &[String]) -> i32 {
         verify_trials: opts.verify_trials,
         deadline: opts.deadline_ms.map(Duration::from_millis),
         fail_fast: opts.fail_fast,
+        cache_dir: opts.cache_dir.clone().map(PathBuf::from),
         ..EngineConfig::default()
     });
+    if let Some(e) = engine.disk_open_error() {
+        eprintln!("vegen-engine: disk cache disabled: {e}");
+    }
+    if opts.warm_start {
+        let loaded = engine.warm_start();
+        eprintln!("vegen-engine: warm start loaded {loaded} cached compile(s)");
+    }
     let pipeline = PipelineConfig {
         target: opts.target.clone(),
         beam: BeamConfig { log_decisions: opts.decisions, ..BeamConfig::with_width(opts.beam) },
@@ -324,6 +351,7 @@ fn run_suite(args: &[String]) -> i32 {
         verify_trials: opts.verify_trials,
         runs,
         cache: engine.cache_stats(),
+        disk: engine.disk_stats(),
         counters: engine.counters(),
         trace: trace_summary,
     };
@@ -344,6 +372,123 @@ fn run_suite(args: &[String]) -> i32 {
     } else {
         0
     }
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+/// Run the resident compile daemon over stdio or a Unix socket. Exit code
+/// 0 on clean drain, 2 on usage or bind errors.
+fn run_serve(args: &[String]) -> i32 {
+    let mut stdio = false;
+    let mut socket: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut warm_start = false;
+    let mut threads = 0usize;
+    let mut queue = 64usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut verify_trials = 16u64;
+    let mut target = TargetIsa::avx2();
+    let mut beam = 16usize;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        let mut value = |n: &str| args.next().cloned().ok_or(format!("{n} needs a value"));
+        let parsed = match arg.as_str() {
+            "--stdio" => {
+                stdio = true;
+                Ok(())
+            }
+            "--socket" => value("--socket").map(|v| socket = Some(v)),
+            "--cache-dir" => value("--cache-dir").map(|v| cache_dir = Some(v)),
+            "--warm-start" => {
+                warm_start = true;
+                Ok(())
+            }
+            "--threads" => value("--threads")
+                .and_then(|v| v.parse().map_err(|e| format!("--threads: {e}")))
+                .map(|n| threads = n),
+            "--queue" => value("--queue")
+                .and_then(|v| v.parse().map_err(|e| format!("--queue: {e}")))
+                .and_then(|n: usize| {
+                    if n == 0 {
+                        Err("--queue: capacity must be at least 1".to_string())
+                    } else {
+                        queue = n;
+                        Ok(())
+                    }
+                }),
+            "--deadline-ms" => value("--deadline-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--deadline-ms: {e}")))
+                .map(|n| deadline_ms = Some(n)),
+            "--no-verify" => {
+                verify_trials = 0;
+                Ok(())
+            }
+            "--target" => value("--target").and_then(|v| parse_target(&v)).map(|t| target = t),
+            "--beam" => value("--beam")
+                .and_then(|v| v.parse().map_err(|e| format!("--beam: {e}")))
+                .map(|w| beam = w),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vegen-engine serve (--stdio | --socket PATH) [--cache-dir DIR]\n\
+                     \x20                   [--warm-start] [--threads N] [--queue N] [--target T]\n\
+                     \x20                   [--beam N] [--deadline-ms N] [--no-verify]"
+                );
+                return 0;
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("vegen-engine serve: {e}");
+            return 2;
+        }
+    }
+    if stdio == socket.is_some() {
+        eprintln!("vegen-engine serve: pass exactly one of --stdio or --socket PATH");
+        return 2;
+    }
+
+    let engine = Engine::new(EngineConfig {
+        threads,
+        verify_trials,
+        deadline: deadline_ms.map(Duration::from_millis),
+        cache_dir: cache_dir.map(PathBuf::from),
+        ..EngineConfig::default()
+    });
+    if let Some(e) = engine.disk_open_error() {
+        eprintln!("vegen-engine serve: disk cache disabled: {e}");
+    }
+    if warm_start {
+        let loaded = engine.warm_start();
+        eprintln!("vegen-engine serve: warm start loaded {loaded} cached compile(s)");
+    }
+    let cfg = ServeConfig { queue_capacity: queue, target, beam_width: beam };
+
+    let summary = if stdio {
+        serve::serve_lines(&engine, &cfg, std::io::stdin().lock(), std::io::stdout())
+    } else {
+        let path = socket.expect("checked above");
+        eprintln!("vegen-engine serve: listening on {path}");
+        match serve::serve_socket(&engine, &cfg, std::path::Path::new(&path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vegen-engine serve: {e}");
+                return 2;
+            }
+        }
+    };
+    eprintln!(
+        "vegen-engine serve: drained — {} request(s), {} compile(s), {} shed, {} expired, \
+         {} rejected while draining, {} protocol error(s)",
+        summary.requests,
+        summary.compiles,
+        summary.shed,
+        summary.expired,
+        summary.rejected_draining,
+        summary.protocol_errors
+    );
+    0
 }
 
 // ---------------------------------------------------------------------------

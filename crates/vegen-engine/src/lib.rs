@@ -23,15 +23,25 @@
 //!   always-correct scalar lowering, and only reports `Failed` when even
 //!   that is impossible. Every result records the [`Rung`] it completed
 //!   on and the faults collected on the way down;
+//! * a [persistent on-disk cache](diskcache) the in-memory cache spills
+//!   to: one versioned JSON file per content hash, atomic writes, ISA
+//!   fingerprinting for invalidation, shareable between processes and
+//!   across restarts — so a restarted engine replays a whole suite from
+//!   disk without a single cold compile;
 //! * a telemetry layer: per-stage wall times from
 //!   [`vegen::driver::StageTimes`] plus engine-level counters (cache
-//!   hits, beam states expanded, packs committed, failures, retries,
-//!   degradations, deadline hits), exported as a JSON-serializable
-//!   [`report::EngineReport`] (schema v5);
+//!   hits — memory and disk separately — beam states expanded, packs
+//!   committed, failures, retries, degradations, deadline hits),
+//!   exported as a JSON-serializable [`report::EngineReport`]
+//!   (schema v6);
+//! * a [resident compile service](serve): `vegen-engine serve` accepts
+//!   newline-delimited JSON requests over a Unix socket (or stdio),
+//!   with bounded-queue admission control, per-request deadlines, live
+//!   metrics, and graceful drain on shutdown;
 //! * a `vegen-engine` binary that pushes the whole `vegen-kernels` suite
 //!   through the engine, cold and warm, and emits the JSON report — with
-//!   `--deadline-ms`, `--fail-fast`, and deterministic `--faults`
-//!   injection knobs.
+//!   `--deadline-ms`, `--fail-fast`, `--cache-dir`, and deterministic
+//!   `--faults` injection knobs.
 //!
 //! ```
 //! use vegen_engine::{Engine, EngineConfig, Job, Rung};
@@ -55,19 +65,24 @@
 
 pub mod cache;
 pub mod cli;
+pub mod diskcache;
 pub mod pool;
 pub mod report;
+pub mod serdes;
+pub mod serve;
 
 /// The in-tree JSON writer/parser now lives in [`vegen_trace::json`];
 /// re-exported here for compatibility with existing imports.
 pub use vegen_trace::json;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cache::{content_hash, CacheStats, CachedCompile, CompileCache, ContentHash};
+use diskcache::{isa_fingerprint, DiskCache, DiskCacheStats};
 use vegen::driver::{
     compile_scalar_fallback, try_compile_prepared_timed, try_prepare, CompiledKernel,
     PipelineConfig, StageTimes,
@@ -97,6 +112,12 @@ pub struct EngineConfig {
     /// [`Rung::Primary`]. Remaining jobs come back as [`Rung::Skipped`].
     /// Default off: degrade-and-continue is the production posture.
     pub fail_fast: bool,
+    /// Directory for the persistent on-disk compile cache. `None` (the
+    /// default) keeps the cache purely in-memory. When set, memory misses
+    /// fall through to disk, and clean primary-rung compiles are written
+    /// through; disk I/O failures become typed [`ErrorCause::CacheIo`]
+    /// faults but never fail a job.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +128,7 @@ impl Default for EngineConfig {
             verify_trials: 16,
             deadline: None,
             fail_fast: false,
+            cache_dir: None,
         }
     }
 }
@@ -120,12 +142,22 @@ pub struct Job {
     pub function: Function,
     /// Target + search configuration.
     pub pipeline: PipelineConfig,
+    /// Per-job deadline override; `None` uses the engine-wide
+    /// [`EngineConfig::deadline`]. Serve mode sets this from the
+    /// request's `deadline_ms`.
+    pub deadline: Option<Duration>,
 }
 
 impl Job {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, function: Function, pipeline: PipelineConfig) -> Job {
-        Job { name: name.into(), function, pipeline }
+        Job { name: name.into(), function, pipeline, deadline: None }
+    }
+
+    /// Set a per-job deadline (overrides the engine-wide one).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Job {
+        self.deadline = deadline;
+        self
     }
 }
 
@@ -186,6 +218,9 @@ pub struct JobResult {
     pub stages: StageTimes,
     /// Whether the cache served this job.
     pub cache_hit: bool,
+    /// Whether the serving cache level was the *disk* (implies
+    /// `cache_hit`; a plain memory hit leaves this false).
+    pub disk_hit: bool,
     /// Time spent verifying (zero on hits and when verification is off).
     pub verify_time: Duration,
     /// First divergence found by verification, if any.
@@ -198,6 +233,19 @@ impl JobResult {
     /// Did this job fail outright (no program at all)?
     pub fn failed(&self) -> bool {
         !self.rung.produced_kernel()
+    }
+
+    /// Which cache level served this job: `"disk"`, `"memory"`, or
+    /// `"miss"` (compiled fresh). Stable strings; the report schema and
+    /// the serve protocol both use them.
+    pub fn cache_source(&self) -> &'static str {
+        if self.disk_hit {
+            "disk"
+        } else if self.cache_hit {
+            "memory"
+        } else {
+            "miss"
+        }
     }
 }
 
@@ -234,12 +282,23 @@ pub struct EngineCounters {
     pub degradations: u64,
     /// Failures classified as deadline/budget exhaustion.
     pub deadline_hits: u64,
+    /// Jobs served from the *disk* cache (memory misses that found a
+    /// valid on-disk entry). Memory hits are counted by the cache's own
+    /// [`CacheStats`], not here.
+    pub disk_hits: u64,
+    /// Clean compiles written through to the disk cache.
+    pub disk_stores: u64,
+    /// Typed `CacheIo` faults recorded (corrupt entries, I/O failures,
+    /// failed self-checks). The jobs themselves still succeeded.
+    pub cache_io_errors: u64,
 }
 
 /// A parallel, cached, instrumented batch compiler.
 pub struct Engine {
     cfg: EngineConfig,
     cache: CompileCache,
+    disk: Option<DiskCache>,
+    disk_open_error: Option<String>,
     states_expanded: AtomicU64,
     transitions: AtomicU64,
     dedup_hits: AtomicU64,
@@ -253,18 +312,33 @@ pub struct Engine {
     retries: AtomicU64,
     degradations: AtomicU64,
     deadline_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_stores: AtomicU64,
+    cache_io_errors: AtomicU64,
 }
 
 /// Outcome of one isolated compile attempt.
 type Attempt = Result<(CompiledKernel, StageTimes), CompileError>;
 
 impl Engine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration. If
+    /// [`EngineConfig::cache_dir`] is set but the directory cannot be
+    /// opened, the engine still constructs — memory-only, with the error
+    /// kept in [`Engine::disk_open_error`] for the caller to surface.
     pub fn new(cfg: EngineConfig) -> Engine {
         let capacity = cfg.cache_capacity;
+        let (disk, disk_open_error) = match &cfg.cache_dir {
+            Some(dir) => match DiskCache::open(dir) {
+                Ok(d) => (Some(d), None),
+                Err(e) => (None, Some(e)),
+            },
+            None => (None, None),
+        };
         Engine {
             cfg,
             cache: CompileCache::new(capacity),
+            disk,
+            disk_open_error,
             states_expanded: AtomicU64::new(0),
             transitions: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
@@ -278,12 +352,49 @@ impl Engine {
             retries: AtomicU64::new(0),
             degradations: AtomicU64::new(0),
             deadline_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_stores: AtomicU64::new(0),
+            cache_io_errors: AtomicU64::new(0),
         }
     }
 
     /// The configuration this engine was built with.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// Why the configured cache directory could not be opened, if so (the
+    /// engine fell back to memory-only caching).
+    pub fn disk_open_error(&self) -> Option<&str> {
+        self.disk_open_error.as_deref()
+    }
+
+    /// Counters of the on-disk cache (`None` when no `cache_dir` is
+    /// configured or opening it failed).
+    pub fn disk_stats(&self) -> Option<DiskCacheStats> {
+        self.disk.as_ref().map(DiskCache::stats)
+    }
+
+    /// Eagerly load every valid on-disk entry into the in-memory cache,
+    /// returning how many were loaded. Stale and corrupt entries are
+    /// deleted on the way (same rules as lookups). Without a disk cache
+    /// this is a no-op returning 0.
+    pub fn warm_start(&self) -> usize {
+        let Some(disk) = &self.disk else { return 0 };
+        let _sp = vegen_trace::span("engine", "warm_start");
+        let entries = disk.load_all();
+        let n = entries.len();
+        for (hash, value) in entries {
+            self.cache.insert(hash, value);
+        }
+        n
+    }
+
+    /// Record a recoverable cache-I/O failure as a typed fault.
+    fn note_cache_io(&self, name: &str, detail: String, faults: &mut Vec<CompileError>) {
+        self.cache_io_errors.fetch_add(1, Ordering::Relaxed);
+        vegen_trace::instant("engine", "cache_io_error");
+        faults.push(CompileError::new(Stage::Cache, name, ErrorCause::CacheIo { detail }));
     }
 
     /// One pipeline attempt with panic isolation: a panic anywhere inside
@@ -352,12 +463,27 @@ impl Engine {
     /// Compile one function, through the cache and down the degradation
     /// ladder: requested config → beam width 1 → scalar fallback →
     /// `Failed`. Panics anywhere in the pipeline are caught and typed;
-    /// this method itself never panics on a malformed kernel.
+    /// this method itself never panics on a malformed kernel. Uses the
+    /// engine-wide deadline; see [`Engine::compile_one_with_deadline`]
+    /// for a per-call override.
     pub fn compile_one(
         &self,
         name: &str,
         function: &Function,
         pipeline: &PipelineConfig,
+    ) -> JobResult {
+        self.compile_one_with_deadline(name, function, pipeline, self.cfg.deadline)
+    }
+
+    /// [`Engine::compile_one`] with an explicit per-call deadline (each
+    /// degradation rung still gets a fresh window). Serve mode routes
+    /// per-request `deadline_ms` through here.
+    pub fn compile_one_with_deadline(
+        &self,
+        name: &str,
+        function: &Function,
+        pipeline: &PipelineConfig,
+        deadline: Option<Duration>,
     ) -> JobResult {
         let _job_span = vegen_trace::enabled()
             .then(|| vegen_trace::span_owned("engine", format!("job:{name}")));
@@ -398,15 +524,49 @@ impl Engine {
                 faults,
                 stages: hit.stages,
                 cache_hit: true,
+                disk_hit: false,
                 verify_time: Duration::ZERO,
                 verify_error: None,
                 wall: t0.elapsed(),
             };
         }
+
+        // Memory miss: fall through to the disk cache. Entries were
+        // verified when written, so disk hits skip re-verification just
+        // like memory hits; corrupt entries become typed faults and the
+        // job recompiles.
+        let fingerprint = self
+            .disk
+            .as_ref()
+            .map(|_| isa_fingerprint(&pipeline.target, pipeline.canonicalize_patterns));
+        if let (Some(disk), Some(fp)) = (&self.disk, &fingerprint) {
+            match disk.load(hash, fp) {
+                Ok(Some(found)) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    vegen_trace::instant("engine", "disk_hit");
+                    let value = self.cache.insert(hash, found.value);
+                    return JobResult {
+                        name: name.to_string(),
+                        hash: Some(hash),
+                        kernel: Some(value.kernel),
+                        rung: Rung::Primary,
+                        faults,
+                        stages: value.stages,
+                        cache_hit: true,
+                        disk_hit: true,
+                        verify_time: Duration::ZERO,
+                        verify_error: None,
+                        wall: t0.elapsed(),
+                    };
+                }
+                Ok(None) => {}
+                Err(detail) => self.note_cache_io(name, detail, &mut faults),
+            }
+        }
         vegen_trace::instant("engine", "cache_miss");
 
         // Rung 1: the requested configuration.
-        match self.attempt(name, &canonical, pipeline, self.cfg.deadline) {
+        match self.attempt(name, &canonical, pipeline, deadline) {
             Ok((kernel, mut stages)) => {
                 stages.canonicalize = canonicalize_time;
                 self.note_compilation(&kernel);
@@ -415,6 +575,21 @@ impl Engine {
                 // Failed compilations are not poisoned into the cache;
                 // only clean primary-rung results are shareable.
                 let value = if verify_error.is_none() {
+                    if let (Some(disk), Some(fp)) = (&self.disk, &fingerprint) {
+                        match disk.store(
+                            hash,
+                            fp,
+                            &pipeline.target.name,
+                            pipeline.canonicalize_patterns,
+                            &kernel,
+                            &stages,
+                        ) {
+                            Ok(()) => {
+                                self.disk_stores.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(detail) => self.note_cache_io(name, detail, &mut faults),
+                        }
+                    }
                     self.cache.insert(hash, CachedCompile { kernel: kernel.clone(), stages })
                 } else {
                     CachedCompile { kernel: kernel.clone(), stages }
@@ -427,6 +602,7 @@ impl Engine {
                     faults,
                     stages: value.stages,
                     cache_hit: false,
+                    disk_hit: false,
                     verify_time,
                     verify_error,
                     wall: t0.elapsed(),
@@ -446,7 +622,7 @@ impl Engine {
             beam: BeamConfig { budget: pipeline.beam.budget.clone(), ..BeamConfig::slp() },
             ..pipeline.clone()
         };
-        match self.attempt(name, &canonical, &narrow, self.cfg.deadline) {
+        match self.attempt(name, &canonical, &narrow, deadline) {
             Ok((kernel, mut stages)) => {
                 stages.canonicalize = canonicalize_time;
                 self.note_compilation(&kernel);
@@ -461,6 +637,7 @@ impl Engine {
                     faults,
                     stages,
                     cache_hit: false,
+                    disk_hit: false,
                     verify_time,
                     verify_error,
                     wall: t0.elapsed(),
@@ -486,6 +663,7 @@ impl Engine {
                     faults,
                     stages,
                     cache_hit: false,
+                    disk_hit: false,
                     verify_time,
                     verify_error,
                     wall: t0.elapsed(),
@@ -525,6 +703,7 @@ impl Engine {
             faults,
             stages: StageTimes::default(),
             cache_hit: false,
+            disk_hit: false,
             verify_time: Duration::ZERO,
             verify_error: None,
             wall: t0.elapsed(),
@@ -541,6 +720,7 @@ impl Engine {
             faults: Vec::new(),
             stages: StageTimes::default(),
             cache_hit: false,
+            disk_hit: false,
             verify_time: Duration::ZERO,
             verify_error: None,
             wall: Duration::ZERO,
@@ -567,7 +747,12 @@ impl Engine {
                 if self.cfg.fail_fast && abort.load(Ordering::Relaxed) {
                     return Engine::skipped_result(&job.name);
                 }
-                let result = self.compile_one(&job.name, &job.function, &job.pipeline);
+                let result = self.compile_one_with_deadline(
+                    &job.name,
+                    &job.function,
+                    &job.pipeline,
+                    job.deadline.or(self.cfg.deadline),
+                );
                 if self.cfg.fail_fast && result.rung != Rung::Primary {
                     abort.store(true, Ordering::Relaxed);
                 }
@@ -591,6 +776,7 @@ impl Engine {
                     )],
                     stages: StageTimes::default(),
                     cache_hit: false,
+                    disk_hit: false,
                     verify_time: Duration::ZERO,
                     verify_error: None,
                     wall: Duration::ZERO,
@@ -620,6 +806,9 @@ impl Engine {
             retries: self.retries.load(Ordering::Relaxed),
             degradations: self.degradations.load(Ordering::Relaxed),
             deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_stores: self.disk_stores.load(Ordering::Relaxed),
+            cache_io_errors: self.cache_io_errors.load(Ordering::Relaxed),
         }
     }
 

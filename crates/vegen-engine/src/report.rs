@@ -9,6 +9,7 @@
 //! instead.
 
 use crate::cache::CacheStats;
+use crate::diskcache::DiskCacheStats;
 use crate::json::Json;
 use crate::{EngineCounters, JobResult};
 use std::time::Duration;
@@ -16,6 +17,55 @@ use vegen::driver::StageTimes;
 
 fn micros(d: Duration) -> Json {
     Json::Num(d.as_secs_f64() * 1e6)
+}
+
+/// JSON rendering of the engine counters (the report's `counters` block;
+/// also what the serve protocol's `metrics` op returns).
+pub fn counters_json(c: &EngineCounters) -> Json {
+    Json::obj([
+        ("states_expanded", Json::int(c.states_expanded)),
+        ("transitions", Json::int(c.transitions)),
+        ("dedup_hits", Json::int(c.dedup_hits)),
+        ("producer_cache_hits", Json::int(c.producer_cache_hits)),
+        ("producer_cache_misses", Json::int(c.producer_cache_misses)),
+        ("packs_committed", Json::int(c.packs_committed)),
+        ("compilations", Json::int(c.compilations)),
+        ("analyses", Json::int(c.analyses)),
+        ("analysis_errors", Json::int(c.analysis_errors)),
+        ("failures", Json::int(c.failures)),
+        ("retries", Json::int(c.retries)),
+        ("degradations", Json::int(c.degradations)),
+        ("deadline_hits", Json::int(c.deadline_hits)),
+        ("disk_hits", Json::int(c.disk_hits)),
+        ("disk_stores", Json::int(c.disk_stores)),
+        ("cache_io_errors", Json::int(c.cache_io_errors)),
+    ])
+}
+
+/// JSON rendering of the in-memory cache counters.
+pub fn cache_json(c: &CacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::int(c.hits)),
+        ("misses", Json::int(c.misses)),
+        ("evictions", Json::int(c.evictions)),
+        ("entries", Json::int(c.entries as u64)),
+        ("capacity", Json::int(c.capacity as u64)),
+        ("hit_rate", Json::Num(c.hit_rate())),
+    ])
+}
+
+/// JSON rendering of the on-disk cache counters (the report's `disk`
+/// block when a cache directory is configured).
+pub fn disk_json(d: &DiskCacheStats) -> Json {
+    Json::obj([
+        ("entries", Json::int(d.entries as u64)),
+        ("hits", Json::int(d.hits)),
+        ("misses", Json::int(d.misses)),
+        ("stores", Json::int(d.stores)),
+        ("invalidated", Json::int(d.invalidated)),
+        ("corrupt", Json::int(d.corrupt)),
+        ("io_errors", Json::int(d.io_errors)),
+    ])
 }
 
 /// Per-stage wall times in microseconds.
@@ -52,6 +102,9 @@ pub struct KernelReport {
     pub content_hash: String,
     /// Whether the cache served it.
     pub cache_hit: bool,
+    /// Which cache level served it: `"disk"`, `"memory"`, or `"miss"`
+    /// (since schema v6).
+    pub cache: &'static str,
     /// Degradation rung the job completed on ("primary", "width1",
     /// "scalar", "failed", "skipped").
     pub rung: &'static str,
@@ -140,6 +193,7 @@ impl KernelReport {
             name: r.name.clone(),
             content_hash: r.hash.map(|h| h.hex()).unwrap_or_default(),
             cache_hit: r.cache_hit,
+            cache: r.cache_source(),
             rung: r.rung.name(),
             failed: r.failed(),
             faults,
@@ -181,6 +235,7 @@ impl KernelReport {
             ("name", Json::str(&self.name)),
             ("content_hash", Json::str(&self.content_hash)),
             ("cache_hit", Json::Bool(self.cache_hit)),
+            ("cache", Json::str(self.cache)),
             ("rung", Json::str(self.rung)),
             ("failed", Json::Bool(self.failed)),
             ("faults", Json::Arr(self.faults.iter().map(Json::str).collect())),
@@ -273,6 +328,8 @@ pub struct RunReport {
     pub wall: Duration,
     /// Cache hits within this run.
     pub cache_hits: usize,
+    /// How many of those hits came from the disk cache (since v6).
+    pub disk_hits: usize,
     /// Kernel rows, in input order.
     pub kernels: Vec<KernelReport>,
 }
@@ -284,6 +341,7 @@ impl RunReport {
             label: label.into(),
             wall,
             cache_hits: results.iter().filter(|r| r.cache_hit).count(),
+            disk_hits: results.iter().filter(|r| r.disk_hit).count(),
             kernels: results.iter().map(KernelReport::from_result).collect(),
         }
     }
@@ -293,6 +351,7 @@ impl RunReport {
             ("label", Json::str(&self.label)),
             ("wall_us", micros(self.wall)),
             ("cache_hits", Json::int(self.cache_hits as u64)),
+            ("disk_hits", Json::int(self.disk_hits as u64)),
             ("kernels_total", Json::int(self.kernels.len() as u64)),
             ("kernels", Json::Arr(self.kernels.iter().map(|k| k.to_json()).collect())),
         ])
@@ -314,6 +373,9 @@ pub struct EngineReport {
     pub runs: Vec<RunReport>,
     /// Cache counters at report time.
     pub cache: CacheStats,
+    /// On-disk cache counters (`None` when no cache directory is
+    /// configured; since schema v6).
+    pub disk: Option<DiskCacheStats>,
     /// Engine-lifetime pipeline counters.
     pub counters: EngineCounters,
     /// Trace-session metadata for the run.
@@ -356,41 +418,15 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v5")),
+            ("schema", Json::str("vegen-engine-report/v6")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
             ("verify_trials", Json::int(self.verify_trials)),
             ("runs", Json::Arr(self.runs.iter().map(|r| r.to_json()).collect())),
-            (
-                "cache",
-                Json::obj([
-                    ("hits", Json::int(self.cache.hits)),
-                    ("misses", Json::int(self.cache.misses)),
-                    ("evictions", Json::int(self.cache.evictions)),
-                    ("entries", Json::int(self.cache.entries as u64)),
-                    ("capacity", Json::int(self.cache.capacity as u64)),
-                    ("hit_rate", Json::Num(self.cache.hit_rate())),
-                ]),
-            ),
-            (
-                "counters",
-                Json::obj([
-                    ("states_expanded", Json::int(self.counters.states_expanded)),
-                    ("transitions", Json::int(self.counters.transitions)),
-                    ("dedup_hits", Json::int(self.counters.dedup_hits)),
-                    ("producer_cache_hits", Json::int(self.counters.producer_cache_hits)),
-                    ("producer_cache_misses", Json::int(self.counters.producer_cache_misses)),
-                    ("packs_committed", Json::int(self.counters.packs_committed)),
-                    ("compilations", Json::int(self.counters.compilations)),
-                    ("analyses", Json::int(self.counters.analyses)),
-                    ("analysis_errors", Json::int(self.counters.analysis_errors)),
-                    ("failures", Json::int(self.counters.failures)),
-                    ("retries", Json::int(self.counters.retries)),
-                    ("degradations", Json::int(self.counters.degradations)),
-                    ("deadline_hits", Json::int(self.counters.deadline_hits)),
-                ]),
-            ),
+            ("cache", cache_json(&self.cache)),
+            ("disk", self.disk.as_ref().map_or(Json::Null, disk_json)),
+            ("counters", counters_json(&self.counters)),
             ("trace", self.trace.to_json()),
         ])
     }

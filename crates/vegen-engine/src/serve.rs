@@ -1,0 +1,516 @@
+//! `vegen-engine serve` — a resident compile service over the engine.
+//!
+//! The daemon reads newline-delimited JSON requests (one object per
+//! line) from a Unix socket or stdio and answers each with one JSON
+//! line. Protocol grammar (see DESIGN §13 for the full spec):
+//!
+//! ```text
+//! request  := compile | metrics | ping | kernels | shutdown
+//! compile  := {"op":"compile", "id":<any>,
+//!              "kernel":<suite name> | "function":<serdes Function>,
+//!              ["target":<name>] ["beam":<width>]
+//!              ["deadline_ms":<n>] ["decisions":<bool>]}
+//! metrics  := {"op":"metrics", "id":<any>}
+//! ping     := {"op":"ping", "id":<any>}
+//! kernels  := {"op":"kernels", "id":<any>}
+//! shutdown := {"op":"shutdown", "id":<any>}
+//!
+//! response := {"id":<echoed>, "ok":true,  "result":{...}}
+//!           | {"id":<echoed>, "ok":false, "error":{"stage","tag","message"}}
+//! ```
+//!
+//! Admission control: compile requests land in a bounded queue. A full
+//! queue sheds the request immediately with a typed
+//! [`ErrorCause::Overloaded`] error instead of blocking the client or
+//! aborting the daemon. A dispatcher thread drains the queue in
+//! micro-batches onto [`Engine::compile_batch`] — the same work-stealing
+//! pool batch jobs use — so concurrent clients share the machine fairly.
+//! A request that spends its whole `deadline_ms` waiting in the queue is
+//! dropped with a typed `Deadline` error at [`Stage::Admission`]; one
+//! that gets dispatched runs with its deadline as the compile window.
+//!
+//! Shutdown is graceful: the `shutdown` op (or EOF on stdio) stops
+//! admission, the dispatcher drains every queued job to a response, and
+//! only then does the daemon exit. In socket mode, compile requests
+//! arriving on *other* connections during the drain are rejected with
+//! tag `"draining"`.
+
+use crate::json::Json;
+use crate::{report, serdes, Engine, Job, JobResult};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use vegen::error::{CompileError, ErrorCause, Stage};
+use vegen_isa::TargetIsa;
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bound on the admission queue; a full queue sheds with a typed
+    /// `Overloaded` response.
+    pub queue_capacity: usize,
+    /// Target for requests that don't name one.
+    pub target: TargetIsa,
+    /// Beam width for requests that don't name one.
+    pub beam_width: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { queue_capacity: 64, target: TargetIsa::avx2(), beam_width: 16 }
+    }
+}
+
+/// What one daemon run did (for logs and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests parsed (any op).
+    pub requests: u64,
+    /// Compile jobs that ran through the engine to a response.
+    pub compiles: u64,
+    /// Compile requests shed by the full queue.
+    pub shed: u64,
+    /// Compile requests dropped after expiring in the queue.
+    pub expired: u64,
+    /// Compile requests rejected during the shutdown drain.
+    pub rejected_draining: u64,
+    /// Lines that were not a well-formed request.
+    pub protocol_errors: u64,
+}
+
+/// A client output stream: one response line per call, best-effort (a
+/// client that hung up mid-drain just loses its responses).
+type Sink = Arc<Mutex<dyn Write + Send>>;
+
+fn send_line(sink: &Sink, doc: &Json) {
+    let mut w = sink.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = writeln!(w, "{}", doc.render());
+    let _ = w.flush();
+}
+
+fn ok_response(id: &Json, result: Json) -> Json {
+    Json::obj([("id", id.clone()), ("ok", Json::Bool(true)), ("result", result)])
+}
+
+fn error_response(id: &Json, e: &CompileError) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("stage", Json::str(e.stage.name())),
+                ("tag", Json::str(e.cause.tag())),
+                ("message", Json::str(e.to_string())),
+            ]),
+        ),
+    ])
+}
+
+fn protocol_error(id: &Json, message: impl Into<String>) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("stage", Json::str(Stage::Admission.name())),
+                ("tag", Json::str("protocol")),
+                ("message", Json::str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// Per-kernel compile response body.
+fn result_json(r: &JobResult) -> Json {
+    let mut pairs: Vec<(&'static str, Json)> = vec![
+        ("name", Json::str(&r.name)),
+        ("rung", Json::str(r.rung.name())),
+        ("cache", Json::str(r.cache_source())),
+        ("hash", r.hash.map_or(Json::Null, |h| Json::str(h.hex()))),
+        ("failed", Json::Bool(r.failed())),
+        (
+            "faults",
+            Json::Arr(
+                r.faults
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("stage", Json::str(f.stage.name())),
+                            ("tag", Json::str(f.cause.tag())),
+                            ("message", Json::str(f.cause.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("wall_us", Json::int(r.wall.as_micros() as u64)),
+        ("verify_error", r.verify_error.as_deref().map_or(Json::Null, Json::str)),
+    ];
+    if let Some(kernel) = &r.kernel {
+        let (scalar, baseline, vegen) = kernel.cycles();
+        pairs.push((
+            "cycles",
+            Json::obj([
+                ("scalar", Json::Num(scalar)),
+                ("baseline", Json::Num(baseline)),
+                ("vegen", Json::Num(vegen)),
+            ]),
+        ));
+        pairs.push(("speedup_baseline", Json::Num(kernel.speedup_vs_baseline())));
+        pairs.push(("speedup_scalar", Json::Num(kernel.speedup_vs_scalar())));
+    }
+    Json::obj(pairs)
+}
+
+fn parse_target(name: &str) -> Option<TargetIsa> {
+    match name.to_ascii_lowercase().as_str() {
+        "avx2" => Some(TargetIsa::avx2()),
+        "avx512vnni" | "avx512-vnni" | "vnni" => Some(TargetIsa::avx512vnni()),
+        "sse4" => Some(TargetIsa::sse4()),
+        _ => None,
+    }
+}
+
+/// One admitted compile request.
+struct QueuedJob {
+    id: Json,
+    job: Job,
+    enqueued: Instant,
+    sink: Sink,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<QueuedJob>,
+    draining: bool,
+}
+
+/// Everything the reader and dispatcher threads share.
+struct ServeState<'e> {
+    engine: &'e Engine,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    requests: AtomicU64,
+    compiles: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    rejected_draining: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl<'e> ServeState<'e> {
+    fn new(engine: &'e Engine, cfg: ServeConfig) -> ServeState<'e> {
+        ServeState {
+            engine,
+            cfg,
+            queue: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+            requests: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        }
+    }
+
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            requests: self.requests.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop admission and wake the dispatcher for its final drain.
+    fn start_drain(&self) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).draining = true;
+        self.cond.notify_all();
+    }
+
+    fn metrics_json(&self) -> Json {
+        let q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let depth = q.items.len();
+        let draining = q.draining;
+        drop(q);
+        Json::obj([
+            ("counters", report::counters_json(&self.engine.counters())),
+            ("cache", report::cache_json(&self.engine.cache_stats())),
+            ("disk", self.engine.disk_stats().as_ref().map_or(Json::Null, report::disk_json)),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", Json::int(depth as u64)),
+                    ("capacity", Json::int(self.cfg.queue_capacity as u64)),
+                ]),
+            ),
+            ("draining", Json::Bool(draining)),
+        ])
+    }
+
+    /// Build the [`Job`] a compile request describes.
+    fn parse_compile(&self, req: &Json) -> Result<Job, String> {
+        let function = match (req.get("kernel"), req.get("function")) {
+            (Some(k), None) => {
+                let name = k.as_str().ok_or("\"kernel\" must be a string")?;
+                let kernel = vegen_kernels::find(name).ok_or(format!("unknown kernel {name:?}"))?;
+                (kernel.build)()
+            }
+            (None, Some(f)) => {
+                serdes::function_from_json(f).map_err(|e| format!("function: {e}"))?
+            }
+            _ => return Err("need exactly one of \"kernel\" or \"function\"".into()),
+        };
+        let target = match req.get("target") {
+            Some(t) => {
+                let name = t.as_str().ok_or("\"target\" must be a string")?;
+                parse_target(name).ok_or(format!("unknown target {name:?}"))?
+            }
+            None => self.cfg.target.clone(),
+        };
+        let width = match req.get("beam") {
+            Some(b) => {
+                let v = b.as_f64().filter(|v| *v >= 1.0 && v.trunc() == *v);
+                v.ok_or("\"beam\" must be a positive integer")? as usize
+            }
+            None => self.cfg.beam_width,
+        };
+        let deadline = match req.get("deadline_ms") {
+            Some(d) => {
+                let v = d.as_f64().filter(|v| *v >= 0.0 && v.trunc() == *v);
+                Some(Duration::from_millis(v.ok_or("\"deadline_ms\" must be an integer")? as u64))
+            }
+            None => None,
+        };
+        let mut pipeline = vegen::driver::PipelineConfig::new(target, width);
+        if let Some(Json::Bool(true)) = req.get("decisions") {
+            pipeline.beam.log_decisions = true;
+        }
+        let name = function.name.clone();
+        Ok(Job::new(name, function, pipeline).with_deadline(deadline))
+    }
+
+    /// Admit a compile job or shed it. The response for shed/draining is
+    /// sent here; admitted jobs are answered by the dispatcher.
+    fn enqueue(&self, id: Json, job: Job, sink: &Sink) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.draining {
+            self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+            drop(q);
+            send_line(sink, &protocol_error(&id, "daemon is draining; request rejected"));
+            return;
+        }
+        if q.items.len() >= self.cfg.queue_capacity {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            let e = CompileError::new(
+                Stage::Admission,
+                &job.name,
+                ErrorCause::Overloaded { capacity: self.cfg.queue_capacity },
+            );
+            drop(q);
+            vegen_trace::instant("serve", "shed");
+            send_line(sink, &error_response(&id, &e));
+            return;
+        }
+        q.items.push_back(QueuedJob { id, job, enqueued: Instant::now(), sink: sink.clone() });
+        drop(q);
+        self.cond.notify_all();
+    }
+
+    /// Handle one request line from a client. Returns `true` when the
+    /// request asked the daemon to shut down.
+    fn handle_line(&self, line: &str, sink: &Sink) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        let req = match Json::parse(line) {
+            Ok(req) => req,
+            Err(e) => {
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send_line(sink, &protocol_error(&Json::Null, format!("unparseable request: {e}")));
+                return false;
+            }
+        };
+        let id = req.get("id").cloned().unwrap_or(Json::Null);
+        let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let _sp =
+            vegen_trace::enabled().then(|| vegen_trace::span_owned("serve", format!("op:{op}")));
+        match op {
+            "ping" => send_line(sink, &ok_response(&id, Json::obj([("pong", Json::Bool(true))]))),
+            "metrics" => send_line(sink, &ok_response(&id, self.metrics_json())),
+            "kernels" => {
+                let names = vegen_kernels::all().into_iter().map(|k| Json::str(k.name)).collect();
+                send_line(sink, &ok_response(&id, Json::obj([("kernels", Json::Arr(names))])));
+            }
+            "shutdown" => {
+                send_line(sink, &ok_response(&id, Json::obj([("draining", Json::Bool(true))])));
+                return true;
+            }
+            "compile" => match self.parse_compile(&req) {
+                Ok(job) => self.enqueue(id, job, sink),
+                Err(message) => {
+                    self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    send_line(sink, &protocol_error(&id, message));
+                }
+            },
+            other => {
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send_line(sink, &protocol_error(&id, format!("unknown op {other:?}")));
+            }
+        }
+        false
+    }
+
+    /// Read a client stream to EOF (or shutdown). Returns `true` on
+    /// shutdown.
+    fn read_client<R: BufRead>(&self, input: R, sink: &Sink) -> bool {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if self.handle_line(&line, sink) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The dispatcher: drain whatever is queued as one micro-batch onto
+    /// the engine's work-stealing pool, respond per job, repeat; exit
+    /// once the queue is empty *and* the daemon is draining.
+    fn dispatch(&self) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if !q.items.is_empty() {
+                        break std::mem::take(&mut q.items);
+                    }
+                    if q.draining {
+                        return;
+                    }
+                    q = self.cond.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // Requests that spent their whole deadline waiting are
+            // answered without burning pool time on them.
+            let mut live = Vec::with_capacity(batch.len());
+            for qj in batch {
+                match qj.job.deadline {
+                    Some(limit) if qj.enqueued.elapsed() >= limit => {
+                        self.expired.fetch_add(1, Ordering::Relaxed);
+                        let e = CompileError::new(
+                            Stage::Admission,
+                            &qj.job.name,
+                            ErrorCause::Deadline { limit },
+                        );
+                        vegen_trace::instant("serve", "expired_in_queue");
+                        send_line(&qj.sink, &error_response(&qj.id, &e));
+                    }
+                    _ => live.push(qj),
+                }
+            }
+            if live.is_empty() {
+                continue;
+            }
+            let jobs: Vec<Job> = live.iter().map(|qj| qj.job.clone()).collect();
+            let results = self.engine.compile_batch(&jobs);
+            for (qj, result) in live.iter().zip(&results) {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                send_line(&qj.sink, &ok_response(&qj.id, result_json(result)));
+            }
+        }
+    }
+}
+
+/// Run the line protocol over one input/output pair (the `--stdio` mode;
+/// also the in-process harness the protocol tests drive). Returns after
+/// EOF or a `shutdown` op, with every admitted job drained to a
+/// response.
+pub fn serve_lines<R, W>(engine: &Engine, cfg: &ServeConfig, input: R, output: W) -> ServeSummary
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let state = ServeState::new(engine, cfg.clone());
+    let sink: Sink = Arc::new(Mutex::new(output));
+    std::thread::scope(|scope| {
+        let dispatcher = scope.spawn(|| state.dispatch());
+        state.read_client(input, &sink);
+        state.start_drain();
+        let _ = dispatcher.join();
+    });
+    state.summary()
+}
+
+/// Bind `path` and serve until a client sends `shutdown`. Each
+/// connection gets its own reader thread; all share one admission queue
+/// and one dispatcher. Returns after the drain completes.
+///
+/// # Errors
+///
+/// Returns a message when the socket cannot be bound.
+pub fn serve_socket(
+    engine: &Engine,
+    cfg: &ServeConfig,
+    path: &Path,
+) -> Result<ServeSummary, String> {
+    // A leftover socket file from a dead daemon would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+    let state = ServeState::new(engine, cfg.clone());
+    let shutdown = AtomicBool::new(false);
+    // Read-half clones of every live connection, so shutdown can unblock
+    // their readers with an EOF.
+    let clients: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let dispatcher = scope.spawn(|| state.dispatch());
+        let mut readers = Vec::new();
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = stream else { break };
+            if let Ok(clone) = stream.try_clone() {
+                clients.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+            }
+            let write_half = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => continue,
+            };
+            let state = &state;
+            let shutdown = &shutdown;
+            let clients = &clients;
+            readers.push(scope.spawn(move || {
+                let sink: Sink = Arc::new(Mutex::new(write_half));
+                if state.read_client(BufReader::new(stream), &sink) {
+                    // This client asked for shutdown: stop admission,
+                    // unblock the accept loop and every other reader.
+                    shutdown.store(true, Ordering::Relaxed);
+                    state.start_drain();
+                    for c in clients.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+                        let _ = c.shutdown(std::net::Shutdown::Read);
+                    }
+                    let _ = UnixStream::connect(path);
+                }
+            }));
+        }
+        state.start_drain();
+        for r in readers {
+            let _ = r.join();
+        }
+        let _ = dispatcher.join();
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(state.summary())
+}

@@ -1,0 +1,267 @@
+//! Durability tests for the persistent on-disk compile cache: restart
+//! replay, corrupt-entry rejection, stale-entry invalidation, concurrent
+//! writers sharing one directory, and byte-identical entry files from
+//! independent engines.
+
+use std::path::PathBuf;
+use vegen::driver::PipelineConfig;
+use vegen_core::BeamConfig;
+use vegen_engine::diskcache::ENTRY_SCHEMA;
+use vegen_engine::{Engine, EngineConfig, Job, Rung};
+use vegen_isa::TargetIsa;
+use vegen_vm::listing;
+
+const NAMES: [&str; 4] = ["pmaddwd", "int32x8", "hadd_i16", "max_pd"];
+
+fn pipeline(width: usize) -> PipelineConfig {
+    PipelineConfig {
+        target: TargetIsa::avx2(),
+        beam: BeamConfig::with_width(width),
+        canonicalize_patterns: true,
+    }
+}
+
+fn jobs() -> Vec<Job> {
+    NAMES
+        .iter()
+        .map(|n| {
+            let k = vegen_kernels::find(n).unwrap_or_else(|| panic!("kernel {n} must exist"));
+            Job::new(k.name, (k.build)(), pipeline(4))
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vegen-diskcache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine_with(dir: &std::path::Path) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        verify_trials: 4,
+        cache_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    });
+    assert_eq!(engine.disk_open_error(), None, "cache dir must open");
+    engine
+}
+
+fn entry_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|f| f.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn restart_replays_entirely_from_disk_with_identical_programs() {
+    let dir = temp_dir("restart");
+
+    // Cold engine: all misses, all written through.
+    let first = engine_with(&dir);
+    let cold = first.compile_batch(&jobs());
+    assert!(cold.iter().all(|r| r.rung == Rung::Primary && !r.cache_hit));
+    assert_eq!(first.counters().disk_stores, NAMES.len() as u64);
+    assert_eq!(first.counters().cache_io_errors, 0);
+    let stats = first.disk_stats().expect("disk cache is configured");
+    assert_eq!(stats.entries, NAMES.len());
+    assert_eq!(stats.stores, NAMES.len() as u64);
+    drop(first);
+
+    // "Restarted" engine over the same directory: zero cold compiles,
+    // every job a disk hit, with zero verification time (entries were
+    // verified when written).
+    let second = engine_with(&dir);
+    let warm = second.compile_batch(&jobs());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert!(w.cache_hit && w.disk_hit, "{} must be a disk hit", w.name);
+        assert_eq!(w.cache_source(), "disk");
+        assert_eq!(w.rung, Rung::Primary);
+        assert!(w.faults.is_empty(), "{:?}", w.faults);
+        assert_eq!(w.verify_time, std::time::Duration::ZERO);
+        assert_eq!(c.hash, w.hash, "{}: same content address", w.name);
+        // The decoded programs are byte-identical to the cold compile's.
+        let (ck, wk) = (c.kernel.as_deref().unwrap(), w.kernel.as_deref().unwrap());
+        assert_eq!(listing(&ck.vegen), listing(&wk.vegen), "{}", w.name);
+        assert_eq!(listing(&ck.scalar), listing(&wk.scalar), "{}", w.name);
+        assert_eq!(listing(&ck.baseline), listing(&wk.baseline), "{}", w.name);
+        // And still pass dynamic verification.
+        wk.verify(8).unwrap_or_else(|e| panic!("{}: decoded kernel must verify: {e}", w.name));
+    }
+    let counters = second.counters();
+    assert_eq!(counters.compilations, 0, "restart must not compile anything");
+    assert_eq!(counters.disk_hits, NAMES.len() as u64);
+    assert_eq!(counters.cache_io_errors, 0);
+
+    // A third batch on the same engine is now pure memory hits.
+    let memory = second.compile_batch(&jobs());
+    assert!(memory.iter().all(|r| r.cache_hit && !r.disk_hit));
+    assert!(memory.iter().all(|r| r.cache_source() == "memory"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_start_preloads_the_memory_cache() {
+    let dir = temp_dir("warmstart");
+    engine_with(&dir).compile_batch(&jobs());
+
+    let engine = engine_with(&dir);
+    assert_eq!(engine.warm_start(), NAMES.len());
+    let results = engine.compile_batch(&jobs());
+    // Warm start loads into the *memory* cache, so jobs don't even touch
+    // disk.
+    assert!(results.iter().all(|r| r.cache_hit && !r.disk_hit));
+    assert_eq!(engine.counters().compilations, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_entries_are_rejected_deleted_and_recompiled() {
+    let dir = temp_dir("corrupt");
+    engine_with(&dir).compile_batch(&jobs());
+    let files = entry_files(&dir);
+    assert_eq!(files.len(), NAMES.len());
+
+    // Truncate one entry mid-document and scribble over another: both are
+    // corrupt, not stale.
+    let text = std::fs::read_to_string(&files[0]).unwrap();
+    std::fs::write(&files[0], &text[..text.len() / 2]).unwrap();
+    std::fs::write(&files[1], "{\"schema\": 42}").unwrap();
+
+    let engine = engine_with(&dir);
+    let results = engine.compile_batch(&jobs());
+    // Every job still succeeds at the primary rung; the two corrupt jobs
+    // recompiled with a typed cache_io fault each.
+    assert!(results.iter().all(|r| r.rung == Rung::Primary));
+    let faulted: Vec<&vegen_engine::JobResult> =
+        results.iter().filter(|r| !r.faults.is_empty()).collect();
+    assert_eq!(faulted.len(), 2, "{results:?}");
+    for r in &faulted {
+        assert!(!r.cache_hit, "{} recompiled", r.name);
+        assert_eq!(r.faults.len(), 1);
+        assert_eq!(r.faults[0].cause.tag(), "cache_io");
+        assert_eq!(r.faults[0].stage.name(), "cache");
+    }
+    let counters = engine.counters();
+    assert_eq!(counters.cache_io_errors, 2);
+    assert_eq!(counters.compilations, 2);
+    assert_eq!(counters.disk_hits, (NAMES.len() - 2) as u64);
+    // Corrupt jobs are not compile failures.
+    assert_eq!(counters.failures, 0);
+    let stats = engine.disk_stats().unwrap();
+    assert_eq!(stats.corrupt, 2);
+    // The rejected entries were deleted and rewritten by the recompile.
+    assert_eq!(stats.entries, NAMES.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_schema_or_fingerprint_invalidates_silently() {
+    let dir = temp_dir("stale");
+    engine_with(&dir).compile_batch(&jobs());
+    let files = entry_files(&dir);
+
+    // An entry from a hypothetical older build: well-formed, wrong
+    // version header.
+    let old =
+        std::fs::read_to_string(&files[0]).unwrap().replace(ENTRY_SCHEMA, "vegen-cache-entry/v0");
+    assert_ne!(old, std::fs::read_to_string(&files[0]).unwrap());
+    std::fs::write(&files[0], old).unwrap();
+    // An entry whose instruction database has since changed.
+    let other = std::fs::read_to_string(&files[1]).unwrap();
+    let marker = "\"fingerprint\":\"";
+    let fp_start = other.find(marker).unwrap() + marker.len();
+    let mut swapped = other.clone();
+    swapped.replace_range(fp_start..fp_start + 32, &"0".repeat(32));
+    std::fs::write(&files[1], swapped).unwrap();
+
+    let engine = engine_with(&dir);
+    let results = engine.compile_batch(&jobs());
+    // Stale entries recompile silently: no faults, no cache_io errors.
+    assert!(results.iter().all(|r| r.rung == Rung::Primary && r.faults.is_empty()));
+    let counters = engine.counters();
+    assert_eq!(counters.cache_io_errors, 0);
+    assert_eq!(counters.compilations, 2);
+    assert_eq!(counters.disk_hits, (NAMES.len() - 2) as u64);
+    let stats = engine.disk_stats().unwrap();
+    assert_eq!(stats.invalidated, 2);
+    assert_eq!(stats.corrupt, 0);
+    assert_eq!(stats.entries, NAMES.len(), "stale entries were replaced");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_engines_share_one_directory_safely() {
+    let dir = temp_dir("concurrent");
+    // Two engines, two threads each, racing over the same directory and
+    // the same job set: atomic writes mean nobody ever reads a torn
+    // entry, and the survivors are valid.
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let dir = dir.clone();
+            scope.spawn(move || {
+                let engine = engine_with(&dir);
+                let results = engine.compile_batch(&jobs());
+                assert!(results.iter().all(|r| r.rung == Rung::Primary));
+                assert!(results.iter().all(|r| r.faults.is_empty()), "{results:?}");
+            });
+        }
+    });
+    // Whatever interleaving happened, a fresh engine replays fully from
+    // the surviving entries.
+    let reader = engine_with(&dir);
+    let results = reader.compile_batch(&jobs());
+    assert!(results.iter().all(|r| r.disk_hit), "{results:?}");
+    assert_eq!(reader.counters().compilations, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn independent_engines_write_byte_identical_kernels() {
+    let (dir_a, dir_b) = (temp_dir("bytes-a"), temp_dir("bytes-b"));
+    engine_with(&dir_a).compile_batch(&jobs());
+    engine_with(&dir_b).compile_batch(&jobs());
+    let (files_a, files_b) = (entry_files(&dir_a), entry_files(&dir_b));
+    assert_eq!(files_a.len(), NAMES.len());
+    assert_eq!(
+        files_a.iter().map(|p| p.file_name().unwrap().to_owned()).collect::<Vec<_>>(),
+        files_b.iter().map(|p| p.file_name().unwrap().to_owned()).collect::<Vec<_>>(),
+        "deterministic pipeline, same content addresses"
+    );
+    // Whole files differ only in measurements (stage times and the
+    // beam's wall counter); with those normalized, the serialized
+    // compilation must render byte-for-byte the same.
+    use vegen_engine::json::Json;
+    fn zero_field(doc: &mut Json, path: &[&str]) {
+        let Json::Obj(pairs) = doc else { return };
+        let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == path[0]) else { return };
+        if path.len() == 1 {
+            *v = Json::int(0);
+        } else {
+            zero_field(v, &path[1..]);
+        }
+    }
+    for (a, b) in files_a.iter().zip(&files_b) {
+        let kernel = |p: &PathBuf| {
+            let doc = Json::parse(&std::fs::read_to_string(p).unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            let mut kernel = doc.get("kernel").expect("entry has a kernel").clone();
+            zero_field(&mut kernel, &["selection", "stats", "beam_wall_ns"]);
+            kernel.render()
+        };
+        assert_eq!(
+            kernel(a),
+            kernel(b),
+            "{}: kernel bytes must be engine-independent",
+            a.display()
+        );
+    }
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}

@@ -45,6 +45,7 @@ fn small_report(decisions: bool) -> EngineReport {
         verify_trials: 4,
         runs: vec![vegen_engine::report::RunReport::new("cold", t0.elapsed(), &results)],
         cache: engine.cache_stats(),
+        disk: engine.disk_stats(),
         counters: engine.counters(),
         trace: Default::default(),
     }
@@ -90,13 +91,13 @@ fn verification_failure_is_surfaced_with_kernel_name() {
 }
 
 #[test]
-fn engine_report_v5_round_trips_through_the_parser() {
+fn engine_report_v6_round_trips_through_the_parser() {
     let report = small_report(true);
     let doc = report.to_json();
     // Render pretty, hand-parse, and walk the fields back out.
     let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
     assert_eq!(parsed, doc, "render → parse must be lossless");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v5"));
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v6"));
     let trace = parsed.get("trace").expect("report has trace metadata");
     assert_eq!(trace.get("enabled").unwrap().as_bool(), Some(false));
     assert_eq!(trace.get("file"), Some(&Json::Null));
@@ -122,6 +123,15 @@ fn engine_report_v5_round_trips_through_the_parser() {
     for c in ["failures", "retries", "degradations", "deadline_hits"] {
         assert_eq!(counters.get(c).unwrap().as_f64(), Some(0.0), "{c}");
     }
+    // The v6 persistent-cache fields: no --cache-dir here, so every kernel
+    // is a memory-or-miss compile, the run counts zero disk hits, and the
+    // disk block is null.
+    assert_eq!(kernel.get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(run.get("disk_hits").unwrap().as_f64(), Some(0.0));
+    for c in ["disk_hits", "disk_stores", "cache_io_errors"] {
+        assert_eq!(counters.get(c).unwrap().as_f64(), Some(0.0), "{c}");
+    }
+    assert_eq!(parsed.get("disk"), Some(&Json::Null));
     let stage = kernel.get("stage_times").unwrap();
     assert!(stage.get("analysis_us").unwrap().as_f64().unwrap() >= 0.0);
     // And the compact rendering parses to the same tree.

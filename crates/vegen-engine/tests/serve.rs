@@ -1,0 +1,341 @@
+//! Protocol tests for `vegen-engine serve`, driven through
+//! [`vegen_engine::serve::serve_lines`] — the exact code path `--stdio`
+//! runs, minus the process boundary.
+
+use std::io::{Cursor, Write};
+use std::sync::{Arc, Mutex};
+use vegen_engine::json::Json;
+use vegen_engine::serve::{serve_lines, ServeConfig};
+use vegen_engine::{Engine, EngineConfig};
+
+/// A clonable `Write` the daemon can own while the test keeps a handle.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    /// Every response line, parsed.
+    fn responses(&self) -> Vec<Json> {
+        let bytes = self.0.lock().unwrap();
+        let text = String::from_utf8(bytes.clone()).expect("responses are UTF-8");
+        text.lines()
+            .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad response line {l:?}: {e}")))
+            .collect()
+    }
+}
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig { threads: 2, verify_trials: 4, ..Default::default() })
+}
+
+/// Run a request script through the daemon; returns (responses, summary).
+fn drive(
+    engine: &Engine,
+    cfg: &ServeConfig,
+    lines: &str,
+) -> (Vec<Json>, vegen_engine::serve::ServeSummary) {
+    let out = SharedBuf::default();
+    let summary = serve_lines(engine, cfg, Cursor::new(lines.to_string()), out.clone());
+    (out.responses(), summary)
+}
+
+/// The response whose `id` is the given integer (requests and responses
+/// interleave nondeterministically across the reader and dispatcher).
+fn by_id(responses: &[Json], id: i64) -> &Json {
+    responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_f64) == Some(id as f64))
+        .unwrap_or_else(|| panic!("no response with id {id}: {responses:?}"))
+}
+
+fn ok(r: &Json) -> &Json {
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+    r.get("result").expect("ok response has a result")
+}
+
+fn err(r: &Json) -> &Json {
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r:?}");
+    r.get("error").expect("error response has an error")
+}
+
+#[test]
+fn round_trip_over_stdio_covers_every_op() {
+    let engine = engine();
+    // An inline function request: serialize a real kernel's IR through
+    // the serdes wire format.
+    let dot = vegen_kernels::find("pmaddwd").unwrap();
+    let inline = vegen_engine::serdes::function_to_json(&(dot.build)()).render();
+    let script = format!(
+        "{}\n{}\n{}\n{}\n{}\n",
+        r#"{"op":"ping","id":1}"#,
+        r#"{"op":"kernels","id":2}"#,
+        r#"{"op":"compile","id":3,"kernel":"int32x8","beam":4}"#,
+        format_args!(r#"{{"op":"compile","id":4,"function":{inline},"beam":4}}"#),
+        r#"{"op":"metrics","id":5}"#,
+    );
+    let (responses, summary) = drive(&engine, &ServeConfig::default(), &script);
+    assert_eq!(responses.len(), 5, "{responses:?}");
+    assert_eq!(summary.requests, 5);
+    assert_eq!(summary.compiles, 2);
+    assert_eq!(summary.protocol_errors, 0);
+
+    assert_eq!(ok(by_id(&responses, 1)).get("pong").and_then(Json::as_bool), Some(true));
+
+    let kernels = ok(by_id(&responses, 2)).get("kernels").unwrap().as_arr().unwrap();
+    assert_eq!(kernels.len(), vegen_kernels::all().len());
+    assert!(kernels.iter().any(|k| k.as_str() == Some("pmaddwd")));
+
+    for id in [3, 4] {
+        let result = ok(by_id(&responses, id));
+        assert_eq!(result.get("failed").and_then(Json::as_bool), Some(false), "{result:?}");
+        assert_eq!(result.get("rung").and_then(Json::as_str), Some("primary"));
+        assert!(result.get("faults").unwrap().as_arr().unwrap().is_empty());
+        assert_eq!(result.get("verify_error"), Some(&Json::Null));
+        let cycles = result.get("cycles").expect("successful compile reports cycles");
+        assert!(cycles.get("vegen").unwrap().as_f64().unwrap() > 0.0);
+        assert!(result.get("speedup_scalar").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(result.get("hash").unwrap().as_str().map(str::len), Some(32));
+    }
+    assert_eq!(ok(by_id(&responses, 3)).get("name").and_then(Json::as_str), Some("int32x8"));
+    assert_eq!(ok(by_id(&responses, 4)).get("name").and_then(Json::as_str), Some("pmaddwd"));
+
+    // The metrics snapshot is read *after* both compiles were admitted
+    // but maybe before they ran; the lifetime counters on the shared
+    // engine must still be coherent by the time the daemon has drained.
+    let metrics = ok(by_id(&responses, 5));
+    assert!(metrics.get("counters").unwrap().get("compilations").is_some());
+    let queue = metrics.get("queue").unwrap();
+    assert_eq!(queue.get("capacity").and_then(Json::as_f64), Some(64.0));
+    assert_eq!(metrics.get("disk"), Some(&Json::Null), "no cache dir configured");
+    assert_eq!(engine.counters().compilations, 2);
+}
+
+#[test]
+fn protocol_errors_are_typed_and_do_not_kill_the_daemon() {
+    let engine = engine();
+    let script = concat!(
+        "this is not json\n",
+        r#"{"op":"frobnicate","id":1}"#,
+        "\n",
+        r#"{"op":"compile","id":2}"#,
+        "\n",
+        r#"{"op":"compile","id":3,"kernel":"no-such-kernel"}"#,
+        "\n",
+        r#"{"op":"compile","id":4,"kernel":"pmaddwd","target":"Z80"}"#,
+        "\n",
+        r#"{"op":"ping","id":5}"#,
+        "\n",
+    );
+    let (responses, summary) = drive(&engine, &ServeConfig::default(), script);
+    assert_eq!(responses.len(), 6);
+    assert_eq!(summary.protocol_errors, 5);
+    assert_eq!(summary.compiles, 0);
+
+    // The unparseable line still gets an answer, with a null id.
+    let unparseable = responses
+        .iter()
+        .find(|r| r.get("id") == Some(&Json::Null))
+        .expect("unparseable line is answered");
+    assert!(err(unparseable).get("message").unwrap().as_str().unwrap().contains("unparseable"));
+
+    for (id, needle) in
+        [(1, "unknown op"), (2, "exactly one of"), (3, "unknown kernel"), (4, "unknown target")]
+    {
+        let e = err(by_id(&responses, id));
+        assert_eq!(e.get("stage").and_then(Json::as_str), Some("admission"));
+        assert_eq!(e.get("tag").and_then(Json::as_str), Some("protocol"));
+        assert!(e.get("message").unwrap().as_str().unwrap().contains(needle), "id {id}: {e:?}");
+    }
+    // And the daemon kept serving afterwards.
+    ok(by_id(&responses, 5));
+}
+
+#[test]
+fn zero_deadline_expires_in_the_queue_with_a_typed_error() {
+    let engine = engine();
+    let script = r#"{"op":"compile","id":1,"kernel":"pmaddwd","deadline_ms":0}"#.to_string() + "\n";
+    let (responses, summary) = drive(&engine, &ServeConfig::default(), &script);
+    assert_eq!(responses.len(), 1);
+    assert_eq!(summary.expired, 1);
+    assert_eq!(summary.compiles, 0);
+    let e = err(&responses[0]);
+    assert_eq!(e.get("stage").and_then(Json::as_str), Some("admission"));
+    assert_eq!(e.get("tag").and_then(Json::as_str), Some("deadline"));
+    // Nothing reached the engine.
+    assert_eq!(engine.counters().compilations, 0);
+}
+
+#[test]
+fn full_queue_sheds_with_a_typed_overloaded_error() {
+    let engine = engine();
+    let cfg = ServeConfig { queue_capacity: 1, ..Default::default() };
+    // The first compile occupies the dispatcher; with capacity 1, at most
+    // one more can wait — the rest of the burst must shed.
+    let burst: String = (1..=8)
+        .map(|i| format!("{{\"op\":\"compile\",\"id\":{i},\"kernel\":\"pmaddwd\",\"beam\":4}}\n"))
+        .collect();
+    let (responses, summary) = drive(&engine, &cfg, &burst);
+    assert_eq!(responses.len(), 8, "every request is answered: {responses:?}");
+    assert_eq!(summary.compiles + summary.shed, 8);
+    assert!(summary.shed >= 1, "a 1-deep queue cannot absorb an 8-burst: {summary:?}");
+    let shed: Vec<&Json> =
+        responses.iter().filter(|r| r.get("ok").and_then(Json::as_bool) == Some(false)).collect();
+    assert_eq!(shed.len() as u64, summary.shed);
+    for r in shed {
+        let e = err(r);
+        assert_eq!(e.get("stage").and_then(Json::as_str), Some("admission"));
+        assert_eq!(e.get("tag").and_then(Json::as_str), Some("overloaded"));
+        assert!(e.get("message").unwrap().as_str().unwrap().contains("queue full"));
+    }
+}
+
+#[test]
+fn shutdown_drains_every_admitted_job_before_exiting() {
+    let engine = engine();
+    let names = ["pmaddwd", "int32x8", "hadd_i16", "max_pd"];
+    let mut script: String = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            format!("{{\"op\":\"compile\",\"id\":{},\"kernel\":\"{n}\",\"beam\":4}}\n", i + 1)
+        })
+        .collect();
+    script.push_str(r#"{"op":"shutdown","id":99}"#);
+    script.push('\n');
+    // Anything after shutdown on the same stream is never read.
+    script.push_str(r#"{"op":"ping","id":100}"#);
+    script.push('\n');
+
+    let (responses, summary) = drive(&engine, &ServeConfig::default(), &script);
+    assert_eq!(summary.compiles, names.len() as u64, "drain answers every admitted job");
+    assert_eq!(summary.shed, 0);
+    // shutdown ack + one response per compile; the post-shutdown ping is
+    // unanswered.
+    assert_eq!(responses.len(), names.len() + 1);
+    assert!(responses.iter().all(|r| r.get("id").and_then(Json::as_f64) != Some(100.0)));
+    assert_eq!(ok(by_id(&responses, 99)).get("draining").and_then(Json::as_bool), Some(true));
+    for (i, n) in names.iter().enumerate() {
+        let result = ok(by_id(&responses, (i + 1) as i64));
+        assert_eq!(result.get("name").and_then(Json::as_str), Some(*n));
+        assert_eq!(result.get("failed").and_then(Json::as_bool), Some(false));
+    }
+}
+
+#[test]
+fn serve_sessions_share_the_engine_cache() {
+    let engine = engine();
+    let script = r#"{"op":"compile","id":1,"kernel":"pmaddwd","beam":4}"#.to_string() + "\n";
+    let (first, _) = drive(&engine, &ServeConfig::default(), &script);
+    assert_eq!(ok(&first[0]).get("cache").and_then(Json::as_str), Some("miss"));
+    let compiled = engine.counters().compilations;
+    assert!(compiled >= 1);
+
+    // A second daemon session over the same engine is served from the
+    // in-memory cache without recompiling.
+    let (second, _) = drive(&engine, &ServeConfig::default(), &script);
+    assert_eq!(ok(&second[0]).get("cache").and_then(Json::as_str), Some("memory"));
+    assert_eq!(engine.counters().compilations, compiled);
+}
+
+#[test]
+fn unix_socket_serves_multiple_connections_and_drains_on_shutdown() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let engine = engine();
+    let path = std::env::temp_dir().join(format!("vegen-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    std::thread::scope(|scope| {
+        let daemon = {
+            let (engine, path) = (&engine, path.clone());
+            scope.spawn(move || {
+                vegen_engine::serve::serve_socket(engine, &ServeConfig::default(), &path)
+            })
+        };
+        // Wait for the socket to come up.
+        let connect = || {
+            for _ in 0..200 {
+                if let Ok(s) = UnixStream::connect(&path) {
+                    return s;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            panic!("daemon never bound {}", path.display());
+        };
+
+        // First client: a compile it waits out.
+        let mut a = connect();
+        writeln!(a, r#"{{"op":"compile","id":1,"kernel":"pmaddwd","beam":4}}"#).unwrap();
+        let mut a_reader = BufReader::new(a.try_clone().unwrap());
+        let mut line = String::new();
+        a_reader.read_line(&mut line).unwrap();
+        let r = Json::parse(&line).unwrap();
+        assert_eq!(ok(&r).get("name").and_then(Json::as_str), Some("pmaddwd"));
+
+        // Second client asks for shutdown; the daemon acks, drains, and
+        // exits, unblocking the first client's reader with EOF.
+        let mut b = connect();
+        writeln!(b, r#"{{"op":"shutdown","id":2}}"#).unwrap();
+        let mut b_reader = BufReader::new(b);
+        line.clear();
+        b_reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            ok(&Json::parse(&line).unwrap()).get("draining").and_then(Json::as_bool),
+            Some(true)
+        );
+
+        let summary = daemon.join().expect("daemon must not panic").expect("bind must succeed");
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.compiles, 1);
+    });
+    assert!(!path.exists(), "socket file is removed on exit");
+}
+
+#[test]
+fn stdio_binary_smoke_round_trip() {
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vegen-engine"))
+        .args(["serve", "--stdio", "--beam", "4", "--no-verify"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary must run");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            concat!(
+                r#"{"op":"ping","id":1}"#,
+                "\n",
+                r#"{"op":"compile","id":2,"kernel":"pmaddwd"}"#,
+                "\n",
+                r#"{"op":"shutdown","id":3}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert_eq!(output.status.code(), Some(0), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<Json> = stdout.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines.iter().any(|r| r
+        .get("result")
+        .and_then(|x| x.get("name"))
+        .and_then(Json::as_str)
+        == Some("pmaddwd")));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("drained"));
+}

@@ -124,9 +124,15 @@ impl<'a> Lexer<'a> {
                     out.push((start, tok));
                 }
                 c if c.is_ascii_alphabetic() || c == b'_' => {
+                    // `.` continues an identifier (it cannot start one, so
+                    // float literals are unaffected): intrinsic-style names
+                    // like `llvm.smax.v8i16` come through the baseline
+                    // builder and must round-trip through the printer.
                     let mut end = self.pos;
                     while end < self.src.len()
-                        && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+                        && (self.src[end].is_ascii_alphanumeric()
+                            || self.src[end] == b'_'
+                            || self.src[end] == b'.')
                     {
                         end += 1;
                     }
@@ -696,5 +702,21 @@ mod tests {
     fn error_position_is_reported() {
         let e = parse_operation("op s (x: i8) -> i8 = @").unwrap_err();
         assert!(e.to_string().contains("byte 21"));
+    }
+
+    #[test]
+    fn dotted_identifiers_parse() {
+        // Intrinsic-style names (`llvm.smax.v8i16`) appear in printed
+        // baseline semantics; the parser must accept what the printer
+        // emits. A dot still cannot *start* an identifier.
+        let src = "inst llvm.smax.v2i32 (a: 2 x i32, b: 2 x i32) -> i32 [
+                     llvm.smax.v2i32_op(a[0], b[0]),
+                     llvm.smax.v2i32_op(a[1], b[1])
+                   ] where
+                   op llvm.smax.v2i32_op (x: i32, y: i32) -> i32 =
+                     select(cmp_sgt(x, y), x, y)";
+        let inst = parse_inst(src).unwrap();
+        assert_eq!(inst.name, "llvm.smax.v2i32");
+        assert!(parse_operation("op s (x: i8) -> i8 = add(x, .5)").is_err());
     }
 }

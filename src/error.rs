@@ -19,6 +19,9 @@ use vegen_core::SelectError;
 /// fault injection sites, and trace labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
+    /// Serve-mode admission control: the bounded request queue, and the
+    /// queue-wait portion of a per-request deadline.
+    Admission,
     /// Canonicalization + narrow-constant annotation (§6).
     Canonicalize,
     /// Target-description fetch/build (the offline phase).
@@ -33,11 +36,15 @@ pub enum Stage {
     Baseline,
     /// Randomized equivalence checking of the three programs.
     Verify,
+    /// Persistent compile-cache I/O (disk lookup before the pipeline,
+    /// write-through after it).
+    Cache,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
+        Stage::Admission,
         Stage::Canonicalize,
         Stage::TargetDesc,
         Stage::Selection,
@@ -45,11 +52,13 @@ impl Stage {
         Stage::Analysis,
         Stage::Baseline,
         Stage::Verify,
+        Stage::Cache,
     ];
 
     /// Stable lower-case name (used in fault specs, traces, reports).
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Admission => "admission",
             Stage::Canonicalize => "canonicalize",
             Stage::TargetDesc => "target_desc",
             Stage::Selection => "selection",
@@ -57,6 +66,7 @@ impl Stage {
             Stage::Analysis => "analysis",
             Stage::Baseline => "baseline",
             Stage::Verify => "verify",
+            Stage::Cache => "cache",
         }
     }
 
@@ -101,6 +111,19 @@ pub enum ErrorCause {
         /// The first divergence found.
         detail: String,
     },
+    /// Reading or writing the persistent on-disk compile cache failed
+    /// (I/O error, corrupt entry, failed round-trip self-check). Always
+    /// recoverable: the engine recompiles and the job itself succeeds.
+    CacheIo {
+        /// What went wrong, including the entry path when known.
+        detail: String,
+    },
+    /// Serve-mode admission control shed the request: the bounded queue
+    /// was full when it arrived.
+    Overloaded {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
 }
 
 impl ErrorCause {
@@ -128,6 +151,8 @@ impl ErrorCause {
             ErrorCause::Baseline(_) => "baseline",
             ErrorCause::Injected { .. } => "injected",
             ErrorCause::Verify { .. } => "verify",
+            ErrorCause::CacheIo { .. } => "cache_io",
+            ErrorCause::Overloaded { .. } => "overloaded",
         }
     }
 }
@@ -142,6 +167,10 @@ impl fmt::Display for ErrorCause {
             ErrorCause::Baseline(e) => write!(f, "{e}"),
             ErrorCause::Injected { detail } => write!(f, "injected fault: {detail}"),
             ErrorCause::Verify { detail } => write!(f, "verification failed: {detail}"),
+            ErrorCause::CacheIo { detail } => write!(f, "cache I/O: {detail}"),
+            ErrorCause::Overloaded { capacity } => {
+                write!(f, "overloaded: request queue full ({capacity} entries)")
+            }
         }
     }
 }
@@ -280,6 +309,23 @@ mod tests {
         assert!(ErrorCause::Deadline { limit: Duration::from_millis(5) }.is_timeout());
         assert!(ErrorCause::Search(SelectError::Cancelled).is_timeout());
         assert!(!ErrorCause::Panic { message: "boom".into() }.is_timeout());
+        assert!(!ErrorCause::CacheIo { detail: "short read".into() }.is_timeout());
+        assert!(!ErrorCause::Overloaded { capacity: 8 }.is_timeout());
+    }
+
+    #[test]
+    fn service_causes_have_stable_tags_and_display() {
+        let io = CompileError::new(
+            Stage::Cache,
+            "dot4",
+            ErrorCause::CacheIo { detail: "truncated entry".into() },
+        );
+        assert_eq!(io.cause.tag(), "cache_io");
+        assert!(io.to_string().contains("cache") && io.to_string().contains("truncated entry"));
+        let shed =
+            CompileError::new(Stage::Admission, "dot4", ErrorCause::Overloaded { capacity: 4 });
+        assert_eq!(shed.cause.tag(), "overloaded");
+        assert!(shed.to_string().contains("admission") && shed.to_string().contains("queue full"));
     }
 
     #[test]
