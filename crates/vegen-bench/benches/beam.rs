@@ -1,25 +1,37 @@
 //! Beam-search microbenchmark: `select_packs` in isolation (no lowering,
 //! no baseline, no verification) at the paper's beam widths 1 / 64 / 128,
-//! on the largest kernels in the suite by instruction count.
+//! on the largest kernels in the suite by instruction count — now with a
+//! thread-scaling matrix (1 / 2 / 4 intra-kernel beam workers).
 //!
-//! Each line also reports the search-effort counters
-//! ([`vegen_core::BeamStats`]) of one representative run: states expanded,
-//! transitions generated, dedup hits, and the producer-cache hit/miss
-//! split, so a regression in search *shape* (not just wall time) is
-//! visible. Each timed iteration builds a fresh `VectorizerCtx` so the
-//! measurement is a cold selection — the producer memo is rebuilt, not
-//! amortized across samples.
+//! Each timed iteration builds a fresh `VectorizerCtx` so the measurement
+//! is a cold selection — the producer memo is rebuilt, not amortized
+//! across samples. A separate "warm" row per kernel reuses one
+//! [`SelectionReuse`] handle across all three widths, measuring what the
+//! engine's degradation ladder and the bench's width sweep actually pay
+//! once the frozen snapshot and the transposition table exist.
+//!
+//! Besides the human-readable table, the run writes `BENCH_beam.json`
+//! (machine-readable wall times in nanoseconds, per kernel × width ×
+//! thread count, plus the search-effort counters of one representative
+//! run) for CI artifacts and offline comparison.
 
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 use vegen::driver::{prepare, target_desc};
-use vegen_core::{select_packs, BeamConfig, CostModel, VectorizerCtx};
+use vegen_core::{
+    select_packs, select_packs_reusing, BeamConfig, CostModel, SelectionReuse, VectorizerCtx,
+};
 use vegen_ir::Function;
 use vegen_isa::TargetIsa;
 
-/// Median wall time of `f` over a fixed sample count, with a short warmup.
-fn bench(label: &str, mut f: impl FnMut()) {
-    const SAMPLES: usize = 9;
+const SAMPLES: usize = 9;
+const WIDTHS: [usize; 3] = [1, 64, 128];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Median / min / max wall time of `f` over a fixed sample count, with a
+/// short warmup.
+fn sample(mut f: impl FnMut()) -> (Duration, Duration, Duration) {
     let warmup_until = Instant::now() + Duration::from_millis(30);
     while Instant::now() < warmup_until {
         f();
@@ -31,10 +43,7 @@ fn bench(label: &str, mut f: impl FnMut()) {
         times.push(t0.elapsed());
     }
     times.sort();
-    let median = times[SAMPLES / 2];
-    let min = times[0];
-    let max = times[SAMPLES - 1];
-    println!("{label:<34} median {median:>10.2?}  (min {min:.2?}, max {max:.2?})");
+    (times[SAMPLES / 2], times[0], times[SAMPLES - 1])
 }
 
 fn main() {
@@ -46,30 +55,98 @@ fn main() {
     prepared.truncate(4);
 
     let desc = target_desc(&TargetIsa::avx2(), true);
+    let mut rows = String::new();
     for (name, f) in &prepared {
         println!("kernel {name}: {} insts", f.insts.len());
-        for width in [1usize, 64, 128] {
-            let cfg = BeamConfig::with_width(width);
-            bench(&format!("select/{name}/beam{width}"), || {
-                let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
-                black_box(select_packs(&ctx, &cfg).unwrap());
-            });
-            // Search-effort counters from one representative run.
+        for width in WIDTHS {
+            // Cold wall per thread count (fresh ctx, fresh freeze).
+            let mut medians = [Duration::ZERO; THREADS.len()];
+            for (ti, &threads) in THREADS.iter().enumerate() {
+                let cfg = BeamConfig { beam_threads: threads, ..BeamConfig::with_width(width) };
+                let (median, min, max) = sample(|| {
+                    let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
+                    black_box(select_packs(&ctx, &cfg).unwrap());
+                });
+                medians[ti] = median;
+                println!(
+                    "select/{name}/beam{width}/t{threads:<2} median {median:>10.2?}  \
+                     (min {min:.2?}, max {max:.2?})"
+                );
+                if !rows.is_empty() {
+                    rows.push(',');
+                }
+                write!(
+                    rows,
+                    "\n    {{\"kernel\": \"{name}\", \"width\": {width}, \
+                     \"threads\": {threads}, \"median_ns\": {}, \"min_ns\": {}, \
+                     \"max_ns\": {}}}",
+                    median.as_nanos(),
+                    min.as_nanos(),
+                    max.as_nanos()
+                )
+                .unwrap();
+            }
+            let speedup4 = medians[0].as_secs_f64() / medians[2].as_secs_f64().max(1e-12);
+            println!("  speedup at 4 threads vs 1: {speedup4:.2}x");
+
+            // Search-effort counters from one representative run (shape is
+            // thread-count-independent; see the determinism suite).
+            let cfg = BeamConfig { beam_threads: 4, ..BeamConfig::with_width(width) };
             let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
             let r = select_packs(&ctx, &cfg).unwrap();
             let s = r.stats;
             println!(
-                "  states {} transitions {} dedup_hits {} hash_collisions {} \
-                 producer hit/miss {}/{} interned ops/packs {}/{}",
+                "  states {} transitions {} dedup_hits {} tt hit/miss {}/{} \
+                 freeze {:.2?} merge {:.2?} interned ops/packs {}/{}",
                 s.states_expanded,
                 s.transitions,
                 s.dedup_hits,
-                s.hash_collisions,
-                s.producer_cache_hits,
-                s.producer_cache_misses,
+                s.tt_hits,
+                s.tt_misses,
+                s.freeze_wall,
+                s.merge_wall,
                 s.interned_operands,
                 s.interned_packs,
             );
         }
+
+        // Warm sweep: one reuse handle across the whole width ladder —
+        // the freeze runs once and the transposition table carries over.
+        let (median, min, max) = sample(|| {
+            let ctx = VectorizerCtx::new(f, &desc, CostModel::default());
+            let mut reuse = SelectionReuse::new();
+            for width in WIDTHS {
+                let cfg = BeamConfig { beam_threads: 4, ..BeamConfig::with_width(width) };
+                black_box(select_packs_reusing(&ctx, &cfg, &mut reuse).unwrap());
+            }
+        });
+        println!(
+            "select/{name}/warm-sweep/t4       median {median:>10.2?}  \
+             (min {min:.2?}, max {max:.2?})"
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        write!(
+            rows,
+            "\n    {{\"kernel\": \"{name}\", \"width\": \"sweep\", \"threads\": 4, \
+             \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            median.as_nanos(),
+            min.as_nanos(),
+            max.as_nanos()
+        )
+        .unwrap();
+    }
+
+    let doc = format!(
+        "{{\n  \"schema\": \"vegen-bench-beam/v1\",\n  \"samples\": {SAMPLES},\n  \
+         \"rows\": [{rows}\n  ]\n}}\n"
+    );
+    // Cargo runs benches with the package root as CWD; anchor the artifact
+    // at the workspace root where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_beam.json");
+    match std::fs::write(path, &doc) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }

@@ -29,26 +29,43 @@
 //!   128-bit XOR hash — applying a transition folds the changed elements
 //!   in and out instead of materializing a key. Deduplication buckets by
 //!   that hash and falls back to a full component comparison only on
-//!   collision (counted in [`BeamStats::hash_collisions`]).
+//!   collision (counted in [`BeamStats::hash_collisions`]). A second
+//!   (V, S)-only hash keys the [`TranspositionTable`].
+//!
+//! ## Parallel search
+//!
+//! The search runs over an immutable [`FrozenCtx`] snapshot (see
+//! [`crate::frozen`]): a freeze pre-pass populates every candidate index
+//! up front, so expansion never interns and workers share the snapshot
+//! by reference. Each iteration's frontier is split into contiguous
+//! chunks, one per worker; workers run `expand` + transition scoring into
+//! thread-local buffers, and the main thread concatenates the buffers *in
+//! chunk order* before the (order-preserving) dedup, the total-order
+//! sort, and the truncation — so selections are byte-identical at any
+//! thread count, including every f64 accumulation order. Completion
+//! estimates (`costSLP`) stay on the main thread, memoized in
+//! [`FrozenSlp`] and the transposition table, both reusable across
+//! searches via [`SelectionReuse`].
 
-use crate::ctx::VectorizerCtx;
-use crate::intern::{OperandId, PackId};
+use crate::ctx::{packs_legal, VectorizerCtx};
+use crate::frozen::{FrozenCtx, FrozenSlp};
+use crate::intern::{InternStats, OperandId, PackId};
 use crate::operand::OperandVec;
 use crate::pack::{Pack, PackSet};
-use crate::seeds::{enumerate_seeds, AffinityParams};
-use crate::slp::SlpCost;
+use crate::seeds::AffinityParams;
+use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use vegen_ir::{InstKind, ValueId};
 
-/// A shared cooperative cancellation flag, checked once per beam
-/// iteration. Cloning shares the flag; cancelling any clone cancels the
-/// search that polls it.
+/// A shared cooperative cancellation flag, checked at every beam
+/// iteration boundary and between states inside a parallel fan-out.
+/// Cloning shares the flag; cancelling any clone cancels the search that
+/// polls it.
 #[derive(Clone, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
 
@@ -59,7 +76,7 @@ impl CancelToken {
     }
 
     /// Request cancellation. Idempotent; takes effect at the searcher's
-    /// next iteration boundary.
+    /// next poll (per state within an iteration).
     pub fn cancel(&self) {
         self.0.store(true, AtomicOrdering::Relaxed);
     }
@@ -88,7 +105,8 @@ pub struct SearchBudget {
     /// Cap on successor states generated across the whole search
     /// (deterministic: independent of wall clock and machine speed).
     pub max_steps: Option<u64>,
-    /// Wall-clock budget, checked once per beam iteration.
+    /// Wall-clock budget, checked at iteration boundaries and between
+    /// states inside a fan-out.
     pub wall: Option<Duration>,
     /// External cooperative cancellation.
     pub cancel: Option<CancelToken>,
@@ -163,6 +181,11 @@ pub struct BeamConfig {
     /// the [`SelectionResult`]. Observation only: the search explores and
     /// ranks identically with logging on or off.
     pub log_decisions: bool,
+    /// Worker threads for the per-iteration frontier fan-out. `0` (the
+    /// default) resolves to the machine's available parallelism. Never
+    /// affects the selection — only wall time — so it is excluded from
+    /// content-addressed caching.
+    pub beam_threads: usize,
     /// Step/wall/cancellation budgets. Unlimited by default; when a limit
     /// trips, `select_packs` returns a [`SelectError`] instead of a
     /// truncated selection.
@@ -178,6 +201,7 @@ impl Default for BeamConfig {
             max_transitions: 256,
             max_iters: None,
             log_decisions: false,
+            beam_threads: 0,
             budget: SearchBudget::default(),
         }
     }
@@ -198,8 +222,10 @@ impl BeamConfig {
 /// Search-effort and cache statistics for one `select_packs` call.
 ///
 /// Producer-cache counters are deltas over the call (the underlying memo
-/// lives in the context and is shared across calls); interner sizes are
-/// the context totals at the end of the call.
+/// lives in the context and is shared across calls; under snapshot reuse
+/// both are zero, since a reused search never touches the live context);
+/// interner sizes are the frozen snapshot's totals. Transposition counters
+/// are deltas over the call against the (possibly reused) table.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BeamStats {
     /// States popped from the beam and expanded.
@@ -215,12 +241,30 @@ pub struct BeamStats {
     pub producer_cache_hits: u64,
     /// Producer-index lookups that enumerated Algorithm 1.
     pub producer_cache_misses: u64,
-    /// Distinct operands interned in the context after this call.
+    /// Distinct operands in the frozen snapshot backing this call.
     pub interned_operands: usize,
-    /// Distinct packs interned in the context after this call.
+    /// Distinct packs in the frozen snapshot backing this call.
     pub interned_packs: usize,
     /// Wall time spent inside `select_packs`.
     pub beam_wall: Duration,
+    /// Resolved worker-thread count for this call (see
+    /// [`BeamConfig::beam_threads`]).
+    pub workers: usize,
+    /// Iterations whose frontier was fanned across more than one worker.
+    pub fanouts: u64,
+    /// Completion estimates served from the transposition table.
+    pub tt_hits: u64,
+    /// Completion estimates computed and inserted into the table.
+    pub tt_misses: u64,
+    /// Wall time spent concatenating and deduplicating worker buffers on
+    /// the main thread.
+    pub merge_wall: Duration,
+    /// Wall time spent freezing the context snapshot (near zero when a
+    /// snapshot was reused).
+    pub freeze_wall: Duration,
+    /// Whether this call was served by an already-frozen snapshot from a
+    /// [`SelectionReuse`].
+    pub frozen_reused: bool,
 }
 
 /// The outcome of pack selection.
@@ -306,13 +350,22 @@ const MAX_LOGGED_CANDIDATES: usize = 8;
 
 /// Render a pack for decision logs and `explain` output.
 pub fn describe_pack(ctx: &VectorizerCtx<'_>, pack: &Pack) -> String {
+    describe_pack_with(|di| ctx.desc.insts[di].def.name.as_str(), pack)
+}
+
+/// [`describe_pack`] against a frozen snapshot's instruction names.
+fn describe_pack_frozen(fz: &FrozenCtx, pack: &Pack) -> String {
+    describe_pack_with(|di| fz.inst_name(di), pack)
+}
+
+fn describe_pack_with<'n>(inst_name: impl Fn(usize) -> &'n str, pack: &Pack) -> String {
     match pack {
         Pack::Compute { inst, matches } => {
             let lanes: Vec<String> = matches
                 .iter()
                 .map(|m| m.as_ref().map_or("_".to_string(), |m| format!("v{}", m.root.index())))
                 .collect();
-            format!("{}[{}]", ctx.desc.insts[*inst].def.name, lanes.join(" "))
+            format!("{}[{}]", inst_name(*inst), lanes.join(" "))
         }
         Pack::Load { base, start, loads, .. } => {
             format!("vload p{}[{}..{})", base, start, *start + loads.len() as i64)
@@ -352,7 +405,7 @@ enum Prod {
 #[derive(Clone)]
 struct VOp {
     id: OperandId,
-    vec: Rc<OperandVec>,
+    vec: Arc<OperandVec>,
 }
 
 impl PartialEq for VOp {
@@ -380,7 +433,7 @@ impl Ord for VOp {
 /// successors, so applying a pack is O(1).
 struct PackNode {
     pack: PackId,
-    prev: Option<Rc<PackNode>>,
+    prev: Option<Arc<PackNode>>,
     /// Path length up to and including this node.
     len: u16,
 }
@@ -420,14 +473,19 @@ const TAG_V: u64 = 0x8EBC_6AF0_9C88_C6E3;
 
 #[derive(Clone)]
 struct State {
-    free: Rc<Vec<u64>>,
-    prod: Rc<Vec<Prod>>,
+    free: Arc<Vec<u64>>,
+    prod: Arc<Vec<Prod>>,
     vset: BTreeSet<VOp>,
     sset: BTreeSet<ValueId>,
     g: f64,
-    packs: Option<Rc<PackNode>>,
+    packs: Option<Arc<PackNode>>,
     /// Incremental 128-bit hash of the (F, V, S) identity.
     hash: u128,
+    /// Incremental 128-bit hash of the (V, S) identity only — the
+    /// transposition-table key. Completion estimates depend on what is
+    /// still demanded, never on which instructions are free, so states
+    /// differing only in `F` share an estimate entry.
+    vs_hash: u128,
     /// The transition that created this state (decision logging only; not
     /// part of the state identity).
     action: Action,
@@ -443,24 +501,28 @@ impl State {
     }
 
     fn clear_free(&mut self, v: ValueId) {
-        clear_bit(Rc::make_mut(&mut self.free).as_mut_slice(), v.index());
+        clear_bit(Arc::make_mut(&mut self.free).as_mut_slice(), v.index());
         self.hash ^= mix128(TAG_FREE, v.index() as u64);
     }
 
     fn set_prod(&mut self, v: ValueId, p: Prod) {
-        Rc::make_mut(&mut self.prod)[v.index()] = p;
+        Arc::make_mut(&mut self.prod)[v.index()] = p;
     }
 
     fn sset_insert(&mut self, v: ValueId) {
         if self.sset.insert(v) {
-            self.hash ^= mix128(TAG_S, v.index() as u64);
+            let h = mix128(TAG_S, v.index() as u64);
+            self.hash ^= h;
+            self.vs_hash ^= h;
         }
     }
 
     fn sset_remove(&mut self, v: ValueId) -> bool {
         let removed = self.sset.remove(&v);
         if removed {
-            self.hash ^= mix128(TAG_S, v.index() as u64);
+            let h = mix128(TAG_S, v.index() as u64);
+            self.hash ^= h;
+            self.vs_hash ^= h;
         }
         removed
     }
@@ -469,12 +531,15 @@ impl State {
         let h = mix128(TAG_V, x.id.0 as u64);
         if self.vset.insert(x) {
             self.hash ^= h;
+            self.vs_hash ^= h;
         }
     }
 
     fn vset_remove(&mut self, x: &VOp) {
         if self.vset.remove(x) {
-            self.hash ^= mix128(TAG_V, x.id.0 as u64);
+            let h = mix128(TAG_V, x.id.0 as u64);
+            self.hash ^= h;
+            self.vs_hash ^= h;
         }
     }
 
@@ -484,7 +549,7 @@ impl State {
 
     fn push_pack(&mut self, pack: PackId) {
         let len = self.pack_len() + 1;
-        self.packs = Some(Rc::new(PackNode { pack, prev: self.packs.take(), len }));
+        self.packs = Some(Arc::new(PackNode { pack, prev: self.packs.take(), len }));
     }
 
     /// Iterate the pack path, newest first.
@@ -515,45 +580,183 @@ fn key_cmp(a: &State, b: &State) -> Ordering {
 
 /// Deduplicate identical (F, V, S) states, keeping the cheapest path
 /// (first-seen wins ties). States are bucketed by their incremental hash;
-/// a full-key comparison resolves collisions.
+/// a full-key comparison resolves collisions. The output preserves
+/// first-seen pool order — a deterministic order, unlike hash-map
+/// iteration — so every downstream consumer (estimate evaluation, the
+/// stable sort) sees a reproducible sequence.
 fn dedup_pool(pool: Vec<State>, dedup_hits: &mut u64, hash_collisions: &mut u64) -> Vec<State> {
-    let mut buckets: HashMap<u128, Vec<State>> = HashMap::new();
+    let mut index: HashMap<u128, Vec<usize>> = HashMap::new();
+    let mut out: Vec<State> = Vec::with_capacity(pool.len());
     for st in pool {
-        let bucket = buckets.entry(st.hash).or_default();
-        match bucket.iter_mut().find(|prev| same_key(prev, &st)) {
-            Some(prev) => {
+        let bucket = index.entry(st.hash).or_default();
+        match bucket.iter().copied().find(|&i| same_key(&out[i], &st)) {
+            Some(i) => {
                 *dedup_hits += 1;
-                if st.g < prev.g {
-                    *prev = st;
+                if st.g < out[i].g {
+                    out[i] = st;
                 }
             }
             None => {
                 if !bucket.is_empty() {
                     *hash_collisions += 1;
                 }
-                bucket.push(st);
+                bucket.push(out.len());
+                out.push(st);
             }
         }
     }
-    buckets.into_values().flatten().collect()
+    out
 }
 
-struct Search<'c, 'a> {
-    ctx: &'c VectorizerCtx<'a>,
-    slp: SlpCost<'c, 'a>,
+/// One memoized (V, S) state: the compact identity (for collision-proof
+/// matching) plus the completion estimate and the best path cost seen.
+#[derive(Debug)]
+struct TtEntry {
+    vset: Box<[OperandId]>,
+    sset: Box<[ValueId]>,
+    est: f64,
+    /// Cheapest `g` that has reached this (V, S) — recorded for
+    /// diagnostics only; pruning on it would change beam contents.
+    best_g: f64,
+}
+
+impl TtEntry {
+    fn matches(&self, st: &State) -> bool {
+        self.vset.len() == st.vset.len()
+            && self.sset.len() == st.sset.len()
+            && self.vset.iter().zip(st.vset.iter()).all(|(a, b)| *a == b.id)
+            && self.sset.iter().zip(st.sset.iter()).all(|(a, b)| a == b)
+    }
+}
+
+/// A transposition table: (V, S) identity → memoized completion estimate.
+///
+/// The estimate `Σ costSLP(v) + Σ costscalar(s)` is a pure function of
+/// (V, S) given a frozen context and a `costSLP` memo, so a stored value
+/// is bit-identical to recomputation — serving it from the table changes
+/// wall time, never the selection. The table survives across iterations,
+/// across searches in one [`SelectionReuse`] (the degradation ladder's
+/// width-1 retry, the bench's width sweep), and is keyed by the
+/// incremental (V, S) hash with a compact-identity comparison resolving
+/// collisions, exactly like frontier dedup.
+#[derive(Debug, Default)]
+pub struct TranspositionTable {
+    map: HashMap<u128, Vec<TtEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TranspositionTable {
+    /// An empty table.
+    pub fn new() -> TranspositionTable {
+        TranspositionTable::default()
+    }
+
+    /// Drop all entries (the backing snapshot changed, so every key's id
+    /// space is stale). Lifetime hit/miss counters are preserved.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn lookup(&mut self, st: &State) -> Option<f64> {
+        let entries = self.map.get_mut(&st.vs_hash)?;
+        for e in entries {
+            if e.matches(st) {
+                if st.g < e.best_g {
+                    e.best_g = st.g;
+                }
+                self.hits += 1;
+                return Some(e.est);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, st: &State, est: f64) {
+        self.misses += 1;
+        self.map.entry(st.vs_hash).or_default().push(TtEntry {
+            vset: st.vset.iter().map(|x| x.id).collect(),
+            sset: st.sset.iter().copied().collect(),
+            est,
+            best_g: st.g,
+        });
+    }
+}
+
+/// Cross-search state carried between `select_packs_reusing` calls: the
+/// frozen context snapshot, the `costSLP` memo, and the transposition
+/// table. The degradation ladder threads one of these through its rungs
+/// so a width-1 retry after a budget trip pays neither the freeze nor the
+/// estimates again; the bench reuses one across beam widths.
+///
+/// A snapshot is reused only when [`FrozenCtx`] deems the new call
+/// compatible (same function, same seed configuration); otherwise
+/// everything keyed by the stale snapshot's ids is dropped and the
+/// context is re-frozen. After a *panic* caught around a search, call
+/// [`SelectionReuse::reset`] — a typed [`SelectError`] leaves the reuse
+/// state consistent, but an unwind may strand the `costSLP` memo's
+/// in-progress marks.
+#[derive(Debug, Default)]
+pub struct SelectionReuse {
+    frozen: Option<Arc<FrozenCtx>>,
+    slp: FrozenSlp,
+    tt: TranspositionTable,
+    frozen_reuses: u64,
+}
+
+impl SelectionReuse {
+    /// Fresh reuse state (first search freezes).
+    pub fn new() -> SelectionReuse {
+        SelectionReuse::default()
+    }
+
+    /// How many searches were served by an already-frozen snapshot.
+    pub fn frozen_reuses(&self) -> u64 {
+        self.frozen_reuses
+    }
+
+    /// Cumulative transposition-table (hits, misses) across all searches
+    /// run through this reuse state.
+    pub fn tt_counters(&self) -> (u64, u64) {
+        (self.tt.hits, self.tt.misses)
+    }
+
+    /// Drop the snapshot, the `costSLP` memo, and the transposition
+    /// table. Required after catching a panic out of a search; otherwise
+    /// only useful to force a re-freeze.
+    pub fn reset(&mut self) {
+        self.frozen = None;
+        self.slp.reset();
+        self.tt.clear();
+    }
+}
+
+/// The transition engine: pure functions over the frozen snapshot, safe
+/// to call from any worker thread.
+struct Search<'f> {
+    fz: &'f FrozenCtx,
     cfg: BeamConfig,
-    seed_packs: Vec<PackId>,
 }
 
-impl<'c, 'a> Search<'c, 'a> {
+impl<'f> Search<'f> {
     fn ready(&self, st: &State, v: ValueId) -> bool {
-        self.ctx.users[v.index()].iter().all(|u| !st.is_free(*u))
+        self.fz.users[v.index()].iter().all(|u| !st.is_free(*u))
     }
 
     /// Charge for operand lanes that were decided before the operand was
     /// requested. Returns `None` if a lane is dead (unmaterializable).
     fn join_cost(&self, st: &State, x: &OperandVec) -> Option<f64> {
-        let f = self.ctx.f;
+        let f = &self.fz.f;
         let mut cost = 0.0;
         let mut shuffle_sources: BTreeSet<u16> = BTreeSet::new();
         let mut decided_lanes: Vec<ValueId> = Vec::new();
@@ -568,7 +771,7 @@ impl<'c, 'a> Search<'c, 'a> {
         }
         // If an existing pack produces x exactly, joining is free.
         for pid in st.packs_iter() {
-            if x.produced_by(&self.ctx.pack_data(pid).values) {
+            if x.produced_by(&self.fz.pack_data(pid).values) {
                 return Some(0.0);
             }
         }
@@ -576,51 +779,50 @@ impl<'c, 'a> Search<'c, 'a> {
         decided_lanes.dedup();
         for v in decided_lanes {
             match st.prod[v.index()] {
-                Prod::Scalar => cost += self.ctx.cost.c_insert,
+                Prod::Scalar => cost += self.fz.cost.c_insert,
                 Prod::Pack(i) | Prod::PackX(i) => {
                     shuffle_sources.insert(i);
                 }
                 // A swept-dead value revives as a scalar at lowering time
                 // (codegen re-derives scalar demands from the final packs);
                 // estimate it like a scalar insertion.
-                Prod::Dead => cost += self.ctx.cost.c_insert,
+                Prod::Dead => cost += self.fz.cost.c_insert,
                 Prod::Free => unreachable!(),
             }
         }
-        cost += self.ctx.cost.c_shuffle * shuffle_sources.len() as f64;
+        cost += self.fz.cost.c_shuffle * shuffle_sources.len() as f64;
         Some(cost)
     }
 
     /// Transition: apply a pack.
     fn apply_pack(&self, st: &State, pid: PackId) -> Option<State> {
-        let data = self.ctx.pack_data(pid);
+        let data = self.fz.pack_data(pid);
         // All produced values must be free with all users decided.
         if !data.defined.iter().all(|&v| st.is_free(v) && self.ready(st, v)) {
             return None;
         }
-        let pack = self.ctx.pack(pid);
+        let pack = self.fz.pack(pid);
         // Legality: no contracted cycle with already-chosen packs.
         {
-            let mut path: Vec<Rc<Pack>> = st.packs_iter().map(|p| self.ctx.pack(p)).collect();
-            path.reverse();
-            let mut refs: Vec<&Pack> = path.iter().map(Rc::as_ref).collect();
-            refs.push(&pack);
-            if !self.ctx.packs_legal(&refs) {
+            let mut refs: Vec<&Pack> = st.packs_iter().map(|p| self.fz.pack(p)).collect();
+            refs.reverse();
+            refs.push(pack);
+            if !packs_legal(self.fz.f.insts.len(), &self.fz.deps, &refs) {
                 return None;
             }
         }
-        let operand_ids = self.ctx.pack_operand_ids(pid)?;
+        let operand_ids = self.fz.pack_operand_ids(pid)?;
         let mut next = st.clone();
         next.action = Action::Pack(pid);
         let pidx = next.pack_len();
-        next.g += self.ctx.pack_cost(&pack);
+        next.g += self.fz.pack_cost_of(pid);
 
         for &v in &data.defined {
             next.clear_free(v);
             // Extraction cost for values some scalar already demanded —
             // store packs are exempt (§5.2).
             if next.sset_remove(v) && !pack.is_store() {
-                next.g += self.ctx.cost.c_extract;
+                next.g += self.fz.cost.c_extract;
                 next.set_prod(v, Prod::PackX(pidx));
             } else {
                 next.set_prod(v, Prod::Pack(pidx));
@@ -634,7 +836,7 @@ impl<'c, 'a> Search<'c, 'a> {
                 continue;
             }
             if !x.vec.produced_by(&data.values) {
-                next.g += self.ctx.cost.c_shuffle;
+                next.g += self.fz.cost.c_shuffle;
             }
             if x.vec.defined().all(|l| !bit(&next.free, l.index())) {
                 to_remove.push(x.clone());
@@ -647,7 +849,7 @@ impl<'c, 'a> Search<'c, 'a> {
         // Dead-code the interiors of the matches: interior nodes whose
         // users are all decided (iterated to fixpoint, since interiors
         // use each other).
-        if let Pack::Compute { matches, .. } = &*pack {
+        if let Pack::Compute { matches, .. } = pack {
             let mut interior: Vec<ValueId> = matches
                 .iter()
                 .flatten()
@@ -660,8 +862,7 @@ impl<'c, 'a> Search<'c, 'a> {
             while changed {
                 changed = false;
                 for &v in &interior {
-                    if next.is_free(v)
-                        && self.ctx.users[v.index()].iter().all(|u| !next.is_free(*u))
+                    if next.is_free(v) && self.fz.users[v.index()].iter().all(|u| !next.is_free(*u))
                     {
                         next.clear_free(v);
                         next.set_prod(v, Prod::Dead);
@@ -673,13 +874,13 @@ impl<'c, 'a> Search<'c, 'a> {
 
         // Request the pack's operands.
         for &oid in operand_ids.iter() {
-            let x = self.ctx.operand(oid);
+            let x = self.fz.operand(oid).clone();
             if x.defined_count() == 0 {
                 continue;
             }
             // All-constant operands fold to constant vectors.
             let all_const =
-                x.defined().all(|v| matches!(self.ctx.f.inst(v).kind, InstKind::Const(_)));
+                x.defined().all(|v| matches!(self.fz.f.inst(v).kind, InstKind::Const(_)));
             if all_const {
                 continue;
             }
@@ -705,11 +906,11 @@ impl<'c, 'a> Search<'c, 'a> {
         }
         loop {
             let mut changed = false;
-            for v in self.ctx.f.value_ids() {
+            for v in self.fz.f.value_ids() {
                 if !st.is_free(v) || demanded.contains(&v) {
                     continue;
                 }
-                if self.ctx.users[v.index()].iter().all(|u| !st.is_free(*u)) {
+                if self.fz.users[v.index()].iter().all(|u| !st.is_free(*u)) {
                     st.clear_free(v);
                     st.set_prod(v, Prod::Dead);
                     changed = true;
@@ -726,13 +927,13 @@ impl<'c, 'a> Search<'c, 'a> {
         if !st.is_free(v) || !self.ready(st, v) {
             return None;
         }
-        let f = self.ctx.f;
+        let f = &self.fz.f;
         let mut next = st.clone();
         next.action = Action::Scalar(v);
-        next.g += self.ctx.cost.scalar_inst_cost(f, v);
+        next.g += self.fz.cost.scalar_inst_cost(f, v);
         // Insertion cost into every requested vector that wants v.
         for x in &next.vset {
-            next.g += self.ctx.cost.insert_one_cost(f, v, &x.vec);
+            next.g += self.fz.cost.insert_one_cost(f, v, &x.vec);
         }
         next.clear_free(v);
         next.set_prod(v, Prod::Scalar);
@@ -757,31 +958,13 @@ impl<'c, 'a> Search<'c, 'a> {
             } else {
                 // (Dead operands revive as scalars at lowering time.)
                 if let Prod::Pack(i) = next.prod[o.index()] {
-                    next.g += self.ctx.cost.c_extract;
+                    next.g += self.fz.cost.c_extract;
                     next.set_prod(o, Prod::PackX(i));
                 }
             }
         }
         self.sweep_dead(&mut next);
         Some(next)
-    }
-
-    /// Heuristic completion estimate: `Σ costSLP(v) + Σ costscalar(s)` —
-    /// the per-value sums of Fig. 9's ordering formula. The scalar term
-    /// double-counts shared subtrees, which biases the beam *toward*
-    /// keeping partially-vectorized states alive; that bias is what lets
-    /// the search carry fft4's butterfly packs past the point where the
-    /// plain scalar path looks locally cheaper (and mirrors the paper's own
-    /// characterization of costSLP as optimistic, §5.1).
-    fn estimate(&self, st: &State) -> f64 {
-        let mut h = 0.0;
-        for x in &st.vset {
-            h += self.slp.cost_id(x.id);
-        }
-        for &s in &st.sset {
-            h += self.ctx.cost.scalar_closure_cost(self.ctx.f, [s]);
-        }
-        h
     }
 
     fn expand(&self, st: &State, out: &mut Vec<State>) {
@@ -798,22 +981,22 @@ impl<'c, 'a> Search<'c, 'a> {
             if n >= self.cfg.max_transitions {
                 break;
             }
-            for &pid in self.ctx.producers_for(x.id).iter() {
+            for &pid in self.fz.producers_for(x.id) {
                 push(self.apply_pack(st, pid), out, &mut n);
             }
-            for &pid in self.ctx.covering_for(x.id).iter() {
+            for &pid in self.fz.covering_for(x.id) {
                 push(self.apply_pack(st, pid), out, &mut n);
             }
             // Mixed-opcode operands: packs producing one opcode group each
             // (blended at a shuffle cost when they meet).
-            for &g in self.ctx.groups_for(x.id).iter() {
-                for &pid in self.ctx.producers_for(g).iter() {
+            for &g in self.fz.groups_for(x.id) {
+                for &pid in self.fz.producers_for(g) {
                     push(self.apply_pack(st, pid), out, &mut n);
                 }
             }
         }
         // 2. Seed packs (store chains + affinity seeds).
-        for &pid in &self.seed_packs {
+        for &pid in &self.fz.seed_packs {
             if n >= self.cfg.max_transitions {
                 break;
             }
@@ -837,6 +1020,81 @@ impl<'c, 'a> Search<'c, 'a> {
     }
 }
 
+/// Heuristic completion estimate: `Σ costSLP(v) + Σ costscalar(s)` — the
+/// per-value sums of Fig. 9's ordering formula. The scalar term
+/// double-counts shared subtrees, which biases the beam *toward* keeping
+/// partially-vectorized states alive; that bias is what lets the search
+/// carry fft4's butterfly packs past the point where the plain scalar
+/// path looks locally cheaper (and mirrors the paper's own
+/// characterization of costSLP as optimistic, §5.1). Evaluated on the
+/// main thread only, so the `costSLP` memo needs no synchronization and
+/// fills in a reproducible order.
+fn estimate(fz: &FrozenCtx, slp: &mut FrozenSlp, st: &State) -> f64 {
+    let mut h = 0.0;
+    for x in &st.vset {
+        h += slp.cost_id(fz, x.id);
+    }
+    for &s in &st.sset {
+        h += fz.scalar_one(s);
+    }
+    h
+}
+
+/// One worker's share of an iteration: the successor pool for its chunk
+/// (carried terminals included, in frontier order) plus effort counters.
+#[derive(Default)]
+struct ChunkOut {
+    pool: Vec<State>,
+    expanded: usize,
+    transitions: u64,
+}
+
+/// Expand one contiguous frontier chunk. Runs on the main thread (chunk
+/// 0, and everything when single-threaded) and on workers alike — one
+/// implementation, so the sequential and parallel paths cannot diverge.
+/// Polls wall/cancellation budgets between states so an abort lands
+/// mid-fan-out instead of waiting out the iteration.
+fn process_chunk(
+    search: &Search<'_>,
+    states: &[State],
+    budget: &SearchBudget,
+    t0: Instant,
+) -> Result<ChunkOut, SelectError> {
+    let mut out = ChunkOut::default();
+    for st in states {
+        if let Some(w) = budget.wall {
+            let elapsed = t0.elapsed();
+            if elapsed >= w {
+                return Err(SelectError::Deadline { budget: w, elapsed });
+            }
+        }
+        if let Some(token) = &budget.cancel {
+            if token.is_cancelled() {
+                return Err(SelectError::Cancelled);
+            }
+        }
+        if st.terminal() {
+            out.pool.push(st.clone());
+            continue;
+        }
+        out.expanded += 1;
+        let before = out.pool.len();
+        search.expand(st, &mut out.pool);
+        out.transitions += (out.pool.len() - before) as u64;
+    }
+    Ok(out)
+}
+
+/// Resolve [`BeamConfig::beam_threads`]: `0` means one worker per
+/// available core.
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
 /// Select a pack set for the context's function using beam search.
 ///
 /// Returns the best terminal state's packs; if the search fails to reach a
@@ -853,26 +1111,87 @@ pub fn select_packs(
     ctx: &VectorizerCtx<'_>,
     cfg: &BeamConfig,
 ) -> Result<SelectionResult, SelectError> {
+    select_packs_reusing(ctx, cfg, &mut SelectionReuse::new())
+}
+
+/// [`select_packs`] with cross-search reuse: the frozen snapshot, the
+/// `costSLP` memo, and the transposition table in `reuse` are consulted
+/// first and updated after. Reuse affects wall time only — a reused
+/// search selects byte-identical packs to a fresh one, because every
+/// cached value is a pure function of the (compatibility-checked) frozen
+/// context.
+///
+/// # Errors
+///
+/// As [`select_packs`]. On a typed error the snapshot is still parked in
+/// `reuse`, so a retry (the degradation ladder's width-1 rung) skips the
+/// freeze.
+pub fn select_packs_reusing(
+    ctx: &VectorizerCtx<'_>,
+    cfg: &BeamConfig,
+    reuse: &mut SelectionReuse,
+) -> Result<SelectionResult, SelectError> {
     let _sp = vegen_trace::span("beam", "select_packs");
     let t0 = Instant::now();
     let intern0 = ctx.intern_stats();
-    let f = ctx.f;
-    let n = f.insts.len();
-    let scalar_cost: f64 = f.value_ids().map(|v| ctx.cost.scalar_inst_cost(f, v)).sum();
 
-    // Precompute seed packs: store chains always; affinity seeds resolved
-    // through Algorithm 1 into concrete packs.
-    let mut seed_packs: Vec<PackId> =
-        ctx.store_chain_packs().into_iter().map(|p| ctx.intern_pack(p)).collect();
-    if cfg.use_affinity_seeds {
-        for x in enumerate_seeds(ctx, &cfg.seeds) {
-            let id = ctx.intern_operand(&x);
-            seed_packs.extend(ctx.producers_for(id).iter().copied());
+    let freeze_t = Instant::now();
+    let mut frozen_reused = false;
+    let fz: Arc<FrozenCtx> = match reuse.frozen.take() {
+        Some(fz) if fz.compatible(ctx, cfg) => {
+            frozen_reused = true;
+            reuse.frozen_reuses += 1;
+            fz
         }
-    }
-    seed_packs.dedup();
+        _ => {
+            // Different function or seed config: everything keyed by the
+            // old snapshot's ids is stale.
+            reuse.slp.reset();
+            reuse.tt.clear();
+            Arc::new(FrozenCtx::freeze(ctx, cfg, t0)?)
+        }
+    };
+    let freeze_wall = freeze_t.elapsed();
 
-    let search = Search { ctx, slp: SlpCost::new(ctx), cfg: cfg.clone(), seed_packs };
+    let result = run_search(RunInputs {
+        fz: &fz,
+        cfg,
+        slp: &mut reuse.slp,
+        tt: &mut reuse.tt,
+        t0,
+        freeze_wall,
+        frozen_reused,
+        intern0,
+        ctx,
+    });
+    // Park the snapshot even on a typed error: the caller's retry reuses
+    // it. (A panic unwinds past this — the engine resets the reuse state
+    // when it catches one.)
+    reuse.frozen = Some(fz);
+    result
+}
+
+/// Everything `run_search` needs, bundled to keep the call site readable.
+struct RunInputs<'r, 'c, 'a> {
+    fz: &'r FrozenCtx,
+    cfg: &'r BeamConfig,
+    slp: &'r mut FrozenSlp,
+    tt: &'r mut TranspositionTable,
+    t0: Instant,
+    freeze_wall: Duration,
+    frozen_reused: bool,
+    intern0: InternStats,
+    ctx: &'c VectorizerCtx<'a>,
+}
+
+fn run_search(inputs: RunInputs<'_, '_, '_>) -> Result<SelectionResult, SelectError> {
+    let RunInputs { fz, cfg, slp, tt, t0, freeze_wall, frozen_reused, intern0, ctx } = inputs;
+    let f = &fz.f;
+    let n = f.insts.len();
+    let scalar_cost = fz.scalar_cost;
+    let threads = resolve_threads(cfg.beam_threads);
+    let search = Search { fz, cfg: cfg.clone() };
+    let (tt_hits0, tt_misses0) = (tt.hits, tt.misses);
 
     let words = n.div_ceil(64).max(1);
     let mut free = vec![u64::MAX; words];
@@ -881,13 +1200,14 @@ pub fn select_packs(
         clear_bit(&mut free, i);
     }
     let mut init = State {
-        free: Rc::new(free),
-        prod: Rc::new(vec![Prod::Free; n]),
+        free: Arc::new(free),
+        prod: Arc::new(vec![Prod::Free; n]),
         vset: BTreeSet::new(),
         sset: BTreeSet::new(),
         g: 0.0,
         packs: None,
         hash: 0,
+        vs_hash: 0,
         action: Action::Init,
     };
     for s in f.stores() {
@@ -901,173 +1221,278 @@ pub fn select_packs(
     let mut transitions = 0u64;
     let mut dedup_hits = 0u64;
     let mut hash_collisions = 0u64;
+    let mut fanouts = 0u64;
+    let mut merge_wall = Duration::ZERO;
     let mut decisions = cfg.log_decisions.then(DecisionLog::default);
 
-    for iter in 0..max_iters {
-        // Budget checks at the iteration boundary: the search either runs
-        // to completion or reports exactly why it could not — a partial
-        // frontier is never silently returned as a selection.
-        if let Some(limit) = cfg.budget.max_steps {
-            if transitions >= limit {
-                vegen_trace::instant("beam", "budget_steps");
-                return Err(SelectError::StepBudget { steps: transitions, limit });
-            }
-        }
-        if let Some(budget) = cfg.budget.wall {
-            let elapsed = t0.elapsed();
-            if elapsed >= budget {
-                vegen_trace::instant("beam", "budget_wall");
-                return Err(SelectError::Deadline { budget, elapsed });
-            }
-        }
-        if let Some(token) = &cfg.budget.cancel {
-            if token.is_cancelled() {
-                vegen_trace::instant("beam", "cancelled");
-                return Err(SelectError::Cancelled);
-            }
-        }
-        let beam_in = beam.len();
-        if vegen_trace::enabled() {
-            vegen_trace::counter("beam", "frontier", beam_in as f64);
-        }
-        let mut pool: Vec<State> = Vec::new();
-        let mut any_expanded = false;
-        for st in &beam {
-            if st.terminal() {
-                pool.push(st.clone());
-                continue;
-            }
-            any_expanded = true;
-            expanded += 1;
-            let before = pool.len();
-            search.expand(st, &mut pool);
-            transitions += (pool.len() - before) as u64;
-        }
-        if !any_expanded {
-            break;
-        }
-        let raw_pool = pool.len();
-        let deduped = dedup_pool(pool, &mut dedup_hits, &mut hash_collisions);
-        let deduped_len = deduped.len();
-        let mut pool: Vec<(f64, f64, State)> = deduped
-            .into_iter()
-            .map(|st| {
-                let h = search.estimate(&st);
-                (st.g + h, h, st)
-            })
-            .collect();
-        // Deterministic order: score; then prefer the more-progressed state
-        // (smaller heuristic remainder — its cost is more certain); then the
-        // (F, V, S) key, so HashMap iteration order never leaks into the
-        // result.
-        pool.sort_by(|a, b| {
-            a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)).then_with(|| key_cmp(&a.2, &b.2))
-        });
-        let width = cfg.width.max(1);
-        if vegen_trace::enabled() {
-            vegen_trace::counter("beam", "pool", raw_pool as f64);
-            vegen_trace::counter("beam", "deduped", deduped_len as f64);
-            vegen_trace::counter("beam", "pruned", pool.len().saturating_sub(width) as f64);
-        }
-        if let Some(log) = decisions.as_mut() {
-            // Log the candidates around the keep/prune boundary: the best
-            // kept and the best pruned (ranking is already final here — the
-            // log reads the sorted pool, it never reorders it).
-            let mut candidates = Vec::new();
-            for (rank, (score, h, st)) in pool.iter().enumerate() {
-                let kept = rank < width;
-                if (kept && rank >= MAX_LOGGED_CANDIDATES)
-                    || (!kept && rank >= width + MAX_LOGGED_CANDIDATES)
-                {
-                    continue;
+    // One scoped worker pool for the whole search: workers are spawned
+    // once and fed per-iteration chunks over channels (spawning per
+    // iteration would dwarf the work being split).
+    std::thread::scope(|scope| -> Result<SelectionResult, SelectError> {
+        type WorkerResult = (usize, std::thread::Result<Result<ChunkOut, SelectError>>);
+        let worker_count = threads.saturating_sub(1);
+        let mut job_txs: Vec<mpsc::Sender<(usize, Vec<State>)>> = Vec::with_capacity(worker_count);
+        let (res_tx, res_rx) = mpsc::channel::<WorkerResult>();
+        for _ in 0..worker_count {
+            let (tx, rx) = mpsc::channel::<(usize, Vec<State>)>();
+            job_txs.push(tx);
+            let res_tx = res_tx.clone();
+            let search = &search;
+            let budget = cfg.budget.clone();
+            scope.spawn(move || {
+                while let Ok((idx, states)) = rx.recv() {
+                    // Catch panics per job so the main thread never blocks
+                    // on a dead worker; the payload is re-thrown there.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        process_chunk(search, &states, &budget, t0)
+                    }));
+                    if res_tx.send((idx, out)).is_err() {
+                        break;
+                    }
                 }
-                candidates.push(CandidateLog {
-                    action: match st.action {
-                        Action::Init => "init".to_string(),
-                        Action::Pack(pid) => {
-                            format!("pack {}", describe_pack(ctx, &ctx.pack(pid)))
-                        }
-                        Action::Scalar(v) => format!("scalar v{}", v.index()),
-                    },
-                    g: st.g,
-                    est: *h,
-                    score: *score,
-                    packs: st.pack_len() as usize,
-                    kept,
-                });
-            }
-            log.iterations.push(IterationLog {
-                index: iter,
-                beam_in,
-                pool: raw_pool,
-                deduped: deduped_len,
-                kept: pool.len().min(width),
-                candidates,
             });
         }
-        pool.truncate(cfg.width.max(1));
-        beam = pool.into_iter().map(|(_, _, st)| st).collect();
-        for st in &beam {
-            if st.terminal() {
-                match &best_terminal {
-                    Some(b) if b.g <= st.g => {}
-                    _ => best_terminal = Some(st.clone()),
+        drop(res_tx);
+
+        for iter in 0..max_iters {
+            // Budget checks at the iteration boundary: the search either
+            // runs to completion or reports exactly why it could not — a
+            // partial frontier is never silently returned as a selection.
+            if let Some(limit) = cfg.budget.max_steps {
+                if transitions >= limit {
+                    vegen_trace::instant("beam", "budget_steps");
+                    return Err(SelectError::StepBudget { steps: transitions, limit });
                 }
             }
-        }
-        if beam.is_empty() {
-            break;
-        }
-    }
+            if let Some(budget) = cfg.budget.wall {
+                let elapsed = t0.elapsed();
+                if elapsed >= budget {
+                    vegen_trace::instant("beam", "budget_wall");
+                    return Err(SelectError::Deadline { budget, elapsed });
+                }
+            }
+            if let Some(token) = &cfg.budget.cancel {
+                if token.is_cancelled() {
+                    vegen_trace::instant("beam", "cancelled");
+                    return Err(SelectError::Cancelled);
+                }
+            }
+            let beam_in = beam.len();
+            if vegen_trace::enabled() {
+                vegen_trace::counter("beam", "frontier", beam_in as f64);
+            }
+            if !beam.iter().any(|st| !st.terminal()) {
+                break;
+            }
 
-    let intern1 = ctx.intern_stats();
-    let stats = BeamStats {
-        states_expanded: expanded,
-        transitions,
-        dedup_hits,
-        hash_collisions,
-        producer_cache_hits: intern1.producer_hits - intern0.producer_hits,
-        producer_cache_misses: intern1.producer_misses - intern0.producer_misses,
-        interned_operands: intern1.operands,
-        interned_packs: intern1.packs,
-        beam_wall: t0.elapsed(),
-    };
+            // Fan the frontier out in contiguous chunks (sizes differing
+            // by at most one); the main thread takes chunk 0.
+            let frontier = std::mem::take(&mut beam);
+            let t_eff = threads.min(frontier.len()).max(1);
+            let outs: Vec<ChunkOut> = if t_eff == 1 {
+                vec![process_chunk(&search, &frontier, &cfg.budget, t0)?]
+            } else {
+                fanouts += 1;
+                let len = frontier.len();
+                let (base, rem) = (len / t_eff, len % t_eff);
+                let mut it = frontier.into_iter();
+                let mut chunks: Vec<Vec<State>> = Vec::with_capacity(t_eff);
+                for i in 0..t_eff {
+                    let sz = base + usize::from(i < rem);
+                    chunks.push(it.by_ref().take(sz).collect());
+                }
+                let mut chunk_iter = chunks.into_iter();
+                let main_chunk = chunk_iter.next().unwrap();
+                for (w, chunk) in chunk_iter.enumerate() {
+                    job_txs[w].send((w + 1, chunk)).expect("beam worker exited early");
+                }
+                let main_out = process_chunk(&search, &main_chunk, &cfg.budget, t0);
+                // Collect into index slots regardless of arrival order,
+                // then read them back in chunk order: the merged pool is
+                // the exact sequential pool at any thread count.
+                let mut slots: Vec<Option<std::thread::Result<Result<ChunkOut, SelectError>>>> =
+                    (0..t_eff).map(|_| None).collect();
+                for _ in 1..t_eff {
+                    let (idx, out) = res_rx.recv().expect("beam worker hung up");
+                    slots[idx] = Some(out);
+                }
+                slots[0] = Some(Ok(main_out));
+                let mut outs = Vec::with_capacity(t_eff);
+                let mut first_err: Option<SelectError> = None;
+                let mut first_panic: Option<Box<dyn Any + Send>> = None;
+                for slot in slots {
+                    match slot.expect("every chunk slot is filled") {
+                        Ok(Ok(o)) => outs.push(o),
+                        Ok(Err(e)) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                        Err(p) => {
+                            if first_panic.is_none() {
+                                first_panic = Some(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = first_panic {
+                    std::panic::resume_unwind(p);
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                outs
+            };
 
-    Ok(match best_terminal {
-        Some(st) => {
-            let mut ids: Vec<PackId> = st.packs_iter().collect();
-            ids.reverse();
+            let merge_t = Instant::now();
+            let mut pool: Vec<State> = Vec::with_capacity(outs.iter().map(|o| o.pool.len()).sum());
+            for o in outs {
+                expanded += o.expanded;
+                transitions += o.transitions;
+                pool.extend(o.pool);
+            }
+            let raw_pool = pool.len();
+            let deduped = dedup_pool(pool, &mut dedup_hits, &mut hash_collisions);
+            merge_wall += merge_t.elapsed();
+            let deduped_len = deduped.len();
+            let mut pool: Vec<(f64, f64, State)> = deduped
+                .into_iter()
+                .map(|st| {
+                    let h = match tt.lookup(&st) {
+                        Some(est) => est,
+                        None => {
+                            let est = estimate(fz, slp, &st);
+                            tt.insert(&st, est);
+                            est
+                        }
+                    };
+                    (st.g + h, h, st)
+                })
+                .collect();
+            // Deterministic order: score; then prefer the more-progressed
+            // state (smaller heuristic remainder — its cost is more
+            // certain); then the (F, V, S) key — a total order on distinct
+            // states, so neither pool order nor thread count can leak into
+            // the result.
+            pool.sort_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then_with(|| a.1.total_cmp(&b.1))
+                    .then_with(|| key_cmp(&a.2, &b.2))
+            });
+            let width = cfg.width.max(1);
+            if vegen_trace::enabled() {
+                vegen_trace::counter("beam", "pool", raw_pool as f64);
+                vegen_trace::counter("beam", "deduped", deduped_len as f64);
+                vegen_trace::counter("beam", "pruned", pool.len().saturating_sub(width) as f64);
+            }
             if let Some(log) = decisions.as_mut() {
-                for (step, &pid) in ids.iter().enumerate() {
-                    let pack = ctx.pack(pid);
-                    log.committed.push(CommittedPack {
-                        step,
-                        pack: describe_pack(ctx, &pack),
-                        cost: ctx.pack_cost(&pack),
+                // Log the candidates around the keep/prune boundary: the
+                // best kept and the best pruned (ranking is already final
+                // here — the log reads the sorted pool, it never reorders
+                // it).
+                let mut candidates = Vec::new();
+                for (rank, (score, h, st)) in pool.iter().enumerate() {
+                    let kept = rank < width;
+                    if (kept && rank >= MAX_LOGGED_CANDIDATES)
+                        || (!kept && rank >= width + MAX_LOGGED_CANDIDATES)
+                    {
+                        continue;
+                    }
+                    candidates.push(CandidateLog {
+                        action: match st.action {
+                            Action::Init => "init".to_string(),
+                            Action::Pack(pid) => {
+                                format!("pack {}", describe_pack_frozen(fz, fz.pack(pid)))
+                            }
+                            Action::Scalar(v) => format!("scalar v{}", v.index()),
+                        },
+                        g: st.g,
+                        est: *h,
+                        score: *score,
+                        packs: st.pack_len() as usize,
+                        kept,
                     });
                 }
+                log.iterations.push(IterationLog {
+                    index: iter,
+                    beam_in,
+                    pool: raw_pool,
+                    deduped: deduped_len,
+                    kept: pool.len().min(width),
+                    candidates,
+                });
             }
-            let mut packs = PackSet::new();
-            for pid in ids {
-                packs.insert((*ctx.pack(pid)).clone());
+            pool.truncate(width);
+            beam = pool.into_iter().map(|(_, _, st)| st).collect();
+            for st in &beam {
+                if st.terminal() {
+                    match &best_terminal {
+                        Some(b) if b.g <= st.g => {}
+                        _ => best_terminal = Some(st.clone()),
+                    }
+                }
             }
-            SelectionResult {
-                packs,
-                vector_cost: st.g,
+            if beam.is_empty() {
+                break;
+            }
+        }
+
+        let intern1 = ctx.intern_stats();
+        let stats = BeamStats {
+            states_expanded: expanded,
+            transitions,
+            dedup_hits,
+            hash_collisions,
+            producer_cache_hits: intern1.producer_hits - intern0.producer_hits,
+            producer_cache_misses: intern1.producer_misses - intern0.producer_misses,
+            interned_operands: fz.snap.operands.len(),
+            interned_packs: fz.snap.packs.len(),
+            beam_wall: t0.elapsed(),
+            workers: threads,
+            fanouts,
+            tt_hits: tt.hits - tt_hits0,
+            tt_misses: tt.misses - tt_misses0,
+            merge_wall,
+            freeze_wall,
+            frozen_reused,
+        };
+
+        Ok(match best_terminal {
+            Some(st) => {
+                let mut ids: Vec<PackId> = st.packs_iter().collect();
+                ids.reverse();
+                if let Some(log) = decisions.as_mut() {
+                    for (step, &pid) in ids.iter().enumerate() {
+                        let pack = fz.pack(pid);
+                        log.committed.push(CommittedPack {
+                            step,
+                            pack: describe_pack_frozen(fz, pack),
+                            cost: fz.pack_cost_of(pid),
+                        });
+                    }
+                }
+                let mut packs = PackSet::new();
+                for pid in ids {
+                    packs.insert(fz.pack(pid).clone());
+                }
+                SelectionResult {
+                    packs,
+                    vector_cost: st.g,
+                    scalar_cost,
+                    states_expanded: expanded,
+                    stats,
+                    decisions,
+                }
+            }
+            None => SelectionResult {
+                packs: PackSet::new(),
+                vector_cost: scalar_cost,
                 scalar_cost,
                 states_expanded: expanded,
                 stats,
                 decisions,
-            }
-        }
-        None => SelectionResult {
-            packs: PackSet::new(),
-            vector_cost: scalar_cost,
-            scalar_cost,
-            states_expanded: expanded,
-            stats,
-            decisions,
-        },
+            },
+        })
     })
 }
 
@@ -1118,6 +1543,10 @@ mod tests {
             b.store(c, lane, t);
         }
         canonicalize(&b.finish())
+    }
+
+    fn pack_list(r: &SelectionResult) -> Vec<Pack> {
+        r.packs.iter().map(|(_, p)| p.clone()).collect()
     }
 
     #[test]
@@ -1246,13 +1675,14 @@ mod tests {
 
     fn tiny_state(store: u32, g: f64, hash: u128) -> State {
         let mut st = State {
-            free: Rc::new(vec![0b11]),
-            prod: Rc::new(vec![Prod::Free; 2]),
+            free: Arc::new(vec![0b11]),
+            prod: Arc::new(vec![Prod::Free; 2]),
             vset: BTreeSet::new(),
             sset: BTreeSet::new(),
             g,
             packs: None,
             hash: 0,
+            vs_hash: 0,
             action: Action::Init,
         };
         st.sset.insert(ValueId::from_raw(store));
@@ -1293,6 +1723,19 @@ mod tests {
     }
 
     #[test]
+    fn dedup_preserves_first_seen_order() {
+        // The deduped pool must come out in first-seen order — the
+        // deterministic sequence the estimate memo fills in — not in
+        // hash-map iteration order.
+        let pool = vec![tiny_state(3, 1.0, 30), tiny_state(1, 1.0, 10), tiny_state(2, 1.0, 20)];
+        let (mut hits, mut collisions) = (0u64, 0u64);
+        let out = dedup_pool(pool, &mut hits, &mut collisions);
+        let order: Vec<u32> =
+            out.iter().map(|st| st.sset.iter().next().unwrap().index() as u32).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
     fn incremental_hash_is_path_independent() {
         // Reaching the same (F, V, S) by different operation orders must
         // produce the same hash (XOR accumulation is commutative).
@@ -1304,6 +1747,7 @@ mod tests {
         b.clear_free(ValueId::from_raw(0));
         b.sset_insert(ValueId::from_raw(1));
         assert_eq!(a.hash, b.hash);
+        assert_eq!(a.vs_hash, b.vs_hash);
         // Insert/remove round-trips back to the original hash.
         let h0 = a.hash;
         a.sset_insert(ValueId::from_raw(1)); // already present: no-op
@@ -1311,6 +1755,46 @@ mod tests {
         a.sset_remove(ValueId::from_raw(1));
         a.sset_insert(ValueId::from_raw(1));
         assert_eq!(a.hash, h0);
+    }
+
+    #[test]
+    fn vs_hash_tracks_v_and_s_only() {
+        let mut a = tiny_state(0, 0.0, 0);
+        let vs0 = a.vs_hash;
+        let h0 = a.hash;
+        // Deciding an instruction changes the full state identity but not
+        // the (V, S) transposition key.
+        a.clear_free(ValueId::from_raw(0));
+        assert_eq!(a.vs_hash, vs0, "free-set changes must not touch vs_hash");
+        assert_ne!(a.hash, h0, "free-set changes must touch the full hash");
+        // S changes move both.
+        let vs1 = a.vs_hash;
+        a.sset_insert(ValueId::from_raw(1));
+        assert_ne!(a.vs_hash, vs1);
+    }
+
+    #[test]
+    fn transposition_table_matches_on_identity_not_just_hash() {
+        let mut tt = TranspositionTable::new();
+        let mut a = tiny_state(0, 1.0, 0);
+        a.sset_insert(ValueId::from_raw(1));
+        tt.insert(&a, 5.0);
+        assert_eq!(tt.len(), 1);
+        // Same (V, S): served.
+        assert_eq!(tt.lookup(&a.clone()), Some(5.0));
+        // Different S under a forced-identical hash: rejected by the
+        // compact-identity comparison.
+        let mut b = tiny_state(0, 1.0, 0);
+        b.sset.insert(ValueId::from_raw(2)); // raw insert: hash not updated
+        b.vs_hash = a.vs_hash;
+        assert_eq!(tt.lookup(&b), None, "hash aliasing must not serve a wrong estimate");
+        assert_eq!(tt.tt_counters_for_test(), (1, 1));
+    }
+
+    impl TranspositionTable {
+        fn tt_counters_for_test(&self) -> (u64, u64) {
+            (self.hits, self.misses)
+        }
     }
 
     #[test]
@@ -1326,10 +1810,7 @@ mod tests {
                 .unwrap();
         let log = logged.decisions.as_ref().expect("log_decisions must populate the log");
         // Same packs, same cost: logging must not perturb the search.
-        assert_eq!(
-            plain.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
-            logged.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>()
-        );
+        assert_eq!(pack_list(&plain), pack_list(&logged));
         assert_eq!(plain.vector_cost, logged.vector_cost);
 
         assert!(!log.iterations.is_empty());
@@ -1375,8 +1856,8 @@ mod tests {
         };
         let budgeted = select_packs(&ctx, &roomy).unwrap();
         assert_eq!(
-            free.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
-            budgeted.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
+            pack_list(&free),
+            pack_list(&budgeted),
             "a non-binding budget must not perturb the selection"
         );
     }
@@ -1425,15 +1906,91 @@ mod tests {
         assert!(r1.stats.interned_operands > 0);
         assert!(r1.stats.interned_packs > 0);
         assert!(r1.stats.producer_cache_misses > 0, "first run must enumerate");
+        assert!(r1.stats.workers >= 1);
         // A second run on the same context is served from the producer
-        // memo entirely.
+        // memo entirely (the freeze fixpoint re-walks warm memos).
         let r2 = select_packs(&ctx, &BeamConfig::slp()).unwrap();
         assert_eq!(r2.stats.producer_cache_misses, 0, "second run must hit the memo");
         assert!(r2.stats.producer_cache_hits > 0);
-        assert_eq!(
-            r1.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
-            r2.packs.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>(),
-            "memoized run must select identical packs"
-        );
+        assert_eq!(pack_list(&r1), pack_list(&r2), "memoized run must select identical packs");
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_selection() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let base = select_packs(&ctx, &BeamConfig { beam_threads: 1, ..BeamConfig::with_width(8) })
+            .unwrap();
+        for threads in [2usize, 8] {
+            let cfg = BeamConfig { beam_threads: threads, ..BeamConfig::with_width(8) };
+            let r = select_packs(&ctx, &cfg).unwrap();
+            assert_eq!(r.stats.workers, threads);
+            assert_eq!(pack_list(&base), pack_list(&r), "selection diverged at {threads} threads");
+            assert_eq!(
+                base.vector_cost.to_bits(),
+                r.vector_cost.to_bits(),
+                "vector cost diverged at {threads} threads"
+            );
+            assert_eq!(base.stats.states_expanded, r.stats.states_expanded);
+            assert_eq!(base.stats.transitions, r.stats.transitions);
+            assert_eq!(base.stats.dedup_hits, r.stats.dedup_hits);
+            assert!(r.stats.fanouts > 0 || r.stats.states_expanded <= 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_and_transposition_reuse_across_widths() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let mut reuse = SelectionReuse::new();
+        let r1 = select_packs_reusing(&ctx, &BeamConfig::slp(), &mut reuse).unwrap();
+        assert!(!r1.stats.frozen_reused, "first search must freeze");
+        assert!(r1.stats.tt_misses > 0, "first search populates the table");
+        assert_eq!(reuse.frozen_reuses(), 0);
+
+        // A wider search over the same snapshot: frozen + TT both reused,
+        // and the selection matches a fresh, reuse-free search exactly.
+        let r64 = select_packs_reusing(&ctx, &BeamConfig::with_width(64), &mut reuse).unwrap();
+        assert!(r64.stats.frozen_reused, "compatible call must reuse the snapshot");
+        assert_eq!(reuse.frozen_reuses(), 1);
+        assert!(r64.stats.tt_hits > 0, "shared iteration-one states must hit the table");
+        let fresh = select_packs(&ctx, &BeamConfig::with_width(64)).unwrap();
+        assert_eq!(pack_list(&fresh), pack_list(&r64), "reuse must not perturb the selection");
+        assert_eq!(fresh.vector_cost.to_bits(), r64.vector_cost.to_bits());
+        assert_eq!(fresh.stats.transitions, r64.stats.transitions);
+
+        // Flipping the seed configuration invalidates the snapshot.
+        let other = BeamConfig { use_affinity_seeds: false, ..BeamConfig::slp() };
+        let r3 = select_packs_reusing(&ctx, &other, &mut reuse).unwrap();
+        assert!(!r3.stats.frozen_reused, "incompatible seeds must re-freeze");
+        assert_eq!(reuse.frozen_reuses(), 1);
+    }
+
+    #[test]
+    fn typed_error_parks_the_snapshot_for_retry() {
+        let desc = avx2_desc();
+        let f = dot4();
+        let ctx = VectorizerCtx::new(&f, &desc, CostModel::default());
+        let mut reuse = SelectionReuse::new();
+        // Warm the snapshot, then trip a step budget mid-search.
+        select_packs_reusing(&ctx, &BeamConfig::with_width(8), &mut reuse).unwrap();
+        let tight = BeamConfig {
+            budget: SearchBudget { max_steps: Some(1), ..SearchBudget::default() },
+            ..BeamConfig::with_width(8)
+        };
+        assert!(matches!(
+            select_packs_reusing(&ctx, &tight, &mut reuse),
+            Err(SelectError::StepBudget { .. })
+        ));
+        // The retry (the ladder's width-1 rung) reuses the parked snapshot
+        // and still selects exactly what a fresh search would.
+        let retry = select_packs_reusing(&ctx, &BeamConfig::slp(), &mut reuse).unwrap();
+        assert!(retry.stats.frozen_reused, "retry after a typed error must reuse");
+        assert_eq!(reuse.frozen_reuses(), 2);
+        let fresh = select_packs(&ctx, &BeamConfig::slp()).unwrap();
+        assert_eq!(pack_list(&fresh), pack_list(&retry));
+        assert_eq!(fresh.vector_cost.to_bits(), retry.vector_cost.to_bits());
     }
 }

@@ -79,6 +79,35 @@ impl CostModel {
         total
     }
 
+    /// [`Self::scalar_closure_cost`] of `[v]` for every value of `f`,
+    /// indexed by `ValueId`. One reusable epoch-marked visit buffer
+    /// replaces the per-call `seen` allocation; the traversal — and
+    /// therefore the f64 accumulation order — is identical to calling
+    /// `scalar_closure_cost(f, [v])` per value, so precomputed entries are
+    /// bit-identical to on-demand ones.
+    pub fn scalar_one_costs(&self, f: &Function) -> Vec<f64> {
+        let n = f.insts.len();
+        let mut seen = vec![u32::MAX; n];
+        let mut stack: Vec<ValueId> = Vec::new();
+        let mut out = vec![0.0; n];
+        for v in f.value_ids() {
+            let epoch = v.index() as u32;
+            stack.clear();
+            stack.push(v);
+            let mut total = 0.0;
+            while let Some(w) = stack.pop() {
+                if seen[w.index()] == epoch {
+                    continue;
+                }
+                seen[w.index()] = epoch;
+                total += self.scalar_inst_cost(f, w);
+                stack.extend(f.inst(w).operands());
+            }
+            out[v.index()] = total;
+        }
+        out
+    }
+
     /// Cost of materializing operand `x` with vector insertions, with the
     /// paper's special cases: an all-constant operand is free (it folds to
     /// a constant-pool load) and a broadcast costs one instruction.
@@ -123,6 +152,29 @@ mod tests {
         assert_eq!(cm.scalar_closure_cost(&f, [t]), 4.0);
         assert_eq!(cm.scalar_closure_cost(&f, [s]), 3.0);
         assert_eq!(cm.scalar_closure_cost(&f, [s, t]), 4.0);
+    }
+
+    #[test]
+    fn scalar_one_table_is_bit_identical_to_per_call_closure() {
+        let mut b = FunctionBuilder::new("t");
+        let p = b.param("A", Type::I32, 3);
+        let x = b.load(p, 0);
+        let y = b.load(p, 1);
+        let s = b.add(x, y);
+        let t = b.mul(s, s);
+        b.store(p, 2, t);
+        let f = b.finish();
+        let cm = CostModel::default();
+        let table = cm.scalar_one_costs(&f);
+        assert_eq!(table.len(), f.insts.len());
+        for v in f.value_ids() {
+            assert_eq!(
+                table[v.index()].to_bits(),
+                cm.scalar_closure_cost(&f, [v]).to_bits(),
+                "entry for v{} must match the per-call closure cost",
+                v.index()
+            );
+        }
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //! (Algorithm 1), memory packs, and pack-set legality.
 
 use crate::cost::CostModel;
-use crate::intern::{InternStats, Interner, OperandId, PackData, PackId};
+use crate::intern::{InternSnapshot, InternStats, Interner, OperandId, PackData, PackId};
 use crate::operand::OperandVec;
 use crate::pack::{Pack, PackedMatch};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use vegen_ir::deps::DepGraph;
 use vegen_ir::{Function, InstKind, Type, ValueId};
 use vegen_match::{MatchTable, TargetDesc};
@@ -72,7 +72,7 @@ impl<'a> VectorizerCtx<'a> {
     }
 
     /// Resolve an interned operand.
-    pub fn operand(&self, id: OperandId) -> Rc<OperandVec> {
+    pub fn operand(&self, id: OperandId) -> Arc<OperandVec> {
         self.interner.borrow().operand(id)
     }
 
@@ -82,12 +82,12 @@ impl<'a> VectorizerCtx<'a> {
     }
 
     /// Resolve an interned pack.
-    pub fn pack(&self, id: PackId) -> Rc<Pack> {
+    pub fn pack(&self, id: PackId) -> Arc<Pack> {
         self.interner.borrow().pack(id)
     }
 
     /// Cached lane data (`values` / `defined_values`) of an interned pack.
-    pub fn pack_data(&self, id: PackId) -> Rc<PackData> {
+    pub fn pack_data(&self, id: PackId) -> Arc<PackData> {
         self.interner.borrow().pack_data(id)
     }
 
@@ -96,12 +96,20 @@ impl<'a> VectorizerCtx<'a> {
         self.interner.borrow().stats()
     }
 
+    /// Copy the (fully populated) interner arenas and memos out — the raw
+    /// material of a [`crate::frozen::FrozenCtx`]. Panics unless the
+    /// freeze pre-pass has computed every memo (see
+    /// [`Interner::snapshot`]).
+    pub(crate) fn intern_snapshot(&self) -> InternSnapshot {
+        self.interner.borrow().snapshot()
+    }
+
     /// Memoized Algorithm 1: producers of the interned operand `id`,
     /// computed once per distinct operand. Candidate packs are interned and
     /// their operand lists cached as a side effect, so applying a produced
     /// pack never re-derives lane bindings.
-    pub fn producers_for(&self, id: OperandId) -> Rc<[PackId]> {
-        if let Some(hit) = self.interner.borrow_mut().producers_get(id) {
+    pub fn producers_for(&self, id: OperandId) -> Arc<[PackId]> {
+        if let Some(hit) = self.interner.borrow().producers_get(id) {
             return hit;
         }
         let x = self.operand(id);
@@ -118,7 +126,7 @@ impl<'a> VectorizerCtx<'a> {
     }
 
     /// Memoized covering load packs for the interned operand `id`.
-    pub fn covering_for(&self, id: OperandId) -> Rc<[PackId]> {
+    pub fn covering_for(&self, id: OperandId) -> Arc<[PackId]> {
         if let Some(hit) = self.interner.borrow().covering_get(id) {
             return hit;
         }
@@ -129,7 +137,7 @@ impl<'a> VectorizerCtx<'a> {
     }
 
     /// Memoized opcode-group split of the interned operand `id`.
-    pub fn groups_for(&self, id: OperandId) -> Rc<[OperandId]> {
+    pub fn groups_for(&self, id: OperandId) -> Arc<[OperandId]> {
         if let Some(hit) = self.interner.borrow().groups_get(id) {
             return hit;
         }
@@ -144,7 +152,7 @@ impl<'a> VectorizerCtx<'a> {
 
     /// Memoized [`Self::pack_operands`] for an interned pack: `None` if the
     /// lane bindings conflict.
-    pub fn pack_operand_ids(&self, id: PackId) -> Option<Rc<[OperandId]>> {
+    pub fn pack_operand_ids(&self, id: PackId) -> Option<Arc<[OperandId]>> {
         if let Some(cached) = self.interner.borrow().pack_operands_get(id) {
             return cached;
         }
@@ -448,77 +456,83 @@ impl<'a> VectorizerCtx<'a> {
     /// dependence graph must stay acyclic — this is also exactly the
     /// condition under which a grouped schedule exists (§4.5).
     pub fn packs_legal(&self, packs: &[&Pack]) -> bool {
-        let n = self.f.insts.len();
-        // group[v] = pack index + 1, or 0 for scalar singleton.
-        let mut group = vec![0usize; n];
-        for (pi, p) in packs.iter().enumerate() {
-            for v in p.defined_values() {
-                if group[v.index()] != 0 {
-                    return false; // a value in two packs is illegal
-                }
-                group[v.index()] = pi + 1;
-            }
-        }
-        // Contracted nodes: packs 1..=k, scalars keyed by value.
-        // DFS cycle detection over contracted edges.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Mark {
-            White,
-            Grey,
-            Black,
-        }
-        let node_of = |v: ValueId| -> usize {
+        packs_legal(self.f.insts.len(), &self.deps, packs)
+    }
+}
+
+/// [`VectorizerCtx::packs_legal`] as a free function over the pieces it
+/// actually reads — so the frozen, thread-shared selection context (which
+/// has no live `VectorizerCtx`) runs the identical check.
+pub fn packs_legal(n: usize, deps: &DepGraph, packs: &[&Pack]) -> bool {
+    // group[v] = pack index + 1, or 0 for scalar singleton.
+    let mut group = vec![0usize; n];
+    for (pi, p) in packs.iter().enumerate() {
+        for v in p.defined_values() {
             if group[v.index()] != 0 {
-                group[v.index()] - 1
-            } else {
-                packs.len() + v.index()
+                return false; // a value in two packs is illegal
+            }
+            group[v.index()] = pi + 1;
+        }
+    }
+    // Contracted nodes: packs 1..=k, scalars keyed by value.
+    // DFS cycle detection over contracted edges.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let node_of = |v: ValueId| -> usize {
+        if group[v.index()] != 0 {
+            group[v.index()] - 1
+        } else {
+            packs.len() + v.index()
+        }
+    };
+    let total = packs.len() + n;
+    let mut marks = vec![Mark::White; total];
+    // Edges from node -> nodes it depends on.
+    let succ = |node: usize| -> Vec<usize> {
+        let mut out = Vec::new();
+        let push_deps_of = |v: ValueId, out: &mut Vec<usize>| {
+            for &d in deps.direct_deps(v) {
+                let dn = node_of(d);
+                if dn != node {
+                    out.push(dn);
+                }
             }
         };
-        let total = packs.len() + n;
-        let mut marks = vec![Mark::White; total];
-        // Edges from node -> nodes it depends on.
-        let succ = |node: usize| -> Vec<usize> {
-            let mut out = Vec::new();
-            let push_deps_of = |v: ValueId, out: &mut Vec<usize>| {
-                for &d in self.deps.direct_deps(v) {
-                    let dn = node_of(d);
-                    if dn != node {
-                        out.push(dn);
-                    }
-                }
-            };
-            if node < packs.len() {
-                for v in packs[node].defined_values() {
-                    push_deps_of(v, &mut out);
-                }
-            } else {
-                let v = ValueId::from_raw((node - packs.len()) as u32);
+        if node < packs.len() {
+            for v in packs[node].defined_values() {
                 push_deps_of(v, &mut out);
             }
-            out
-        };
-        fn dfs(node: usize, marks: &mut [Mark], succ: &dyn Fn(usize) -> Vec<usize>) -> bool {
-            match marks[node] {
-                Mark::Black => return true,
-                Mark::Grey => return false,
-                Mark::White => {}
-            }
-            marks[node] = Mark::Grey;
-            for s in succ(node) {
-                if !dfs(s, marks, succ) {
-                    return false;
-                }
-            }
-            marks[node] = Mark::Black;
-            true
+        } else {
+            let v = ValueId::from_raw((node - packs.len()) as u32);
+            push_deps_of(v, &mut out);
         }
-        for start in 0..packs.len() {
-            if !dfs(start, &mut marks, &succ) {
+        out
+    };
+    fn dfs(node: usize, marks: &mut [Mark], succ: &dyn Fn(usize) -> Vec<usize>) -> bool {
+        match marks[node] {
+            Mark::Black => return true,
+            Mark::Grey => return false,
+            Mark::White => {}
+        }
+        marks[node] = Mark::Grey;
+        for s in succ(node) {
+            if !dfs(s, marks, succ) {
                 return false;
             }
         }
+        marks[node] = Mark::Black;
         true
     }
+    for start in 0..packs.len() {
+        if !dfs(start, &mut marks, &succ) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

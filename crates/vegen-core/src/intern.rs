@@ -7,11 +7,17 @@
 //! * [`OperandId`] / [`PackId`] — arena handles, so operands and packs are
 //!   compared, hashed, and stored as `u32`s instead of heap-allocated
 //!   vectors;
-//! * a memoized producer index (`producers(OperandId) -> Rc<[PackId]>`,
+//! * a memoized producer index (`producers(OperandId) -> Arc<[PackId]>`,
 //!   with hit/miss counters) computed once per distinct operand and shared
 //!   by the beam search, the SLP cost DP, and seed resolution;
 //! * per-pack cached lane data ([`PackData`]) and memoized pack operands,
 //!   so transitions never re-derive lane bindings.
+//!
+//! Arena entries and memo lists are `Arc`-shared (not `Rc`) so a fully
+//! populated interner can be snapshotted into an immutable
+//! [`crate::frozen::FrozenCtx`] and handed to beam-search worker threads;
+//! the producer hit/miss counters are atomics for the same reason — the
+//! frozen read path must not race stats through a `Cell`.
 //!
 //! Note: [`PackId`] here is the context-level arena handle; the selection
 //! *output* keeps its own insertion-ordered [`crate::pack::SetPackId`].
@@ -19,7 +25,8 @@
 use crate::operand::OperandVec;
 use crate::pack::Pack;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use vegen_ir::ValueId;
 
 /// Handle of an interned [`OperandVec`] in a context's arena.
@@ -53,26 +60,51 @@ pub struct InternStats {
     pub producer_misses: u64,
 }
 
+/// An immutable copy of a *fully populated* interner: every arena entry
+/// plus every candidate-index memo, with the lazy `Option` layer stripped.
+/// This is the raw material of [`crate::frozen::FrozenCtx`] — taking it
+/// requires that a closure pre-pass has computed producers, covering
+/// loads, opcode groups, and pack operands for every id.
+#[derive(Debug)]
+pub struct InternSnapshot {
+    /// Interned operands, by [`OperandId`] index.
+    pub operands: Vec<Arc<OperandVec>>,
+    /// Interned packs, by [`PackId`] index.
+    pub packs: Vec<Arc<Pack>>,
+    /// Cached lane data, by [`PackId`] index.
+    pub pack_data: Vec<Arc<PackData>>,
+    /// Algorithm-1 producers, by [`OperandId`] index.
+    pub producers: Vec<Arc<[PackId]>>,
+    /// Covering load packs, by [`OperandId`] index.
+    pub covering: Vec<Arc<[PackId]>>,
+    /// Opcode-group subvectors, by [`OperandId`] index.
+    pub groups: Vec<Arc<[OperandId]>>,
+    /// Pack operands, by [`PackId`] index (`None` = infeasible bindings).
+    pub pack_operands: Vec<Option<Arc<[OperandId]>>>,
+}
+
 /// The arena + memo state. Owned by `VectorizerCtx` behind a `RefCell`;
 /// all public access goes through the context's wrapper methods.
 #[derive(Debug, Default)]
 pub struct Interner {
-    operands: Vec<Rc<OperandVec>>,
-    operand_ids: HashMap<Rc<OperandVec>, OperandId>,
-    packs: Vec<Rc<Pack>>,
-    pack_data: Vec<Rc<PackData>>,
-    pack_ids: HashMap<Rc<Pack>, PackId>,
+    operands: Vec<Arc<OperandVec>>,
+    operand_ids: HashMap<Arc<OperandVec>, OperandId>,
+    packs: Vec<Arc<Pack>>,
+    pack_data: Vec<Arc<PackData>>,
+    pack_ids: HashMap<Arc<Pack>, PackId>,
     /// `OperandId`-indexed memo of Algorithm-1 producers.
-    producers: Vec<Option<Rc<[PackId]>>>,
+    producers: Vec<Option<Arc<[PackId]>>>,
     /// `OperandId`-indexed memo of covering load packs.
-    covering: Vec<Option<Rc<[PackId]>>>,
+    covering: Vec<Option<Arc<[PackId]>>>,
     /// `OperandId`-indexed memo of opcode-group subvectors.
-    groups: Vec<Option<Rc<[OperandId]>>>,
+    groups: Vec<Option<Arc<[OperandId]>>>,
     /// `PackId`-indexed memo of pack operands (`None` = not yet computed,
     /// `Some(None)` = infeasible lane bindings).
-    pack_operands: Vec<Option<Option<Rc<[OperandId]>>>>,
-    producer_hits: u64,
-    producer_misses: u64,
+    pack_operands: Vec<Option<Option<Arc<[OperandId]>>>>,
+    /// Atomic so stat updates on the (shared, `&self`) lookup path never
+    /// race; relaxed ordering — these are counters, not synchronization.
+    producer_hits: AtomicU64,
+    producer_misses: AtomicU64,
 }
 
 fn slot<T: Clone>(memo: &[Option<T>], i: usize) -> Option<T> {
@@ -93,14 +125,14 @@ impl Interner {
             return id;
         }
         let id = OperandId(self.operands.len() as u32);
-        let rc = Rc::new(x.clone());
+        let rc = Arc::new(x.clone());
         self.operands.push(rc.clone());
         self.operand_ids.insert(rc, id);
         id
     }
 
-    /// Resolve an operand id (cheap `Rc` clone).
-    pub fn operand(&self, id: OperandId) -> Rc<OperandVec> {
+    /// Resolve an operand id (cheap `Arc` clone).
+    pub fn operand(&self, id: OperandId) -> Arc<OperandVec> {
         self.operands[id.0 as usize].clone()
     }
 
@@ -112,67 +144,69 @@ impl Interner {
         let id = PackId(self.packs.len() as u32);
         let values = p.values();
         let defined = values.iter().copied().flatten().collect();
-        let rc = Rc::new(p);
+        let rc = Arc::new(p);
         self.packs.push(rc.clone());
-        self.pack_data.push(Rc::new(PackData { values, defined }));
+        self.pack_data.push(Arc::new(PackData { values, defined }));
         self.pack_ids.insert(rc, id);
         id
     }
 
-    /// Resolve a pack id (cheap `Rc` clone).
-    pub fn pack(&self, id: PackId) -> Rc<Pack> {
+    /// Resolve a pack id (cheap `Arc` clone).
+    pub fn pack(&self, id: PackId) -> Arc<Pack> {
         self.packs[id.0 as usize].clone()
     }
 
     /// Cached lane data of a pack.
-    pub fn pack_data(&self, id: PackId) -> Rc<PackData> {
+    pub fn pack_data(&self, id: PackId) -> Arc<PackData> {
         self.pack_data[id.0 as usize].clone()
     }
 
     /// Memoized producers: `None` means not yet computed (counted as a
-    /// miss; the caller computes and stores).
-    pub fn producers_get(&mut self, id: OperandId) -> Option<Rc<[PackId]>> {
+    /// miss; the caller computes and stores). Takes `&self` — the counters
+    /// are atomic, so a fully populated interner can serve lookups through
+    /// a shared borrow.
+    pub fn producers_get(&self, id: OperandId) -> Option<Arc<[PackId]>> {
         let hit = slot(&self.producers, id.0 as usize);
         match hit {
-            Some(_) => self.producer_hits += 1,
-            None => self.producer_misses += 1,
-        }
+            Some(_) => self.producer_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.producer_misses.fetch_add(1, Ordering::Relaxed),
+        };
         hit
     }
 
     /// Store the producer list for `id`.
-    pub fn producers_set(&mut self, id: OperandId, packs: Vec<PackId>) -> Rc<[PackId]> {
-        let rc: Rc<[PackId]> = packs.into();
+    pub fn producers_set(&mut self, id: OperandId, packs: Vec<PackId>) -> Arc<[PackId]> {
+        let rc: Arc<[PackId]> = packs.into();
         set_slot(&mut self.producers, id.0 as usize, rc.clone());
         rc
     }
 
     /// Memoized covering load packs.
-    pub fn covering_get(&self, id: OperandId) -> Option<Rc<[PackId]>> {
+    pub fn covering_get(&self, id: OperandId) -> Option<Arc<[PackId]>> {
         slot(&self.covering, id.0 as usize)
     }
 
     /// Store the covering-load list for `id`.
-    pub fn covering_set(&mut self, id: OperandId, packs: Vec<PackId>) -> Rc<[PackId]> {
-        let rc: Rc<[PackId]> = packs.into();
+    pub fn covering_set(&mut self, id: OperandId, packs: Vec<PackId>) -> Arc<[PackId]> {
+        let rc: Arc<[PackId]> = packs.into();
         set_slot(&mut self.covering, id.0 as usize, rc.clone());
         rc
     }
 
     /// Memoized opcode-group subvectors.
-    pub fn groups_get(&self, id: OperandId) -> Option<Rc<[OperandId]>> {
+    pub fn groups_get(&self, id: OperandId) -> Option<Arc<[OperandId]>> {
         slot(&self.groups, id.0 as usize)
     }
 
     /// Store the opcode-group list for `id`.
-    pub fn groups_set(&mut self, id: OperandId, groups: Vec<OperandId>) -> Rc<[OperandId]> {
-        let rc: Rc<[OperandId]> = groups.into();
+    pub fn groups_set(&mut self, id: OperandId, groups: Vec<OperandId>) -> Arc<[OperandId]> {
+        let rc: Arc<[OperandId]> = groups.into();
         set_slot(&mut self.groups, id.0 as usize, rc.clone());
         rc
     }
 
     /// Memoized pack operands (outer `None` = not computed).
-    pub fn pack_operands_get(&self, id: PackId) -> Option<Option<Rc<[OperandId]>>> {
+    pub fn pack_operands_get(&self, id: PackId) -> Option<Option<Arc<[OperandId]>>> {
         slot(&self.pack_operands, id.0 as usize)
     }
 
@@ -181,8 +215,8 @@ impl Interner {
         &mut self,
         id: PackId,
         operands: Option<Vec<OperandId>>,
-    ) -> Option<Rc<[OperandId]>> {
-        let rc = operands.map(|o| -> Rc<[OperandId]> { o.into() });
+    ) -> Option<Arc<[OperandId]>> {
+        let rc = operands.map(|o| -> Arc<[OperandId]> { o.into() });
         set_slot(&mut self.pack_operands, id.0 as usize, rc.clone());
         rc
     }
@@ -192,8 +226,37 @@ impl Interner {
         InternStats {
             operands: self.operands.len(),
             packs: self.packs.len(),
-            producer_hits: self.producer_hits,
-            producer_misses: self.producer_misses,
+            producer_hits: self.producer_hits.load(Ordering::Relaxed),
+            producer_misses: self.producer_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Copy out every arena and memo, stripping the laziness layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any memo slot is unpopulated — callers must run the
+    /// freeze pre-pass (closure fixpoint) first; a partially populated
+    /// snapshot would silently change search results.
+    pub fn snapshot(&self) -> InternSnapshot {
+        let n_ops = self.operands.len();
+        let n_packs = self.packs.len();
+        InternSnapshot {
+            operands: self.operands.clone(),
+            packs: self.packs.clone(),
+            pack_data: self.pack_data.clone(),
+            producers: (0..n_ops)
+                .map(|i| slot(&self.producers, i).expect("freeze: producers unpopulated"))
+                .collect(),
+            covering: (0..n_ops)
+                .map(|i| slot(&self.covering, i).expect("freeze: covering unpopulated"))
+                .collect(),
+            groups: (0..n_ops)
+                .map(|i| slot(&self.groups, i).expect("freeze: groups unpopulated"))
+                .collect(),
+            pack_operands: (0..n_packs)
+                .map(|i| slot(&self.pack_operands, i).expect("freeze: pack operands unpopulated"))
+                .collect(),
         }
     }
 }
@@ -260,5 +323,32 @@ mod tests {
         assert_eq!(it.pack_operands_get(id), Some(None), "cached infeasibility");
         let ops = it.pack_operands_set(id, Some(vec![OperandId(3)]));
         assert_eq!(&*ops.unwrap(), &[OperandId(3)]);
+    }
+
+    #[test]
+    fn snapshot_copies_fully_populated_memos() {
+        let mut it = Interner::default();
+        let x = OperandVec::from_values([v(1), v(2)]);
+        let id = it.intern_operand(&x);
+        let p =
+            Pack::Load { base: 0, start: 0, loads: vec![Some(v(1)), Some(v(2))], elem: Type::I32 };
+        let pid = it.intern_pack(p);
+        it.producers_set(id, vec![pid]);
+        it.covering_set(id, vec![]);
+        it.groups_set(id, vec![]);
+        it.pack_operands_set(pid, Some(vec![]));
+        let snap = it.snapshot();
+        assert_eq!(snap.operands.len(), 1);
+        assert_eq!(snap.packs.len(), 1);
+        assert_eq!(&*snap.producers[0], &[pid]);
+        assert_eq!(snap.pack_operands[0].as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze: producers unpopulated")]
+    fn snapshot_rejects_partial_memos() {
+        let mut it = Interner::default();
+        it.intern_operand(&OperandVec::from_values([v(1)]));
+        let _ = it.snapshot();
     }
 }

@@ -22,6 +22,7 @@
 pub mod beam;
 pub mod cost;
 pub mod ctx;
+pub mod frozen;
 pub mod intern;
 pub mod operand;
 pub mod pack;
@@ -29,11 +30,13 @@ pub mod seeds;
 pub mod slp;
 
 pub use beam::{
-    describe_pack, select_packs, BeamConfig, BeamStats, CancelToken, CandidateLog, CommittedPack,
-    DecisionLog, IterationLog, SearchBudget, SelectError, SelectionResult,
+    describe_pack, select_packs, select_packs_reusing, BeamConfig, BeamStats, CancelToken,
+    CandidateLog, CommittedPack, DecisionLog, IterationLog, SearchBudget, SelectError,
+    SelectionResult, SelectionReuse, TranspositionTable,
 };
 pub use cost::CostModel;
 pub use ctx::VectorizerCtx;
+pub use frozen::{FrozenCtx, FrozenSlp};
 pub use intern::{InternStats, OperandId, PackId};
 pub use operand::OperandVec;
 pub use pack::{Pack, PackSet, SetPackId};

@@ -61,7 +61,11 @@ pub fn content_hash(canonical: &Function, cfg: &PipelineConfig) -> ContentHash {
     // caller gets back. `budget` is deliberately excluded: budgets never
     // alter a *successful* selection — exhaustion turns the whole call
     // into an error, which is never cached — so results are shareable
-    // across any budget setting. `log_decisions` stays in the key because
+    // across any budget setting. `beam_threads` is likewise excluded: the
+    // parallel search is deterministic by construction (worker chunks are
+    // merged in slice order before the shared dedup/sort/truncate), so
+    // thread count changes wall time, never the selected packs.
+    // `log_decisions` stays in the key because
     // the decision log rides inside the cached SelectionResult: a logged
     // request served from an unlogged entry would silently come back
     // without its log.

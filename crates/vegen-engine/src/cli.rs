@@ -105,6 +105,13 @@ fn resolve_fault_plan(
     }
 }
 
+/// Default intra-kernel beam-search thread count from the
+/// `VEGEN_BEAM_THREADS` environment variable (`0`/unset/unparseable =
+/// auto). An explicit `--beam-threads` always wins over the environment.
+fn env_beam_threads() -> usize {
+    std::env::var("VEGEN_BEAM_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
 fn parse_target(s: &str) -> Result<TargetIsa, String> {
     match s.to_ascii_lowercase().as_str() {
         "avx2" => Ok(TargetIsa::avx2()),
@@ -117,6 +124,7 @@ struct SuiteOptions {
     target: TargetIsa,
     beam: usize,
     threads: usize,
+    beam_threads: usize,
     runs: usize,
     verify_trials: u64,
     compact: bool,
@@ -138,6 +146,7 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
         target: TargetIsa::avx2(),
         beam: 16,
         threads: 0,
+        beam_threads: env_beam_threads(),
         runs: 2,
         verify_trials: 16,
         compact: false,
@@ -161,6 +170,10 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
             "--beam" => opts.beam = value("--beam")?.parse().map_err(|e| format!("--beam: {e}"))?,
             "--threads" => {
                 opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--beam-threads" => {
+                opts.beam_threads =
+                    value("--beam-threads")?.parse().map_err(|e| format!("--beam-threads: {e}"))?
             }
             "--runs" => {
                 opts.runs =
@@ -192,7 +205,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vegen-engine [--target avx2|avx512vnni] [--beam N] [--threads N]\n\
-                     \x20                   [--runs N] [--no-verify] [--compact] [--out FILE]\n\
+                     \x20                   [--beam-threads N] [--runs N] [--no-verify]\n\
+                     \x20                   [--compact] [--out FILE]\n\
                      \x20                   [--trace FILE] [--folded FILE] [--decisions]\n\
                      \x20                   [--deadline-ms N] [--fail-fast]\n\
                      \x20                   [--faults SPEC] [--fault-seed N] [--fault-count N]\n\
@@ -236,6 +250,7 @@ fn run_suite(args: &[String]) -> i32 {
         deadline: opts.deadline_ms.map(Duration::from_millis),
         fail_fast: opts.fail_fast,
         cache_dir: opts.cache_dir.clone().map(PathBuf::from),
+        beam_threads: opts.beam_threads,
         ..EngineConfig::default()
     });
     if let Some(e) = engine.disk_open_error() {
@@ -348,6 +363,7 @@ fn run_suite(args: &[String]) -> i32 {
         target: opts.target.name.clone(),
         beam_width: opts.beam,
         threads: resolved_threads,
+        beam_threads: opts.beam_threads,
         verify_trials: opts.verify_trials,
         runs,
         cache: engine.cache_stats(),
@@ -386,6 +402,7 @@ fn run_serve(args: &[String]) -> i32 {
     let mut cache_dir: Option<String> = None;
     let mut warm_start = false;
     let mut threads = 0usize;
+    let mut beam_threads = env_beam_threads();
     let mut queue = 64usize;
     let mut deadline_ms: Option<u64> = None;
     let mut verify_trials = 16u64;
@@ -408,6 +425,9 @@ fn run_serve(args: &[String]) -> i32 {
             "--threads" => value("--threads")
                 .and_then(|v| v.parse().map_err(|e| format!("--threads: {e}")))
                 .map(|n| threads = n),
+            "--beam-threads" => value("--beam-threads")
+                .and_then(|v| v.parse().map_err(|e| format!("--beam-threads: {e}")))
+                .map(|n| beam_threads = n),
             "--queue" => value("--queue")
                 .and_then(|v| v.parse().map_err(|e| format!("--queue: {e}")))
                 .and_then(|n: usize| {
@@ -432,8 +452,9 @@ fn run_serve(args: &[String]) -> i32 {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vegen-engine serve (--stdio | --socket PATH) [--cache-dir DIR]\n\
-                     \x20                   [--warm-start] [--threads N] [--queue N] [--target T]\n\
-                     \x20                   [--beam N] [--deadline-ms N] [--no-verify]"
+                     \x20                   [--warm-start] [--threads N] [--beam-threads N]\n\
+                     \x20                   [--queue N] [--target T] [--beam N]\n\
+                     \x20                   [--deadline-ms N] [--no-verify]"
                 );
                 return 0;
             }
@@ -454,6 +475,7 @@ fn run_serve(args: &[String]) -> i32 {
         verify_trials,
         deadline: deadline_ms.map(Duration::from_millis),
         cache_dir: cache_dir.map(PathBuf::from),
+        beam_threads,
         ..EngineConfig::default()
     });
     if let Some(e) = engine.disk_open_error() {

@@ -84,11 +84,11 @@ use std::time::{Duration, Instant};
 use cache::{content_hash, CacheStats, CachedCompile, CompileCache, ContentHash};
 use diskcache::{isa_fingerprint, DiskCache, DiskCacheStats};
 use vegen::driver::{
-    compile_scalar_fallback, try_compile_prepared_timed, try_prepare, CompiledKernel,
+    compile_scalar_fallback, try_compile_prepared_reusing, try_prepare, CompiledKernel,
     PipelineConfig, StageTimes,
 };
 use vegen::error::{panic_message, take_panic_stage, CompileError, ErrorCause, Stage};
-use vegen_core::BeamConfig;
+use vegen_core::{BeamConfig, SelectionReuse};
 use vegen_ir::Function;
 
 /// Engine construction parameters.
@@ -118,6 +118,13 @@ pub struct EngineConfig {
     /// through; disk I/O failures become typed [`ErrorCause::CacheIo`]
     /// faults but never fail a job.
     pub cache_dir: Option<PathBuf>,
+    /// Worker threads for the intra-kernel parallel beam search. `0` (the
+    /// default) leaves each job's own [`BeamConfig::beam_threads`] in
+    /// charge (which itself resolves `0` to the machine's available
+    /// parallelism); a nonzero value fills in any job that left the knob
+    /// on auto. Thread count never changes the selected packs — only the
+    /// wall time — and is excluded from content-addressed cache keys.
+    pub beam_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +136,7 @@ impl Default for EngineConfig {
             deadline: None,
             fail_fast: false,
             cache_dir: None,
+            beam_threads: 0,
         }
     }
 }
@@ -291,6 +299,16 @@ pub struct EngineCounters {
     /// Typed `CacheIo` faults recorded (corrupt entries, I/O failures,
     /// failed self-checks). The jobs themselves still succeeded.
     pub cache_io_errors: u64,
+    /// Beam-search estimate lookups served by the transposition table
+    /// across all cache-miss compilations.
+    pub tt_hits: u64,
+    /// Transposition-table lookups that computed (and memoized) a fresh
+    /// estimate.
+    pub tt_misses: u64,
+    /// Compiles that reused a frozen interned context instead of running
+    /// the freeze pre-pass — nonzero exactly when the degradation
+    /// ladder's width-1 retry recycled the primary attempt's snapshot.
+    pub frozen_reuses: u64,
 }
 
 /// A parallel, cached, instrumented batch compiler.
@@ -315,6 +333,9 @@ pub struct Engine {
     disk_hits: AtomicU64,
     disk_stores: AtomicU64,
     cache_io_errors: AtomicU64,
+    tt_hits: AtomicU64,
+    tt_misses: AtomicU64,
+    frozen_reuses: AtomicU64,
 }
 
 /// Outcome of one isolated compile attempt.
@@ -355,6 +376,9 @@ impl Engine {
             disk_hits: AtomicU64::new(0),
             disk_stores: AtomicU64::new(0),
             cache_io_errors: AtomicU64::new(0),
+            tt_hits: AtomicU64::new(0),
+            tt_misses: AtomicU64::new(0),
+            frozen_reuses: AtomicU64::new(0),
         }
     }
 
@@ -400,20 +424,28 @@ impl Engine {
     /// One pipeline attempt with panic isolation: a panic anywhere inside
     /// the driver becomes a typed [`CompileError`] attributed to the
     /// stage that was live when it fired.
+    ///
+    /// `reuse` carries the frozen interned context and transposition
+    /// table across ladder rungs on the same kernel. Typed errors leave
+    /// it warm (the retry skips the freeze pre-pass); a caught panic
+    /// resets it — the panic may have torn mid-update, leaving stranded
+    /// in-progress markers that must not leak into the retry.
     fn attempt(
         &self,
         name: &str,
         canonical: &Function,
         pipeline: &PipelineConfig,
         deadline: Option<Duration>,
+        reuse: &mut SelectionReuse,
     ) -> Attempt {
         let deadline = deadline.map(|d| (Instant::now() + d, d));
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            try_compile_prepared_timed(canonical.clone(), pipeline, deadline)
+            try_compile_prepared_reusing(canonical.clone(), pipeline, deadline, reuse)
         }));
         match outcome {
             Ok(result) => result,
             Err(payload) => {
+                reuse.reset();
                 let stage = take_panic_stage().unwrap_or(Stage::Selection);
                 Err(CompileError::new(
                     stage,
@@ -443,6 +475,9 @@ impl Engine {
         self.producer_cache_hits.fetch_add(stats.producer_cache_hits, Ordering::Relaxed);
         self.producer_cache_misses.fetch_add(stats.producer_cache_misses, Ordering::Relaxed);
         self.packs_committed.fetch_add(kernel.selection.packs.len() as u64, Ordering::Relaxed);
+        self.tt_hits.fetch_add(stats.tt_hits, Ordering::Relaxed);
+        self.tt_misses.fetch_add(stats.tt_misses, Ordering::Relaxed);
+        self.frozen_reuses.fetch_add(stats.frozen_reused as u64, Ordering::Relaxed);
         self.compilations.fetch_add(1, Ordering::Relaxed);
         self.analyses.fetch_add(1, Ordering::Relaxed);
         self.analysis_errors.fetch_add(kernel.analysis.error_count() as u64, Ordering::Relaxed);
@@ -512,6 +547,21 @@ impl Engine {
                 return self.failed_result(name, None, faults, t0);
             }
         };
+        // Engine-level beam-thread override: a nonzero
+        // `EngineConfig::beam_threads` fills in any job that left the
+        // knob on auto. Applied before hashing for clarity, though the
+        // knob is excluded from content hashes either way — thread count
+        // never changes the selected packs.
+        let pipeline_owned;
+        let pipeline = if self.cfg.beam_threads != 0 && pipeline.beam.beam_threads == 0 {
+            pipeline_owned = PipelineConfig {
+                beam: BeamConfig { beam_threads: self.cfg.beam_threads, ..pipeline.beam.clone() },
+                ..pipeline.clone()
+            };
+            &pipeline_owned
+        } else {
+            pipeline
+        };
         let hash = content_hash(&canonical, pipeline);
 
         if let Some(hit) = self.cache.get(hash) {
@@ -565,8 +615,14 @@ impl Engine {
         }
         vegen_trace::instant("engine", "cache_miss");
 
+        // One reuse handle for the whole ladder: the width-1 retry (rung
+        // 2) recycles rung 1's frozen interned context and transposition
+        // table instead of re-freezing. `attempt` resets it after a
+        // caught panic.
+        let mut reuse = SelectionReuse::new();
+
         // Rung 1: the requested configuration.
-        match self.attempt(name, &canonical, pipeline, deadline) {
+        match self.attempt(name, &canonical, pipeline, deadline, &mut reuse) {
             Ok((kernel, mut stages)) => {
                 stages.canonicalize = canonicalize_time;
                 self.note_compilation(&kernel);
@@ -619,10 +675,14 @@ impl Engine {
         self.retries.fetch_add(1, Ordering::Relaxed);
         vegen_trace::instant("engine", "retry_width1");
         let narrow = PipelineConfig {
-            beam: BeamConfig { budget: pipeline.beam.budget.clone(), ..BeamConfig::slp() },
+            beam: BeamConfig {
+                budget: pipeline.beam.budget.clone(),
+                beam_threads: pipeline.beam.beam_threads,
+                ..BeamConfig::slp()
+            },
             ..pipeline.clone()
         };
-        match self.attempt(name, &canonical, &narrow, deadline) {
+        match self.attempt(name, &canonical, &narrow, deadline, &mut reuse) {
             Ok((kernel, mut stages)) => {
                 stages.canonicalize = canonicalize_time;
                 self.note_compilation(&kernel);
@@ -809,6 +869,9 @@ impl Engine {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_stores: self.disk_stores.load(Ordering::Relaxed),
             cache_io_errors: self.cache_io_errors.load(Ordering::Relaxed),
+            tt_hits: self.tt_hits.load(Ordering::Relaxed),
+            tt_misses: self.tt_misses.load(Ordering::Relaxed),
+            frozen_reuses: self.frozen_reuses.load(Ordering::Relaxed),
         }
     }
 

@@ -39,6 +39,9 @@ pub fn counters_json(c: &EngineCounters) -> Json {
         ("disk_hits", Json::int(c.disk_hits)),
         ("disk_stores", Json::int(c.disk_stores)),
         ("cache_io_errors", Json::int(c.cache_io_errors)),
+        ("tt_hits", Json::int(c.tt_hits)),
+        ("tt_misses", Json::int(c.tt_misses)),
+        ("frozen_reuses", Json::int(c.frozen_reuses)),
     ])
 }
 
@@ -256,6 +259,13 @@ impl KernelReport {
                     ("interned_operands", Json::int(self.beam.interned_operands as u64)),
                     ("interned_packs", Json::int(self.beam.interned_packs as u64)),
                     ("beam_wall_us", micros(self.beam.beam_wall)),
+                    ("workers", Json::int(self.beam.workers as u64)),
+                    ("fanouts", Json::int(self.beam.fanouts)),
+                    ("tt_hits", Json::int(self.beam.tt_hits)),
+                    ("tt_misses", Json::int(self.beam.tt_misses)),
+                    ("merge_wall_us", micros(self.beam.merge_wall)),
+                    ("freeze_wall_us", micros(self.beam.freeze_wall)),
+                    ("frozen_reused", Json::Bool(self.beam.frozen_reused)),
                 ]),
             ),
             ("packs_committed", Json::int(self.packs_committed as u64)),
@@ -367,6 +377,9 @@ pub struct EngineReport {
     pub beam_width: usize,
     /// Worker threads (resolved, not the `0` sentinel).
     pub threads: usize,
+    /// Intra-kernel beam-search worker threads (`0` = per-search auto;
+    /// since schema v7).
+    pub beam_threads: usize,
     /// Verification trials per cache entry.
     pub verify_trials: u64,
     /// Runs, in execution order.
@@ -418,10 +431,11 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v6")),
+            ("schema", Json::str("vegen-engine-report/v7")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
+            ("beam_threads", Json::int(self.beam_threads as u64)),
             ("verify_trials", Json::int(self.verify_trials)),
             ("runs", Json::Arr(self.runs.iter().map(|r| r.to_json()).collect())),
             ("cache", cache_json(&self.cache)),

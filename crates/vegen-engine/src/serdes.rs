@@ -653,6 +653,13 @@ fn beam_stats_json(s: &BeamStats) -> Json {
         ("interned_operands", Json::int(s.interned_operands as u64)),
         ("interned_packs", Json::int(s.interned_packs as u64)),
         ("beam_wall_ns", duration_json(s.beam_wall)),
+        ("workers", Json::int(s.workers as u64)),
+        ("fanouts", Json::int(s.fanouts)),
+        ("tt_hits", Json::int(s.tt_hits)),
+        ("tt_misses", Json::int(s.tt_misses)),
+        ("merge_wall_ns", duration_json(s.merge_wall)),
+        ("freeze_wall_ns", duration_json(s.freeze_wall)),
+        ("frozen_reused", Json::Bool(s.frozen_reused)),
     ])
 }
 
@@ -667,6 +674,13 @@ fn beam_stats_from(j: &Json) -> Result<BeamStats, String> {
         interned_operands: uint(j, "interned_operands")? as usize,
         interned_packs: uint(j, "interned_packs")? as usize,
         beam_wall: nanos(j, "beam_wall_ns")?,
+        workers: uint(j, "workers")? as usize,
+        fanouts: uint(j, "fanouts")?,
+        tt_hits: uint(j, "tt_hits")?,
+        tt_misses: uint(j, "tt_misses")?,
+        merge_wall: nanos(j, "merge_wall_ns")?,
+        freeze_wall: nanos(j, "freeze_wall_ns")?,
+        frozen_reused: boolean(j, "frozen_reused")?,
     })
 }
 

@@ -252,7 +252,9 @@ fn independent_engines_write_byte_identical_kernels() {
             let doc = Json::parse(&std::fs::read_to_string(p).unwrap())
                 .unwrap_or_else(|e| panic!("{}: {e}", p.display()));
             let mut kernel = doc.get("kernel").expect("entry has a kernel").clone();
-            zero_field(&mut kernel, &["selection", "stats", "beam_wall_ns"]);
+            for wall in ["beam_wall_ns", "merge_wall_ns", "freeze_wall_ns"] {
+                zero_field(&mut kernel, &["selection", "stats", wall]);
+            }
             kernel.render()
         };
         assert_eq!(

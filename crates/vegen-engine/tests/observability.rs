@@ -42,6 +42,7 @@ fn small_report(decisions: bool) -> EngineReport {
         target: "avx2".to_string(),
         beam_width: 4,
         threads: 2,
+        beam_threads: 0,
         verify_trials: 4,
         runs: vec![vegen_engine::report::RunReport::new("cold", t0.elapsed(), &results)],
         cache: engine.cache_stats(),
@@ -97,7 +98,7 @@ fn engine_report_v6_round_trips_through_the_parser() {
     // Render pretty, hand-parse, and walk the fields back out.
     let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
     assert_eq!(parsed, doc, "render → parse must be lossless");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v6"));
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v7"));
     let trace = parsed.get("trace").expect("report has trace metadata");
     assert_eq!(trace.get("enabled").unwrap().as_bool(), Some(false));
     assert_eq!(trace.get("file"), Some(&Json::Null));

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 use vegen_analysis::{analyze_kernel, AnalysisReport};
 use vegen_baseline::{try_vectorize_baseline, BaselineConfig};
 use vegen_codegen::{check_equivalence, try_lower, try_lower_scalar};
-use vegen_core::{select_packs, BeamConfig, CostModel, SelectionResult, VectorizerCtx};
+use vegen_core::{
+    select_packs_reusing, BeamConfig, CostModel, SelectionResult, SelectionReuse, VectorizerCtx,
+};
 use vegen_ir::canon::{add_narrow_constants, canonicalize};
 use vegen_ir::Function;
 use vegen_isa::{InstDb, TargetIsa};
@@ -206,6 +208,29 @@ pub fn try_compile_prepared_timed(
     cfg: &PipelineConfig,
     deadline: Option<(Instant, Duration)>,
 ) -> Result<(CompiledKernel, StageTimes), CompileError> {
+    try_compile_prepared_reusing(prepared, cfg, deadline, &mut SelectionReuse::new())
+}
+
+/// [`try_compile_prepared_timed`] threading a [`SelectionReuse`] through
+/// pack selection, so the caller (the engine's degradation ladder) can
+/// carry the frozen interned context and the transposition table from a
+/// failed wide search into its width-1 retry — the retry skips the freeze
+/// pre-pass entirely and starts with a warm estimate table.
+///
+/// The reuse handle is only consulted by the selection stage; on any typed
+/// error it still holds the parked snapshot, so a retry on the *same*
+/// prepared function is cheap. After a caught panic the caller must
+/// [`SelectionReuse::reset`] it instead.
+///
+/// # Errors
+///
+/// Same contract as [`try_compile_prepared_timed`].
+pub fn try_compile_prepared_reusing(
+    prepared: Function,
+    cfg: &PipelineConfig,
+    deadline: Option<(Instant, Duration)>,
+    reuse: &mut SelectionReuse,
+) -> Result<(CompiledKernel, StageTimes), CompileError> {
     let name = prepared.name.clone();
     let mut times = StageTimes::default();
 
@@ -243,7 +268,7 @@ pub fn try_compile_prepared_timed(
             None => cfg.beam.clone(),
         };
         let ctx = VectorizerCtx::new(&prepared, &desc, CostModel::default());
-        let selection = select_packs(&ctx, &beam)
+        let selection = select_packs_reusing(&ctx, &beam, reuse)
             .map_err(|e| CompileError::new(Stage::Selection, &name, ErrorCause::Search(e)))?;
         (ctx, selection)
     };
