@@ -1,0 +1,107 @@
+//! End-to-end suite benchmark: the whole `vegen-kernels` suite through
+//! the engine, cold then warm, with per-stage wall attribution — the
+//! wall-clock companion to the beam microbenchmark.
+//!
+//! Besides the human-readable summary, the run writes `BENCH_suite.json`
+//! (schema `vegen-bench-suite/v1`): cold/warm batch walls, the cold run's
+//! per-stage totals, the warm cache hit ratio, and the same per-run
+//! kernel rows an engine report carries — so `vegen-engine diff` accepts
+//! the artifact directly for regression gating against an older run.
+
+use std::time::{Duration, Instant};
+use vegen::driver::PipelineConfig;
+use vegen_core::BeamConfig;
+use vegen_engine::json::Json;
+use vegen_engine::report::RunReport;
+use vegen_engine::{Engine, EngineConfig, Job, JobResult};
+use vegen_isa::TargetIsa;
+
+fn micros(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e6)
+}
+
+/// Sum one stage across a run's results (cold attribution: cache hits
+/// carry zeroed stages, so this is the work actually done).
+fn stage_totals(results: &[JobResult]) -> Vec<(&'static str, Duration)> {
+    let mut totals = [
+        ("canonicalize", Duration::ZERO),
+        ("target_desc", Duration::ZERO),
+        ("selection", Duration::ZERO),
+        ("lowering", Duration::ZERO),
+        ("analysis", Duration::ZERO),
+        ("baseline", Duration::ZERO),
+        ("verify", Duration::ZERO),
+    ];
+    for r in results {
+        let st = &r.stages;
+        for (slot, d) in totals.iter_mut().zip([
+            st.canonicalize,
+            st.target_desc,
+            st.selection,
+            st.lowering,
+            st.analysis,
+            st.baseline,
+            r.verify_time,
+        ]) {
+            slot.1 += d;
+        }
+    }
+    totals.to_vec()
+}
+
+fn main() {
+    let engine = Engine::new(EngineConfig::default());
+    let pipeline = PipelineConfig {
+        target: TargetIsa::avx2(),
+        beam: BeamConfig::with_width(16),
+        canonicalize_patterns: true,
+    };
+    let jobs: Vec<Job> = vegen_kernels::all()
+        .into_iter()
+        .map(|k| Job::new(k.name, (k.build)(), pipeline.clone()))
+        .collect();
+
+    let t0 = Instant::now();
+    let cold = engine.compile_batch(&jobs);
+    let cold_wall = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = engine.compile_batch(&jobs);
+    let warm_wall = t1.elapsed();
+
+    let warm_hits = warm.iter().filter(|r| r.cache_hit).count();
+    let hit_ratio = warm_hits as f64 / warm.len().max(1) as f64;
+    println!(
+        "suite: {} kernels — cold {cold_wall:.2?}, warm {warm_wall:.2?}, \
+         warm cache hits {warm_hits}/{} ({:.0}%)",
+        cold.len(),
+        warm.len(),
+        hit_ratio * 100.0
+    );
+    let totals = stage_totals(&cold);
+    for (name, d) in &totals {
+        println!("  cold stage {name:<12} {d:.2?}");
+    }
+
+    let cold_run = RunReport::new("cold", cold_wall, &cold);
+    let warm_run = RunReport::new("warm", warm_wall, &warm);
+    let doc = Json::obj([
+        ("schema", Json::str("vegen-bench-suite/v1")),
+        ("kernels_total", Json::int(cold.len() as u64)),
+        ("cold_wall_us", micros(cold_wall)),
+        ("warm_wall_us", micros(warm_wall)),
+        ("warm_cache_hit_ratio", Json::Num(hit_ratio)),
+        (
+            "cold_stage_totals_us",
+            Json::Obj(totals.iter().map(|(n, d)| (n.to_string(), micros(*d))).collect()),
+        ),
+        ("runs", Json::Arr(vec![cold_run.to_json(), warm_run.to_json()])),
+    ]);
+
+    // Cargo runs benches with the package root as CWD; anchor the artifact
+    // at the workspace root where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_suite.json");
+    match std::fs::write(path, doc.render_pretty()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -267,6 +267,28 @@ pub struct BeamStats {
     pub frozen_reused: bool,
 }
 
+/// Feed one search's [`BeamStats`] into the process-lifetime metrics
+/// registry. Called once per `select_packs` call (not per iteration), so
+/// the registry lookups are off the search hot path.
+fn record_search_metrics(stats: &BeamStats) {
+    use vegen_trace::metrics;
+    metrics::counter("beam_states_expanded_total").add(stats.states_expanded as u64);
+    metrics::counter("beam_transitions_total").add(stats.transitions);
+    metrics::counter("beam_tt_hits_total").add(stats.tt_hits);
+    metrics::counter("beam_tt_misses_total").add(stats.tt_misses);
+    metrics::counter("beam_fanouts_total").add(stats.fanouts);
+    if stats.frozen_reused {
+        metrics::counter("beam_frozen_reuses_total").inc();
+    }
+    metrics::histogram("beam_select_us").record_duration(stats.beam_wall);
+    metrics::histogram("beam_freeze_us").record_duration(stats.freeze_wall);
+    metrics::histogram("beam_merge_us").record_duration(stats.merge_wall);
+    let tt_total = stats.tt_hits + stats.tt_misses;
+    if tt_total > 0 {
+        metrics::gauge("beam_tt_hit_ratio").set(stats.tt_hits as f64 / tt_total as f64);
+    }
+}
+
 /// The outcome of pack selection.
 #[derive(Debug, Clone, Default)]
 pub struct SelectionResult {
@@ -1456,6 +1478,7 @@ fn run_search(inputs: RunInputs<'_, '_, '_>) -> Result<SelectionResult, SelectEr
             freeze_wall,
             frozen_reused,
         };
+        record_search_metrics(&stats);
 
         Ok(match best_terminal {
             Some(st) => {

@@ -45,6 +45,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
         Some("lint") => run_lint(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("stats") => run_stats(&args[1..]),
         _ => run_suite(args),
     }
 }
@@ -139,6 +140,8 @@ struct SuiteOptions {
     fault_count: usize,
     cache_dir: Option<String>,
     warm_start: bool,
+    event_log: Option<String>,
+    flight_dir: Option<String>,
 }
 
 fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
@@ -161,6 +164,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
         fault_count: 3,
         cache_dir: None,
         warm_start: false,
+        event_log: None,
+        flight_dir: None,
     };
     let mut args = args.iter();
     while let Some(arg) = args.next() {
@@ -202,6 +207,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
             }
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
             "--warm-start" => opts.warm_start = true,
+            "--event-log" => opts.event_log = Some(value("--event-log")?),
+            "--flight-dir" => opts.flight_dir = Some(value("--flight-dir")?),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vegen-engine [--target avx2|avx512vnni] [--beam N] [--threads N]\n\
@@ -211,9 +218,12 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
                      \x20                   [--deadline-ms N] [--fail-fast]\n\
                      \x20                   [--faults SPEC] [--fault-seed N] [--fault-count N]\n\
                      \x20                   [--cache-dir DIR] [--warm-start]\n\
+                     \x20                   [--event-log FILE] [--flight-dir DIR]\n\
                      \x20      vegen-engine serve (--stdio | --socket PATH) [--cache-dir DIR]\n\
                      \x20                   [--warm-start] [--threads N] [--queue N] [--target T]\n\
                      \x20                   [--beam N] [--deadline-ms N] [--no-verify]\n\
+                     \x20                   [--event-log FILE] [--flight-dir DIR]\n\
+                     \x20      vegen-engine stats --socket PATH [--prometheus | --json]\n\
                      \x20      vegen-engine explain <kernel> [--target T] [--beam N] [--max-iters N]\n\
                      \x20      vegen-engine lint [--target T] [--beam N] [--threads N] [--out FILE]\n\
                      \x20      vegen-engine diff <old.json> <new.json> [--max-regress PCT]\n\
@@ -251,10 +261,21 @@ fn run_suite(args: &[String]) -> i32 {
         fail_fast: opts.fail_fast,
         cache_dir: opts.cache_dir.clone().map(PathBuf::from),
         beam_threads: opts.beam_threads,
+        event_log: opts.event_log.clone().map(PathBuf::from),
+        flight_dir: opts.flight_dir.clone().map(PathBuf::from),
+        // When `--trace`/`--folded` own the trace session, the flight
+        // recorder must not reset it out from under them.
+        flight_rotate: !tracing,
         ..EngineConfig::default()
     });
     if let Some(e) = engine.disk_open_error() {
         eprintln!("vegen-engine: disk cache disabled: {e}");
+    }
+    if let Some(e) = engine.event_open_error() {
+        eprintln!("vegen-engine: event log disabled: {e}");
+    }
+    if let Some(e) = engine.flight_open_error() {
+        eprintln!("vegen-engine: flight recorder disabled: {e}");
     }
     if opts.warm_start {
         let loaded = engine.warm_start();
@@ -265,11 +286,15 @@ fn run_suite(args: &[String]) -> i32 {
         beam: BeamConfig { log_decisions: opts.decisions, ..BeamConfig::with_width(opts.beam) },
         canonicalize_patterns: true,
     };
-    let jobs: Vec<Job> = vegen_kernels::all()
-        .into_iter()
-        .map(|k| Job::new(k.name, (k.build)(), pipeline.clone()))
-        .collect();
-    let kernel_names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+    // Jobs are rebuilt per run (not cloned across runs) so every
+    // execution gets its own correlation id in the event log.
+    let make_jobs = || -> Vec<Job> {
+        vegen_kernels::all()
+            .into_iter()
+            .map(|k| Job::new(k.name, (k.build)(), pipeline.clone()))
+            .collect()
+    };
+    let kernel_names: Vec<&str> = vegen_kernels::all().iter().map(|k| k.name).collect();
     match resolve_fault_plan(&opts.faults, opts.fault_seed, opts.fault_count, &kernel_names) {
         Ok(Some(plan)) => {
             let targets: Vec<String> = plan
@@ -285,8 +310,9 @@ fn run_suite(args: &[String]) -> i32 {
             return 2;
         }
     }
+    let job_count = vegen_kernels::all().len();
     let resolved_threads =
-        if opts.threads == 0 { crate::pool::default_threads(jobs.len()) } else { opts.threads };
+        if opts.threads == 0 { crate::pool::default_threads(job_count) } else { opts.threads };
 
     let mut runs = Vec::new();
     let mut failed = false;
@@ -299,6 +325,7 @@ fn run_suite(args: &[String]) -> i32 {
         };
         let _run_span = vegen_trace::enabled()
             .then(|| vegen_trace::span_owned("engine", format!("run:{label}")));
+        let jobs = make_jobs();
         let t0 = Instant::now();
         let results = engine.compile_batch(&jobs);
         let wall = t0.elapsed();
@@ -408,6 +435,8 @@ fn run_serve(args: &[String]) -> i32 {
     let mut verify_trials = 16u64;
     let mut target = TargetIsa::avx2();
     let mut beam = 16usize;
+    let mut event_log: Option<String> = None;
+    let mut flight_dir: Option<String> = None;
     let mut args = args.iter();
     while let Some(arg) = args.next() {
         let mut value = |n: &str| args.next().cloned().ok_or(format!("{n} needs a value"));
@@ -449,12 +478,15 @@ fn run_serve(args: &[String]) -> i32 {
             "--beam" => value("--beam")
                 .and_then(|v| v.parse().map_err(|e| format!("--beam: {e}")))
                 .map(|w| beam = w),
+            "--event-log" => value("--event-log").map(|v| event_log = Some(v)),
+            "--flight-dir" => value("--flight-dir").map(|v| flight_dir = Some(v)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vegen-engine serve (--stdio | --socket PATH) [--cache-dir DIR]\n\
                      \x20                   [--warm-start] [--threads N] [--beam-threads N]\n\
                      \x20                   [--queue N] [--target T] [--beam N]\n\
-                     \x20                   [--deadline-ms N] [--no-verify]"
+                     \x20                   [--deadline-ms N] [--no-verify]\n\
+                     \x20                   [--event-log FILE] [--flight-dir DIR]"
                 );
                 return 0;
             }
@@ -476,10 +508,18 @@ fn run_serve(args: &[String]) -> i32 {
         deadline: deadline_ms.map(Duration::from_millis),
         cache_dir: cache_dir.map(PathBuf::from),
         beam_threads,
+        event_log: event_log.map(PathBuf::from),
+        flight_dir: flight_dir.map(PathBuf::from),
         ..EngineConfig::default()
     });
     if let Some(e) = engine.disk_open_error() {
         eprintln!("vegen-engine serve: disk cache disabled: {e}");
+    }
+    if let Some(e) = engine.event_open_error() {
+        eprintln!("vegen-engine serve: event log disabled: {e}");
+    }
+    if let Some(e) = engine.flight_open_error() {
+        eprintln!("vegen-engine serve: flight recorder disabled: {e}");
     }
     if warm_start {
         let loaded = engine.warm_start();
@@ -510,6 +550,164 @@ fn run_serve(args: &[String]) -> i32 {
         summary.rejected_draining,
         summary.protocol_errors
     );
+    0
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+/// Pretty-print one metrics-registry snapshot (the `stats` op's JSON
+/// body) as a human-readable table: histograms with their percentiles,
+/// then counters, then gauges.
+fn render_stats_table(snapshot: &Json) -> String {
+    use std::fmt::Write as _;
+    let entries = |key: &str| -> Vec<(&str, &Json)> {
+        match snapshot.get(key) {
+            Some(Json::Obj(pairs)) => pairs.iter().map(|(k, v)| (k.as_str(), v)).collect(),
+            _ => Vec::new(),
+        }
+    };
+    let mut out = String::new();
+    let histograms = entries("histograms");
+    if !histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &histograms {
+            let field = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{name:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                field("count") as u64,
+                field("p50") as u64,
+                field("p90") as u64,
+                field("p99") as u64,
+                field("max") as u64,
+            );
+        }
+    }
+    let counters = entries("counters");
+    if !counters.is_empty() {
+        let _ = writeln!(out, "{:<32} {:>8}", "counter", "value");
+        for (name, v) in &counters {
+            let _ = writeln!(out, "{name:<32} {:>8}", v.as_f64().unwrap_or(0.0) as u64);
+        }
+    }
+    let gauges = entries("gauges");
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "{:<32} {:>12}", "gauge", "value");
+        for (name, v) in &gauges {
+            let _ = writeln!(out, "{name:<32} {:>12.4}", v.as_f64().unwrap_or(0.0));
+        }
+    }
+    out
+}
+
+/// Write scrape output without panicking when stdout is a closed pipe
+/// (`stats | head` must exit cleanly — it is the command built to be
+/// piped).
+fn write_stats_output(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+/// Scrape a running serve daemon's metrics registry over its Unix socket
+/// and print it: a human table by default, raw Prometheus text with
+/// `--prometheus`, or the JSON snapshot with `--json`. Exit code 2 on
+/// usage, connect, or protocol errors.
+fn run_stats(args: &[String]) -> i32 {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut socket: Option<String> = None;
+    let mut prometheus = false;
+    let mut json = false;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(v) => socket = Some(v.clone()),
+                None => {
+                    eprintln!("vegen-engine stats: --socket needs a value");
+                    return 2;
+                }
+            },
+            "--prometheus" => prometheus = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: vegen-engine stats --socket PATH [--prometheus | --json]");
+                return 0;
+            }
+            other => {
+                eprintln!("vegen-engine stats: unknown argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = socket else {
+        eprintln!("usage: vegen-engine stats --socket PATH [--prometheus | --json]");
+        return 2;
+    };
+    if prometheus && json {
+        eprintln!("vegen-engine stats: pass at most one of --prometheus or --json");
+        return 2;
+    }
+    let stream = match std::os::unix::net::UnixStream::connect(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vegen-engine stats: cannot connect to {path}: {e}");
+            return 2;
+        }
+    };
+    let mut request = vec![("op", Json::str("stats")), ("id", Json::str("stats-cli"))];
+    if prometheus {
+        request.push(("format", Json::str("prometheus")));
+    }
+    let mut write_half = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("vegen-engine stats: {e}");
+            return 2;
+        }
+    };
+    if let Err(e) = writeln!(write_half, "{}", Json::obj(request).render()) {
+        eprintln!("vegen-engine stats: cannot send request: {e}");
+        return 2;
+    }
+    let mut line = String::new();
+    if let Err(e) = BufReader::new(stream).read_line(&mut line) {
+        eprintln!("vegen-engine stats: cannot read response: {e}");
+        return 2;
+    }
+    let response = match Json::parse(&line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vegen-engine stats: malformed response: {e}");
+            return 2;
+        }
+    };
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("vegen-engine stats: daemon error: {}", response.render());
+        return 2;
+    }
+    let Some(result) = response.get("result") else {
+        eprintln!("vegen-engine stats: response has no result");
+        return 2;
+    };
+    if prometheus {
+        match result.get("prometheus").and_then(Json::as_str) {
+            Some(text) => write_stats_output(text),
+            None => {
+                eprintln!("vegen-engine stats: response has no prometheus text");
+                return 2;
+            }
+        }
+    } else if json {
+        write_stats_output(&format!("{}\n", result.render_pretty()));
+    } else {
+        write_stats_output(&render_stats_table(result));
+    }
     0
 }
 
@@ -629,15 +827,30 @@ fn run_explain(args: &[String]) -> i32 {
         }
     }
 
-    // Static validation of the full compilation (selection re-run through
-    // the driver so the profitability backstop and lowering are the real
-    // ones): provenance verdict plus every lint diagnostic.
+    // Static validation of the full compilation, run through the engine
+    // (so the profitability backstop and lowering are the real ones, and
+    // the printed job carries the correlation id and cache source that
+    // cross-reference the event log and any flight dump).
     let pipeline = PipelineConfig {
         target: target.clone(),
         beam: BeamConfig::with_width(beam),
         canonicalize_patterns: true,
     };
-    let compiled = vegen::driver::compile(&(kernel.build)(), &pipeline);
+    let engine = Engine::new(EngineConfig { threads: 1, verify_trials: 0, ..Default::default() });
+    let result = engine.compile_one(kernel.name, &(kernel.build)(), &pipeline);
+    println!(
+        "job: corr {} rung {} cache {}",
+        result.corr,
+        result.rung.name(),
+        result.cache_source()
+    );
+    let Some(compiled) = result.kernel.as_deref() else {
+        eprintln!("vegen-engine explain: compilation produced no program:");
+        for fault in &result.faults {
+            eprintln!("  {fault}");
+        }
+        return 1;
+    };
     println!("static validation: {}", compiled.analysis.verdict());
     for d in compiled.analysis.all() {
         println!("  {d}");
@@ -711,9 +924,17 @@ fn run_lint(args: &[String]) -> i32 {
             total_errors += 1;
             let fault =
                 r.faults.first().map(|e| e.to_string()).unwrap_or_else(|| "no program".into());
-            println!("{:<24} {} — {fault}", r.name, r.rung.name());
+            println!(
+                "{:<24} {:<8} {:<6} {} — {fault}",
+                r.name,
+                r.corr,
+                r.cache_source(),
+                r.rung.name()
+            );
             rows.push(Json::obj([
                 ("name", Json::str(&r.name)),
+                ("corr", Json::str(&r.corr)),
+                ("cache", Json::str(r.cache_source())),
                 ("rung", Json::str(r.rung.name())),
                 ("errors", Json::int(1)),
                 ("warnings", Json::int(0)),
@@ -729,12 +950,14 @@ fn run_lint(args: &[String]) -> i32 {
         let a = &kernel.analysis;
         total_errors += a.error_count();
         total_warnings += a.warning_count();
-        println!("{:<24} {}", r.name, a.verdict());
+        println!("{:<24} {:<8} {:<6} {}", r.name, r.corr, r.cache_source(), a.verdict());
         for d in a.all() {
             println!("    {d}");
         }
         rows.push(Json::obj([
             ("name", Json::str(&r.name)),
+            ("corr", Json::str(&r.corr)),
+            ("cache", Json::str(r.cache_source())),
             ("rung", Json::str(r.rung.name())),
             ("errors", Json::int(a.error_count() as u64)),
             ("warnings", Json::int(a.warning_count() as u64)),
@@ -855,7 +1078,9 @@ fn check_schema(report: &Json, which: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or_else(|| format!("{which}: missing schema field"))?;
-    if !schema.starts_with("vegen-engine-report/") {
+    // `BENCH_suite.json` (the suite bench artifact) embeds the same
+    // per-run kernel rows, so diff accepts either document.
+    if !schema.starts_with("vegen-engine-report/") && !schema.starts_with("vegen-bench-suite/") {
         return Err(format!("{which}: unrecognized schema {schema:?}"));
     }
     Ok(())

@@ -1,0 +1,189 @@
+//! Structured job event log: one NDJSON line per job lifecycle event,
+//! threaded by correlation id.
+//!
+//! Every job — batch or serve — is assigned a process-unique correlation
+//! id (`c000001`, `c000002`, …) at creation. The engine emits events at
+//! each lifecycle boundary:
+//!
+//! | event       | when                                                |
+//! |-------------|-----------------------------------------------------|
+//! | `admitted`  | the job entered the engine (serve queue or batch)   |
+//! | `started`   | a worker began executing it                         |
+//! | `stage_done`| a pipeline stage finished (cache misses only)       |
+//! | `degraded`  | the job completed below the primary rung            |
+//! | `faulted`   | one ladder attempt failed (typed error or panic)    |
+//! | `completed` | the job finished, any rung — including `failed`     |
+//!
+//! Every line carries `ts_us` (microseconds on the shared trace-epoch
+//! clock, so events cross-reference trace spans exactly), `event`,
+//! `corr`, and `job`; `completed` adds the rung, cache source, wall time,
+//! and per-stage timings. Lines are appended (and flushed) one `write`
+//! call at a time, so concurrent workers never interleave partial lines.
+//!
+//! The log keeps an in-memory tail of the most recent lines for the
+//! flight recorder: a fault dump embeds the event context around the
+//! failure without re-reading the file.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use vegen_trace::json::Json;
+
+/// Lines retained in memory for flight-dump context.
+const TAIL_CAPACITY: usize = 256;
+
+static NEXT_CORR: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh process-unique correlation id (`c000001`-style).
+pub fn next_corr() -> String {
+    format!("c{:06}", NEXT_CORR.fetch_add(1, Ordering::Relaxed))
+}
+
+struct Inner {
+    file: File,
+    tail: VecDeque<String>,
+}
+
+/// An append-only NDJSON job event log (see the module docs for the
+/// schema).
+pub struct EventLog {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+    written: AtomicU64,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("path", &self.path)
+            .field("written", &self.written.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// Open (append-create) the event log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<EventLog, String> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open event log {}: {e}", path.display()))?;
+        Ok(EventLog {
+            path: path.to_path_buf(),
+            inner: Mutex::new(Inner { file, tail: VecDeque::new() }),
+            written: AtomicU64::new(0),
+        })
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Append one event. `extra` fields follow the standard
+    /// `ts_us`/`event`/`corr`/`job` prefix. Write failures are recorded
+    /// in the `engine_event_log_errors_total` counter but never fail the
+    /// job being logged.
+    pub fn emit(
+        &self,
+        event: &'static str,
+        corr: &str,
+        job: &str,
+        extra: Vec<(&'static str, Json)>,
+    ) {
+        let mut pairs = vec![
+            ("ts_us", Json::int(vegen_trace::timestamp_us())),
+            ("event", Json::str(event)),
+            ("corr", Json::str(corr)),
+            ("job", Json::str(job)),
+        ];
+        pairs.extend(extra);
+        let line = Json::obj(pairs).render();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.tail.len() == TAIL_CAPACITY {
+            inner.tail.pop_front();
+        }
+        inner.tail.push_back(line.clone());
+        // One write call per line: POSIX appends are atomic at this size,
+        // so concurrent workers cannot interleave partial lines.
+        if writeln!(inner.file, "{line}").is_err() || inner.file.flush().is_err() {
+            vegen_trace::metrics::counter("engine_event_log_errors_total").inc();
+        } else {
+            self.written.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The most recent lines (bounded), oldest first — flight-dump
+    /// context.
+    pub fn tail(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tail.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_ids_are_unique_and_formatted() {
+        let a = next_corr();
+        let b = next_corr();
+        assert_ne!(a, b);
+        assert!(a.starts_with('c') && a.len() >= 7, "{a}");
+        assert!(a[1..].chars().all(|c| c.is_ascii_digit()), "{a}");
+    }
+
+    #[test]
+    fn emitted_lines_are_parseable_and_tailed() {
+        let dir = std::env::temp_dir().join(format!("vegen-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::open(&path).unwrap();
+        log.emit("admitted", "c000123", "dot4", vec![]);
+        log.emit(
+            "completed",
+            "c000123",
+            "dot4",
+            vec![("rung", Json::str("primary")), ("cache", Json::str("miss"))],
+        );
+        assert_eq!(log.written(), 2);
+        assert_eq!(log.tail().len(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("admitted"));
+        assert_eq!(first.get("corr").unwrap().as_str(), Some("c000123"));
+        let last = Json::parse(lines[1]).unwrap();
+        assert_eq!(last.get("rung").unwrap().as_str(), Some("primary"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_is_bounded() {
+        let dir = std::env::temp_dir().join(format!("vegen-events-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.ndjson");
+        let log = EventLog::open(&path).unwrap();
+        for _ in 0..(TAIL_CAPACITY + 50) {
+            log.emit("admitted", "c1", "k", vec![]);
+        }
+        assert_eq!(log.tail().len(), TAIL_CAPACITY);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

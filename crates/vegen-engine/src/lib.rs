@@ -66,6 +66,8 @@
 pub mod cache;
 pub mod cli;
 pub mod diskcache;
+pub mod events;
+pub mod flight;
 pub mod pool;
 pub mod report;
 pub mod serdes;
@@ -83,6 +85,9 @@ use std::time::{Duration, Instant};
 
 use cache::{content_hash, CacheStats, CachedCompile, CompileCache, ContentHash};
 use diskcache::{isa_fingerprint, DiskCache, DiskCacheStats};
+use events::EventLog;
+use flight::FlightRecorder;
+use json::Json;
 use vegen::driver::{
     compile_scalar_fallback, try_compile_prepared_reusing, try_prepare, CompiledKernel,
     PipelineConfig, StageTimes,
@@ -125,6 +130,20 @@ pub struct EngineConfig {
     /// on auto. Thread count never changes the selected packs — only the
     /// wall time — and is excluded from content-addressed cache keys.
     pub beam_threads: usize,
+    /// Structured NDJSON job event log path (see [`events`]). `None` (the
+    /// default) disables event logging. Open failures are kept in
+    /// [`Engine::event_open_error`], never panicked on.
+    pub event_log: Option<PathBuf>,
+    /// Flight-recorder dump directory (see [`flight`]). `None` (the
+    /// default) disables flight recording.
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder rotation window: a dump covers between one and two
+    /// windows of trace history.
+    pub flight_window: Duration,
+    /// Whether the flight recorder may rotate (reset) the trace rings.
+    /// Set false when another subsystem (the suite's `--trace`) owns the
+    /// trace session and will drain it at exit.
+    pub flight_rotate: bool,
 }
 
 impl Default for EngineConfig {
@@ -137,6 +156,10 @@ impl Default for EngineConfig {
             fail_fast: false,
             cache_dir: None,
             beam_threads: 0,
+            event_log: None,
+            flight_dir: None,
+            flight_window: Duration::from_secs(30),
+            flight_rotate: true,
         }
     }
 }
@@ -154,12 +177,26 @@ pub struct Job {
     /// [`EngineConfig::deadline`]. Serve mode sets this from the
     /// request's `deadline_ms`.
     pub deadline: Option<Duration>,
+    /// Process-unique correlation id, assigned at construction and
+    /// threaded through every event-log line and trace span this job
+    /// produces.
+    pub corr: String,
+    /// Set when an upstream layer (serve admission) already emitted this
+    /// job's `admitted` event, so the batch path does not duplicate it.
+    pub(crate) pre_admitted: bool,
 }
 
 impl Job {
-    /// Convenience constructor.
+    /// Convenience constructor. Assigns a fresh correlation id.
     pub fn new(name: impl Into<String>, function: Function, pipeline: PipelineConfig) -> Job {
-        Job { name: name.into(), function, pipeline, deadline: None }
+        Job {
+            name: name.into(),
+            function,
+            pipeline,
+            deadline: None,
+            corr: events::next_corr(),
+            pre_admitted: false,
+        }
     }
 
     /// Set a per-job deadline (overrides the engine-wide one).
@@ -209,6 +246,9 @@ impl Rung {
 pub struct JobResult {
     /// The job's display name.
     pub name: String,
+    /// The correlation id this job ran under — cross-references the
+    /// event log and the `job:<name>#<corr>` trace span.
+    pub corr: String,
     /// Content address this job resolved to (`None` when preparation
     /// itself failed, so no canonical form was ever hashed).
     pub hash: Option<ContentHash>,
@@ -317,6 +357,10 @@ pub struct Engine {
     cache: CompileCache,
     disk: Option<DiskCache>,
     disk_open_error: Option<String>,
+    events: Option<Arc<EventLog>>,
+    event_open_error: Option<String>,
+    flight: Option<Arc<FlightRecorder>>,
+    flight_open_error: Option<String>,
     states_expanded: AtomicU64,
     transitions: AtomicU64,
     dedup_hits: AtomicU64,
@@ -341,6 +385,20 @@ pub struct Engine {
 /// Outcome of one isolated compile attempt.
 type Attempt = Result<(CompiledKernel, StageTimes), CompileError>;
 
+/// `(stage name, duration)` pairs of a [`StageTimes`], in pipeline order
+/// — the iteration the event log and reports share.
+fn stage_durations(st: &StageTimes) -> impl Iterator<Item = (&'static str, Duration)> {
+    [
+        ("canonicalize", st.canonicalize),
+        ("target_desc", st.target_desc),
+        ("selection", st.selection),
+        ("lowering", st.lowering),
+        ("analysis", st.analysis),
+        ("baseline", st.baseline),
+    ]
+    .into_iter()
+}
+
 impl Engine {
     /// An engine with the given configuration. If
     /// [`EngineConfig::cache_dir`] is set but the directory cannot be
@@ -355,11 +413,29 @@ impl Engine {
             },
             None => (None, None),
         };
+        let (events, event_open_error) = match &cfg.event_log {
+            Some(path) => match EventLog::open(path) {
+                Ok(log) => (Some(Arc::new(log)), None),
+                Err(e) => (None, Some(e)),
+            },
+            None => (None, None),
+        };
+        let (flight, flight_open_error) = match &cfg.flight_dir {
+            Some(dir) => match FlightRecorder::open(dir, cfg.flight_window, cfg.flight_rotate) {
+                Ok(rec) => (Some(Arc::new(rec)), None),
+                Err(e) => (None, Some(e)),
+            },
+            None => (None, None),
+        };
         Engine {
             cfg,
             cache: CompileCache::new(capacity),
             disk,
             disk_open_error,
+            events,
+            event_open_error,
+            flight,
+            flight_open_error,
             states_expanded: AtomicU64::new(0),
             transitions: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
@@ -397,6 +473,26 @@ impl Engine {
     /// configured or opening it failed).
     pub fn disk_stats(&self) -> Option<DiskCacheStats> {
         self.disk.as_ref().map(DiskCache::stats)
+    }
+
+    /// The structured job event log, when configured and open.
+    pub fn event_log(&self) -> Option<&Arc<EventLog>> {
+        self.events.as_ref()
+    }
+
+    /// Why the configured event log could not be opened, if so.
+    pub fn event_open_error(&self) -> Option<&str> {
+        self.event_open_error.as_deref()
+    }
+
+    /// The flight recorder, when configured and open.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// Why the configured flight directory could not be opened, if so.
+    pub fn flight_open_error(&self) -> Option<&str> {
+        self.flight_open_error.as_deref()
     }
 
     /// Eagerly load every valid on-disk entry into the in-memory cache,
@@ -513,6 +609,11 @@ impl Engine {
     /// [`Engine::compile_one`] with an explicit per-call deadline (each
     /// degradation rung still gets a fresh window). Serve mode routes
     /// per-request `deadline_ms` through here.
+    ///
+    /// Assigns a fresh correlation id (batch jobs carry their own via
+    /// [`Job::corr`]) and runs the full telemetry wrapper: event-log
+    /// lifecycle lines, service metrics, and fault-triggered flight
+    /// dumps.
     pub fn compile_one_with_deadline(
         &self,
         name: &str,
@@ -520,8 +621,137 @@ impl Engine {
         pipeline: &PipelineConfig,
         deadline: Option<Duration>,
     ) -> JobResult {
-        let _job_span = vegen_trace::enabled()
-            .then(|| vegen_trace::span_owned("engine", format!("job:{name}")));
+        let corr = events::next_corr();
+        if let Some(log) = &self.events {
+            log.emit("admitted", &corr, name, vec![]);
+        }
+        self.compile_instrumented(&corr, name, function, pipeline, deadline)
+    }
+
+    /// The telemetry wrapper around one ladder run: `started` →
+    /// [`Engine::compile_one_inner`] under a corr-bearing trace span →
+    /// metrics, `stage_done`/`faulted`/`degraded`/`completed` events, and
+    /// a flight dump when the job failed or any rung panicked. The
+    /// caller has already emitted `admitted`.
+    fn compile_instrumented(
+        &self,
+        corr: &str,
+        name: &str,
+        function: &Function,
+        pipeline: &PipelineConfig,
+        deadline: Option<Duration>,
+    ) -> JobResult {
+        use vegen_trace::metrics;
+        if let Some(flight) = &self.flight {
+            flight.maybe_rotate();
+        }
+        if let Some(log) = &self.events {
+            log.emit("started", corr, name, vec![]);
+        }
+        // The job span closes (inner scope) before any flight dump below,
+        // so the dump's trace contains this job's own `job:<name>#<corr>`
+        // span rather than an unfinished hole.
+        let mut result = {
+            let _job_span = vegen_trace::enabled()
+                .then(|| vegen_trace::span_owned("engine", format!("job:{name}#{corr}")));
+            self.compile_one_inner(name, function, pipeline, deadline)
+        };
+        result.corr = corr.to_string();
+
+        metrics::histogram("engine_compile_latency_us").record(result.wall.as_micros() as u64);
+        metrics::counter("engine_jobs_total").inc();
+        match result.cache_source() {
+            "memory" => metrics::counter("engine_cache_memory_hits_total").inc(),
+            "disk" => metrics::counter("engine_cache_disk_hits_total").inc(),
+            _ => metrics::counter("engine_cache_misses_total").inc(),
+        }
+        let mem = metrics::counter("engine_cache_memory_hits_total").get();
+        let disk = metrics::counter("engine_cache_disk_hits_total").get();
+        let miss = metrics::counter("engine_cache_misses_total").get();
+        let total = mem + disk + miss;
+        if total > 0 {
+            metrics::gauge("engine_cache_hit_ratio").set((mem + disk) as f64 / total as f64);
+            metrics::gauge("engine_disk_hit_ratio").set(disk as f64 / total as f64);
+        }
+        if result.failed() {
+            metrics::counter("engine_jobs_failed_total").inc();
+        }
+
+        if let Some(log) = &self.events {
+            if !result.cache_hit {
+                for (stage, dur) in stage_durations(&result.stages) {
+                    if !dur.is_zero() {
+                        log.emit(
+                            "stage_done",
+                            corr,
+                            name,
+                            vec![
+                                ("stage", Json::str(stage)),
+                                ("dur_us", Json::int(dur.as_micros() as u64)),
+                            ],
+                        );
+                    }
+                }
+            }
+            for fault in &result.faults {
+                log.emit(
+                    "faulted",
+                    corr,
+                    name,
+                    vec![
+                        ("stage", Json::str(fault.stage.name())),
+                        ("tag", Json::str(fault.cause.tag())),
+                        ("message", Json::str(fault.cause.to_string())),
+                    ],
+                );
+            }
+            if matches!(result.rung, Rung::Width1 | Rung::Scalar) {
+                log.emit("degraded", corr, name, vec![("rung", Json::str(result.rung.name()))]);
+            }
+            log.emit(
+                "completed",
+                corr,
+                name,
+                vec![
+                    ("rung", Json::str(result.rung.name())),
+                    ("cache", Json::str(result.cache_source())),
+                    ("wall_us", Json::int(result.wall.as_micros() as u64)),
+                    (
+                        "stages",
+                        Json::obj(
+                            stage_durations(&result.stages)
+                                .map(|(stage, dur)| (stage, Json::int(dur.as_micros() as u64))),
+                        ),
+                    ),
+                ],
+            );
+        }
+
+        if let Some(flight) = &self.flight {
+            let panicked =
+                result.faults.iter().any(|f| matches!(f.cause, ErrorCause::Panic { .. }));
+            if result.failed() || panicked {
+                let tail = self.events.as_ref().map(|l| l.tail()).unwrap_or_default();
+                let reason = if result.failed() { "job_failed" } else { "panic_recovered" };
+                if let Err(detail) = flight.dump(reason, &tail) {
+                    metrics::counter("flight_dump_errors_total").inc();
+                    vegen_trace::instant_owned("engine", format!("flight_dump_error:{detail}"));
+                }
+            }
+        }
+        result
+    }
+
+    /// The degradation-ladder body: cache lookup, then requested config →
+    /// width 1 → scalar → `Failed`. Telemetry-free except trace
+    /// instants; [`Engine::compile_instrumented`] wraps it.
+    fn compile_one_inner(
+        &self,
+        name: &str,
+        function: &Function,
+        pipeline: &PipelineConfig,
+        deadline: Option<Duration>,
+    ) -> JobResult {
         let t0 = Instant::now();
         let mut faults: Vec<CompileError> = Vec::new();
 
@@ -568,6 +798,7 @@ impl Engine {
             vegen_trace::instant("engine", "cache_hit");
             return JobResult {
                 name: name.to_string(),
+                corr: String::new(),
                 hash: Some(hash),
                 kernel: Some(hit.kernel),
                 rung: Rung::Primary,
@@ -597,6 +828,7 @@ impl Engine {
                     let value = self.cache.insert(hash, found.value);
                     return JobResult {
                         name: name.to_string(),
+                        corr: String::new(),
                         hash: Some(hash),
                         kernel: Some(value.kernel),
                         rung: Rung::Primary,
@@ -652,6 +884,7 @@ impl Engine {
                 };
                 return JobResult {
                     name: name.to_string(),
+                    corr: String::new(),
                     hash: Some(hash),
                     kernel: Some(value.kernel),
                     rung: Rung::Primary,
@@ -691,6 +924,7 @@ impl Engine {
                 let (verify_time, verify_error) = self.verify(&kernel);
                 return JobResult {
                     name: name.to_string(),
+                    corr: String::new(),
                     hash: Some(hash),
                     kernel: Some(Arc::new(kernel)),
                     rung: Rung::Width1,
@@ -717,6 +951,7 @@ impl Engine {
                 let (verify_time, verify_error) = self.verify(&kernel);
                 JobResult {
                     name: name.to_string(),
+                    corr: String::new(),
                     hash: Some(hash),
                     kernel: Some(Arc::new(kernel)),
                     rung: Rung::Scalar,
@@ -757,6 +992,7 @@ impl Engine {
         vegen_trace::instant("engine", "job_failed");
         JobResult {
             name: name.to_string(),
+            corr: String::new(),
             hash,
             kernel: None,
             rung: Rung::Failed,
@@ -771,9 +1007,10 @@ impl Engine {
     }
 
     /// A [`Rung::Skipped`] result (fail-fast aborted the batch).
-    fn skipped_result(name: &str) -> JobResult {
+    fn skipped_result(name: &str, corr: &str) -> JobResult {
         JobResult {
             name: name.to_string(),
+            corr: corr.to_string(),
             hash: None,
             kernel: None,
             rung: Rung::Skipped,
@@ -800,14 +1037,30 @@ impl Engine {
             self.cfg.threads
         };
         let abort = AtomicBool::new(false);
+        if let Some(log) = &self.events {
+            // Serve admission emits `admitted` at enqueue time (marking
+            // the job pre-admitted); direct batch callers get it here.
+            for job in jobs.iter().filter(|j| !j.pre_admitted) {
+                log.emit("admitted", &job.corr, &job.name, vec![]);
+            }
+        }
         pool::run_batch_recover(
             threads,
             jobs,
             |_, job| {
                 if self.cfg.fail_fast && abort.load(Ordering::Relaxed) {
-                    return Engine::skipped_result(&job.name);
+                    if let Some(log) = &self.events {
+                        log.emit(
+                            "completed",
+                            &job.corr,
+                            &job.name,
+                            vec![("rung", Json::str(Rung::Skipped.name()))],
+                        );
+                    }
+                    return Engine::skipped_result(&job.name, &job.corr);
                 }
-                let result = self.compile_one_with_deadline(
+                let result = self.compile_instrumented(
+                    &job.corr,
                     &job.name,
                     &job.function,
                     &job.pipeline,
@@ -824,16 +1077,36 @@ impl Engine {
             |_, job, message| {
                 self.failures.fetch_add(1, Ordering::Relaxed);
                 let stage = take_panic_stage().unwrap_or(Stage::Canonicalize);
+                let fault = CompileError::new(stage, &job.name, ErrorCause::Panic { message });
+                if let Some(log) = &self.events {
+                    log.emit(
+                        "faulted",
+                        &job.corr,
+                        &job.name,
+                        vec![
+                            ("stage", Json::str(fault.stage.name())),
+                            ("tag", Json::str(fault.cause.tag())),
+                            ("message", Json::str(fault.cause.to_string())),
+                        ],
+                    );
+                    log.emit(
+                        "completed",
+                        &job.corr,
+                        &job.name,
+                        vec![("rung", Json::str(Rung::Failed.name()))],
+                    );
+                }
+                if let Some(flight) = &self.flight {
+                    let tail = self.events.as_ref().map(|l| l.tail()).unwrap_or_default();
+                    let _ = flight.dump("escaped_panic", &tail);
+                }
                 JobResult {
                     name: job.name.clone(),
+                    corr: job.corr.clone(),
                     hash: None,
                     kernel: None,
                     rung: Rung::Failed,
-                    faults: vec![CompileError::new(
-                        stage,
-                        &job.name,
-                        ErrorCause::Panic { message },
-                    )],
+                    faults: vec![fault],
                     stages: StageTimes::default(),
                     cache_hit: false,
                     disk_hit: false,

@@ -20,6 +20,8 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Instant;
+use vegen_trace::metrics;
 
 /// Number of workers to use for `n` jobs: the available parallelism,
 /// clamped to the job count (spawning more threads than jobs is waste).
@@ -40,7 +42,14 @@ where
         return Vec::new();
     }
     let threads = threads.clamp(1, n);
-    let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| work(i, &items[i])));
+    // `pool_job_us` is recorded in the guard so both the single-thread
+    // fast path and the worker loop feed the same histogram.
+    let guarded = |i: usize| {
+        let t = Instant::now();
+        let r = catch_unwind(AssertUnwindSafe(|| work(i, &items[i])));
+        metrics::histogram("pool_job_us").record_duration(t.elapsed());
+        r
+    };
     if threads == 1 {
         return (0..n).map(guarded).collect();
     }
@@ -59,6 +68,7 @@ where
             let slots = &slots;
             let guarded = &guarded;
             scope.spawn(move || loop {
+                let t_wait = Instant::now();
                 let job = {
                     let _wait = vegen_trace::span("pool", "queue_wait");
                     // Own queue first (front: LIFO-ish locality is
@@ -77,11 +87,15 @@ where
                             });
                             if stolen.is_some() {
                                 vegen_trace::instant("pool", "steal");
+                                metrics::counter("pool_steals_total").inc();
                             }
                             stolen
                         }
                     }
                 };
+                if job.is_some() {
+                    metrics::histogram("pool_queue_wait_us").record_duration(t_wait.elapsed());
+                }
                 match job {
                     Some(i) => {
                         let r = {

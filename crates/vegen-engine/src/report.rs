@@ -19,6 +19,27 @@ fn micros(d: Duration) -> Json {
     Json::Num(d.as_secs_f64() * 1e6)
 }
 
+/// Snapshot the process-wide metrics registry as JSON, after syncing the
+/// gauges that are only computed at exposition time (currently
+/// `trace_dropped_events`, the total events lost to ring-buffer overflow
+/// across all trace sessions).
+pub fn metrics_registry_json() -> Json {
+    sync_exposition_gauges();
+    vegen_trace::metrics::snapshot().to_json()
+}
+
+/// Render the process-wide metrics registry in Prometheus text
+/// exposition format (version 0.0.4), syncing exposition-time gauges
+/// first.
+pub fn metrics_prometheus() -> String {
+    sync_exposition_gauges();
+    vegen_trace::metrics::snapshot().prometheus()
+}
+
+fn sync_exposition_gauges() {
+    vegen_trace::metrics::gauge("trace_dropped_events").set(vegen_trace::dropped_total() as f64);
+}
+
 /// JSON rendering of the engine counters (the report's `counters` block;
 /// also what the serve protocol's `metrics` op returns).
 pub fn counters_json(c: &EngineCounters) -> Json {
@@ -356,7 +377,9 @@ impl RunReport {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Render as a JSON document (public so the suite bench can write
+    /// per-run rows into `BENCH_suite.json`).
+    pub fn to_json(&self) -> Json {
         Json::obj([
             ("label", Json::str(&self.label)),
             ("wall_us", micros(self.wall)),
@@ -431,7 +454,7 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v7")),
+            ("schema", Json::str("vegen-engine-report/v8")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
@@ -442,6 +465,9 @@ impl EngineReport {
             ("disk", self.disk.as_ref().map_or(Json::Null, disk_json)),
             ("counters", counters_json(&self.counters)),
             ("trace", self.trace.to_json()),
+            // Since schema v8: the process-wide metrics registry
+            // (latency histograms with percentiles, counters, gauges).
+            ("metrics", metrics_registry_json()),
         ])
     }
 }

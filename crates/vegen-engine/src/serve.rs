@@ -5,12 +5,13 @@
 //! line. Protocol grammar (see DESIGN §13 for the full spec):
 //!
 //! ```text
-//! request  := compile | metrics | ping | kernels | shutdown
+//! request  := compile | metrics | stats | ping | kernels | shutdown
 //! compile  := {"op":"compile", "id":<any>,
 //!              "kernel":<suite name> | "function":<serdes Function>,
 //!              ["target":<name>] ["beam":<width>]
 //!              ["deadline_ms":<n>] ["decisions":<bool>]}
 //! metrics  := {"op":"metrics", "id":<any>}
+//! stats    := {"op":"stats", "id":<any>, ["format":"prometheus"]}
 //! ping     := {"op":"ping", "id":<any>}
 //! kernels  := {"op":"kernels", "id":<any>}
 //! shutdown := {"op":"shutdown", "id":<any>}
@@ -18,6 +19,13 @@
 //! response := {"id":<echoed>, "ok":true,  "result":{...}}
 //!           | {"id":<echoed>, "ok":false, "error":{"stage","tag","message"}}
 //! ```
+//!
+//! `metrics` answers with engine counters, cache/disk stats, queue depth,
+//! and (since report schema v8) the full metrics registry snapshot under
+//! `registry` — latency histograms with exact p50/p90/p99. `stats` is the
+//! exposition-only subset: just the registry, or the Prometheus text
+//! format when `"format":"prometheus"` is given (the text lands in the
+//! response as `{"prometheus": "<text>"}` so the framing stays NDJSON).
 //!
 //! Admission control: compile requests land in a bounded queue. A full
 //! queue sheds the request immediately with a typed
@@ -130,6 +138,7 @@ fn protocol_error(id: &Json, message: impl Into<String>) -> Json {
 fn result_json(r: &JobResult) -> Json {
     let mut pairs: Vec<(&'static str, Json)> = vec![
         ("name", Json::str(&r.name)),
+        ("corr", Json::str(&r.corr)),
         ("rung", Json::str(r.rung.name())),
         ("cache", Json::str(r.cache_source())),
         ("hash", r.hash.map_or(Json::Null, |h| Json::str(h.hex()))),
@@ -255,6 +264,7 @@ impl<'e> ServeState<'e> {
                 ]),
             ),
             ("draining", Json::Bool(draining)),
+            ("registry", report::metrics_registry_json()),
         ])
     }
 
@@ -302,7 +312,7 @@ impl<'e> ServeState<'e> {
 
     /// Admit a compile job or shed it. The response for shed/draining is
     /// sent here; admitted jobs are answered by the dispatcher.
-    fn enqueue(&self, id: Json, job: Job, sink: &Sink) {
+    fn enqueue(&self, id: Json, mut job: Job, sink: &Sink) {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.draining {
             self.rejected_draining.fetch_add(1, Ordering::Relaxed);
@@ -319,10 +329,25 @@ impl<'e> ServeState<'e> {
             );
             drop(q);
             vegen_trace::instant("serve", "shed");
+            vegen_trace::metrics::counter("serve_shed_total").inc();
             send_line(sink, &error_response(&id, &e));
             return;
         }
+        // Serve jobs are admitted here, at the queue boundary — the event
+        // goes out now (with the queue depth at admission) and the flag
+        // stops `compile_batch` from emitting a second `admitted` at
+        // dispatch time.
+        if let Some(log) = self.engine.event_log() {
+            log.emit(
+                "admitted",
+                &job.corr,
+                &job.name,
+                vec![("queue_depth", Json::int(q.items.len() as u64))],
+            );
+        }
+        job.pre_admitted = true;
         q.items.push_back(QueuedJob { id, job, enqueued: Instant::now(), sink: sink.clone() });
+        vegen_trace::metrics::gauge("serve_queue_depth").set(q.items.len() as f64);
         drop(q);
         self.cond.notify_all();
     }
@@ -350,6 +375,20 @@ impl<'e> ServeState<'e> {
         match op {
             "ping" => send_line(sink, &ok_response(&id, Json::obj([("pong", Json::Bool(true))]))),
             "metrics" => send_line(sink, &ok_response(&id, self.metrics_json())),
+            "stats" => {
+                let body = match req.get("format").and_then(Json::as_str) {
+                    Some("prometheus") => {
+                        Json::obj([("prometheus", Json::str(report::metrics_prometheus()))])
+                    }
+                    Some(other) => {
+                        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        send_line(sink, &protocol_error(&id, format!("unknown format {other:?}")));
+                        return false;
+                    }
+                    None => report::metrics_registry_json(),
+                };
+                send_line(sink, &ok_response(&id, body));
+            }
             "kernels" => {
                 let names = vegen_kernels::all().into_iter().map(|k| Json::str(k.name)).collect();
                 send_line(sink, &ok_response(&id, Json::obj([("kernels", Json::Arr(names))])));
@@ -394,7 +433,9 @@ impl<'e> ServeState<'e> {
                 let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if !q.items.is_empty() {
-                        break std::mem::take(&mut q.items);
+                        let items = std::mem::take(&mut q.items);
+                        vegen_trace::metrics::gauge("serve_queue_depth").set(0.0);
+                        break items;
                     }
                     if q.draining {
                         return;
@@ -415,6 +456,25 @@ impl<'e> ServeState<'e> {
                             ErrorCause::Deadline { limit },
                         );
                         vegen_trace::instant("serve", "expired_in_queue");
+                        vegen_trace::metrics::counter("serve_expired_total").inc();
+                        if let Some(log) = self.engine.event_log() {
+                            log.emit(
+                                "faulted",
+                                &qj.job.corr,
+                                &qj.job.name,
+                                vec![
+                                    ("stage", Json::str(Stage::Admission.name())),
+                                    ("tag", Json::str(e.cause.tag())),
+                                    ("message", Json::str(e.cause.to_string())),
+                                ],
+                            );
+                            log.emit(
+                                "completed",
+                                &qj.job.corr,
+                                &qj.job.name,
+                                vec![("rung", Json::str("failed")), ("cache", Json::str("miss"))],
+                            );
+                        }
                         send_line(&qj.sink, &error_response(&qj.id, &e));
                     }
                     _ => live.push(qj),
@@ -429,6 +489,17 @@ impl<'e> ServeState<'e> {
                 self.compiles.fetch_add(1, Ordering::Relaxed);
                 send_line(&qj.sink, &ok_response(&qj.id, result_json(result)));
             }
+        }
+    }
+}
+
+/// One final flight dump when a daemon run ends, so a post-mortem has
+/// the tail of the last window even on a clean exit.
+fn shutdown_dump(engine: &Engine) {
+    if let Some(flight) = engine.flight_recorder() {
+        let tail = engine.event_log().map(|log| log.tail()).unwrap_or_default();
+        if let Err(e) = flight.dump("shutdown", &tail) {
+            vegen_trace::instant_owned("flight", format!("dump_error: {e}"));
         }
     }
 }
@@ -450,6 +521,7 @@ where
         state.start_drain();
         let _ = dispatcher.join();
     });
+    shutdown_dump(engine);
     state.summary()
 }
 
@@ -512,5 +584,6 @@ pub fn serve_socket(
         let _ = dispatcher.join();
     });
     let _ = std::fs::remove_file(path);
+    shutdown_dump(engine);
     Ok(state.summary())
 }

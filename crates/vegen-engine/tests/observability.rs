@@ -98,7 +98,10 @@ fn engine_report_v6_round_trips_through_the_parser() {
     // Render pretty, hand-parse, and walk the fields back out.
     let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
     assert_eq!(parsed, doc, "render → parse must be lossless");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v7"));
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v8"));
+    // The v8 metrics-registry block: the process-wide registry snapshot.
+    let metrics = parsed.get("metrics").expect("v8 report embeds the metrics registry");
+    assert!(metrics.get("histograms").is_some() && metrics.get("counters").is_some());
     let trace = parsed.get("trace").expect("report has trace metadata");
     assert_eq!(trace.get("enabled").unwrap().as_bool(), Some(false));
     assert_eq!(trace.get("file"), Some(&Json::Null));

@@ -40,6 +40,7 @@
 
 pub mod export;
 pub mod json;
+pub mod metrics;
 mod ring;
 
 use ring::Ring;
@@ -72,6 +73,21 @@ fn epoch() -> Instant {
 
 fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
+}
+
+/// Microseconds since the process-wide trace epoch — the same clock
+/// trace events carry, so external consumers (the job event log,
+/// flight-dump filenames) can cross-reference span timestamps exactly.
+pub fn timestamp_us() -> u64 {
+    now_us()
+}
+
+/// Total events dropped by ring-buffer overflow across every thread in
+/// the current session. Cheap (one relaxed load per registered thread) —
+/// suitable for exposition-time gauge sampling.
+pub fn dropped_total() -> u64 {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter().map(|r| r.dropped()).sum()
 }
 
 /// What an event records.

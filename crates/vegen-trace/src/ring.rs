@@ -53,6 +53,11 @@ impl Ring {
         self.len.store(len + 1, Ordering::Release);
     }
 
+    /// Events dropped so far. Callable from any thread.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Copy out every published event. Callable from any thread, including
     /// while the owner is still appending.
     pub(crate) fn snapshot(&self) -> ThreadTrace {

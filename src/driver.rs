@@ -128,6 +128,13 @@ pub fn prepare(f: &Function) -> Function {
     add_narrow_constants(&canonicalize(f))
 }
 
+/// Record one stage's wall time into the service metrics registry.
+/// Unconditional (unlike trace spans): stage boundaries are per-kernel,
+/// so the registry lookup is far off any hot loop.
+fn record_stage(metric: &'static str, d: Duration) {
+    vegen_trace::metrics::histogram(metric).record_duration(d);
+}
+
 /// [`prepare`] with stage attribution and fault injection — the form the
 /// engine uses so canonicalize-stage faults and panics are typed.
 ///
@@ -138,7 +145,10 @@ pub fn try_prepare(f: &Function) -> Result<Function, CompileError> {
     let _st = enter_stage(Stage::Canonicalize);
     fault::fire(Stage::Canonicalize, &f.name)
         .map_err(|c| CompileError::new(Stage::Canonicalize, &f.name, c))?;
-    Ok(prepare(f))
+    let t = Instant::now();
+    let prepared = prepare(f);
+    record_stage("driver_stage_canonicalize_us", t.elapsed());
+    Ok(prepared)
 }
 
 /// Compile `f` three ways (scalar / baseline / VeGen).
@@ -154,6 +164,7 @@ pub fn compile_timed(f: &Function, cfg: &PipelineConfig) -> (CompiledKernel, Sta
         prepare(f)
     };
     let canonicalize_time = t.elapsed();
+    record_stage("driver_stage_canonicalize_us", canonicalize_time);
     let (kernel, mut times) = compile_prepared_timed(prepared, cfg);
     times.canonicalize = canonicalize_time;
     (kernel, times)
@@ -244,6 +255,7 @@ pub fn try_compile_prepared_reusing(
         target_desc(&cfg.target, cfg.canonicalize_patterns)
     };
     times.target_desc = t.elapsed();
+    record_stage("driver_stage_target_desc_us", times.target_desc);
 
     let t = Instant::now();
     check_deadline(Stage::Selection, &name, deadline)?;
@@ -273,6 +285,7 @@ pub fn try_compile_prepared_reusing(
         (ctx, selection)
     };
     times.selection = t.elapsed();
+    record_stage("driver_stage_selection_us", times.selection);
 
     let t = Instant::now();
     check_deadline(Stage::Lowering, &name, deadline)?;
@@ -294,6 +307,7 @@ pub fn try_compile_prepared_reusing(
         (scalar, vegen)
     };
     times.lowering = t.elapsed();
+    record_stage("driver_stage_lowering_us", times.lowering);
 
     let t = Instant::now();
     check_deadline(Stage::Analysis, &name, deadline)?;
@@ -305,6 +319,7 @@ pub fn try_compile_prepared_reusing(
         analyze_kernel(&prepared, &desc, &selection.packs, &vegen, cfg.canonicalize_patterns)
     };
     times.analysis = t.elapsed();
+    record_stage("driver_stage_analysis_us", times.analysis);
 
     let t = Instant::now();
     check_deadline(Stage::Baseline, &name, deadline)?;
@@ -318,6 +333,7 @@ pub fn try_compile_prepared_reusing(
             .map_err(|e| CompileError::new(Stage::Baseline, &name, ErrorCause::Baseline(e)))?
     };
     times.baseline = t.elapsed();
+    record_stage("driver_stage_baseline_us", times.baseline);
 
     let kernel = CompiledKernel {
         function: prepared,
