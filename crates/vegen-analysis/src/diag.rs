@@ -54,6 +54,15 @@ pub enum Location {
         /// Element offset.
         offset: i64,
     },
+    /// A target instruction spec (by index into the audited database), with
+    /// an optional output lane. The diagnostic message names the
+    /// instruction; the location stays `Copy` by carrying the index.
+    Inst {
+        /// Index into the instruction database under audit.
+        index: usize,
+        /// Offending output lane, when one can be named.
+        lane: Option<usize>,
+    },
     /// The program as a whole (e.g. a dependence cycle across packs).
     Program,
 }
@@ -67,6 +76,8 @@ impl fmt::Display for Location {
             Location::VmInst { index, lane: None } => write!(f, "vm:#{index}"),
             Location::VmInst { index, lane: Some(l) } => write!(f, "vm:#{index}.{l}"),
             Location::Mem { base, offset } => write!(f, "mem:arg{base}[{offset}]"),
+            Location::Inst { index, lane: None } => write!(f, "spec:#{index}"),
+            Location::Inst { index, lane: Some(l) } => write!(f, "spec:#{index}.{l}"),
             Location::Program => write!(f, "program"),
         }
     }

@@ -27,16 +27,26 @@
 //! * [`lint`] structurally checks the VM program (def-before-use,
 //!   lane-width consistency, shuffle-index bounds, memory bounds) and
 //!   warns about dead vector code and redundant shuffles.
+//! * [`speccheck`] audits the *offline* artifacts every compile trusts:
+//!   the pseudocode → VIDL → match-table chain is statically re-derived
+//!   and cross-checked (widths, source drift, table ambiguity/dead rules/
+//!   cost anomalies, per-lane matcher faithfulness, commutativity and
+//!   inversion closure) — `vegen-engine check-specs` gates CI on it.
 //!
-//! All three report through one [`Diagnostic`] type; [`analyze_kernel`]
-//! bundles them into an [`AnalysisReport`].
+//! All passes report through one [`Diagnostic`] type; [`analyze_kernel`]
+//! bundles the per-compile ones into an [`AnalysisReport`].
 
 pub mod diag;
 pub mod legality;
 pub mod lint;
 pub mod provenance;
+pub mod speccheck;
 
 pub use diag::{Diagnostic, Location, Severity};
+pub use speccheck::{
+    check_database, check_target, corrupt_database, match_table_stats, MatchTableStats,
+    SpecCheckReport,
+};
 
 use vegen_core::PackSet;
 use vegen_ir::Function;

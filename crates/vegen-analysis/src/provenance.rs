@@ -142,10 +142,10 @@ pub fn validate(
 
 /// Interned symbolic-expression id. Equal ids mean structurally equal
 /// normalized expressions (hash-consing).
-type SymId = u32;
+pub(crate) type SymId = u32;
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum SymExpr {
+pub(crate) enum SymExpr {
     /// The initial contents of `base[offset]` — an opaque input.
     Init {
         base: usize,
@@ -184,19 +184,19 @@ enum SymExpr {
 /// condition uses a predicate from the other half are normalized by
 /// inverting the predicate and swapping the arms — the same rewrite the
 /// matcher accepts when matching selects.
-fn canonical_pred(p: CmpPred) -> bool {
+pub(crate) fn canonical_pred(p: CmpPred) -> bool {
     use CmpPred::*;
     matches!(p, Eq | Slt | Sle | Ult | Ule | Feq | Flt | Fle)
 }
 
 #[derive(Default)]
-struct Arena {
+pub(crate) struct Arena {
     nodes: Vec<SymExpr>,
     interned: HashMap<SymExpr, SymId>,
 }
 
 impl Arena {
-    fn intern(&mut self, e: SymExpr) -> SymId {
+    pub(crate) fn intern(&mut self, e: SymExpr) -> SymId {
         if let Some(&id) = self.interned.get(&e) {
             return id;
         }
@@ -206,30 +206,30 @@ impl Arena {
         id
     }
 
-    fn node(&self, id: SymId) -> &SymExpr {
+    pub(crate) fn node(&self, id: SymId) -> &SymExpr {
         &self.nodes[id as usize]
     }
 
-    fn mk_const(&mut self, c: Constant) -> SymId {
+    pub(crate) fn mk_const(&mut self, c: Constant) -> SymId {
         self.intern(SymExpr::Const(c))
     }
 
-    fn mk_undef(&mut self, ty: Type) -> SymId {
+    pub(crate) fn mk_undef(&mut self, ty: Type) -> SymId {
         self.intern(SymExpr::Undef(ty))
     }
 
-    fn mk_init(&mut self, base: usize, offset: i64, ty: Type) -> SymId {
+    pub(crate) fn mk_init(&mut self, base: usize, offset: i64, ty: Type) -> SymId {
         self.intern(SymExpr::Init { base, offset, ty })
     }
 
-    fn as_const(&self, id: SymId) -> Option<Constant> {
+    pub(crate) fn as_const(&self, id: SymId) -> Option<Constant> {
         match self.node(id) {
             SymExpr::Const(c) => Some(*c),
             _ => None,
         }
     }
 
-    fn mk_bin(&mut self, op: BinOp, lhs: SymId, rhs: SymId) -> SymId {
+    pub(crate) fn mk_bin(&mut self, op: BinOp, lhs: SymId, rhs: SymId) -> SymId {
         if let (Some(a), Some(b)) = (self.as_const(lhs), self.as_const(rhs)) {
             // Fold only when the interpreter agrees the result is defined
             // (division by a constant zero stays symbolic on both sides).
@@ -241,7 +241,7 @@ impl Arena {
         self.intern(SymExpr::Bin { op, lhs, rhs })
     }
 
-    fn mk_fneg(&mut self, arg: SymId) -> SymId {
+    pub(crate) fn mk_fneg(&mut self, arg: SymId) -> SymId {
         if let Some(c) = self.as_const(arg) {
             match c.ty() {
                 Type::F32 => return self.mk_const(Constant::f32(-c.as_f32())),
@@ -252,14 +252,14 @@ impl Arena {
         self.intern(SymExpr::FNeg { arg })
     }
 
-    fn mk_cast(&mut self, op: CastOp, to: Type, arg: SymId) -> SymId {
+    pub(crate) fn mk_cast(&mut self, op: CastOp, to: Type, arg: SymId) -> SymId {
         if let Some(c) = self.as_const(arg) {
             return self.mk_const(eval_cast(op, c, to));
         }
         self.intern(SymExpr::Cast { op, to, arg })
     }
 
-    fn mk_cmp(&mut self, pred: CmpPred, lhs: SymId, rhs: SymId) -> SymId {
+    pub(crate) fn mk_cmp(&mut self, pred: CmpPred, lhs: SymId, rhs: SymId) -> SymId {
         if let (Some(a), Some(b)) = (self.as_const(lhs), self.as_const(rhs)) {
             return self.mk_const(eval_cmp(pred, a, b));
         }
@@ -268,7 +268,7 @@ impl Arena {
         self.intern(SymExpr::Cmp { pred, lhs, rhs })
     }
 
-    fn mk_select(&mut self, cond: SymId, on_true: SymId, on_false: SymId) -> SymId {
+    pub(crate) fn mk_select(&mut self, cond: SymId, on_true: SymId, on_false: SymId) -> SymId {
         if let Some(c) = self.as_const(cond) {
             return if c.as_u64() != 0 { on_true } else { on_false };
         }
@@ -286,7 +286,7 @@ impl Arena {
     }
 
     /// True if the expression tree contains an `Undef` leaf.
-    fn has_undef(&self, id: SymId) -> bool {
+    pub(crate) fn has_undef(&self, id: SymId) -> bool {
         let mut stack = vec![id];
         let mut seen = std::collections::HashSet::new();
         while let Some(id) = stack.pop() {
@@ -314,17 +314,24 @@ impl Arena {
     /// Compact rendering for diagnostics, depth-capped so messages stay
     /// readable on deep expression trees.
     fn render(&self, params: &[Param], id: SymId) -> String {
-        self.render_depth(params, id, 4)
+        let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+        self.render_depth(&names, id, 4)
     }
 
-    fn render_depth(&self, params: &[Param], id: SymId, depth: usize) -> String {
+    /// Like [`Arena::render`], but with caller-supplied base names — the
+    /// speccheck auditor renders over operation parameters, not IR params.
+    pub(crate) fn render_named(&self, names: &[&str], id: SymId) -> String {
+        self.render_depth(names, id, 4)
+    }
+
+    fn render_depth(&self, names: &[&str], id: SymId, depth: usize) -> String {
         if depth == 0 {
             return "…".to_string();
         }
-        let sub = |this: &Arena, id| this.render_depth(params, id, depth - 1);
+        let sub = |this: &Arena, id| this.render_depth(names, id, depth - 1);
         match self.node(id) {
             SymExpr::Init { base, offset, .. } => {
-                let name = params.get(*base).map_or("?", |p| p.name.as_str());
+                let name = names.get(*base).copied().unwrap_or("?");
                 format!("{name}[{offset}]")
             }
             SymExpr::Const(c) => format!("{c}"),
@@ -586,7 +593,7 @@ fn eval_vm(
 }
 
 /// Evaluate a matcher pattern over symbolic parameter bindings.
-fn eval_pattern(
+pub(crate) fn eval_pattern(
     arena: &mut Arena,
     pat: &Pattern,
     params: &[SymId],

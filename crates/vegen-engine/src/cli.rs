@@ -17,6 +17,10 @@
 //! * **`lint`** — run the static validators (pack legality, lane
 //!   provenance, VM lint) over the whole suite and fail on any
 //!   error-severity finding, for CI gating without execution;
+//! * **`check-specs`** — audit the *offline* artifact chain (pseudocode →
+//!   VIDL → match table) with [`vegen_analysis::speccheck`] and fail on
+//!   any error-severity finding; `--corrupt KIND` injects a deliberate
+//!   corruption so CI can prove the gate actually rejects;
 //! * **`diff <old.json> <new.json>`** — compare two reports
 //!   kernel-by-kernel with configurable regression thresholds, for CI
 //!   gating.
@@ -43,6 +47,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("explain") => run_explain(&args[1..]),
         Some("lint") => run_lint(&args[1..]),
+        Some("check-specs") => run_check_specs(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
         Some("stats") => run_stats(&args[1..]),
@@ -117,6 +122,7 @@ fn parse_target(s: &str) -> Result<TargetIsa, String> {
     match s.to_ascii_lowercase().as_str() {
         "avx2" => Ok(TargetIsa::avx2()),
         "avx512vnni" | "avx512-vnni" | "vnni" => Ok(TargetIsa::avx512vnni()),
+        "sse4" | "sse4.1" => Ok(TargetIsa::sse4()),
         other => Err(format!("unknown target {other:?}")),
     }
 }
@@ -226,6 +232,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
                      \x20      vegen-engine stats --socket PATH [--prometheus | --json]\n\
                      \x20      vegen-engine explain <kernel> [--target T] [--beam N] [--max-iters N]\n\
                      \x20      vegen-engine lint [--target T] [--beam N] [--threads N] [--out FILE]\n\
+                     \x20      vegen-engine check-specs [--target T|all] [--json] [--out FILE]\n\
+                     \x20                   [--corrupt KIND] [--no-canon]\n\
                      \x20      vegen-engine diff <old.json> <new.json> [--max-regress PCT]\n\
                      \x20                   [--strict-counters]\n\
                      fault SPEC is kernel:stage:kind[,...], kind = panic|error|delay=<ms>,\n\
@@ -386,6 +394,14 @@ fn run_suite(args: &[String]) -> i32 {
         }
     }
 
+    // Structural match-table statistics (cheap: the table is already
+    // cached process-wide after the first compile). The full speccheck
+    // audit stays out of the suite path — that is `check-specs`' job.
+    let table = vegen_analysis::match_table_stats(&target_desc(&opts.target, true));
+    vegen_trace::metrics::counter("speccheck_rules_total").add(table.rules as u64);
+    vegen_trace::metrics::gauge("speccheck_dead_rules").set(table.dead_rules as f64);
+    vegen_trace::metrics::gauge("speccheck_max_overlap_class").set(table.max_overlap_class as f64);
+
     let report = EngineReport {
         target: opts.target.name.clone(),
         beam_width: opts.beam,
@@ -397,6 +413,7 @@ fn run_suite(args: &[String]) -> i32 {
         disk: engine.disk_stats(),
         counters: engine.counters(),
         trace: trace_summary,
+        match_table: table,
     };
     let doc = report.to_json();
     let text = if opts.compact { doc.render() } else { doc.render_pretty() };
@@ -525,6 +542,14 @@ fn run_serve(args: &[String]) -> i32 {
         let loaded = engine.warm_start();
         eprintln!("vegen-engine serve: warm start loaded {loaded} cached compile(s)");
     }
+    // Publish the match table's structural statistics up front so
+    // `vegen-engine stats` can read them live (and the first compile
+    // finds the table already built).
+    let table = vegen_analysis::match_table_stats(&target_desc(&target, true));
+    vegen_trace::metrics::counter("speccheck_rules_total").add(table.rules as u64);
+    vegen_trace::metrics::gauge("speccheck_dead_rules").set(table.dead_rules as f64);
+    vegen_trace::metrics::gauge("speccheck_max_overlap_class").set(table.max_overlap_class as f64);
+
     let cfg = ServeConfig { queue_capacity: queue, target, beam_width: beam };
 
     let summary = if stdio {
@@ -990,6 +1015,154 @@ fn run_lint(args: &[String]) -> i32 {
             return 2;
         }
         eprintln!("vegen-engine lint: report written to {path}");
+    }
+    if total_errors > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// check-specs
+// ---------------------------------------------------------------------------
+
+/// Audit the offline spec chain (pseudocode → VIDL → match table) for one
+/// or all targets. Exit code 1 when any target has an error-severity
+/// finding; warnings are reported but do not gate. `--corrupt KIND`
+/// injects a deliberate corruption first, so CI can assert the gate
+/// rejects a broken database and names the mutated instruction.
+fn run_check_specs(args: &[String]) -> i32 {
+    use vegen_analysis::speccheck::{check_database, corrupt_database};
+    use vegen_isa::{specs::all_specs, InstDb};
+
+    let mut targets = vec![TargetIsa::sse4(), TargetIsa::avx2(), TargetIsa::avx512vnni()];
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut corrupt: Option<String> = None;
+    let mut canonicalize = true;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        let mut value = |n: &str| args.next().cloned().ok_or(format!("{n} needs a value"));
+        let parsed = match arg.as_str() {
+            "--target" => value("--target").and_then(|v| {
+                if v.eq_ignore_ascii_case("all") {
+                    Ok(())
+                } else {
+                    parse_target(&v).map(|t| targets = vec![t])
+                }
+            }),
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--corrupt" => value("--corrupt").map(|v| corrupt = Some(v)),
+            "--no-canon" => {
+                canonicalize = false;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vegen-engine check-specs [--target sse4|avx2|avx512vnni|all] \
+                     [--json] [--out FILE] [--corrupt KIND] [--no-canon]\n\
+                     corruption KIND is lane-swap|widen|flip-cmp|dup-rule|neg-cost|rename-op"
+                );
+                return 0;
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("vegen-engine check-specs: {e}");
+            return 2;
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut rows = Vec::new();
+    for target in &targets {
+        let specs: Vec<_> = all_specs()
+            .iter()
+            .filter(|s| target.has(s.ext) && s.bits <= target.max_bits)
+            .cloned()
+            .collect();
+        let mut db = InstDb::for_target(target);
+        let mut corrupted_inst: Option<String> = None;
+        if let Some(kind) = &corrupt {
+            match corrupt_database(&db, kind) {
+                Ok((bad, name)) => {
+                    eprintln!(
+                        "vegen-engine check-specs: injected {kind} corruption into {name} \
+                         ({})",
+                        target.name
+                    );
+                    db = bad;
+                    corrupted_inst = Some(name);
+                }
+                Err(e) => {
+                    eprintln!("vegen-engine check-specs: --corrupt {kind}: {e}");
+                    return 2;
+                }
+            }
+        }
+        let report = check_database(&target.name, &specs, &db, canonicalize);
+        total_errors += report.error_count();
+        total_warnings += report.warning_count();
+        if !json {
+            println!("{}", report.verdict());
+            for d in &report.diagnostics {
+                println!("    {d}");
+            }
+        }
+        vegen_trace::metrics::counter("speccheck_rules_total").add(report.stats.rules as u64);
+        vegen_trace::metrics::gauge("speccheck_dead_rules").set(report.stats.dead_rules as f64);
+        vegen_trace::metrics::gauge("speccheck_max_overlap_class")
+            .set(report.stats.max_overlap_class as f64);
+        rows.push(Json::obj([
+            ("target", Json::str(&report.target)),
+            ("insts_checked", Json::int(report.insts_checked as u64)),
+            ("lanes_proved", Json::int(report.lanes_proved as u64)),
+            ("lanes_validated", Json::int(report.lanes_validated as u64)),
+            ("rules", Json::int(report.stats.rules as u64)),
+            ("ops", Json::int(report.stats.ops as u64)),
+            ("dead_rules", Json::int(report.stats.dead_rules as u64)),
+            ("max_overlap_class", Json::int(report.stats.max_overlap_class as u64)),
+            ("errors", Json::int(report.error_count() as u64)),
+            ("warnings", Json::int(report.warning_count() as u64)),
+            ("corrupted_inst", corrupted_inst.as_deref().map_or(Json::Null, Json::str)),
+            (
+                "diagnostics",
+                Json::Arr(report.diagnostics.iter().map(|d| Json::str(d.to_string())).collect()),
+            ),
+        ]));
+    }
+    let doc = Json::obj([
+        ("schema", Json::str("vegen-engine-speccheck/v1")),
+        ("corruption", corrupt.as_deref().map_or(Json::Null, Json::str)),
+        ("errors", Json::int(total_errors as u64)),
+        ("warnings", Json::int(total_warnings as u64)),
+        ("targets", Json::Arr(rows)),
+    ]);
+    if json {
+        println!("{}", doc.render_pretty());
+    }
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("vegen-engine check-specs: cannot write {path}: {e}");
+            return 2;
+        }
+        eprintln!("vegen-engine check-specs: report written to {path}");
+    }
+    if !json {
+        println!(
+            "vegen-engine check-specs: {} target(s) in {:.2?} — {} error(s), {} warning(s)",
+            targets.len(),
+            t0.elapsed(),
+            total_errors,
+            total_warnings
+        );
     }
     if total_errors > 0 {
         1

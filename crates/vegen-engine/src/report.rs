@@ -416,6 +416,9 @@ pub struct EngineReport {
     pub counters: EngineCounters,
     /// Trace-session metadata for the run.
     pub trace: TraceSummary,
+    /// Structural statistics of the match table the session compiled
+    /// against (since schema v9).
+    pub match_table: vegen_analysis::MatchTableStats,
 }
 
 /// Metadata about the trace session that accompanied a report (since
@@ -454,7 +457,7 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v8")),
+            ("schema", Json::str("vegen-engine-report/v9")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
@@ -468,6 +471,17 @@ impl EngineReport {
             // Since schema v8: the process-wide metrics registry
             // (latency histograms with percentiles, counters, gauges).
             ("metrics", metrics_registry_json()),
+            // Since schema v9: the match table's structural statistics,
+            // as audited by `vegen_analysis::speccheck`.
+            (
+                "match_table",
+                Json::obj([
+                    ("rules", Json::int(self.match_table.rules as u64)),
+                    ("ops", Json::int(self.match_table.ops as u64)),
+                    ("dead_rules", Json::int(self.match_table.dead_rules as u64)),
+                    ("max_overlap_class", Json::int(self.match_table.max_overlap_class as u64)),
+                ]),
+            ),
         ])
     }
 }

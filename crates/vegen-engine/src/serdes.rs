@@ -827,6 +827,11 @@ fn location_json(l: &Location) -> Json {
             ("base", Json::int(*base as u64)),
             ("offset", Json::Num(*offset as f64)),
         ]),
+        Location::Inst { index, lane } => Json::obj([
+            ("k", Json::str("inst")),
+            ("index", Json::int(*index as u64)),
+            ("lane", opt_lane(lane)),
+        ]),
         Location::Program => Json::obj([("k", Json::str("program"))]),
     }
 }
@@ -846,6 +851,7 @@ fn location_from(j: &Json) -> Result<Location, String> {
         "pack" => Location::Pack { pack: uint(j, "pack")? as usize, lane: lane_of("lane")? },
         "vm" => Location::VmInst { index: uint(j, "index")? as usize, lane: lane_of("lane")? },
         "mem" => Location::Mem { base: uint(j, "base")? as usize, offset: int(j, "offset")? },
+        "inst" => Location::Inst { index: uint(j, "index")? as usize, lane: lane_of("lane")? },
         "program" => Location::Program,
         other => return Err(format!("unknown location kind {other:?}")),
     })

@@ -49,6 +49,7 @@ fn small_report(decisions: bool) -> EngineReport {
         disk: engine.disk_stats(),
         counters: engine.counters(),
         trace: Default::default(),
+        match_table: Default::default(),
     }
 }
 
@@ -98,10 +99,13 @@ fn engine_report_v6_round_trips_through_the_parser() {
     // Render pretty, hand-parse, and walk the fields back out.
     let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
     assert_eq!(parsed, doc, "render → parse must be lossless");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v8"));
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v9"));
     // The v8 metrics-registry block: the process-wide registry snapshot.
     let metrics = parsed.get("metrics").expect("v8 report embeds the metrics registry");
     assert!(metrics.get("histograms").is_some() && metrics.get("counters").is_some());
+    // The v9 match-table block: structural statistics of the audited table.
+    let table = parsed.get("match_table").expect("v9 report embeds match-table stats");
+    assert!(table.get("rules").is_some() && table.get("max_overlap_class").is_some());
     let trace = parsed.get("trace").expect("report has trace metadata");
     assert_eq!(trace.get("enabled").unwrap().as_bool(), Some(false));
     assert_eq!(trace.get("file"), Some(&Json::Null));
@@ -257,6 +261,19 @@ fn explain_subcommand_exits_clean_and_rejects_unknown_kernels() {
     assert_eq!(main_with_args(&args(&["explain", "pmaddwd", "--beam", "4"])), 0);
     assert_eq!(main_with_args(&args(&["explain", "no-such-kernel"])), 2);
     assert_eq!(main_with_args(&args(&["explain"])), 2);
+}
+
+#[test]
+fn check_specs_subcommand_gates_on_corruption() {
+    let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    // The in-tree chain audits clean; a corrupted database gates with
+    // exit 1; a bogus corruption kind is a usage error.
+    assert_eq!(main_with_args(&args(&["check-specs", "--target", "sse4"])), 0);
+    assert_eq!(
+        main_with_args(&args(&["check-specs", "--target", "sse4", "--corrupt", "neg-cost"])),
+        1
+    );
+    assert_eq!(main_with_args(&args(&["check-specs", "--corrupt", "bogus"])), 2);
 }
 
 #[test]

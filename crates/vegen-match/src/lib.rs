@@ -23,5 +23,5 @@
 pub mod pattern;
 pub mod table;
 
-pub use pattern::{pattern_of_operation, Pattern};
-pub use table::{DescInst, Match, MatchTable, OpId, OpRegistry, TargetDesc};
+pub use pattern::{pattern_of_operation, try_pattern_of_operation, Pattern, PatternError};
+pub use table::{DescInst, Match, MatchTable, OpId, OpRegistry, TableError, TargetDesc};

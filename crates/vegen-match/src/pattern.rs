@@ -140,17 +140,79 @@ fn extract(f: &Function, v: ValueId, n_params: usize) -> Pattern {
     }
 }
 
+/// Error deriving a matcher pattern from a malformed operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError(pub String);
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern generation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// Highest parameter index referenced by an expression, if any.
+fn max_param(e: &Expr) -> Option<usize> {
+    match e {
+        Expr::Param(i) => Some(*i),
+        Expr::Const(_) => None,
+        Expr::FNeg(a) | Expr::Cast { arg: a, .. } => max_param(a),
+        Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+            max_param(lhs).max(max_param(rhs))
+        }
+        Expr::Select { cond, on_true, on_false } => {
+            max_param(cond).max(max_param(on_true)).max(max_param(on_false))
+        }
+    }
+}
+
 /// Derive the matcher pattern for an operation.
 ///
 /// With `canonicalize_pattern` set (the default configuration), the
 /// operation is first run through the shared canonicalizer — §7.2 evaluates
 /// exactly this switch (Fig. 11's "w/o canonicalization" bars).
+///
+/// # Panics
+///
+/// Panics if the operation body references an out-of-range parameter; use
+/// [`try_pattern_of_operation`] for descriptions that have not been
+/// validated.
 pub fn pattern_of_operation(op: &Operation, canonicalize_pattern: bool) -> Pattern {
+    try_pattern_of_operation(op, canonicalize_pattern)
+        .unwrap_or_else(|e| panic!("malformed operation {}: {e}", op.name))
+}
+
+/// Fallible form of [`pattern_of_operation`]: a body referencing an
+/// out-of-range parameter is a typed error instead of a panic, so an
+/// offline auditor can report malformed specs rather than abort.
+///
+/// # Errors
+///
+/// Returns a [`PatternError`] naming the out-of-range parameter.
+pub fn try_pattern_of_operation(
+    op: &Operation,
+    canonicalize_pattern: bool,
+) -> Result<Pattern, PatternError> {
+    if let Some(i) = max_param(&op.expr) {
+        if i >= op.params.len() {
+            return Err(PatternError(format!(
+                "operation {} references parameter x{i} but declares only {} parameters",
+                op.name,
+                op.params.len()
+            )));
+        }
+    }
     let (f, n_params) = scaffold(op);
     let f = if canonicalize_pattern { canonicalize(&f) } else { f };
-    let store = *f.stores().first().expect("scaffold has one store");
-    let InstKind::Store { value, .. } = f.inst(store).kind else { unreachable!() };
-    extract(&f, value, n_params)
+    let store = *f
+        .stores()
+        .first()
+        .ok_or_else(|| PatternError(format!("operation {} scaffold lost its store", op.name)))?;
+    let InstKind::Store { value, .. } = f.inst(store).kind else {
+        return Err(PatternError(format!("operation {} scaffold root is not a store", op.name)));
+    };
+    Ok(extract(&f, value, n_params))
 }
 
 /// Try to match `pat` rooted at value `v` of `f`, with `param_tys` giving

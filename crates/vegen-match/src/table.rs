@@ -1,6 +1,6 @@
 //! The operation registry, target description, and match table (§4.3).
 
-use crate::pattern::{pattern_of_operation, Pattern};
+use crate::pattern::{try_pattern_of_operation, Pattern};
 use std::collections::HashMap;
 use vegen_ir::{Function, InstKind, Type, ValueId};
 use vegen_isa::{InstDb, InstDef};
@@ -107,30 +107,94 @@ pub struct TargetDesc {
     pub insts: Vec<DescInst>,
 }
 
+/// Error building a [`TargetDesc`] from a malformed instruction database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A lane binding references an operation index the description lacks.
+    UnknownOperation {
+        /// Offending instruction name.
+        inst: String,
+        /// Offending output lane.
+        lane: usize,
+        /// The out-of-range operation index.
+        op: usize,
+    },
+    /// A lane operation's body could not be turned into a pattern.
+    BadPattern {
+        /// Offending instruction name.
+        inst: String,
+        /// Offending output lane.
+        lane: usize,
+        /// Why pattern generation failed.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::UnknownOperation { inst, lane, op } => {
+                write!(f, "{inst} lane {lane} references unknown operation #{op}")
+            }
+            TableError::BadPattern { inst, lane, message } => {
+                write!(f, "{inst} lane {lane}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 impl TargetDesc {
     /// Build the description library for an instruction database.
     ///
     /// `canonicalize_patterns` mirrors the paper's §6 canonicalization
     /// switch (ablated in Fig. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed database; use [`TargetDesc::try_build`] for
+    /// databases that have not been validated (e.g. deliberately corrupted
+    /// audit inputs).
     pub fn build(db: &InstDb, canonicalize_patterns: bool) -> TargetDesc {
+        Self::try_build(db, canonicalize_patterns)
+            .unwrap_or_else(|e| panic!("malformed instruction database: {e}"))
+    }
+
+    /// Fallible form of [`TargetDesc::build`]: malformed lane bindings and
+    /// operation bodies are typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TableError`] encountered, naming the
+    /// instruction and lane.
+    pub fn try_build(db: &InstDb, canonicalize_patterns: bool) -> Result<TargetDesc, TableError> {
         let mut ops = OpRegistry::default();
         let mut insts = Vec::new();
         for def in db.iter() {
-            let lane_ops: Vec<OpId> = def
-                .sem
-                .lanes
-                .iter()
-                .map(|lane| {
-                    let op = &def.sem.ops[lane.op];
-                    let pattern = pattern_of_operation(op, canonicalize_patterns);
-                    ops.intern(&op.name, op.params.clone(), op.ret, pattern)
-                })
-                .collect();
+            let mut lane_ops: Vec<OpId> = Vec::with_capacity(def.sem.lanes.len());
+            for (lane_idx, lane) in def.sem.lanes.iter().enumerate() {
+                let Some(op) = def.sem.ops.get(lane.op) else {
+                    return Err(TableError::UnknownOperation {
+                        inst: def.name.clone(),
+                        lane: lane_idx,
+                        op: lane.op,
+                    });
+                };
+                let pattern = try_pattern_of_operation(op, canonicalize_patterns).map_err(|e| {
+                    TableError::BadPattern {
+                        inst: def.name.clone(),
+                        lane: lane_idx,
+                        message: e.to_string(),
+                    }
+                })?;
+                lane_ops.push(ops.intern(&op.name, op.params.clone(), op.ret, pattern));
+            }
             let bindings: Vec<Vec<Vec<LaneUse>>> =
                 (0..def.sem.inputs.len()).map(|i| def.sem.operand_bindings(i)).collect();
             insts.push(DescInst { def: def.clone(), lane_ops, bindings });
         }
-        TargetDesc { ops, insts }
+        Ok(TargetDesc { ops, insts })
     }
 
     /// Find a prepared instruction by name.
@@ -229,6 +293,32 @@ mod tests {
 
     fn desc() -> TargetDesc {
         TargetDesc::build(&InstDb::for_target(&TargetIsa::avx2()), true)
+    }
+
+    #[test]
+    fn try_build_reports_malformed_lane_binding() {
+        let db = InstDb::for_target(&TargetIsa::avx2());
+        let mut defs: Vec<_> = db.iter().cloned().collect();
+        let name = defs[0].name.clone();
+        defs[0].sem.lanes[1].op = 99;
+        let e = TargetDesc::try_build(&InstDb::from_defs(defs), true).unwrap_err();
+        assert_eq!(e, TableError::UnknownOperation { inst: name, lane: 1, op: 99 });
+    }
+
+    #[test]
+    fn try_build_reports_out_of_range_pattern_param() {
+        use vegen_vidl::Expr;
+        let db = InstDb::for_target(&TargetIsa::avx2());
+        let mut defs: Vec<_> = db.iter().cloned().collect();
+        let name = defs[0].name.clone();
+        let op_idx = defs[0].sem.lanes[0].op;
+        defs[0].sem.ops[op_idx].expr = Expr::Param(7);
+        let e = TargetDesc::try_build(&InstDb::from_defs(defs), true).unwrap_err();
+        let TableError::BadPattern { inst, lane: 0, message } = e else {
+            panic!("wrong error: {e:?}");
+        };
+        assert_eq!(inst, name);
+        assert!(message.contains("x7"), "{message}");
     }
 
     #[test]

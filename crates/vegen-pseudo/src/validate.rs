@@ -78,6 +78,17 @@ pub fn validate_description(
     desc: &InstSemantics,
     iters: usize,
 ) -> Result<(), String> {
+    // A malformed description is a typed error, not a panic: the offline
+    // auditor feeds deliberately corrupted descriptions through here and
+    // must get a report back.
+    if desc.inputs.len() != inputs.len() {
+        return Err(format!(
+            "description {} has {} inputs but the spec declares {}",
+            desc.name,
+            desc.inputs.len(),
+            inputs.len()
+        ));
+    }
     let mut rng = Rng(0x5eed_0001);
     for trial in 0..iters {
         // Draw concrete input registers.
@@ -85,7 +96,13 @@ pub fn validate_description(
         let mut vidl_inputs: Vec<Vec<Constant>> = Vec::new();
         for (idx, (name, total)) in inputs.iter().enumerate() {
             let shape = desc.inputs[idx];
-            assert_eq!(shape.bits(), *total, "shape mismatch for input {name}");
+            if shape.bits() != *total {
+                return Err(format!(
+                    "shape mismatch for input {name}: description has {} bits but the spec \
+                     declares {total}",
+                    shape.bits()
+                ));
+            }
             let elems: Vec<u64> =
                 (0..shape.lanes).map(|_| draw_elem(&mut rng, shape.elem)).collect();
             reg_env.insert(name.to_string(), BigBits::from_elems(shape.elem.bits(), &elems));
@@ -196,5 +213,28 @@ mod tests {
         d.lanes[1].args[0].lane = 0;
         let r = validate_description(&f, &inputs, &d, 200);
         assert!(r.is_err(), "validation must catch the sabotaged binding");
+    }
+
+    #[test]
+    fn malformed_shapes_are_typed_errors_not_panics() {
+        let inputs = [("a", 64), ("b", 64)];
+        let (f, d) = lifted(
+            "paddd2",
+            &inputs,
+            64,
+            32,
+            FpMode::Int,
+            "FOR j := 0 to 1\n i := j*32\n dst[i+31:i] := a[i+31:i] + b[i+31:i]\nENDFOR",
+        );
+        // Fewer description inputs than the spec declares.
+        let mut short = d.clone();
+        short.inputs.pop();
+        let e = validate_description(&f, &inputs, &short, 4).unwrap_err();
+        assert!(e.contains("2"), "{e}");
+        // Width disagreement between description shape and spec.
+        let mut wide = d;
+        wide.inputs[0].lanes = 4;
+        let e = validate_description(&f, &inputs, &wide, 4).unwrap_err();
+        assert!(e.contains("shape mismatch"), "{e}");
     }
 }

@@ -1,11 +1,19 @@
 //! Well-formedness checking for VIDL descriptions.
+//!
+//! Two API layers: [`check_operation`]/[`check_inst`] return the *first*
+//! violation as a [`CheckError`] (the contract `translate()` and
+//! `parse_inst` rely on), while [`check_operation_all`]/[`check_inst_all`]
+//! return *every* violation, each tagged with the offending output lane and
+//! (when a [`SourceMap`] is supplied) a byte position into the VIDL source
+//! text — which is what lets an offline auditor point diagnostics into
+//! printed VIDL.
 
 use crate::ast::{Expr, InstSemantics, Operation};
 use std::error::Error;
 use std::fmt;
 use vegen_ir::{CastOp, Type};
 
-/// A well-formedness violation.
+/// A well-formedness violation (first-error form).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckError(pub String);
 
@@ -17,8 +25,47 @@ impl fmt::Display for CheckError {
 
 impl Error for CheckError {}
 
-fn fail(msg: impl Into<String>) -> Result<(), CheckError> {
-    Err(CheckError(msg.into()))
+/// One well-formedness violation with location payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Human-readable description.
+    pub message: String,
+    /// Output lane the violation is about, when one can be named.
+    pub lane: Option<usize>,
+    /// Byte offset into the VIDL source text, when a [`SourceMap`] was
+    /// supplied.
+    pub pos: Option<usize>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "at byte {p}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+/// Byte positions of the declarations in a VIDL source text, produced by
+/// the parser (for parsed descriptions) or the printer (for printed ones).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// Position of the `inst` keyword.
+    pub inst: usize,
+    /// Position of each output-lane binding, in lane order.
+    pub lanes: Vec<usize>,
+    /// Position of each `op` declaration, in declaration order.
+    pub ops: Vec<usize>,
+}
+
+impl SourceMap {
+    fn lane_pos(&self, lane: usize) -> Option<usize> {
+        self.lanes.get(lane).copied()
+    }
+
+    fn op_pos(&self, op: usize) -> Option<usize> {
+        self.ops.get(op).copied()
+    }
 }
 
 /// Type-check an expression, returning its type.
@@ -89,23 +136,120 @@ fn type_of(e: &Expr, params: &[Type]) -> Result<Type, CheckError> {
     }
 }
 
+/// Check an operation, collecting every violation: no void parameters, the
+/// body must type-check against the declared parameter types and produce
+/// the declared return type.
+pub fn check_operation_all(op: &Operation) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |message: String| out.push(Violation { message, lane: None, pos: None });
+    for t in &op.params {
+        if *t == Type::Void {
+            push(format!("operation {} has a void parameter", op.name));
+        }
+    }
+    match type_of(&op.expr, &op.params) {
+        Ok(t) if t != op.ret => {
+            push(format!("operation {} declared {} but body has type {t}", op.name, op.ret));
+        }
+        Ok(_) => {}
+        Err(e) => push(format!("in operation {}: {}", op.name, e.0)),
+    }
+    out
+}
+
 /// Check an operation: the body must type-check against the declared
 /// parameter types and produce the declared return type.
 ///
 /// # Errors
 ///
-/// Returns the first violation found.
+/// Returns the first violation found (see [`check_operation_all`] for the
+/// exhaustive form).
 pub fn check_operation(op: &Operation) -> Result<(), CheckError> {
-    for t in &op.params {
-        if *t == Type::Void {
-            return fail(format!("operation {} has a void parameter", op.name));
+    match check_operation_all(op).into_iter().next() {
+        Some(v) => Err(CheckError(v.message)),
+        None => Ok(()),
+    }
+}
+
+/// Check an instruction description, collecting every violation:
+/// operations are well formed, lane bindings reference valid
+/// operations/inputs/lanes, each operation's argument types equal the
+/// element types of the registers feeding it, and every output lane
+/// produces `out_elem`.
+///
+/// With a [`SourceMap`], each violation carries a byte position pointing at
+/// the offending declaration in the VIDL source the map was built from.
+pub fn check_inst_all(inst: &InstSemantics, map: Option<&SourceMap>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let inst_pos = map.map(|m| m.inst);
+    if inst.lanes.is_empty() {
+        out.push(Violation {
+            message: format!("instruction {} has no output lanes", inst.name),
+            lane: None,
+            pos: inst_pos,
+        });
+    }
+    for (op_idx, op) in inst.ops.iter().enumerate() {
+        let pos = map.and_then(|m| m.op_pos(op_idx));
+        for v in check_operation_all(op) {
+            out.push(Violation {
+                message: format!("in instruction {}: {}", inst.name, v.message),
+                lane: None,
+                pos,
+            });
         }
     }
-    let t = type_of(&op.expr, &op.params)?;
-    if t != op.ret {
-        return fail(format!("operation {} declared {} but body has type {t}", op.name, op.ret));
+    for (lane_idx, b) in inst.lanes.iter().enumerate() {
+        let pos = map.and_then(|m| m.lane_pos(lane_idx));
+        let mut lane_violation =
+            |message: String| out.push(Violation { message, lane: Some(lane_idx), pos });
+        let Some(op) = inst.ops.get(b.op) else {
+            lane_violation(format!(
+                "{} lane {lane_idx} references unknown operation #{}",
+                inst.name, b.op
+            ));
+            continue;
+        };
+        if b.args.len() != op.params.len() {
+            lane_violation(format!(
+                "{} lane {lane_idx}: {} args but operation {} has {} params",
+                inst.name,
+                b.args.len(),
+                op.name,
+                op.params.len()
+            ));
+            continue;
+        }
+        if op.ret != inst.out_elem {
+            lane_violation(format!(
+                "{} lane {lane_idx}: operation {} returns {} but output element is {}",
+                inst.name, op.name, op.ret, inst.out_elem
+            ));
+        }
+        for (param, r) in b.args.iter().enumerate() {
+            let Some(shape) = inst.inputs.get(r.input) else {
+                lane_violation(format!(
+                    "{} lane {lane_idx}: unknown input register x{}",
+                    inst.name, r.input
+                ));
+                continue;
+            };
+            if r.lane >= shape.lanes {
+                lane_violation(format!(
+                    "{} lane {lane_idx}: lane index {} out of range for x{} ({} lanes)",
+                    inst.name, r.lane, r.input, shape.lanes
+                ));
+                continue;
+            }
+            if shape.elem != op.params[param] {
+                lane_violation(format!(
+                    "{} lane {lane_idx}: x{}[{}] has element type {} but {} param {param} is {}",
+                    inst.name, r.input, r.lane, shape.elem, op.name, op.params[param]
+                ));
+            }
+        }
     }
-    Ok(())
+    out
 }
 
 /// Check an instruction description: operations are well formed, lane
@@ -115,59 +259,13 @@ pub fn check_operation(op: &Operation) -> Result<(), CheckError> {
 ///
 /// # Errors
 ///
-/// Returns the first violation found.
+/// Returns the first violation found (see [`check_inst_all`] for the
+/// exhaustive form).
 pub fn check_inst(inst: &InstSemantics) -> Result<(), CheckError> {
-    if inst.lanes.is_empty() {
-        return fail(format!("instruction {} has no output lanes", inst.name));
+    match check_inst_all(inst, None).into_iter().next() {
+        Some(v) => Err(CheckError(v.message)),
+        None => Ok(()),
     }
-    for op in &inst.ops {
-        check_operation(op)
-            .map_err(|e| CheckError(format!("in instruction {}: {}", inst.name, e.0)))?;
-    }
-    for (lane_idx, b) in inst.lanes.iter().enumerate() {
-        let Some(op) = inst.ops.get(b.op) else {
-            return fail(format!(
-                "{} lane {lane_idx} references unknown operation #{}",
-                inst.name, b.op
-            ));
-        };
-        if b.args.len() != op.params.len() {
-            return fail(format!(
-                "{} lane {lane_idx}: {} args but operation {} has {} params",
-                inst.name,
-                b.args.len(),
-                op.name,
-                op.params.len()
-            ));
-        }
-        if op.ret != inst.out_elem {
-            return fail(format!(
-                "{} lane {lane_idx}: operation {} returns {} but output element is {}",
-                inst.name, op.name, op.ret, inst.out_elem
-            ));
-        }
-        for (param, r) in b.args.iter().enumerate() {
-            let Some(shape) = inst.inputs.get(r.input) else {
-                return fail(format!(
-                    "{} lane {lane_idx}: unknown input register x{}",
-                    inst.name, r.input
-                ));
-            };
-            if r.lane >= shape.lanes {
-                return fail(format!(
-                    "{} lane {lane_idx}: lane index {} out of range for x{} ({} lanes)",
-                    inst.name, r.lane, r.input, shape.lanes
-                ));
-            }
-            if shape.elem != op.params[param] {
-                return fail(format!(
-                    "{} lane {lane_idx}: x{}[{}] has element type {} but {} param {param} is {}",
-                    inst.name, r.input, r.lane, shape.elem, op.name, op.params[param]
-                ));
-            }
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -203,6 +301,7 @@ mod tests {
     #[test]
     fn accepts_valid_inst() {
         assert!(check_inst(&simd_add()).is_ok());
+        assert!(check_inst_all(&simd_add(), None).is_empty());
     }
 
     #[test]
@@ -211,6 +310,9 @@ mod tests {
         i.lanes[0].args[0].lane = 7;
         let e = check_inst(&i).unwrap_err();
         assert!(e.0.contains("out of range"));
+        let all = check_inst_all(&i, None);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].lane, Some(0));
     }
 
     #[test]
@@ -218,6 +320,7 @@ mod tests {
         let mut i = simd_add();
         i.lanes[1].args.pop();
         assert!(check_inst(&i).is_err());
+        assert_eq!(check_inst_all(&i, None)[0].lane, Some(1));
     }
 
     #[test]
@@ -226,6 +329,12 @@ mod tests {
         i.inputs[1] = VecShape { lanes: 4, elem: Type::I16 };
         let e = check_inst(&i).unwrap_err();
         assert!(e.0.contains("element type"));
+        // One violation per lane, each naming its lane.
+        let all = check_inst_all(&i, None);
+        assert_eq!(all.len(), 4);
+        for (l, v) in all.iter().enumerate() {
+            assert_eq!(v.lane, Some(l));
+        }
     }
 
     #[test]
@@ -277,5 +386,38 @@ mod tests {
         let mut i = simd_add();
         i.lanes[0].op = 3;
         assert!(check_inst(&i).is_err());
+    }
+
+    #[test]
+    fn collects_multiple_independent_violations() {
+        let mut i = simd_add();
+        i.lanes[0].args[0].lane = 7; // lane 0: index out of range
+        i.lanes[2].args.pop(); // lane 2: arity
+        i.ops.push(Operation {
+            name: "bad".into(),
+            params: vec![Type::I32; 2],
+            ret: Type::I32,
+            expr: Expr::Bin {
+                op: BinOp::FAdd,
+                lhs: Box::new(Expr::Param(0)),
+                rhs: Box::new(Expr::Param(1)),
+            },
+        });
+        let all = check_inst_all(&i, None);
+        assert_eq!(all.len(), 3, "{all:?}");
+        assert!(all.iter().any(|v| v.lane == Some(0)));
+        assert!(all.iter().any(|v| v.lane == Some(2)));
+        assert!(all.iter().any(|v| v.lane.is_none() && v.message.contains("bad")));
+    }
+
+    #[test]
+    fn source_map_attaches_positions() {
+        let mut i = simd_add();
+        i.lanes[1].args[0].lane = 7;
+        let map = SourceMap { inst: 0, lanes: vec![10, 20, 30, 40], ops: vec![50] };
+        let all = check_inst_all(&i, Some(&map));
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].pos, Some(20));
+        assert!(all[0].to_string().starts_with("at byte 20:"));
     }
 }

@@ -48,6 +48,10 @@ pub mod parse;
 pub mod print;
 
 pub use ast::{Expr, InstSemantics, LaneBinding, LaneRef, Operation, VecShape};
-pub use check::{check_inst, check_operation, CheckError};
+pub use check::{
+    check_inst, check_inst_all, check_operation, check_operation_all, CheckError, SourceMap,
+    Violation,
+};
 pub use eval::{eval_expr, eval_inst, eval_operation};
-pub use parse::{parse_inst, parse_operation, ParseError};
+pub use parse::{parse_inst, parse_inst_with_map, parse_operation, ParseError};
+pub use print::{inst_text, inst_text_with_map, operation_text};

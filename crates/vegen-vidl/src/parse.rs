@@ -19,7 +19,7 @@
 //! literals are written `5:i16`, floats `1.5:f64`.
 
 use crate::ast::{Expr, InstSemantics, LaneBinding, LaneRef, Operation, VecShape};
-use crate::check::check_inst;
+use crate::check::{check_inst_all, SourceMap};
 use std::error::Error;
 use std::fmt;
 use vegen_ir::{BinOp, CastOp, CmpPred, Constant, Type};
@@ -202,6 +202,11 @@ impl Parser {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         let at = self.toks.get(self.idx).map(|t| t.0).unwrap_or(usize::MAX);
         Err(ParseError { at, message: message.into() })
+    }
+
+    /// Byte position of the token about to be consumed (0 at end of input).
+    fn pos(&self) -> usize {
+        self.toks.get(self.idx).map(|t| t.0).unwrap_or(0)
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -465,7 +470,12 @@ impl Parser {
     }
 
     /// inst NAME ( in: N x ty, ... ) -> ty [ res, ... ] where op...
-    fn inst(&mut self) -> Result<InstSemantics, ParseError> {
+    ///
+    /// Also returns a [`SourceMap`] with the byte position of each lane
+    /// binding and operation declaration, so checker violations can point
+    /// back into the source text.
+    fn inst(&mut self) -> Result<(InstSemantics, SourceMap), ParseError> {
+        let mut map = SourceMap { inst: self.pos(), ..SourceMap::default() };
         self.keyword("inst")?;
         let name = self.ident()?;
         self.expect(Tok::LParen)?;
@@ -495,8 +505,9 @@ impl Parser {
         let out_elem = self.ty()?;
         self.expect(Tok::LBracket)?;
         // Results: opname(in[lane], ...)
-        let mut raw_lanes: Vec<(String, Vec<LaneRef>)> = Vec::new();
+        let mut raw_lanes: Vec<(usize, String, Vec<LaneRef>)> = Vec::new();
         loop {
+            let lane_pos = self.pos();
             let opname = self.ident()?;
             self.expect(Tok::LParen)?;
             let mut refs = Vec::new();
@@ -525,7 +536,7 @@ impl Parser {
                 }
             }
             self.expect(Tok::RParen)?;
-            raw_lanes.push((opname, refs));
+            raw_lanes.push((lane_pos, opname, refs));
             if self.peek() == Some(&Tok::Comma) {
                 self.next()?;
             } else {
@@ -536,19 +547,21 @@ impl Parser {
         self.keyword("where")?;
         let mut ops: Vec<Operation> = Vec::new();
         while self.peek().is_some() {
+            map.ops.push(self.pos());
             ops.push(self.operation()?);
         }
         let mut lanes = Vec::with_capacity(raw_lanes.len());
-        for (opname, args) in raw_lanes {
+        for (lane_pos, opname, args) in raw_lanes {
+            map.lanes.push(lane_pos);
             let Some(op) = ops.iter().position(|o| o.name == opname) else {
                 return Err(ParseError {
-                    at: 0,
+                    at: lane_pos,
                     message: format!("instruction {name} references undeclared op `{opname}`"),
                 });
             };
             lanes.push(LaneBinding { op, args });
         }
-        Ok(InstSemantics { name, inputs, out_elem, ops, lanes })
+        Ok((InstSemantics { name, inputs, out_elem, ops, lanes }, map))
     }
 }
 
@@ -560,12 +573,15 @@ impl Parser {
 /// type-checked.
 pub fn parse_operation(src: &str) -> Result<Operation, ParseError> {
     let toks = Lexer::new(src).tokens()?;
+    let decl_pos = toks.first().map(|t| t.0).unwrap_or(0);
     let mut p = Parser { toks, idx: 0 };
     let op = p.operation()?;
     if p.peek().is_some() {
         return p.err("trailing input after operation");
     }
-    crate::check::check_operation(&op).map_err(|e| ParseError { at: 0, message: e.0 })?;
+    if let Some(v) = crate::check::check_operation_all(&op).into_iter().next() {
+        return Err(ParseError { at: decl_pos, message: v.message });
+    }
     Ok(op)
 }
 
@@ -574,16 +590,30 @@ pub fn parse_operation(src: &str) -> Result<Operation, ParseError> {
 /// # Errors
 ///
 /// Returns a [`ParseError`] on malformed input or if the description fails
-/// [`check_inst`].
+/// [`crate::check::check_inst`]; check failures carry the byte position of
+/// the offending lane binding or operation declaration.
 pub fn parse_inst(src: &str) -> Result<InstSemantics, ParseError> {
+    let (inst, _) = parse_inst_with_map(src)?;
+    Ok(inst)
+}
+
+/// Like [`parse_inst`], but also return the [`SourceMap`] with the byte
+/// position of each lane binding and operation declaration.
+///
+/// # Errors
+///
+/// Same contract as [`parse_inst`].
+pub fn parse_inst_with_map(src: &str) -> Result<(InstSemantics, SourceMap), ParseError> {
     let toks = Lexer::new(src).tokens()?;
     let mut p = Parser { toks, idx: 0 };
-    let inst = p.inst()?;
+    let (inst, map) = p.inst()?;
     if p.peek().is_some() {
         return p.err("trailing input after instruction");
     }
-    check_inst(&inst).map_err(|e| ParseError { at: 0, message: e.0 })?;
-    Ok(inst)
+    if let Some(v) = check_inst_all(&inst, Some(&map)).into_iter().next() {
+        return Err(ParseError { at: v.pos.unwrap_or(map.inst), message: v.message });
+    }
+    Ok((inst, map))
 }
 
 #[cfg(test)]
@@ -679,6 +709,37 @@ mod tests {
                    op id (x: i32) -> i32 = add(x, 0:i32)";
         let e = parse_inst(src).unwrap_err();
         assert!(e.message.contains("undeclared op"));
+        // The position points at the lane binding, not byte 0.
+        assert_eq!(e.at, src.find("nosuch").unwrap());
+    }
+
+    #[test]
+    fn check_failure_positions_point_at_lane_binding() {
+        let src = "inst t (a: 2 x i32) -> i32 [ id(a[0]), id(a[5]) ] where
+                   op id (x: i32) -> i32 = add(x, 0:i32)";
+        let e = parse_inst(src).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+        assert_eq!(e.at, src.find("id(a[5])").unwrap());
+    }
+
+    #[test]
+    fn check_failure_positions_point_at_operation() {
+        // Lane bindings are fine; the op body is ill-typed.
+        let src = "inst t (a: 2 x i32) -> i32 [ id(a[0]), id(a[1]) ] where
+                   op id (x: i32) -> i32 = fadd(x, x)";
+        let e = parse_inst(src).unwrap_err();
+        assert!(e.message.contains("float/int mismatch"), "{e}");
+        assert_eq!(e.at, src.find("op id").unwrap());
+    }
+
+    #[test]
+    fn source_map_records_declarations() {
+        let src = "inst t (a: 2 x i32) -> i32 [ id(a[0]), id(a[1]) ] where
+                   op id (x: i32) -> i32 = add(x, 0:i32)";
+        let (_, map) = parse_inst_with_map(src).unwrap();
+        assert_eq!(map.inst, 0);
+        assert_eq!(map.lanes, vec![src.find("id(a[0])").unwrap(), src.find("id(a[1])").unwrap()]);
+        assert_eq!(map.ops, vec![src.find("op id").unwrap()]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Textual printing of VIDL descriptions (inverse of [`crate::parse`]).
 
 use crate::ast::{Expr, InstSemantics, Operation};
+use crate::check::SourceMap;
 use std::fmt::Write;
 use vegen_ir::Type;
 
@@ -46,7 +47,16 @@ pub fn operation_text(op: &Operation) -> String {
 /// Render a full instruction description in the concrete syntax accepted by
 /// [`crate::parse_inst`].
 pub fn inst_text(inst: &InstSemantics) -> String {
+    inst_text_with_map(inst).0
+}
+
+/// Like [`inst_text`], but also return a [`SourceMap`] recording the byte
+/// position of each lane binding and operation declaration in the rendered
+/// text — the map [`crate::check::check_inst_all`] consumes to attach
+/// positions to violations.
+pub fn inst_text_with_map(inst: &InstSemantics) -> (String, SourceMap) {
     let mut s = String::new();
+    let mut map = SourceMap::default();
     let inputs = inst
         .inputs
         .iter()
@@ -54,6 +64,7 @@ pub fn inst_text(inst: &InstSemantics) -> String {
         .map(|(i, sh)| format!("in{i}: {} x {}", sh.lanes, sh.elem))
         .collect::<Vec<_>>()
         .join(", ");
+    map.inst = s.len();
     let _ = writeln!(s, "inst {} ({}) -> {} [", inst.name, inputs, inst.out_elem);
     for (i, lane) in inst.lanes.iter().enumerate() {
         let args = lane
@@ -63,13 +74,16 @@ pub fn inst_text(inst: &InstSemantics) -> String {
             .collect::<Vec<_>>()
             .join(", ");
         let sep = if i + 1 == inst.lanes.len() { "" } else { "," };
-        let _ = writeln!(s, "  {}({args}){sep}", inst.ops[lane.op].name);
+        let opname = inst.ops.get(lane.op).map_or("<unknown-op>", |o| o.name.as_str());
+        map.lanes.push(s.len() + 2); // past the two-space indent
+        let _ = writeln!(s, "  {opname}({args}){sep}");
     }
     let _ = writeln!(s, "] where");
     for op in &inst.ops {
+        map.ops.push(s.len());
         let _ = writeln!(s, "{}", operation_text(op));
     }
-    s
+    (s, map)
 }
 
 #[cfg(test)]
@@ -103,6 +117,22 @@ mod tests {
         let o1 = parse_operation(src).unwrap();
         let o2 = parse_operation(&super::operation_text(&o1)).unwrap();
         assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn printed_map_points_at_declarations() {
+        let i = parse_inst(PMADDWD).unwrap();
+        let (text, map) = super::inst_text_with_map(&i);
+        assert_eq!(map.lanes.len(), i.out_lanes());
+        for &p in &map.lanes {
+            assert!(text[p..].starts_with("madd("), "lane pos {p} points at {:?}", &text[p..p + 8]);
+        }
+        assert_eq!(map.ops.len(), 1);
+        assert!(text[map.ops[0]..].starts_with("op madd"));
+        // The printed map agrees with what re-parsing the text produces.
+        let (_, reparsed) = crate::parse::parse_inst_with_map(&text).unwrap();
+        assert_eq!(map.lanes, reparsed.lanes);
+        assert_eq!(map.ops, reparsed.ops);
     }
 
     #[test]
