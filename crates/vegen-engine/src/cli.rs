@@ -51,6 +51,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
         Some("diff") => run_diff(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
         Some("stats") => run_stats(&args[1..]),
+        Some("soak") => run_soak_cmd(&args[1..]),
         _ => run_suite(args),
     }
 }
@@ -145,6 +146,7 @@ struct SuiteOptions {
     fault_seed: Option<u64>,
     fault_count: usize,
     cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
     warm_start: bool,
     event_log: Option<String>,
     flight_dir: Option<String>,
@@ -169,6 +171,7 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
         fault_seed: None,
         fault_count: 3,
         cache_dir: None,
+        cache_max_bytes: None,
         warm_start: false,
         event_log: None,
         flight_dir: None,
@@ -212,6 +215,13 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
                     value("--fault-count")?.parse().map_err(|e| format!("--fault-count: {e}"))?
             }
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--cache-max-bytes" => {
+                opts.cache_max_bytes = Some(
+                    value("--cache-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--cache-max-bytes: {e}"))?,
+                )
+            }
             "--warm-start" => opts.warm_start = true,
             "--event-log" => opts.event_log = Some(value("--event-log")?),
             "--flight-dir" => opts.flight_dir = Some(value("--flight-dir")?),
@@ -223,8 +233,13 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteOptions>, String> {
                      \x20                   [--trace FILE] [--folded FILE] [--decisions]\n\
                      \x20                   [--deadline-ms N] [--fail-fast]\n\
                      \x20                   [--faults SPEC] [--fault-seed N] [--fault-count N]\n\
-                     \x20                   [--cache-dir DIR] [--warm-start]\n\
+                     \x20                   [--cache-dir DIR] [--cache-max-bytes N] [--warm-start]\n\
                      \x20                   [--event-log FILE] [--flight-dir DIR]\n\
+                     \x20      vegen-engine soak --seed N --count N [--shard I/N] [--trials N]\n\
+                     \x20                   [--fault-every K] [--target T] [--beam N]\n\
+                     \x20                   [--beam-threads N] [--deadline-ms N]\n\
+                     \x20                   [--cache-dir DIR] [--cache-max-bytes N]\n\
+                     \x20                   [--seeds-out DIR] [--no-minimize] [--out FILE]\n\
                      \x20      vegen-engine serve (--stdio | --socket PATH) [--cache-dir DIR]\n\
                      \x20                   [--warm-start] [--threads N] [--queue N] [--target T]\n\
                      \x20                   [--beam N] [--deadline-ms N] [--no-verify]\n\
@@ -268,6 +283,7 @@ fn run_suite(args: &[String]) -> i32 {
         deadline: opts.deadline_ms.map(Duration::from_millis),
         fail_fast: opts.fail_fast,
         cache_dir: opts.cache_dir.clone().map(PathBuf::from),
+        cache_max_bytes: opts.cache_max_bytes,
         beam_threads: opts.beam_threads,
         event_log: opts.event_log.clone().map(PathBuf::from),
         flight_dir: opts.flight_dir.clone().map(PathBuf::from),
@@ -414,6 +430,7 @@ fn run_suite(args: &[String]) -> i32 {
         counters: engine.counters(),
         trace: trace_summary,
         match_table: table,
+        soak: None,
     };
     let doc = report.to_json();
     let text = if opts.compact { doc.render() } else { doc.render_pretty() };
@@ -435,6 +452,167 @@ fn run_suite(args: &[String]) -> i32 {
 }
 
 // ---------------------------------------------------------------------------
+// soak
+// ---------------------------------------------------------------------------
+
+/// Run the generated-kernel soak harness (see [`crate::soak`]). Exit
+/// code 0 when every non-faulted kernel passes the differential check
+/// and provenance audit (degradations allowed), 1 on any unexplained
+/// failure, 2 on usage errors.
+fn run_soak_cmd(args: &[String]) -> i32 {
+    use crate::soak::{run_soak, SoakConfig, SoakStatus};
+
+    let mut cfg = SoakConfig { beam_threads: env_beam_threads(), ..SoakConfig::default() };
+    let mut out: Option<String> = None;
+    let mut compact = false;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        let mut value = |n: &str| args.next().cloned().ok_or(format!("{n} needs a value"));
+        let parsed = match arg.as_str() {
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                .map(|n| cfg.seed = n),
+            "--count" => value("--count")
+                .and_then(|v| v.parse().map_err(|e| format!("--count: {e}")))
+                .map(|n| cfg.count = n),
+            "--shard" => value("--shard").and_then(|v| {
+                let (i, n) =
+                    v.split_once('/').ok_or_else(|| format!("--shard: want I/N, got {v:?}"))?;
+                cfg.shard_index = i.parse().map_err(|e| format!("--shard index: {e}"))?;
+                cfg.shard_count = n.parse().map_err(|e| format!("--shard count: {e}"))?;
+                Ok(())
+            }),
+            "--trials" => value("--trials")
+                .and_then(|v| v.parse().map_err(|e| format!("--trials: {e}")))
+                .map(|n| cfg.trials = n),
+            "--fault-every" => value("--fault-every")
+                .and_then(|v| v.parse().map_err(|e| format!("--fault-every: {e}")))
+                .map(|n| cfg.fault_every = n),
+            "--target" => value("--target").and_then(|v| parse_target(&v)).map(|t| cfg.target = t),
+            "--beam" => value("--beam")
+                .and_then(|v| v.parse().map_err(|e| format!("--beam: {e}")))
+                .map(|n| cfg.beam = n),
+            "--beam-threads" => value("--beam-threads")
+                .and_then(|v| v.parse().map_err(|e| format!("--beam-threads: {e}")))
+                .map(|n| cfg.beam_threads = n),
+            "--deadline-ms" => value("--deadline-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--deadline-ms: {e}")))
+                .map(|n| cfg.deadline = Some(Duration::from_millis(n))),
+            "--cache-dir" => value("--cache-dir").map(|v| cfg.cache_dir = Some(PathBuf::from(v))),
+            "--cache-max-bytes" => value("--cache-max-bytes")
+                .and_then(|v| v.parse().map_err(|e| format!("--cache-max-bytes: {e}")))
+                .map(|n| cfg.cache_max_bytes = Some(n)),
+            "--seeds-out" => value("--seeds-out").map(|v| cfg.seeds_out = Some(PathBuf::from(v))),
+            "--no-minimize" => {
+                cfg.minimize = false;
+                Ok(())
+            }
+            "--minimize-budget" => value("--minimize-budget")
+                .and_then(|v| v.parse().map_err(|e| format!("--minimize-budget: {e}")))
+                .map(|n| cfg.minimize_budget = n),
+            // Test-only: deterministically corrupt every compiled vegen
+            // program so the differential check must catch it.
+            "--inject-miscompile" => value("--inject-miscompile")
+                .and_then(|v| v.parse().map_err(|e| format!("--inject-miscompile: {e}")))
+                .map(|n| cfg.corrupt_vegen = Some(n)),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--compact" => {
+                compact = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vegen-engine soak --seed N --count N [--shard I/N] [--trials N]\n\
+                     \x20                   [--fault-every K] [--target T] [--beam N]\n\
+                     \x20                   [--beam-threads N] [--deadline-ms N]\n\
+                     \x20                   [--cache-dir DIR] [--cache-max-bytes N]\n\
+                     \x20                   [--seeds-out DIR] [--no-minimize]\n\
+                     \x20                   [--minimize-budget N] [--out FILE] [--compact]\n\
+                     kernel i is generate(seed, i): any kernel replays from the two integers"
+                );
+                return 0;
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("vegen-engine soak: {e}");
+            return 2;
+        }
+    }
+
+    let report = match run_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vegen-engine soak: {e}");
+            return 2;
+        }
+    };
+    let count = |s: SoakStatus| report.results.iter().filter(|r| r.status == s).count();
+    eprintln!(
+        "vegen-engine soak: seed {} — {} kernel(s) (shard {}/{}) in {:.2?}: \
+         {} passed, {} faulted-degraded, {} degraded, {} diff failure(s), \
+         {} provenance failure(s), {} aborted; vectorization rate {:.1}%",
+        cfg.seed,
+        report.results.len(),
+        cfg.shard_index,
+        cfg.shard_count,
+        report.wall,
+        count(SoakStatus::Passed),
+        count(SoakStatus::Faulted),
+        count(SoakStatus::Degraded),
+        count(SoakStatus::DiffFailed),
+        count(SoakStatus::ProvenanceFailed),
+        count(SoakStatus::Aborted),
+        report.vectorization_rate() * 100.0,
+    );
+    for r in report.results.iter().filter(|r| r.status.is_failure()) {
+        eprintln!("vegen-engine soak: {} [{}] {}: {}", r.name, r.shape, r.status.name(), r.detail);
+        if let Some(m) = &r.minimized {
+            eprintln!(
+                "vegen-engine soak:   minimized {} -> {} inst(s){}:\n{}",
+                m.from_insts,
+                m.insts,
+                m.seed_file.as_deref().map(|p| format!(" (seed file {p})")).unwrap_or_default(),
+                m.listing
+            );
+        }
+    }
+
+    let table = vegen_analysis::match_table_stats(&target_desc(&cfg.target, true));
+    let doc = EngineReport {
+        target: cfg.target.name.clone(),
+        beam_width: cfg.beam,
+        threads: 1,
+        beam_threads: cfg.beam_threads,
+        verify_trials: cfg.trials,
+        runs: Vec::new(),
+        cache: report.cache,
+        disk: report.disk,
+        counters: report.counters,
+        trace: TraceSummary::default(),
+        match_table: table,
+        soak: Some(report.soak_json()),
+    }
+    .to_json();
+    let text = if compact { doc.render() } else { doc.render_pretty() };
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("vegen-engine soak: cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("vegen-engine soak: report written to {path}");
+        }
+        None => println!("{text}"),
+    }
+    if report.unexplained_failures() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
 // serve
 // ---------------------------------------------------------------------------
 
@@ -444,6 +622,7 @@ fn run_serve(args: &[String]) -> i32 {
     let mut stdio = false;
     let mut socket: Option<String> = None;
     let mut cache_dir: Option<String> = None;
+    let mut cache_max_bytes: Option<u64> = None;
     let mut warm_start = false;
     let mut threads = 0usize;
     let mut beam_threads = env_beam_threads();
@@ -464,6 +643,9 @@ fn run_serve(args: &[String]) -> i32 {
             }
             "--socket" => value("--socket").map(|v| socket = Some(v)),
             "--cache-dir" => value("--cache-dir").map(|v| cache_dir = Some(v)),
+            "--cache-max-bytes" => value("--cache-max-bytes")
+                .and_then(|v| v.parse().map_err(|e| format!("--cache-max-bytes: {e}")))
+                .map(|n| cache_max_bytes = Some(n)),
             "--warm-start" => {
                 warm_start = true;
                 Ok(())
@@ -524,6 +706,7 @@ fn run_serve(args: &[String]) -> i32 {
         verify_trials,
         deadline: deadline_ms.map(Duration::from_millis),
         cache_dir: cache_dir.map(PathBuf::from),
+        cache_max_bytes,
         beam_threads,
         event_log: event_log.map(PathBuf::from),
         flight_dir: flight_dir.map(PathBuf::from),

@@ -133,18 +133,22 @@ pub struct DiskCacheStats {
     pub corrupt: u64,
     /// I/O failures (reads or writes that errored outright).
     pub io_errors: u64,
+    /// Entries deleted by the size bound (oldest first).
+    pub evicted: u64,
 }
 
 /// A directory of content-addressed compilation results, shareable
 /// between processes and across restarts.
 pub struct DiskCache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     invalidated: AtomicU64,
     corrupt: AtomicU64,
     io_errors: AtomicU64,
+    evicted: AtomicU64,
     seq: AtomicU64,
 }
 
@@ -166,17 +170,36 @@ impl DiskCache {
     /// Returns a message when the directory cannot be created or is not
     /// writable.
     pub fn open(dir: impl Into<PathBuf>) -> Result<DiskCache, String> {
+        DiskCache::open_bounded(dir, None)
+    }
+
+    /// Like [`open`](DiskCache::open), but with an optional total-size
+    /// bound in bytes. After every store, if the directory's entries
+    /// exceed the bound, the oldest entries (by modification time, file
+    /// name as tiebreak) are deleted until it fits — so unbounded soak
+    /// runs against a `--cache-dir` cannot grow the cache without limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the directory cannot be created or is not
+    /// writable.
+    pub fn open_bounded(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> Result<DiskCache, String> {
         let dir = dir.into();
         fs::create_dir_all(&dir)
             .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
         Ok(DiskCache {
             dir,
+            max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         })
     }
@@ -383,6 +406,7 @@ impl DiskCache {
         match publish {
             Ok(()) => {
                 self.stores.fetch_add(1, Ordering::Relaxed);
+                self.enforce_bound();
                 Ok(())
             }
             Err(e) => {
@@ -390,6 +414,37 @@ impl DiskCache {
                 let _ = fs::remove_file(&tmp);
                 Err(e)
             }
+        }
+    }
+
+    /// Delete oldest entries until the directory fits `max_bytes`.
+    /// Best-effort: unreadable metadata is ignored, and a concurrent
+    /// engine deleting the same file is not an error.
+    fn enforce_bound(&self) {
+        let Some(max) = self.max_bytes else { return };
+        let Ok(dir) = fs::read_dir(&self.dir) else { return };
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = dir
+            .flatten()
+            .filter(|f| entry_hash(&f.path()).is_some())
+            .filter_map(|f| {
+                let meta = f.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, f.path(), meta.len()))
+            })
+            .collect();
+        let mut total: u64 = entries.iter().map(|(_, _, len)| len).sum();
+        if total <= max {
+            return;
+        }
+        entries.sort();
+        for (_, path, len) in entries {
+            if total <= max {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            total = total.saturating_sub(len);
         }
     }
 
@@ -445,6 +500,7 @@ impl DiskCache {
             invalidated: self.invalidated.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -484,6 +540,31 @@ mod tests {
         assert_eq!(entry_hash(&dir.join(format!("{}.json", h.hex()))), Some(h));
         assert_eq!(entry_hash(&dir.join("short.json")), None);
         assert_eq!(entry_hash(&dir.join(format!(".{}.1.0.tmp", h.hex()))), None);
+    }
+
+    #[test]
+    fn size_bound_evicts_oldest_first() {
+        let dir = std::env::temp_dir().join(format!("vegen-evict-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Three 100-byte fake entries with strictly increasing mtimes.
+        let cache = DiskCache::open_bounded(&dir, Some(250)).unwrap();
+        let names: Vec<String> = (0u128..3).map(|i| format!("{:032x}.json", 0x1000 + i)).collect();
+        for name in &names {
+            fs::write(dir.join(name), "x".repeat(100)).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        cache.enforce_bound();
+        assert!(!dir.join(&names[0]).exists(), "oldest entry should be evicted");
+        assert!(dir.join(&names[1]).exists());
+        assert!(dir.join(&names[2]).exists(), "newest entry must survive");
+        assert_eq!(cache.stats().evicted, 1);
+
+        // Unbounded cache never evicts.
+        let unbounded = DiskCache::open(&dir).unwrap();
+        unbounded.enforce_bound();
+        assert_eq!(unbounded.stats().evicted, 0);
+        assert_eq!(cache.stats().entries, 2);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod pool;
 pub mod report;
 pub mod serdes;
 pub mod serve;
+pub mod soak;
 
 /// The in-tree JSON writer/parser now lives in [`vegen_trace::json`];
 /// re-exported here for compatibility with existing imports.
@@ -123,6 +124,10 @@ pub struct EngineConfig {
     /// through; disk I/O failures become typed [`ErrorCause::CacheIo`]
     /// faults but never fail a job.
     pub cache_dir: Option<PathBuf>,
+    /// Total-size bound in bytes for the on-disk cache; `None` (the
+    /// default) is unbounded. When exceeded after a store, the oldest
+    /// entries are evicted until the directory fits.
+    pub cache_max_bytes: Option<u64>,
     /// Worker threads for the intra-kernel parallel beam search. `0` (the
     /// default) leaves each job's own [`BeamConfig::beam_threads`] in
     /// charge (which itself resolves `0` to the machine's available
@@ -155,6 +160,7 @@ impl Default for EngineConfig {
             deadline: None,
             fail_fast: false,
             cache_dir: None,
+            cache_max_bytes: None,
             beam_threads: 0,
             event_log: None,
             flight_dir: None,
@@ -407,7 +413,7 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
         let capacity = cfg.cache_capacity;
         let (disk, disk_open_error) = match &cfg.cache_dir {
-            Some(dir) => match DiskCache::open(dir) {
+            Some(dir) => match DiskCache::open_bounded(dir, cfg.cache_max_bytes) {
                 Ok(d) => (Some(d), None),
                 Err(e) => (None, Some(e)),
             },

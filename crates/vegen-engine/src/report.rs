@@ -89,6 +89,7 @@ pub fn disk_json(d: &DiskCacheStats) -> Json {
         ("invalidated", Json::int(d.invalidated)),
         ("corrupt", Json::int(d.corrupt)),
         ("io_errors", Json::int(d.io_errors)),
+        ("evicted", Json::int(d.evicted)),
     ])
 }
 
@@ -419,6 +420,9 @@ pub struct EngineReport {
     /// Structural statistics of the match table the session compiled
     /// against (since schema v9).
     pub match_table: vegen_analysis::MatchTableStats,
+    /// Soak-harness summary (pre-rendered by [`crate::soak`]; `None` for
+    /// plain suite runs; since schema v10).
+    pub soak: Option<Json>,
 }
 
 /// Metadata about the trace session that accompanied a report (since
@@ -457,7 +461,7 @@ impl EngineReport {
     /// Render as a JSON document.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("vegen-engine-report/v9")),
+            ("schema", Json::str("vegen-engine-report/v10")),
             ("target", Json::str(&self.target)),
             ("beam_width", Json::int(self.beam_width as u64)),
             ("threads", Json::int(self.threads as u64)),
@@ -482,6 +486,9 @@ impl EngineReport {
                     ("max_overlap_class", Json::int(self.match_table.max_overlap_class as u64)),
                 ]),
             ),
+            // Since schema v10: the soak-harness summary (generated-corpus
+            // runs only; `null` for plain suite reports).
+            ("soak", self.soak.clone().unwrap_or(Json::Null)),
         ])
     }
 }

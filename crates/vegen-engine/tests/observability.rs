@@ -50,6 +50,7 @@ fn small_report(decisions: bool) -> EngineReport {
         counters: engine.counters(),
         trace: Default::default(),
         match_table: Default::default(),
+        soak: None,
     }
 }
 
@@ -99,7 +100,9 @@ fn engine_report_v6_round_trips_through_the_parser() {
     // Render pretty, hand-parse, and walk the fields back out.
     let parsed = Json::parse(&doc.render_pretty()).expect("report must be valid JSON");
     assert_eq!(parsed, doc, "render → parse must be lossless");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v9"));
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some("vegen-engine-report/v10"));
+    // The v10 soak block: absent (null) in a plain suite report.
+    assert_eq!(parsed.get("soak"), Some(&Json::Null));
     // The v8 metrics-registry block: the process-wide registry snapshot.
     let metrics = parsed.get("metrics").expect("v8 report embeds the metrics registry");
     assert!(metrics.get("histograms").is_some() && metrics.get("counters").is_some());

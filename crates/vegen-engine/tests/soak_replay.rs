@@ -1,0 +1,118 @@
+//! Regression-seed corpus discipline: every seed file committed under
+//! `tests/soak_seeds/` is replayed on every `cargo test` — regenerated
+//! from its `(corpus_seed, index)` pair, compiled through the full
+//! pipeline, differential-checked against the scalar interpreter, and
+//! provenance-audited. A past soak failure that was fixed and committed
+//! here can never regress silently.
+
+use std::path::PathBuf;
+use vegen::driver::PipelineConfig;
+use vegen_core::BeamConfig;
+use vegen_engine::json::Json;
+use vegen_engine::{Engine, EngineConfig};
+use vegen_isa::TargetIsa;
+use vegen_kernels::gen;
+
+fn seeds_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/soak_seeds")
+}
+
+struct Seed {
+    file: String,
+    corpus_seed: u64,
+    index: u64,
+    kernel: String,
+    shape: String,
+    trials: u64,
+}
+
+fn load_seeds() -> Vec<Seed> {
+    let mut seeds = Vec::new();
+    for entry in std::fs::read_dir(seeds_dir()).expect("tests/soak_seeds must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let file = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{file}: unparseable: {e}"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("vegen-soak-seed/v1"),
+            "{file}: wrong schema"
+        );
+        let int = |key: &str| {
+            doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("{file}: missing {key}"))
+                as u64
+        };
+        let string = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{file}: missing {key}"))
+                .to_string()
+        };
+        seeds.push(Seed {
+            corpus_seed: int("corpus_seed"),
+            index: int("index"),
+            kernel: string("kernel"),
+            shape: string("shape"),
+            trials: int("trials").max(4),
+            file,
+        });
+    }
+    seeds.sort_by_key(|s| (s.corpus_seed, s.index));
+    seeds
+}
+
+#[test]
+fn every_committed_seed_replays_clean() {
+    let seeds = load_seeds();
+    assert!(!seeds.is_empty(), "the committed seed corpus must not be empty");
+
+    let engine = Engine::new(EngineConfig { threads: 1, verify_trials: 0, ..Default::default() });
+    let pipeline = PipelineConfig {
+        target: TargetIsa::avx2(),
+        beam: BeamConfig::with_width(16),
+        canonicalize_patterns: true,
+    };
+    for seed in &seeds {
+        // The two integers fully reproduce the kernel.
+        let g = gen::generate(seed.corpus_seed, seed.index);
+        assert_eq!(g.function.name, seed.kernel, "{}: name drifted", seed.file);
+        assert_eq!(
+            g.shape.name(),
+            seed.shape,
+            "{}: shape drifted — the generator changed",
+            seed.file
+        );
+        assert!(
+            vegen_ir::verify::verify_all(&g.function).is_empty(),
+            "{}: regenerated kernel no longer verifies",
+            seed.file
+        );
+
+        let r = engine.compile_one(&g.function.name, &g.function, &pipeline);
+        let k = r.kernel.unwrap_or_else(|| panic!("{}: compile aborted", seed.file));
+        k.verify(seed.trials)
+            .unwrap_or_else(|e| panic!("{}: differential check failed: {e}", seed.file));
+        assert_eq!(
+            k.analysis.error_count(),
+            0,
+            "{}: provenance audit failed: {}",
+            seed.file,
+            k.analysis.verdict()
+        );
+    }
+}
+
+#[test]
+fn committed_seeds_cover_every_shape() {
+    let seeds = load_seeds();
+    for want in vegen_kernels::gen::Shape::ALL {
+        assert!(
+            seeds.iter().any(|s| s.shape == want.name()),
+            "no committed seed for shape {}",
+            want.name()
+        );
+    }
+}

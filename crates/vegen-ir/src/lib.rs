@@ -56,6 +56,7 @@ pub mod function;
 pub mod inst;
 pub mod interp;
 pub mod printer;
+pub mod reduce;
 pub mod rng;
 pub mod types;
 pub mod verify;

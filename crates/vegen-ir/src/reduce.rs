@@ -1,0 +1,358 @@
+//! Test-case minimization: shrink a failing function while preserving
+//! the failure.
+//!
+//! [`minimize`] takes a function and a predicate `still_fails` (true
+//! while the interesting behavior persists) and greedily reduces the
+//! function through three phases until a fixpoint or candidate budget:
+//!
+//! 1. **Suffix drop** — binary-search-style truncation of trailing
+//!    instructions (any prefix of a single-block SSA function is valid).
+//! 2. **Single-instruction drop with use-chain repair** — remove one
+//!    instruction; uses of its value are redirected to a same-typed
+//!    operand (or any earlier same-typed value) and later operand
+//!    indices are shifted down.
+//! 3. **Constant and width shrinking** — replace constants with
+//!    0 / 1 / half, and shrink each buffer parameter to the highest
+//!    offset actually accessed.
+//!
+//! Every candidate is re-verified structurally before the predicate runs,
+//! so `still_fails` only ever sees well-formed functions, and the
+//! returned function is guaranteed to still satisfy the predicate.
+
+use crate::constant::Constant;
+use crate::function::{Function, ValueId};
+use crate::inst::{Inst, InstKind};
+use crate::types::Type;
+use crate::verify::verify;
+
+/// Counters describing a minimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Fixpoint rounds executed.
+    pub rounds: u64,
+    /// Candidates offered to the predicate.
+    pub candidates: u64,
+    /// Candidates accepted (each one shrank the function).
+    pub accepted: u64,
+}
+
+/// Shrink `f` while `still_fails` holds, evaluating at most
+/// `max_candidates` candidates. Returns the smallest failing function
+/// found (a clone of `f` if `f` itself does not fail) plus run counters.
+pub fn minimize(
+    f: &Function,
+    mut still_fails: impl FnMut(&Function) -> bool,
+    max_candidates: u64,
+) -> (Function, ReduceStats) {
+    let mut stats = ReduceStats::default();
+    let mut cur = f.clone();
+    if max_candidates == 0 {
+        return (cur, stats);
+    }
+    stats.candidates += 1;
+    if !still_fails(&cur) {
+        return (cur, stats);
+    }
+    let mut budget = max_candidates.saturating_sub(1);
+
+    // Offer one candidate; accept it if valid and still failing.
+    let try_accept = |cand: Function,
+                      cur: &mut Function,
+                      budget: &mut u64,
+                      stats: &mut ReduceStats,
+                      still_fails: &mut dyn FnMut(&Function) -> bool|
+     -> bool {
+        if *budget == 0 || verify(&cand).is_err() {
+            return false;
+        }
+        *budget -= 1;
+        stats.candidates += 1;
+        if still_fails(&cand) {
+            stats.accepted += 1;
+            *cur = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut progress = false;
+        stats.rounds += 1;
+
+        // Phase 1: drop suffixes, halving the chunk size on rejection.
+        let mut k = cur.insts.len() / 2;
+        while k >= 1 && budget > 0 {
+            if cur.insts.len() > k {
+                let cand = prefix(&cur, cur.insts.len() - k);
+                if try_accept(cand, &mut cur, &mut budget, &mut stats, &mut still_fails) {
+                    progress = true;
+                    k = k.min(cur.insts.len().saturating_sub(1)).max(1);
+                    continue;
+                }
+            }
+            k /= 2;
+        }
+
+        // Phase 2: drop individual instructions, last to first.
+        let mut i = cur.insts.len();
+        while i > 0 && budget > 0 {
+            i -= 1;
+            if cur.insts.len() <= 1 {
+                break;
+            }
+            if let Some(cand) = drop_inst(&cur, i) {
+                if try_accept(cand, &mut cur, &mut budget, &mut stats, &mut still_fails) {
+                    progress = true;
+                    i = i.min(cur.insts.len());
+                }
+            }
+        }
+
+        // Phase 3a: shrink constants toward zero.
+        let mut i = 0;
+        while i < cur.insts.len() && budget > 0 {
+            if let InstKind::Const(c) = cur.insts[i].kind {
+                for repl in shrink_candidates(c) {
+                    if repl == c {
+                        continue;
+                    }
+                    let mut cand = cur.clone();
+                    cand.insts[i] = Inst { kind: InstKind::Const(repl), ty: cand.insts[i].ty };
+                    if try_accept(cand, &mut cur, &mut budget, &mut stats, &mut still_fails) {
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // Phase 3b: shrink buffer widths to the highest offset used.
+        if budget > 0 {
+            if let Some(cand) = shrink_params(&cur) {
+                if try_accept(cand, &mut cur, &mut budget, &mut stats, &mut still_fails) {
+                    progress = true;
+                }
+            }
+        }
+
+        if !progress || budget == 0 {
+            break;
+        }
+    }
+    (cur, stats)
+}
+
+/// The first `keep` instructions of `f` (always valid SSA).
+fn prefix(f: &Function, keep: usize) -> Function {
+    let mut g = f.clone();
+    g.insts.truncate(keep);
+    g
+}
+
+/// Smaller constants worth trying in place of `c`.
+fn shrink_candidates(c: Constant) -> Vec<Constant> {
+    match c.ty() {
+        Type::F32 => vec![Constant::f32(0.0), Constant::f32(1.0)],
+        Type::F64 => vec![Constant::f64(0.0), Constant::f64(1.0)],
+        Type::I1 => vec![Constant::bool(false)],
+        ty => {
+            let v = c.as_i64();
+            vec![Constant::int(ty, 0), Constant::int(ty, 1), Constant::int(ty, v / 2)]
+        }
+    }
+}
+
+/// Remove instruction `at`, repairing the use chain: uses of the removed
+/// value are redirected to a same-typed operand of the removed
+/// instruction (or, failing that, any earlier same-typed value). Returns
+/// `None` when no replacement exists.
+fn drop_inst(f: &Function, at: usize) -> Option<Function> {
+    let removed_ty = f.insts[at].ty;
+    let used = f.insts[at + 1..].iter().any(|inst| inst.operands().iter().any(|v| v.index() == at));
+    let repl: Option<usize> = if !used {
+        None
+    } else {
+        // Prefer an operand of the removed instruction (keeps dataflow
+        // local), else any earlier value of the same type.
+        f.insts[at]
+            .operands()
+            .into_iter()
+            .map(|v| v.index())
+            .find(|&j| f.insts[j].ty == removed_ty)
+            .or_else(|| (0..at).rev().find(|&j| f.insts[j].ty == removed_ty))
+    };
+    if used && repl.is_none() {
+        return None;
+    }
+    let remap = |v: ValueId| -> ValueId {
+        let i = v.index();
+        if i == at {
+            ValueId::from_raw(repl.expect("checked above") as u32)
+        } else if i > at {
+            ValueId::from_raw((i - 1) as u32)
+        } else {
+            v
+        }
+    };
+    let mut g = Function::new(f.name.clone());
+    g.params = f.params.clone();
+    for (i, inst) in f.insts.iter().enumerate() {
+        if i == at {
+            continue;
+        }
+        let mut inst = inst.clone();
+        inst.map_operands(&remap);
+        g.insts.push(inst);
+    }
+    Some(g)
+}
+
+/// Shrink each parameter's length to the highest offset the function
+/// actually accesses (length 1 for untouched buffers). Returns `None`
+/// when nothing shrinks.
+fn shrink_params(f: &Function) -> Option<Function> {
+    let mut max_off = vec![0usize; f.params.len()];
+    for inst in &f.insts {
+        if let Some(loc) = inst.mem_loc() {
+            if loc.base < max_off.len() && loc.offset >= 0 {
+                max_off[loc.base] = max_off[loc.base].max(loc.offset as usize);
+            }
+        }
+    }
+    let mut g = f.clone();
+    let mut shrunk = false;
+    for (p, &m) in g.params.iter_mut().zip(&max_off) {
+        let want = m + 1;
+        if p.len > want {
+            p.len = want;
+            shrunk = true;
+        }
+    }
+    if shrunk {
+        Some(g)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::verify::verify_all;
+
+    /// A kernel with a mul+store buried in unrelated junk.
+    fn haystack() -> Function {
+        let mut b = FunctionBuilder::new("haystack");
+        let a = b.param("A", Type::I32, 8);
+        let o = b.param("O", Type::I32, 8);
+        for i in 0..4 {
+            let x = b.load(a, i);
+            let y = b.load(a, i + 4);
+            let s = b.add(x, y);
+            let t = b.xor(s, y);
+            b.store(o, i + 4, t);
+        }
+        let x = b.load(a, 0);
+        let k = b.iconst(Type::I32, 37);
+        let m = b.mul(x, k);
+        b.store(o, 0, m);
+        b.finish()
+    }
+
+    fn has_mul_and_store(f: &Function) -> bool {
+        let mul = f.insts.iter().any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Mul, .. }));
+        mul && !f.stores().is_empty()
+    }
+
+    #[test]
+    fn minimized_output_still_fails_and_is_valid() {
+        let f = haystack();
+        assert!(has_mul_and_store(&f));
+        let (small, stats) = minimize(&f, has_mul_and_store, 5000);
+        assert!(has_mul_and_store(&small), "reduction lost the failure:\n{small}");
+        assert!(verify_all(&small).is_empty());
+        assert!(small.insts.len() < f.insts.len(), "no shrink: {stats:?}");
+        // mul needs: load (or const), const, mul, store = 4 insts.
+        assert!(small.insts.len() <= 5, "not minimal ({} insts):\n{small}", small.insts.len());
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn predicate_only_sees_valid_functions() {
+        let f = haystack();
+        let (_, _) = minimize(
+            &f,
+            |cand| {
+                assert!(verify_all(cand).is_empty(), "invalid candidate:\n{cand}");
+                has_mul_and_store(cand)
+            },
+            5000,
+        );
+    }
+
+    #[test]
+    fn non_failing_input_returned_unchanged() {
+        let f = haystack();
+        let (out, stats) = minimize(&f, |_| false, 100);
+        assert_eq!(out, f);
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn use_chain_repair_drops_middle_value() {
+        // acc = (a + b) ^ b; dropping the add should redirect the xor to
+        // a same-typed value and stay valid.
+        let mut b = FunctionBuilder::new("chain");
+        let a = b.param("A", Type::I32, 2);
+        let o = b.param("O", Type::I32, 1);
+        let x = b.load(a, 0);
+        let y = b.load(a, 1);
+        let s = b.add(x, y);
+        let t = b.xor(s, y);
+        b.store(o, 0, t);
+        let f = b.finish();
+        let still_has_xor = |g: &Function| {
+            g.insts.iter().any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Xor, .. }))
+                && !g.stores().is_empty()
+        };
+        let (small, _) = minimize(&f, still_has_xor, 1000);
+        assert!(still_has_xor(&small));
+        assert!(verify_all(&small).is_empty());
+        assert!(
+            !small.insts.iter().any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Add, .. })),
+            "add should have been dropped:\n{small}"
+        );
+    }
+
+    #[test]
+    fn width_shrinking_trims_buffers() {
+        let mut b = FunctionBuilder::new("wide");
+        let a = b.param("A", Type::I32, 64);
+        let o = b.param("O", Type::I32, 64);
+        let x = b.load(a, 0);
+        b.store(o, 0, x);
+        let f = b.finish();
+        let (small, _) = minimize(&f, |g| !g.stores().is_empty(), 1000);
+        assert!(small.params.iter().all(|p| p.len == 1), "buffers not shrunk:\n{small}");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let f = haystack();
+        let mut calls = 0u64;
+        let (_, stats) = minimize(
+            &f,
+            |g| {
+                calls += 1;
+                has_mul_and_store(g)
+            },
+            10,
+        );
+        assert!(calls <= 10, "predicate ran {calls} times");
+        assert_eq!(stats.candidates, calls);
+    }
+}

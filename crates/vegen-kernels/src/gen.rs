@@ -1,0 +1,489 @@
+//! Deterministic random-kernel generator for the soak harness.
+//!
+//! Every kernel is a pure function of two integers: a corpus seed and an
+//! index. `generate(seed, index)` always returns the same function — same
+//! instructions, same constants, same printed text — on any host, at any
+//! thread count, because the only entropy source is the in-tree
+//! [`XorShift`] stream seeded from a mix of the two integers. That makes
+//! any soak failure replayable from a pair of numbers.
+//!
+//! Generation is *recipe based*: each kernel picks a shape (map chain,
+//! widening dot product, saturating pack, reduction, float map,
+//! compare/select) and then a random recipe — op sequence, element types,
+//! lane count, constants — which is instantiated identically for every
+//! lane. Isomorphic lanes with contiguous loads and stores are exactly
+//! what the VeGen pipeline is supposed to vectorize, so the corpus is
+//! biased toward vectorizable code while still randomizing widths,
+//! operators, and constants.
+//!
+//! Invariants, by construction (and re-checked by `verify_all` in debug
+//! builds):
+//!
+//! - straight-line SSA, defs before uses;
+//! - every load/store offset is within its buffer's declared length;
+//! - no integer division or remainder (the IR's only runtime trap);
+//! - every function ends in a contiguous store chain from offset 0.
+
+use crate::Function;
+use vegen_ir::rng::XorShift;
+use vegen_ir::{BinOp, CmpPred, FunctionBuilder, Type, ValueId};
+
+/// The shape family a generated kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Elementwise chain over one or two inputs: `O[i] = f(A[i], B[i])`.
+    MapChain,
+    /// Widening multiply-accumulate: `O[i] = sum_j ext(A[k*i+j]) * ext(B[k*i+j])`.
+    WideningDot,
+    /// Arithmetic then clamp to a narrow signed range then truncate (pack).
+    SaturatingPack,
+    /// Tree reduction of a whole buffer into `O[0]`.
+    Reduction,
+    /// Elementwise float chain (fadd/fmul/fneg/min/max).
+    FloatMap,
+    /// Compare + select idioms (min/max/abs-like).
+    CmpSelect,
+}
+
+impl Shape {
+    /// All shapes, in a fixed order.
+    pub const ALL: [Shape; 6] = [
+        Shape::MapChain,
+        Shape::WideningDot,
+        Shape::SaturatingPack,
+        Shape::Reduction,
+        Shape::FloatMap,
+        Shape::CmpSelect,
+    ];
+
+    /// Stable lowercase name (used in reports and statistics).
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::MapChain => "map_chain",
+            Shape::WideningDot => "widening_dot",
+            Shape::SaturatingPack => "saturating_pack",
+            Shape::Reduction => "reduction",
+            Shape::FloatMap => "float_map",
+            Shape::CmpSelect => "cmp_select",
+        }
+    }
+}
+
+/// A generated kernel plus the metadata the soak report aggregates.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The kernel; its name is [`kernel_name`]`(seed, index)`.
+    pub function: Function,
+    /// Shape family the recipe was drawn from.
+    pub shape: Shape,
+    /// Element type of the output buffer (width statistics).
+    pub out_ty: Type,
+}
+
+/// The function name for corpus member `(corpus_seed, index)`.
+///
+/// Fault plans match kernels by name, so the name must be derivable
+/// without generating the kernel.
+pub fn kernel_name(corpus_seed: u64, index: u64) -> String {
+    format!("gen_{corpus_seed}_{index}")
+}
+
+/// SplitMix64-style finalizer decorrelating `(seed, index)` pairs.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generate corpus member `index` of the corpus identified by
+/// `corpus_seed`. Deterministic; total; never panics for any input pair.
+pub fn generate(corpus_seed: u64, index: u64) -> Generated {
+    let mut rng = XorShift::new(mix(corpus_seed, index));
+    let name = kernel_name(corpus_seed, index);
+    // Weighted shape choice: bias toward the shapes the paper's targets
+    // reward (contiguous maps, widening DSP idioms, saturating packs).
+    let shape = match rng.below(100) {
+        0..=29 => Shape::MapChain,
+        30..=49 => Shape::WideningDot,
+        50..=64 => Shape::SaturatingPack,
+        65..=79 => Shape::Reduction,
+        80..=89 => Shape::FloatMap,
+        _ => Shape::CmpSelect,
+    };
+    let (function, out_ty) = match shape {
+        Shape::MapChain => gen_map_chain(&name, &mut rng),
+        Shape::WideningDot => gen_widening_dot(&name, &mut rng),
+        Shape::SaturatingPack => gen_saturating_pack(&name, &mut rng),
+        Shape::Reduction => gen_reduction(&name, &mut rng),
+        Shape::FloatMap => gen_float_map(&name, &mut rng),
+        Shape::CmpSelect => gen_cmp_select(&name, &mut rng),
+    };
+    debug_assert!(
+        vegen_ir::verify::verify_all(&function).is_empty(),
+        "generated kernel failed verification: {function}"
+    );
+    Generated { function, shape, out_ty }
+}
+
+/// A small signed constant that fits comfortably in `ty`.
+fn small_const(rng: &mut XorShift, ty: Type) -> i64 {
+    let k = (ty.bits() - 1).min(6) as i64;
+    rng.range_i64(-(1 << k), (1 << k) + 1)
+}
+
+/// A shift amount valid-ish for `ty` (out-of-range shifts are total in
+/// this IR, but in-range amounts make for more interesting kernels).
+fn shift_amount(rng: &mut XorShift, ty: Type) -> i64 {
+    rng.range_i64(1, ty.bits() as i64)
+}
+
+fn int_ty(rng: &mut XorShift) -> Type {
+    [Type::I8, Type::I16, Type::I32, Type::I64][rng.below(4)]
+}
+
+/// One step of an elementwise integer recipe.
+#[derive(Clone, Copy)]
+enum MapStep {
+    /// Combine the accumulator with the second input.
+    BinB(BinOp),
+    /// Combine the accumulator with a fixed constant.
+    BinConst(BinOp, i64),
+    /// Shift the accumulator by a fixed in-range amount.
+    Shift(BinOp, i64),
+    /// Signed min/max of accumulator and second input.
+    MinB,
+    MaxB,
+}
+
+fn map_recipe(rng: &mut XorShift, ty: Type) -> Vec<MapStep> {
+    let depth = 1 + rng.below(3);
+    let mut steps = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        steps.push(match rng.below(8) {
+            0 => MapStep::BinB(BinOp::Add),
+            1 => MapStep::BinB(BinOp::Sub),
+            2 => MapStep::BinB(BinOp::Mul),
+            3 => MapStep::BinB([BinOp::And, BinOp::Or, BinOp::Xor][rng.below(3)]),
+            4 => MapStep::BinConst(
+                [BinOp::Add, BinOp::Mul, BinOp::Xor][rng.below(3)],
+                small_const(rng, ty),
+            ),
+            5 => MapStep::Shift(
+                [BinOp::Shl, BinOp::AShr, BinOp::LShr][rng.below(3)],
+                shift_amount(rng, ty),
+            ),
+            6 => MapStep::MinB,
+            _ => MapStep::MaxB,
+        });
+    }
+    steps
+}
+
+fn apply_map_step(
+    b: &mut FunctionBuilder,
+    ty: Type,
+    acc: ValueId,
+    other: ValueId,
+    step: MapStep,
+) -> ValueId {
+    match step {
+        MapStep::BinB(op) => b.bin(op, acc, other),
+        MapStep::BinConst(op, c) => {
+            let k = b.iconst(ty, c);
+            b.bin(op, acc, k)
+        }
+        MapStep::Shift(op, amt) => {
+            let k = b.iconst(ty, amt);
+            b.bin(op, acc, k)
+        }
+        MapStep::MinB => b.min_via_select(CmpPred::Slt, acc, other),
+        MapStep::MaxB => b.max_via_select(CmpPred::Sgt, acc, other),
+    }
+}
+
+fn gen_map_chain(name: &str, rng: &mut XorShift) -> (Function, Type) {
+    let ty = int_ty(rng);
+    let lanes = [4, 8][rng.below(2)];
+    let steps = map_recipe(rng, ty);
+    let mut b = FunctionBuilder::new(name);
+    let a = b.param("A", ty, lanes);
+    let bb = b.param("B", ty, lanes);
+    let o = b.param("O", ty, lanes);
+    for i in 0..lanes {
+        let av = b.load(a, i as i64);
+        let bv = b.load(bb, i as i64);
+        let mut acc = av;
+        for &s in &steps {
+            acc = apply_map_step(&mut b, ty, acc, bv, s);
+        }
+        b.store(o, i as i64, acc);
+    }
+    (b.finish(), ty)
+}
+
+fn gen_widening_dot(name: &str, rng: &mut XorShift) -> (Function, Type) {
+    let (narrow, wide) = match rng.below(4) {
+        0 => (Type::I8, Type::I16),
+        1 => (Type::I8, Type::I32),
+        2 => (Type::I16, Type::I32),
+        _ => (Type::I16, Type::I64),
+    };
+    let k = [2, 4][rng.below(2)];
+    let lanes = [2, 4][rng.below(2)];
+    let signed = rng.bool();
+    let mut b = FunctionBuilder::new(name);
+    let a = b.param("A", narrow, lanes * k);
+    let bb = b.param("B", narrow, lanes * k);
+    let o = b.param("O", wide, lanes);
+    for i in 0..lanes {
+        let mut acc: Option<ValueId> = None;
+        for j in 0..k {
+            let off = (i * k + j) as i64;
+            let av = b.load(a, off);
+            let bv = b.load(bb, off);
+            let (aw, bw) = if signed {
+                (b.sext(av, wide), b.sext(bv, wide))
+            } else {
+                (b.zext(av, wide), b.zext(bv, wide))
+            };
+            let p = b.mul(aw, bw);
+            acc = Some(match acc {
+                None => p,
+                Some(s) => b.add(s, p),
+            });
+        }
+        let sum = acc.expect("k >= 2");
+        b.store(o, i as i64, sum);
+    }
+    (b.finish(), wide)
+}
+
+fn gen_saturating_pack(name: &str, rng: &mut XorShift) -> (Function, Type) {
+    let (wide, narrow) = if rng.bool() { (Type::I32, Type::I16) } else { (Type::I16, Type::I8) };
+    let lanes = [4, 8][rng.below(2)];
+    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][rng.below(3)];
+    let nb = narrow.bits() as i64;
+    let (lo, hi) = (-(1 << (nb - 1)), (1 << (nb - 1)) - 1);
+    let mut b = FunctionBuilder::new(name);
+    let a = b.param("A", wide, lanes);
+    let bb = b.param("B", wide, lanes);
+    let o = b.param("O", narrow, lanes);
+    for i in 0..lanes {
+        let av = b.load(a, i as i64);
+        let bv = b.load(bb, i as i64);
+        let t = b.bin(op, av, bv);
+        let c = b.clamp(t, lo, hi);
+        let n = b.trunc(c, narrow);
+        b.store(o, i as i64, n);
+    }
+    (b.finish(), narrow)
+}
+
+fn gen_reduction(name: &str, rng: &mut XorShift) -> (Function, Type) {
+    let float = rng.below(4) == 0;
+    let n = [8, 16][rng.below(2)];
+    let mut b = FunctionBuilder::new(name);
+    if float {
+        let a = b.param("A", Type::F32, n);
+        let bb = b.param("B", Type::F32, n);
+        let o = b.param("O", Type::F32, 1);
+        let dot = rng.bool();
+        let mut leaves: Vec<ValueId> = Vec::with_capacity(n);
+        for i in 0..n {
+            let av = b.load(a, i as i64);
+            let v = if dot {
+                let bv = b.load(bb, i as i64);
+                b.fmul(av, bv)
+            } else {
+                let bv = b.load(bb, i as i64);
+                b.fadd(av, bv)
+            };
+            leaves.push(v);
+        }
+        while leaves.len() > 1 {
+            let mut next = Vec::with_capacity(leaves.len() / 2);
+            for pair in leaves.chunks(2) {
+                next.push(b.fadd(pair[0], pair[1]));
+            }
+            leaves = next;
+        }
+        b.store(o, 0, leaves[0]);
+        (b.finish(), Type::F32)
+    } else {
+        let (narrow, wide) = match rng.below(3) {
+            0 => (Type::I16, Type::I32),
+            1 => (Type::I8, Type::I32),
+            _ => (Type::I32, Type::I32),
+        };
+        let a = b.param("A", narrow, n);
+        let bb = b.param("B", narrow, n);
+        let o = b.param("O", wide, 1);
+        let dot = rng.bool();
+        let mut leaves: Vec<ValueId> = Vec::with_capacity(n);
+        for i in 0..n {
+            let av = b.load(a, i as i64);
+            let v = if dot {
+                let bv = b.load(bb, i as i64);
+                let (aw, bw) =
+                    if narrow == wide { (av, bv) } else { (b.sext(av, wide), b.sext(bv, wide)) };
+                b.mul(aw, bw)
+            } else if narrow == wide {
+                av
+            } else {
+                b.sext(av, wide)
+            };
+            leaves.push(v);
+        }
+        while leaves.len() > 1 {
+            let mut next = Vec::with_capacity(leaves.len() / 2);
+            for pair in leaves.chunks(2) {
+                next.push(b.add(pair[0], pair[1]));
+            }
+            leaves = next;
+        }
+        b.store(o, 0, leaves[0]);
+        (b.finish(), wide)
+    }
+}
+
+fn gen_float_map(name: &str, rng: &mut XorShift) -> (Function, Type) {
+    let ty = if rng.bool() { Type::F32 } else { Type::F64 };
+    let lanes = if ty == Type::F64 { [2, 4][rng.below(2)] } else { [4, 8][rng.below(2)] };
+    let depth = 1 + rng.below(3);
+    // Recipe: op codes chosen once, instantiated per lane.
+    let ops: Vec<usize> = (0..depth).map(|_| rng.below(6)).collect();
+    let consts: Vec<i64> = (0..depth).map(|_| rng.range_i64(-8, 9)).collect();
+    let mut b = FunctionBuilder::new(name);
+    let a = b.param("A", ty, lanes);
+    let bb = b.param("B", ty, lanes);
+    let o = b.param("O", ty, lanes);
+    for i in 0..lanes {
+        let av = b.load(a, i as i64);
+        let bv = b.load(bb, i as i64);
+        let mut acc = av;
+        for (s, &op) in ops.iter().enumerate() {
+            acc = match op {
+                0 => b.fadd(acc, bv),
+                1 => b.fsub(acc, bv),
+                2 => b.fmul(acc, bv),
+                3 => {
+                    let c = if ty == Type::F32 {
+                        b.f32const(consts[s] as f32 * 0.5)
+                    } else {
+                        b.f64const(consts[s] as f64 * 0.5)
+                    };
+                    b.fmul(acc, c)
+                }
+                4 => b.fneg(acc),
+                _ => {
+                    if consts[s] & 1 == 0 {
+                        b.min_via_select(CmpPred::Flt, acc, bv)
+                    } else {
+                        b.max_via_select(CmpPred::Fgt, acc, bv)
+                    }
+                }
+            };
+        }
+        b.store(o, i as i64, acc);
+    }
+    (b.finish(), ty)
+}
+
+fn gen_cmp_select(name: &str, rng: &mut XorShift) -> (Function, Type) {
+    let ty = [Type::I8, Type::I16, Type::I32][rng.below(3)];
+    let lanes = [4, 8][rng.below(2)];
+    let pred = [CmpPred::Slt, CmpPred::Sgt, CmpPred::Ult, CmpPred::Ugt, CmpPred::Eq, CmpPred::Ne]
+        [rng.below(6)];
+    // 0: select(a ? b, a, b)   (min/max family)
+    // 1: select(cmp, a op b, const)
+    // 2: abs-difference: select(a < b, b - a, a - b)
+    let variant = rng.below(3);
+    let op = [BinOp::Add, BinOp::Sub, BinOp::Xor][rng.below(3)];
+    let c = small_const(rng, ty);
+    let mut b = FunctionBuilder::new(name);
+    let a = b.param("A", ty, lanes);
+    let bb = b.param("B", ty, lanes);
+    let o = b.param("O", ty, lanes);
+    for i in 0..lanes {
+        let av = b.load(a, i as i64);
+        let bv = b.load(bb, i as i64);
+        let r = match variant {
+            0 => {
+                let cnd = b.cmp(pred, av, bv);
+                b.select(cnd, av, bv)
+            }
+            1 => {
+                let cnd = b.cmp(pred, av, bv);
+                let t = b.bin(op, av, bv);
+                let e = b.iconst(ty, c);
+                b.select(cnd, t, e)
+            }
+            _ => {
+                let cnd = b.cmp(CmpPred::Slt, av, bv);
+                let t = b.sub(bv, av);
+                let e = b.sub(av, bv);
+                b.select(cnd, t, e)
+            }
+        };
+        b.store(o, i as i64, r);
+    }
+    (b.finish(), ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pair_is_byte_identical() {
+        for index in [0u64, 1, 7, 42, 999] {
+            let a = generate(42, index).function.to_string();
+            let b = generate(42, index).function.to_string();
+            assert_eq!(a, b, "index {index} not reproducible");
+        }
+    }
+
+    #[test]
+    fn identical_across_threads() {
+        let reference: Vec<String> = (0..32).map(|i| generate(7, i).function.to_string()).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..32).map(|i| generate(7, i).function.to_string()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn thousand_kernels_verify() {
+        let mut shapes = std::collections::BTreeMap::new();
+        for i in 0..1000u64 {
+            let g = generate(42, i);
+            let errs = vegen_ir::verify::verify_all(&g.function);
+            assert!(errs.is_empty(), "gen_42_{i} failed verify: {errs:?}\n{}", g.function);
+            assert_eq!(g.function.name, kernel_name(42, i));
+            assert!(!g.function.stores().is_empty(), "gen_42_{i} has no stores");
+            *shapes.entry(g.shape.name()).or_insert(0u64) += 1;
+        }
+        // Every shape family should appear in a 1k corpus.
+        for s in Shape::ALL {
+            assert!(shapes.contains_key(s.name()), "shape {} never generated", s.name());
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_differ() {
+        // Not a hard guarantee, but (42, 0..8) colliding would mean the
+        // mixer is broken.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..8u64 {
+            seen.insert(generate(42, i).function.to_string());
+        }
+        assert!(seen.len() >= 6, "suspiciously many identical kernels");
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod cmul;
 pub mod dsp;
+pub mod gen;
 pub mod isel;
 pub mod opencv;
 pub mod tvm;
